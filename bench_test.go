@@ -1,0 +1,223 @@
+// Benchmarks: one per table and figure of the paper's evaluation section.
+// Each benchmark executes the corresponding experiment end to end on
+// 16×-reduced datasets (the full paper-analog scale is run by
+// cmd/experiments -scale full; see EXPERIMENTS.md for those results).
+//
+// Kernel microbenches for the gradient step and the projection algorithms
+// follow at the end.
+package mdbgp
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdbgp/internal/core"
+	"mdbgp/internal/experiments"
+	"mdbgp/internal/gen"
+	"mdbgp/internal/project"
+	"mdbgp/internal/vecmath"
+	"mdbgp/internal/weights"
+)
+
+// runExperiment executes a registered experiment at 16× dataset reduction.
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.NewContext(16, 42, nil)
+		e, err := experiments.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tables, err := e.Run(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatalf("%s produced no tables", name)
+		}
+	}
+}
+
+// BenchmarkFig1PageRankHistogram regenerates Figure 1: per-worker PageRank
+// iteration times under the four partitioning policies on 16 workers.
+func BenchmarkFig1PageRankHistogram(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkFig4Imbalance regenerates Figure 4: vertex and edge imbalance of
+// Spinner, BLP and SHP on the public networks, k ∈ {2, 8}.
+func BenchmarkFig4Imbalance(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5LocalityPublic regenerates Figure 5: edge locality of Hash,
+// BLP and GD on the public networks, k ∈ {2, 8}.
+func BenchmarkFig5LocalityPublic(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6LocalityFB regenerates Figure 6: edge locality on the
+// Facebook friendship analogs, k ∈ {16, 128}.
+func BenchmarkFig6LocalityFB(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7GiraphSpeedup regenerates Figure 7: PR/CC/MF/HC speedups
+// over hash for 1-D and 2-D partitionings on the small and large configs.
+func BenchmarkFig7GiraphSpeedup(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkTable2PageRankDetail regenerates Table 2: per-superstep runtime
+// and communication statistics of PageRank on fb400 across 128 workers.
+func BenchmarkTable2PageRankDetail(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkFig8StepLength regenerates Figure 8: locality vs iteration for
+// step lengths {1, 2, 5, 10}·√n/100.
+func BenchmarkFig8StepLength(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9Adaptivity regenerates Figure 9: nonadaptive vs adaptive vs
+// adaptive+vertex-fixing GD.
+func BenchmarkFig9Adaptivity(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10Projection regenerates Figure 10: exact projection at
+// ε ∈ {0.1, 0.01, 0.001} vs one-shot alternating projection.
+func BenchmarkFig10Projection(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11Scalability regenerates Figure 11: GD running time across
+// the graph size ladder (linear in |E|).
+func BenchmarkFig11Scalability(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkTable3MetisComparison regenerates Table 3: GD vs the multilevel
+// multi-constraint partitioner for d ∈ {2, 3, 4}.
+func BenchmarkTable3MetisComparison(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkFig15to17StackOverflow regenerates the Appendix C.2 figures on
+// the sx-stackoverflow analog.
+func BenchmarkFig15to17StackOverflow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.NewContext(16, 42, nil)
+		for _, name := range []string{"fig15", "fig16", "fig17"} {
+			e, err := experiments.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.Run(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAblations runs the component-ablation study (repair, noise,
+// projection variants, vertex fixing, direct vs recursive k-way).
+func BenchmarkAblations(b *testing.B) { runExperiment(b, "ablations") }
+
+// --- Kernel microbenches -------------------------------------------------
+
+func benchGraph() (*Graph, [][]float64) {
+	g, _ := gen.SBM(gen.SBMConfig{
+		N: 50000, Communities: 16, AvgDegree: 20, InFraction: 0.6,
+		DegreeExponent: 2, Seed: 9,
+	})
+	ws, _ := weights.Standard(g, 2)
+	return g, ws
+}
+
+// BenchmarkSpMV measures the gradient step Ax, the dominant per-iteration
+// cost of GD (Theorem 1.1: O(|E|) per step).
+func BenchmarkSpMV(b *testing.B) {
+	g, _ := benchGraph()
+	x := make([]float64, g.N())
+	dst := make([]float64, g.N())
+	for i := range x {
+		x[i] = float64(i%3) - 1
+	}
+	b.SetBytes(8 * g.DirectedSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vecmath.SpMV(g, x, dst)
+	}
+}
+
+// BenchmarkProjectionExact1D measures the O(n log n) exact single-slab
+// projection.
+func BenchmarkProjectionExact1D(b *testing.B) {
+	benchProjection(b, 1, project.Exact)
+}
+
+// BenchmarkProjectionExact2D measures the strip-bisection + region-walk
+// exact projection of Appendix A.2.
+func BenchmarkProjectionExact2D(b *testing.B) {
+	benchProjection(b, 2, project.Exact)
+}
+
+// BenchmarkProjectionOneShot measures the paper's default one-shot
+// alternating projection.
+func BenchmarkProjectionOneShot(b *testing.B) {
+	benchProjection(b, 2, project.AlternatingOneShot)
+}
+
+// BenchmarkProjectionDykstra measures Dykstra's algorithm to convergence.
+func BenchmarkProjectionDykstra(b *testing.B) {
+	benchProjection(b, 2, project.DykstraMethod)
+}
+
+func benchProjection(b *testing.B, d int, m project.Method) {
+	b.Helper()
+	n := 50000
+	rng := rand.New(rand.NewSource(11))
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = rng.NormFloat64() * 1.5
+	}
+	cons := make([]project.Constraint, d)
+	for j := range cons {
+		w := make([]float64, n)
+		total := 0.0
+		for i := range w {
+			w[i] = rng.Float64()*2 + 0.05
+			total += w[i]
+		}
+		cons[j] = project.Constraint{W: w, Lo: -0.01 * total, Hi: 0.01 * total}
+	}
+	dst := make([]float64, n)
+	st := &project.State{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := project.Project(dst, y, cons, project.Options{Method: m, Center: true}, st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGDBisect measures a full 100-iteration GD bisection on a 50k /
+// 500k synthetic social graph (the unit of Figure 11's scaling ladder).
+func BenchmarkGDBisect(b *testing.B) {
+	g, ws := benchGraph()
+	opt := core.DefaultOptions()
+	opt.Seed = 42
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Bisect(g, ws, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKWayRecursive and BenchmarkKWayDirect compare the two k-way
+// strategies of §3.3: recursive bisection (O(|E|) per iteration, log k
+// rounds) against the direct O(k·|E|)-per-iteration relaxation.
+func BenchmarkKWayRecursive(b *testing.B) {
+	g, ws := benchGraph()
+	opt := core.DefaultOptions()
+	opt.Seed = 42
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PartitionK(g, ws, 8, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKWayDirect(b *testing.B) {
+	g, ws := benchGraph()
+	opt := core.DefaultDirectKOptions()
+	opt.Seed = 42
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DirectKWay(g, ws, 8, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section on synthetic dataset analogs (see DESIGN.md §4 for the
+// substitution table and EXPERIMENTS.md for paper-vs-measured results).
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig5,fig6            # specific experiments
+//	experiments -run all -scale quick     # everything, 8× smaller datasets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mdbgp/internal/experiments"
+)
+
+func main() {
+	var (
+		runList = flag.String("run", "all", "comma-separated experiment names, or 'all'")
+		scale   = flag.String("scale", "full", "dataset scale: full (paper-analog sizes) or quick (8x smaller)")
+		seed    = flag.Int64("seed", 42, "random seed")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		quiet   = flag.Bool("quiet", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %-26s %s\n", e.Name, e.Paper, e.Desc)
+		}
+		return
+	}
+
+	scaleDiv := 1
+	switch *scale {
+	case "full":
+	case "quick":
+		scaleDiv = 8
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q (want full or quick)\n", *scale)
+		os.Exit(1)
+	}
+
+	var selected []experiments.Experiment
+	if *runList == "all" {
+		selected = experiments.All()
+	} else {
+		for _, name := range strings.Split(*runList, ",") {
+			e, err := experiments.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	logSink := os.Stderr
+	if *quiet {
+		logSink = nil
+	}
+	var ctx *experiments.Context
+	if logSink != nil {
+		ctx = experiments.NewContext(scaleDiv, *seed, logSink)
+	} else {
+		ctx = experiments.NewContext(scaleDiv, *seed, nil)
+	}
+
+	grandStart := time.Now()
+	for _, e := range selected {
+		fmt.Printf("\n================ %s — %s ================\n", e.Paper, e.Name)
+		fmt.Println(e.Desc)
+		start := time.Now()
+		tables, err := e.Run(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Render(os.Stdout)
+		}
+		fmt.Printf("\n[%s completed in %.1fs]\n", e.Name, time.Since(start).Seconds())
+	}
+	fmt.Printf("\nAll done in %.1fs (scale=%s, seed=%d)\n", time.Since(grandStart).Seconds(), *scale, *seed)
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mdbgp"
+)
+
+func writeTestGraph(t *testing.T, dir string) (string, *mdbgp.Graph) {
+	t.Helper()
+	g, _ := mdbgp.GenerateSocialGraph(mdbgp.SocialGraphConfig{
+		N: 600, Communities: 4, AvgDegree: 10, InFraction: 0.85, Seed: 3,
+	})
+	path := filepath.Join(dir, "graph.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := mdbgp.WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	return path, g
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	in, g := writeTestGraph(t, dir)
+	out := filepath.Join(dir, "parts.txt")
+	if err := run(in, out, 4, 0.05, "vertices,edges", 60, "", 42); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	asgn := &mdbgp.Assignment{Parts: make([]int32, g.N()), K: 4}
+	sc := bufio.NewScanner(f)
+	lines := 0
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 2 {
+			t.Fatalf("bad output line %q", sc.Text())
+		}
+		v, _ := strconv.Atoi(fields[0])
+		p, _ := strconv.Atoi(fields[1])
+		asgn.Parts[v] = int32(p)
+		lines++
+	}
+	if lines != g.N() {
+		t.Fatalf("output has %d lines, want %d", lines, g.N())
+	}
+	if err := asgn.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ws, _ := mdbgp.StandardWeights(g, mdbgp.WeightVertices, mdbgp.WeightEdges)
+	if !mdbgp.IsBalanced(asgn, ws, 0.08) {
+		t.Fatalf("CLI output imbalance %.4f", mdbgp.MaxImbalance(asgn, ws))
+	}
+	if mdbgp.EdgeLocality(g, asgn) < 0.3 {
+		t.Fatalf("CLI output locality %.3f", mdbgp.EdgeLocality(g, asgn))
+	}
+}
+
+func TestRunAllDimensions(t *testing.T) {
+	dir := t.TempDir()
+	in, _ := writeTestGraph(t, dir)
+	out := filepath.Join(dir, "parts.txt")
+	err := run(in, out, 2, 0.05, "vertices,edges,neighbor-degrees,pagerank", 30, "dykstra", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	in, _ := writeTestGraph(t, dir)
+	out := filepath.Join(dir, "parts.txt")
+	if err := run(filepath.Join(dir, "missing.txt"), out, 2, 0.05, "vertices", 10, "", 1); err == nil {
+		t.Fatal("missing input should error")
+	}
+	if err := run(in, out, 2, 0.05, "bogus-dim", 10, "", 1); err == nil {
+		t.Fatal("unknown dimension should error")
+	}
+	if err := run(in, out, 2, 0.05, "vertices", 10, "bogus-projection", 1); err == nil {
+		t.Fatal("unknown projection should error")
+	}
+}

@@ -1,0 +1,87 @@
+package mdbgp_test
+
+import (
+	"fmt"
+
+	"mdbgp"
+)
+
+// ExamplePartition partitions a small community graph into two parts that
+// are balanced on vertices and edges simultaneously.
+func ExamplePartition() {
+	g, _ := mdbgp.GenerateSocialGraph(mdbgp.SocialGraphConfig{
+		N: 400, Communities: 2, AvgDegree: 12, InFraction: 0.9, Seed: 1,
+	})
+	res, err := mdbgp.Partition(g, mdbgp.Options{K: 2, Epsilon: 0.05, Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	ws, _ := mdbgp.StandardWeights(g, mdbgp.WeightVertices, mdbgp.WeightEdges)
+	fmt.Println("parts:", res.Assignment.K)
+	fmt.Println("balanced:", mdbgp.IsBalanced(res.Assignment, ws, 0.05))
+	fmt.Println("beats random cut:", res.EdgeLocality > 0.6)
+	// Output:
+	// parts: 2
+	// balanced: true
+	// beats random cut: true
+}
+
+// ExamplePartition_kway shows recursive k-way partitioning with a
+// non-power-of-two part count.
+func ExamplePartition_kway() {
+	g, _ := mdbgp.GenerateSocialGraph(mdbgp.SocialGraphConfig{
+		N: 600, Communities: 3, AvgDegree: 10, InFraction: 0.85, Seed: 2,
+	})
+	res, err := mdbgp.Partition(g, mdbgp.Options{K: 3, Epsilon: 0.06, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	empty := 0
+	for _, s := range res.Assignment.PartSizes() {
+		if s == 0 {
+			empty++
+		}
+	}
+	fmt.Println("parts:", res.Assignment.K, "empty:", empty)
+	// Output:
+	// parts: 3 empty: 0
+}
+
+// ExampleStandardWeights builds the paper's four standard balance
+// dimensions.
+func ExampleStandardWeights() {
+	g := mdbgp.FromEdges(3, []mdbgp.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	ws, err := mdbgp.StandardWeights(g, mdbgp.WeightVertices, mdbgp.WeightEdges)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("dimensions:", len(ws))
+	fmt.Println("vertex weights:", ws[0])
+	fmt.Println("degree weights:", ws[1])
+	// Output:
+	// dimensions: 2
+	// vertex weights: [1 1 1]
+	// degree weights: [1 2 1]
+}
+
+// ExampleNewCluster simulates a PageRank job on a partitioned cluster.
+func ExampleNewCluster() {
+	g, _ := mdbgp.GenerateSocialGraph(mdbgp.SocialGraphConfig{
+		N: 500, Communities: 4, AvgDegree: 10, InFraction: 0.85, Seed: 3,
+	})
+	res, _ := mdbgp.Partition(g, mdbgp.Options{K: 4, Seed: 9})
+	cluster, err := mdbgp.NewCluster(g, res.Assignment, mdbgp.DefaultCostModel())
+	if err != nil {
+		panic(err)
+	}
+	ranks, stats := mdbgp.SimulatePageRank(cluster, 10, 0.85)
+	sum := 0.0
+	for _, r := range ranks {
+		sum += r
+	}
+	fmt.Printf("rank mass: %.3f\n", sum)
+	fmt.Println("supersteps:", len(stats.Steps))
+	// Output:
+	// rank mass: 1.000
+	// supersteps: 10
+}

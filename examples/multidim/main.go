@@ -1,0 +1,74 @@
+// Multi-dimensional balance: partition a skewed graph on four simultaneous
+// weight functions — vertices, edges, neighbor-degree sums and PageRank —
+// the d = 4 experiment of the paper's Appendix C.1 (Table 3).
+//
+// One-dimensional partitioners cannot do this: balancing only vertex counts
+// leaves PageRank mass (a proxy for request load) concentrated on one
+// worker, and vice versa.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mdbgp"
+)
+
+func main() {
+	g, _ := mdbgp.GenerateSocialGraph(mdbgp.SocialGraphConfig{
+		N:              5000,
+		Communities:    8,
+		AvgDegree:      24,
+		InFraction:     0.7,
+		MicroSize:      25,
+		MicroFraction:  0.15,
+		DegreeExponent: 1.6,
+		Seed:           11,
+	})
+	fmt.Printf("graph: n=%d m=%d max degree %d\n", g.N(), g.M(), g.MaxDegree())
+
+	ws, err := mdbgp.StandardWeights(g,
+		mdbgp.WeightVertices,
+		mdbgp.WeightEdges,
+		mdbgp.WeightNeighborDegrees,
+		mdbgp.WeightPageRank,
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := []string{"vertices", "edges", "neighbor-degrees", "pagerank"}
+
+	// First, show the problem: balance ONLY vertex counts and look at what
+	// happens to the other dimensions.
+	oneDim, err := mdbgp.Partition(g, mdbgp.Options{
+		K: 2, Epsilon: 0.05, Seed: 42,
+		Weights: ws[:1],
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n1-D partition (vertex balance only):")
+	fmt.Printf("  locality %.1f%%\n", 100*oneDim.EdgeLocality)
+	for j, name := range names {
+		fmt.Printf("  %-18s imbalance %6.2f%%\n", name, 100*mdbgp.Imbalance(oneDim.Assignment, ws[j]))
+	}
+
+	// Now balance all four dimensions at once.
+	fourDim, err := mdbgp.Partition(g, mdbgp.Options{
+		K: 2, Epsilon: 0.05, Seed: 42,
+		Weights: ws,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n4-D partition (all dimensions balanced):")
+	fmt.Printf("  locality %.1f%%\n", 100*fourDim.EdgeLocality)
+	for j, name := range names {
+		fmt.Printf("  %-18s imbalance %6.2f%%\n", name, 100*mdbgp.Imbalance(fourDim.Assignment, ws[j]))
+	}
+
+	if !mdbgp.IsBalanced(fourDim.Assignment, ws, 0.051) {
+		log.Fatal("4-D partition failed ε-balance")
+	}
+	fmt.Println("\nall four dimensions within ε = 5% — at a modest locality cost")
+}

@@ -1,0 +1,199 @@
+package baselines
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mdbgp/internal/gen"
+	"mdbgp/internal/partition"
+	"mdbgp/internal/weights"
+)
+
+func TestHashBalanceAndLocality(t *testing.T) {
+	n, k := 20000, 8
+	a := Hash(n, k, 1)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if im := partition.VertexImbalance(a); im > 0.05 {
+		t.Fatalf("hash vertex imbalance %.4f, want < 0.05", im)
+	}
+	g, _ := gen.SBM(gen.SBMConfig{N: n, Communities: 4, AvgDegree: 10, InFraction: 0.9, Seed: 2})
+	loc := partition.EdgeLocality(g, a)
+	// Hash keeps ≈ 1/k of edges local regardless of structure.
+	if loc < 0.08 || loc > 0.18 {
+		t.Fatalf("hash locality %.3f, want ~1/8", loc)
+	}
+}
+
+func TestHashDeterministicAcrossSeeds(t *testing.T) {
+	a := Hash(100, 4, 7)
+	b := Hash(100, 4, 7)
+	c := Hash(100, 4, 8)
+	same, diff := true, false
+	for v := range a.Parts {
+		if a.Parts[v] != b.Parts[v] {
+			same = false
+		}
+		if a.Parts[v] != c.Parts[v] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed differs")
+	}
+	if !diff {
+		t.Fatal("different seeds should differ somewhere")
+	}
+}
+
+func TestSpinnerImprovesLocality(t *testing.T) {
+	g, _ := gen.SBM(gen.SBMConfig{N: 3000, Communities: 8, AvgDegree: 12, InFraction: 0.9, Seed: 3})
+	ws, _ := weights.Standard(g, 2)
+	k := 8
+	hash := Hash(g.N(), k, 4)
+	sp := Spinner(g, ws, k, SpinnerOptions{Seed: 4})
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	hl := partition.EdgeLocality(g, hash)
+	sl := partition.EdgeLocality(g, sp)
+	if sl < 2*hl {
+		t.Fatalf("spinner locality %.3f not clearly above hash %.3f", sl, hl)
+	}
+}
+
+func TestSpinnerImbalanceOnSkewedGraph(t *testing.T) {
+	// On a heavy power-law graph Spinner cannot balance vertices and edges
+	// simultaneously — the Figure 4 phenomenon. We only assert it stays
+	// within loose soft bounds and produces a valid assignment.
+	g := gen.ChungLu(4000, 12, 1.5, 5)
+	ws, _ := weights.Standard(g, 2)
+	sp := Spinner(g, ws, 8, SpinnerOptions{Seed: 6})
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if im := partition.MaxImbalance(sp, ws); im > 3 {
+		t.Fatalf("spinner imbalance %.3f looks broken", im)
+	}
+}
+
+func TestSpinnerTrivialCases(t *testing.T) {
+	g := gen.Grid(3, 3, false)
+	ws, _ := weights.Standard(g, 1)
+	a := Spinner(g, ws, 1, SpinnerOptions{Seed: 1})
+	for _, p := range a.Parts {
+		if p != 0 {
+			t.Fatal("k=1 must be all zeros")
+		}
+	}
+	empty, _ := gen.SBM(gen.SBMConfig{N: 0})
+	a = Spinner(empty, nil, 4, SpinnerOptions{Seed: 1})
+	if len(a.Parts) != 0 {
+		t.Fatal("empty graph")
+	}
+}
+
+func TestBLPBalancedBothDims(t *testing.T) {
+	g := gen.ChungLu(4000, 12, 1.7, 7)
+	ws, _ := weights.Standard(g, 2)
+	k := 8
+	a := BLP(g, ws, k, BLPOptions{Seed: 8})
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// BLP's merge phase balances all provided dimensions.
+	if im := partition.MaxImbalance(a, ws); im > 0.15 {
+		t.Fatalf("BLP max imbalance %.4f, want <= 0.15", im)
+	}
+	hash := Hash(g.N(), k, 8)
+	if partition.EdgeLocality(g, a) <= partition.EdgeLocality(g, hash) {
+		t.Fatal("BLP locality not above hash")
+	}
+}
+
+func TestBLPLocalityOnCommunities(t *testing.T) {
+	// Hierarchical communities: the micro level is what cluster-then-merge
+	// methods exploit on real social networks.
+	g, _ := gen.SBM(gen.SBMConfig{
+		N: 4000, Communities: 8, AvgDegree: 14,
+		InFraction: 0.45, MicroSize: 16, MicroFraction: 0.45, Seed: 9,
+	})
+	ws, _ := weights.Standard(g, 2)
+	a := BLP(g, ws, 8, BLPOptions{Seed: 10})
+	if loc := partition.EdgeLocality(g, a); loc < 0.3 {
+		t.Fatalf("BLP locality %.3f too low on a strongly clustered graph", loc)
+	}
+}
+
+func TestBLPClusterCapAdaptsToSmallGraphs(t *testing.T) {
+	g := gen.Grid(6, 6, false)
+	ws, _ := weights.Standard(g, 2)
+	a := BLP(g, ws, 4, BLPOptions{Seed: 11}) // default c=1024 must scale down
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if im := partition.VertexImbalance(a); im > 0.6 {
+		t.Fatalf("BLP on tiny graph imbalance %.3f", im)
+	}
+}
+
+func TestSHPImprovesLocalityKeepsCombinedBalance(t *testing.T) {
+	g, _ := gen.SBM(gen.SBMConfig{N: 3000, Communities: 4, AvgDegree: 12, InFraction: 0.85, DegreeExponent: 2, Seed: 12})
+	k := 4
+	a := SHP(g, k, SHPOptions{Seed: 13})
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	hash := Hash(g.N(), k, 13)
+	if partition.EdgeLocality(g, a) <= partition.EdgeLocality(g, hash) {
+		t.Fatal("SHP locality not above hash")
+	}
+	// The combined dimension stays near-balanced even though individual
+	// dimensions may drift.
+	avgDeg := float64(2*g.M()) / float64(g.N())
+	cw := make([]float64, g.N())
+	for v := range cw {
+		cw[v] = 0.75*float64(g.Degree(v))/avgDeg + 0.25
+	}
+	if im := partition.Imbalance(a, cw); im > 0.2 {
+		t.Fatalf("SHP combined imbalance %.4f, want small", im)
+	}
+}
+
+func TestSHPTrivial(t *testing.T) {
+	g := gen.Star(10)
+	a := SHP(g, 1, SHPOptions{Seed: 1})
+	for _, p := range a.Parts {
+		if p != 0 {
+			t.Fatal("k=1")
+		}
+	}
+}
+
+// Property: every baseline returns a valid assignment for arbitrary small
+// graphs and k.
+func TestQuickAllBaselinesValid(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw)%6 + 1
+		g, _ := gen.SBM(gen.SBMConfig{N: 120, Communities: 3, AvgDegree: 6, InFraction: 0.8, Seed: seed})
+		ws, err := weights.Standard(g, 2)
+		if err != nil {
+			return false
+		}
+		for _, a := range []*partition.Assignment{
+			Hash(g.N(), k, seed),
+			Spinner(g, ws, k, SpinnerOptions{Iterations: 5, Seed: seed}),
+			BLP(g, ws, k, BLPOptions{Iterations: 5, Seed: seed}),
+			SHP(g, k, SHPOptions{Iterations: 5, Seed: seed}),
+		} {
+			if a.Validate() != nil || a.K != k || len(a.Parts) != g.N() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

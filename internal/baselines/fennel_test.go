@@ -1,0 +1,84 @@
+package baselines
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mdbgp/internal/gen"
+	"mdbgp/internal/partition"
+)
+
+func TestFennelBeatsHashOnCommunities(t *testing.T) {
+	g, _ := gen.SBM(gen.SBMConfig{N: 3000, Communities: 8, AvgDegree: 12, InFraction: 0.85, Seed: 21})
+	k := 8
+	f := Fennel(g, k, FennelOptions{Seed: 22})
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	h := Hash(g.N(), k, 22)
+	fl := partition.EdgeLocality(g, f)
+	hl := partition.EdgeLocality(g, h)
+	if fl < 2*hl {
+		t.Fatalf("fennel locality %.3f not clearly above hash %.3f", fl, hl)
+	}
+}
+
+func TestFennelVertexCapHolds(t *testing.T) {
+	g := gen.ChungLu(2000, 10, 1.6, 23)
+	k := 4
+	a := Fennel(g, k, FennelOptions{Slack: 1.1, Seed: 24})
+	cap := 1.1 * float64(g.N()) / float64(k)
+	for p, s := range a.PartSizes() {
+		if float64(s) > cap+1 {
+			t.Fatalf("part %d size %d exceeds cap %.0f", p, s, cap)
+		}
+	}
+}
+
+func TestFennelRestreamingImproves(t *testing.T) {
+	g, _ := gen.SBM(gen.SBMConfig{N: 2000, Communities: 4, AvgDegree: 10, InFraction: 0.85, Seed: 25})
+	one := Fennel(g, 4, FennelOptions{Passes: 1, Seed: 26})
+	five := Fennel(g, 4, FennelOptions{Passes: 5, Seed: 26})
+	l1 := partition.EdgeLocality(g, one)
+	l5 := partition.EdgeLocality(g, five)
+	if l5 < l1-0.01 {
+		t.Fatalf("restreaming degraded locality: %.3f -> %.3f", l1, l5)
+	}
+}
+
+func TestFennelTrivialCases(t *testing.T) {
+	empty, _ := gen.SBM(gen.SBMConfig{N: 0})
+	if a := Fennel(empty, 4, FennelOptions{}); len(a.Parts) != 0 {
+		t.Fatal("empty graph")
+	}
+	g := gen.Grid(3, 3, false)
+	a := Fennel(g, 1, FennelOptions{})
+	for _, p := range a.Parts {
+		if p != 0 {
+			t.Fatal("k=1 all zero")
+		}
+	}
+	// Edgeless graph degenerates to hash.
+	edgeless, _ := gen.SBM(gen.SBMConfig{N: 50})
+	a = Fennel(edgeless, 4, FennelOptions{Seed: 9})
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: valid assignments and bounded vertex imbalance on arbitrary
+// community graphs.
+func TestQuickFennelValid(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw)%5 + 2
+		g, _ := gen.SBM(gen.SBMConfig{N: 300, Communities: 4, AvgDegree: 8, InFraction: 0.8, Seed: seed})
+		a := Fennel(g, k, FennelOptions{Seed: seed})
+		if a.Validate() != nil {
+			return false
+		}
+		return partition.VertexImbalance(a) <= 0.12+float64(k)/300.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

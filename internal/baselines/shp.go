@@ -1,0 +1,168 @@
+package baselines
+
+import (
+	"math/rand"
+	"sort"
+
+	"mdbgp/internal/graph"
+	"mdbgp/internal/partition"
+)
+
+// SHPOptions configures the SHP-style local-search baseline.
+type SHPOptions struct {
+	// Iterations of the probabilistic exchange rounds (default 20).
+	Iterations int
+	// EdgeCoeff and VertexCoeff combine degree and unit weight into the
+	// single dimension SHP balances: cw(v) = EdgeCoeff·deg(v)/avgdeg +
+	// VertexCoeff. The paper configures edges with the higher coefficient.
+	// Defaults: 0.75 / 0.25.
+	EdgeCoeff   float64
+	VertexCoeff float64
+	// Tol is the allowed relative overload of the combined dimension
+	// (default 0.02).
+	Tol  float64
+	Seed int64
+}
+
+func (o *SHPOptions) normalize() {
+	if o.Iterations <= 0 {
+		o.Iterations = 20
+	}
+	if o.EdgeCoeff == 0 && o.VertexCoeff == 0 {
+		o.EdgeCoeff, o.VertexCoeff = 0.75, 0.25
+	}
+	if o.Tol <= 0 {
+		o.Tol = 0.02
+	}
+}
+
+// SHP implements a Social-Hash-Partitioner-style local search [Kabiljo et
+// al., PVLDB'17; Kernighan–Lin moves]: starting from the hash assignment,
+// each round collects the positive-gain relocation wishes of all vertices
+// and applies them pairwise between parts so that the *combined* dimension
+// (a fixed linear mix of edge and vertex weight) stays balanced. As the
+// paper notes, SHP "does not provide balancing on multiple dimensions":
+// each individual dimension can drift, which Figure 4 measures.
+func SHP(g *graph.Graph, k int, opt SHPOptions) *partition.Assignment {
+	opt.normalize()
+	n := g.N()
+	a := Hash(n, k, opt.Seed)
+	if n == 0 || k <= 1 {
+		return a
+	}
+	avgDeg := float64(2*g.M()) / float64(n)
+	if avgDeg <= 0 {
+		avgDeg = 1
+	}
+	cw := make([]float64, n)
+	total := 0.0
+	for v := 0; v < n; v++ {
+		cw[v] = opt.EdgeCoeff*float64(g.Degree(v))/avgDeg + opt.VertexCoeff
+		total += cw[v]
+	}
+	cap := total / float64(k) * (1 + opt.Tol)
+	loads := make([]float64, k)
+	for v := 0; v < n; v++ {
+		loads[a.Parts[v]] += cw[v]
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + 7))
+	lc := newLabelCounter(k)
+
+	type wish struct {
+		v    int32
+		gain int32
+	}
+	for it := 0; it < opt.Iterations; it++ {
+		// Gather relocation wishes grouped by (from, to).
+		wishes := make(map[[2]int32][]wish)
+		for v := 0; v < n; v++ {
+			if g.Degree(v) == 0 {
+				continue
+			}
+			for _, u := range g.Neighbors(v) {
+				lc.add(a.Parts[u], 1)
+			}
+			cur := a.Parts[v]
+			best, bestGain := cur, 0.0
+			for _, cand := range lc.touched {
+				if cand == cur {
+					continue
+				}
+				if gain := lc.cnt[cand] - lc.cnt[cur]; gain > bestGain {
+					best, bestGain = cand, gain
+				}
+			}
+			lc.reset()
+			if best != cur {
+				key := [2]int32{cur, best}
+				wishes[key] = append(wishes[key], wish{v: int32(v), gain: int32(bestGain)})
+			}
+		}
+		if len(wishes) == 0 {
+			break
+		}
+		keys := make([][2]int32, 0, len(wishes))
+		for key, list := range wishes {
+			sort.Slice(list, func(x, y int) bool { return list[x].gain > list[y].gain })
+			if key[0] < key[1] {
+				keys = append(keys, key)
+			}
+		}
+		sort.Slice(keys, func(x, y int) bool {
+			if keys[x][0] != keys[y][0] {
+				return keys[x][0] < keys[y][0]
+			}
+			return keys[x][1] < keys[y][1]
+		})
+		moved := 0
+		apply := func(v int32, to int32) {
+			from := a.Parts[v]
+			loads[from] -= cw[v]
+			loads[to] += cw[v]
+			a.Parts[v] = to
+			moved++
+		}
+		for _, key := range keys {
+			ab := wishes[key]
+			ba := wishes[[2]int32{key[1], key[0]}]
+			// Pairwise swaps keep the combined load balanced regardless of
+			// individual weights.
+			swaps := len(ab)
+			if len(ba) < swaps {
+				swaps = len(ba)
+			}
+			for i := 0; i < swaps; i++ {
+				if a.Parts[ab[i].v] != key[0] || a.Parts[ba[i].v] != key[1] {
+					continue
+				}
+				if rng.Float64() < 0.9 {
+					apply(ab[i].v, key[1])
+					apply(ba[i].v, key[0])
+				}
+			}
+			// One-directional spill while the target stays under cap.
+			for i := swaps; i < len(ab); i++ {
+				v := ab[i].v
+				if a.Parts[v] != key[0] {
+					continue
+				}
+				if loads[key[1]]+cw[v] <= cap {
+					apply(v, key[1])
+				}
+			}
+			for i := swaps; i < len(ba); i++ {
+				v := ba[i].v
+				if a.Parts[v] != key[1] {
+					continue
+				}
+				if loads[key[0]]+cw[v] <= cap {
+					apply(v, key[0])
+				}
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+	return a
+}

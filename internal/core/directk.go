@@ -1,0 +1,361 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"mdbgp/internal/graph"
+	"mdbgp/internal/partition"
+)
+
+// DirectKOptions configures the direct (non-recursive) k-way relaxation.
+type DirectKOptions struct {
+	// Epsilon is the per-dimension, per-bucket balance tolerance: every
+	// bucket must hold (1±ε)·W_j/k of each weight function.
+	Epsilon float64
+	// Iterations of projected gradient ascent (default 100).
+	Iterations int
+	// StepLength scales the per-iteration progress target (default 2).
+	StepLength float64
+	Seed       int64
+	// RepairBalance greedily restores ε-balance after rounding (default
+	// behavior of DefaultDirectKOptions).
+	RepairBalance bool
+	// MaxCells caps n·k, the memory footprint that makes this formulation
+	// impractical at scale (the paper's reason for recursive bisection,
+	// §3.3). 0 defaults to 2e7 cells (~160 MB of float64).
+	MaxCells int64
+}
+
+// DefaultDirectKOptions mirrors DefaultOptions for the direct relaxation.
+func DefaultDirectKOptions() DirectKOptions {
+	return DirectKOptions{Epsilon: 0.05, Iterations: 100, StepLength: 2, RepairBalance: true}
+}
+
+func (o *DirectKOptions) normalize() {
+	if o.Epsilon <= 0 {
+		o.Epsilon = 0.05
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 100
+	}
+	if o.StepLength <= 0 {
+		o.StepLength = 2
+	}
+	if o.MaxCells <= 0 {
+		o.MaxCells = 2e7
+	}
+}
+
+// DirectKWay implements the §3.3 "problem relaxation for k buckets" that
+// the paper describes but sets aside for scalability reasons: each vertex v
+// carries a probability vector p_v over the k buckets, and projected
+// gradient ascent maximizes Σ_(u,v)∈E Σ_j p_uj·p_vj subject to the
+// per-vertex simplex constraints and per-bucket balance slabs
+// |Σ_v w(j)_v·p_vb − W_j/k| ≤ ε·W_j/k. Each iteration costs O(k·|E|) time
+// and O(k·|V|) memory — fine for moderate k, and the reason the paper's
+// production setting uses recursive bisection instead. Rounding samples a
+// bucket per vertex from p_v and a greedy repair restores exact ε-balance.
+func DirectKWay(g *graph.Graph, ws [][]float64, k int, opt DirectKOptions) (*partition.Assignment, error) {
+	opt.normalize()
+	n := g.N()
+	if k < 1 {
+		return nil, fmt.Errorf("core: k = %d, want >= 1", k)
+	}
+	if err := checkWeights(n, ws); err != nil {
+		return nil, err
+	}
+	if int64(n)*int64(k) > opt.MaxCells {
+		return nil, fmt.Errorf("core: direct k-way needs %d cells > cap %d; use PartitionK (recursive bisection)",
+			int64(n)*int64(k), opt.MaxCells)
+	}
+	asgn := partition.NewAssignment(n, k)
+	if n == 0 || k == 1 {
+		return asgn, nil
+	}
+
+	d := len(ws)
+	totals := make([]float64, d)
+	for j, w := range ws {
+		for _, v := range w {
+			totals[j] += v
+		}
+	}
+	wNormSq := make([]float64, d)
+	for j, w := range ws {
+		for _, v := range w {
+			wNormSq[j] += v * v
+		}
+	}
+
+	rng := rand.New(rand.NewSource(opt.Seed))
+	p := make([]float64, n*k)
+	prev := make([]float64, n*k)
+	grad := make([]float64, n*k)
+	buf := make([]float64, k)
+	// Uniform start plus noise (the analog of the t=0 Gaussian kick; the
+	// uniform point is the saddle).
+	noise := opt.StepLength / float64(opt.Iterations)
+	for v := 0; v < n; v++ {
+		row := p[v*k : v*k+k]
+		for j := range row {
+			row[j] = 1.0/float64(k) + rng.NormFloat64()*noise
+		}
+		projectSimplex(row, buf)
+	}
+
+	L := opt.StepLength * math.Sqrt(float64(n)) / float64(opt.Iterations)
+	for t := 0; t < opt.Iterations; t++ {
+		// Gradient: G[v][b] = Σ_{u∈N(v)} p[u][b] — k values per edge stub.
+		for i := range grad {
+			grad[i] = 0
+		}
+		for v := 0; v < n; v++ {
+			gv := grad[v*k : v*k+k]
+			for _, u := range g.Neighbors(v) {
+				pu := p[int(u)*k : int(u)*k+k]
+				for b := 0; b < k; b++ {
+					gv[b] += pu[b]
+				}
+			}
+		}
+		gnorm := 0.0
+		for _, gi := range grad {
+			gnorm += gi * gi
+		}
+		gnorm = math.Sqrt(gnorm)
+		if gnorm < 1e-12 {
+			break
+		}
+		gamma := L / gnorm
+		copy(prev, p)
+		// Adaptive step: the simplex clipping can absorb most of the move,
+		// so double γ until the realized progress reaches L/2 (the same
+		// §3.2 rule as the 2-way algorithm).
+		for attempt := 0; ; attempt++ {
+			for i := range p {
+				p[i] = prev[i] + gamma*grad[i]
+			}
+			// One-shot alternating projection: per-bucket balance
+			// hyperplanes (centered, as in the 2-way algorithm), then the
+			// vertex simplices.
+			for j := 0; j < d; j++ {
+				if wNormSq[j] <= 0 {
+					continue
+				}
+				target := totals[j] / float64(k)
+				for b := 0; b < k; b++ {
+					col := 0.0
+					for v := 0; v < n; v++ {
+						col += ws[j][v] * p[v*k+b]
+					}
+					alpha := (col - target) / wNormSq[j]
+					for v := 0; v < n; v++ {
+						p[v*k+b] -= alpha * ws[j][v]
+					}
+				}
+			}
+			for v := 0; v < n; v++ {
+				projectSimplex(p[v*k:v*k+k], buf)
+			}
+			progress := 0.0
+			for i := range p {
+				dlt := p[i] - prev[i]
+				progress += dlt * dlt
+			}
+			if math.Sqrt(progress) >= L/2 || attempt >= 4 {
+				break
+			}
+			gamma *= 2
+		}
+	}
+
+	// Randomized rounding: sample a bucket from each vertex's distribution.
+	for v := 0; v < n; v++ {
+		row := p[v*k : v*k+k]
+		r := rng.Float64()
+		acc := 0.0
+		choice := k - 1
+		for b := 0; b < k; b++ {
+			acc += row[b]
+			if r < acc {
+				choice = b
+				break
+			}
+		}
+		asgn.Parts[v] = int32(choice)
+	}
+	if opt.RepairBalance {
+		repairKWay(g, ws, asgn, totals, opt.Epsilon, rng)
+	}
+	return asgn, nil
+}
+
+// projectSimplex projects row onto the probability simplex in place
+// (Duchi et al. 2008: sort, find the threshold τ, clip). buf is scratch of
+// the same length.
+func projectSimplex(row, buf []float64) {
+	k := len(row)
+	copy(buf, row)
+	sort.Sort(sort.Reverse(sort.Float64Slice(buf)))
+	cum := 0.0
+	tau := 0.0
+	for i := 0; i < k; i++ {
+		cum += buf[i]
+		if t := (cum - 1) / float64(i+1); buf[i]-t > 0 {
+			tau = t
+		}
+	}
+	for i := range row {
+		v := row[i] - tau
+		if v < 0 {
+			v = 0
+		}
+		row[i] = v
+	}
+}
+
+// repairKWay restores ε-balance after rounding by greedy vertex moves. A
+// move is accepted when it strictly decreases the balance potential
+// Φ = Σ_{j,b} (overload²+underload²), which — unlike requiring the maximum
+// violation to drop — can trade a large overload in one dimension for a
+// small underload in another and therefore escapes hub-concentration
+// deadlocks (a bucket with few vertices but many edges). Φ is bounded below
+// and strictly decreasing, and a move cap guards unattainable instances.
+func repairKWay(g *graph.Graph, ws [][]float64, asgn *partition.Assignment, totals []float64, eps float64, rng *rand.Rand) {
+	n := len(asgn.Parts)
+	k := asgn.K
+	d := len(ws)
+	loads := make([][]float64, d)
+	for j := range loads {
+		loads[j] = partition.Loads(asgn, ws[j])
+	}
+	// excess returns the normalized violation of one (dim, load) pair.
+	excess := func(j int, load float64) float64 {
+		target := totals[j] / float64(k)
+		if target <= 0 {
+			return 0
+		}
+		if over := load - (1+eps)*target; over > 0 {
+			return over / totals[j]
+		}
+		if under := (1-eps)*target - load; under > 0 {
+			return under / totals[j]
+		}
+		return 0
+	}
+	// bucketPot is Φ restricted to one bucket (sum over dims).
+	bucketPot := func(b int) float64 {
+		p := 0.0
+		for j := 0; j < d; j++ {
+			e := excess(j, loads[j][b])
+			p += e * e
+		}
+		return p
+	}
+	// worstPair drives candidate selection: the most violated (dim, bucket).
+	worstPair := func() (int, int, bool) {
+		worst, wj, wb, over := 0.0, -1, -1, true
+		for j := 0; j < d; j++ {
+			target := totals[j] / float64(k)
+			if target <= 0 {
+				continue
+			}
+			for b := 0; b < k; b++ {
+				if ex := (loads[j][b] - (1+eps)*target) / totals[j]; ex > worst+1e-12 {
+					worst, wj, wb, over = ex, j, b, true
+				}
+				if ex := ((1-eps)*target - loads[j][b]) / totals[j]; ex > worst+1e-12 {
+					worst, wj, wb, over = ex, j, b, false
+				}
+			}
+		}
+		return wj, wb, over
+	}
+	// deltaPot is the change of Φ when v moves from bucket a to bucket b.
+	deltaPot := func(v, a, b int) float64 {
+		before := bucketPot(a) + bucketPot(b)
+		after := 0.0
+		for j := 0; j < d; j++ {
+			ea := excess(j, loads[j][a]-ws[j][v])
+			eb := excess(j, loads[j][b]+ws[j][v])
+			after += ea*ea + eb*eb
+		}
+		return after - before
+	}
+
+	for move := 0; move < 4*n; move++ {
+		j, bucket, over := worstPair()
+		if j < 0 {
+			break
+		}
+		bestV, bestFrom, bestTo := -1, -1, -1
+		bestDelta, bestDamage := -1e-15, 0
+		consider := func(v, from, to int) {
+			if int(asgn.Parts[v]) != from {
+				return
+			}
+			dp := deltaPot(v, from, to)
+			if dp >= bestDelta {
+				return
+			}
+			same, other := 0, 0
+			for _, u := range g.Neighbors(v) {
+				switch int(asgn.Parts[u]) {
+				case from:
+					same++
+				case to:
+					other++
+				}
+			}
+			dm := same - other
+			if bestV == -1 || dp < bestDelta-1e-15 || dm < bestDamage {
+				bestV, bestFrom, bestTo = v, from, to
+				bestDelta, bestDamage = dp, dm
+			}
+		}
+		for partner := 0; partner < k; partner++ {
+			if partner == bucket {
+				continue
+			}
+			from, to := bucket, partner
+			if !over {
+				from, to = partner, bucket
+			}
+			if n <= 1024 {
+				for v := 0; v < n; v++ {
+					consider(v, from, to)
+				}
+			} else {
+				for c := 0; c < 192; c++ {
+					consider(rng.Intn(n), from, to)
+				}
+			}
+		}
+		if bestV == -1 && n > 1024 {
+			// Sampling found nothing: fall back to a full scan once.
+			for partner := 0; partner < k; partner++ {
+				if partner == bucket {
+					continue
+				}
+				from, to := bucket, partner
+				if !over {
+					from, to = partner, bucket
+				}
+				for v := 0; v < n; v++ {
+					consider(v, from, to)
+				}
+			}
+		}
+		if bestV == -1 {
+			break // no potential-reducing single move exists
+		}
+		for jj := 0; jj < d; jj++ {
+			loads[jj][bestFrom] -= ws[jj][bestV]
+			loads[jj][bestTo] += ws[jj][bestV]
+		}
+		asgn.Parts[bestV] = int32(bestTo)
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mdbgp/internal/gen"
+	"mdbgp/internal/partition"
+)
+
+func TestDirectKWaySBM(t *testing.T) {
+	g, blocks := gen.SBM(gen.SBMConfig{N: 1200, Communities: 4, AvgDegree: 14, InFraction: 0.9, Seed: 31})
+	ws := vertexEdgeWeights(g)
+	opt := DefaultDirectKOptions()
+	opt.Seed = 32
+	asgn, err := DirectKWay(g, ws, 4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asgn.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	loc := partition.EdgeLocality(g, asgn)
+	if loc < 0.55 {
+		t.Fatalf("direct 4-way locality %.3f (hash gives 0.25)", loc)
+	}
+	if !partition.IsBalanced(asgn, ws, opt.Epsilon+1e-9) {
+		t.Fatalf("direct 4-way imbalance %.4f", partition.MaxImbalance(asgn, ws))
+	}
+	// The buckets should align with the planted blocks: count the majority
+	// block per bucket and require most vertices to follow it.
+	majority := make([]map[int32]int, 4)
+	for b := range majority {
+		majority[b] = map[int32]int{}
+	}
+	for v, p := range asgn.Parts {
+		majority[p][blocks[v]]++
+	}
+	aligned := 0
+	for b := range majority {
+		best := 0
+		for _, c := range majority[b] {
+			if c > best {
+				best = c
+			}
+		}
+		aligned += best
+	}
+	if frac := float64(aligned) / float64(g.N()); frac < 0.7 {
+		t.Fatalf("block alignment %.3f, want >= 0.7", frac)
+	}
+}
+
+func TestDirectKWayMatchesRecursiveQuality(t *testing.T) {
+	g, _ := gen.SBM(gen.SBMConfig{N: 800, Communities: 4, AvgDegree: 12, InFraction: 0.85, Seed: 33})
+	ws := vertexEdgeWeights(g)
+	dOpt := DefaultDirectKOptions()
+	dOpt.Seed = 34
+	direct, err := DirectKWay(g, ws, 4, dOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rOpt := DefaultOptions()
+	rOpt.Seed = 34
+	recursive, err := PartitionK(g, ws, 4, rOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl := partition.EdgeLocality(g, direct)
+	rl := partition.EdgeLocality(g, recursive)
+	t.Logf("direct %.3f vs recursive %.3f", dl, rl)
+	// The direct relaxation avoids the greedy first cut, so it should land
+	// in the same quality regime (within 15 points).
+	if dl < rl-0.15 {
+		t.Fatalf("direct locality %.3f far below recursive %.3f", dl, rl)
+	}
+}
+
+func TestDirectKWayEdgeCases(t *testing.T) {
+	g := gen.Grid(5, 5, false)
+	ws := vertexEdgeWeights(g)
+	if _, err := DirectKWay(g, ws, 0, DefaultDirectKOptions()); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	a, err := DirectKWay(g, ws, 1, DefaultDirectKOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range a.Parts {
+		if p != 0 {
+			t.Fatal("k=1 all zero")
+		}
+	}
+	// Memory guard.
+	opt := DefaultDirectKOptions()
+	opt.MaxCells = 10
+	if _, err := DirectKWay(g, ws, 8, opt); err == nil {
+		t.Fatal("cell cap should error")
+	}
+}
+
+func TestProjectSimplex(t *testing.T) {
+	buf := make([]float64, 4)
+	cases := [][]float64{
+		{0.25, 0.25, 0.25, 0.25},
+		{1, 0, 0, 0},
+		{10, -5, 3, 0.5},
+		{-1, -2, -3, -4},
+		{0.5, 0.5, 0.5, 0.5},
+	}
+	for _, c := range cases {
+		row := append([]float64(nil), c...)
+		projectSimplex(row, buf)
+		sum := 0.0
+		for _, v := range row {
+			if v < -1e-12 {
+				t.Fatalf("negative simplex coord %v from %v", row, c)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("simplex sum %g from %v", sum, c)
+		}
+	}
+}
+
+// Property: simplex projection is idempotent and distance-optimal vs the
+// naive candidate (uniform distribution).
+func TestQuickSimplexProjection(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := rng.Intn(6) + 2
+		row := make([]float64, k)
+		for i := range row {
+			row[i] = rng.NormFloat64() * 3
+		}
+		orig := append([]float64(nil), row...)
+		buf := make([]float64, k)
+		projectSimplex(row, buf)
+		once := append([]float64(nil), row...)
+		projectSimplex(row, buf)
+		for i := range row {
+			if math.Abs(row[i]-once[i]) > 1e-9 {
+				return false
+			}
+		}
+		// Projection is no farther from orig than the uniform point.
+		dp, du := 0.0, 0.0
+		for i := range orig {
+			dp += (orig[i] - once[i]) * (orig[i] - once[i])
+			du += (orig[i] - 1/float64(k)) * (orig[i] - 1/float64(k))
+		}
+		return dp <= du+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DirectKWay yields valid ε-balanced assignments on random small
+// graphs for generous ε.
+func TestQuickDirectKWayBalanced(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw)%3 + 2
+		g, _ := gen.SBM(gen.SBMConfig{N: 200, Communities: k, AvgDegree: 8, InFraction: 0.8, Seed: seed})
+		ws := vertexEdgeWeights(g)
+		opt := DefaultDirectKOptions()
+		opt.Iterations = 40
+		opt.Epsilon = 0.15
+		opt.Seed = seed
+		asgn, err := DirectKWay(g, ws, k, opt)
+		if err != nil || asgn.Validate() != nil {
+			return false
+		}
+		return partition.IsBalanced(asgn, ws, 0.15+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,397 @@
+// Package core implements GD, the paper's contribution (Algorithm 1):
+// multi-dimensional balanced graph 2-partitioning by randomized projected
+// gradient ascent on the continuous relaxation
+//
+//	maximize ½·xᵀAx   subject to   x ∈ B∞ ∩ ⋂_j S^j_ε,
+//
+// followed by randomized rounding. Each iteration adds Gaussian noise (only
+// at t = 0 in practice, §3.2), takes a gradient step y = (I + γ_t·A)·z, and
+// projects back onto the feasible region. The practical refinements of §3.2
+// — adaptive step size targeting constant per-iteration progress and vertex
+// fixing — are implemented and individually switchable so the Figure 8–10
+// ablations can be reproduced. k-way partitions use recursive bisection
+// (§3.3) with asymmetric split targets for non-powers of two.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mdbgp/internal/graph"
+	"mdbgp/internal/partition"
+	"mdbgp/internal/project"
+	"mdbgp/internal/vecmath"
+)
+
+// Options configures a GD run. Use DefaultOptions as the starting point;
+// zero numeric fields fall back to the paper's defaults.
+type Options struct {
+	// Epsilon is the per-dimension balance tolerance ε of Definition 2.1.
+	Epsilon float64
+	// Iterations is I, the fixed iteration budget (paper default 100).
+	Iterations int
+	// StepLength is the target per-iteration progress in units of √n/I; the
+	// paper finds 2 works well across graphs (Figure 8).
+	StepLength float64
+	// Adaptive rescales γ_t every iteration so ‖x(t+1) − x(t)‖ stays close
+	// to the target step length (§3.2). When false, γ is frozen to
+	// FixedGamma (or derived once from the first gradient if zero).
+	Adaptive bool
+	// FixedGamma is the constant step size used when Adaptive is false.
+	FixedGamma float64
+	// NoiseScale is the standard deviation of the t=0 Gaussian noise per
+	// coordinate; 0 defaults to StepLength/Iterations so the initial kick
+	// has the same norm as a regular step.
+	NoiseScale float64
+	// VertexFixing snaps coordinates with |x_i| ≥ FixThreshold to ±1 and
+	// removes them from the optimization (§3.2).
+	VertexFixing bool
+	// FixThreshold is the |x_i| snap threshold (default 0.99).
+	FixThreshold float64
+	// Projection selects and configures the projection algorithm (§3.1).
+	Projection project.Options
+	// Seed drives all randomness (noise, rounding, repair); runs are
+	// deterministic given a seed.
+	Seed int64
+	// TargetFraction α is the weight fraction assigned to side V1 (part 0);
+	// 0 defaults to ½. Recursive partitioning uses α = ⌈k/2⌉/k.
+	TargetFraction float64
+	// RepairBalance greedily moves the most fractional vertices after
+	// rounding until every dimension is within ε (the paper notes residual
+	// rounding imbalance is "fixed in the end", Figure 9).
+	RepairBalance bool
+	// Trace, when set, receives per-iteration statistics (costs one extra
+	// SpMV per iteration).
+	Trace func(IterStats)
+}
+
+// DefaultOptions returns the configuration used for the paper's headline
+// results: ε = 5%, 100 iterations, step length 2·√n/100, adaptive step size
+// with vertex fixing, one-shot alternating projection onto the balance
+// hyperplanes.
+func DefaultOptions() Options {
+	return Options{
+		Epsilon:       0.05,
+		Iterations:    100,
+		StepLength:    2,
+		Adaptive:      true,
+		VertexFixing:  true,
+		FixThreshold:  0.99,
+		Projection:    project.Options{Method: project.AlternatingOneShot, Center: true},
+		RepairBalance: true,
+	}
+}
+
+func (o *Options) normalize() {
+	if o.Epsilon <= 0 {
+		o.Epsilon = 0.05
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 100
+	}
+	if o.StepLength <= 0 {
+		o.StepLength = 2
+	}
+	if o.FixThreshold <= 0 || o.FixThreshold > 1 {
+		o.FixThreshold = 0.99
+	}
+	if o.TargetFraction <= 0 || o.TargetFraction >= 1 {
+		o.TargetFraction = 0.5
+	}
+	if o.NoiseScale <= 0 {
+		o.NoiseScale = o.StepLength / float64(o.Iterations)
+	}
+}
+
+// IterStats reports the state of GD after one iteration, feeding the
+// convergence plots of Figures 8–10.
+type IterStats struct {
+	Iter int
+	// ExpectedLocality is the expected fraction of uncut edges under
+	// randomized rounding of the current fractional x.
+	ExpectedLocality float64
+	// MaxImbalance is max_j |Σ_i w(j)_i·x_i − target_j| / W_j, the
+	// fractional counterpart of the plotted max imbalance.
+	MaxImbalance float64
+	// Fixed is the number of vertices snapped to ±1 so far.
+	Fixed int
+	// Gamma is the step size used this iteration.
+	Gamma float64
+	// StepNorm is ‖x(t+1) − x(t)‖₂ over free coordinates.
+	StepNorm float64
+}
+
+// Result is the outcome of a 2-way GD run.
+type Result struct {
+	// X is the final fractional solution (fixed coordinates are exactly ±1).
+	X []float64
+	// Assignment maps x = +1 to part 0 and x = −1 to part 1 after rounding
+	// and repair.
+	Assignment *partition.Assignment
+	// Iterations is the number of gradient iterations actually executed.
+	Iterations int
+	// RepairMoves counts vertices moved by the balance repair pass.
+	RepairMoves int
+}
+
+// Bisect partitions g into two sides with per-dimension weight targets
+// (α, 1−α)·W ± ε·W/2 while maximizing edge locality.
+func Bisect(g *graph.Graph, ws [][]float64, opt Options) (*Result, error) {
+	opt.normalize()
+	n := g.N()
+	if err := checkWeights(n, ws); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return &Result{X: nil, Assignment: partition.NewAssignment(0, 2)}, nil
+	}
+
+	d := len(ws)
+	totals := make([]float64, d)
+	for j, w := range ws {
+		for _, v := range w {
+			totals[j] += v
+		}
+	}
+	s := 2*opt.TargetFraction - 1
+	targets := make([]float64, d) // slab centers: Σ w x = s·W
+	halves := make([]float64, d)  // slab half-widths: ε·W
+	for j := range targets {
+		targets[j] = s * totals[j]
+		halves[j] = opt.Epsilon * totals[j]
+	}
+
+	rng := rand.New(rand.NewSource(opt.Seed))
+	x := make([]float64, n)
+	z := make([]float64, n)
+	grad := make([]float64, n)
+	fixed := make([]bool, n)
+	fixedWeight := make([]float64, d) // C_j = Σ_fixed w(j)·x
+	freeWeight := make([]float64, d)  // Σ_free w(j)
+	copy(freeWeight, totals)
+	fixedCount := 0
+
+	// Compact buffers for the free subproblem.
+	freeIdx := make([]int32, 0, n)
+	yF := make([]float64, n)
+	xF := make([]float64, n)
+	wF := make([][]float64, d)
+	for j := range wF {
+		wF[j] = make([]float64, n)
+	}
+	freeDirty := true
+
+	L := opt.StepLength * math.Sqrt(float64(n)) / float64(opt.Iterations)
+	gammaFrozen := opt.FixedGamma
+	var st project.State
+	itersRun := 0
+
+	for t := 0; t < opt.Iterations; t++ {
+		if fixedCount == n {
+			break
+		}
+		itersRun++
+
+		copy(z, x)
+		if t == 0 {
+			for i := 0; i < n; i++ {
+				if !fixed[i] {
+					z[i] += rng.NormFloat64() * opt.NoiseScale
+				}
+			}
+		}
+
+		vecmath.SpMVMasked(g, z, grad, fixed)
+		gnorm := 0.0
+		for i := 0; i < n; i++ {
+			if !fixed[i] {
+				gnorm += grad[i] * grad[i]
+			}
+		}
+		gnorm = math.Sqrt(gnorm)
+		if gnorm < 1e-12 {
+			// Saddle/flat region: fall back to a random direction so the
+			// iteration still makes progress (noise escape, §2.1 Step 1).
+			for i := 0; i < n; i++ {
+				if !fixed[i] {
+					grad[i] = rng.NormFloat64()
+				}
+			}
+			gnorm = 0
+			for i := 0; i < n; i++ {
+				if !fixed[i] {
+					gnorm += grad[i] * grad[i]
+				}
+			}
+			gnorm = math.Sqrt(gnorm)
+			if gnorm == 0 {
+				break
+			}
+		}
+		gamma := L / gnorm
+		if !opt.Adaptive {
+			if gammaFrozen == 0 {
+				gammaFrozen = gamma
+			}
+			gamma = gammaFrozen
+		}
+
+		if freeDirty {
+			freeIdx = freeIdx[:0]
+			for i := 0; i < n; i++ {
+				if !fixed[i] {
+					freeIdx = append(freeIdx, int32(i))
+				}
+			}
+			for j := 0; j < d; j++ {
+				for fi, i := range freeIdx {
+					wF[j][fi] = ws[j][i]
+				}
+			}
+			freeDirty = false
+		}
+		nf := len(freeIdx)
+		cons := make([]project.Constraint, d)
+		for j := 0; j < d; j++ {
+			lo := targets[j] - halves[j] - fixedWeight[j]
+			hi := targets[j] + halves[j] - fixedWeight[j]
+			// Clamp the interval to what the free coordinates can achieve.
+			if lo > freeWeight[j] {
+				lo, hi = freeWeight[j], freeWeight[j]
+			} else if hi < -freeWeight[j] {
+				lo, hi = -freeWeight[j], -freeWeight[j]
+			} else {
+				if hi > freeWeight[j] {
+					hi = freeWeight[j]
+				}
+				if lo < -freeWeight[j] {
+					lo = -freeWeight[j]
+				}
+			}
+			cons[j] = project.Constraint{W: wF[j][:nf], Lo: lo, Hi: hi}
+		}
+
+		stepNorm := 0.0
+		for attempt := 0; ; attempt++ {
+			for fi, i := range freeIdx {
+				yF[fi] = z[i] + gamma*grad[i]
+			}
+			if err := project.Project(xF[:nf], yF[:nf], cons, opt.Projection, &st); err != nil {
+				return nil, fmt.Errorf("core: projection failed at iteration %d: %w", t, err)
+			}
+			stepNorm = 0
+			for fi, i := range freeIdx {
+				dlt := xF[fi] - x[i]
+				stepNorm += dlt * dlt
+			}
+			stepNorm = math.Sqrt(stepNorm)
+			if !opt.Adaptive || stepNorm >= L/2 || attempt >= 3 {
+				break
+			}
+			gamma *= 2
+		}
+		for fi, i := range freeIdx {
+			x[i] = xF[fi]
+		}
+
+		if opt.VertexFixing {
+			for _, i := range freeIdx {
+				if v := x[i]; v >= opt.FixThreshold || v <= -opt.FixThreshold {
+					snapped := 1.0
+					if v < 0 {
+						snapped = -1.0
+					}
+					x[i] = snapped
+					fixed[i] = true
+					fixedCount++
+					freeDirty = true
+					for j := 0; j < d; j++ {
+						fixedWeight[j] += ws[j][i] * snapped
+						freeWeight[j] -= ws[j][i]
+					}
+				}
+			}
+		}
+
+		if opt.Trace != nil {
+			opt.Trace(IterStats{
+				Iter:             t,
+				ExpectedLocality: vecmath.ExpectedLocality(g, x),
+				MaxImbalance:     fracImbalance(x, ws, totals, targets),
+				Fixed:            fixedCount,
+				Gamma:            gamma,
+				StepNorm:         stepNorm,
+			})
+		}
+	}
+
+	side := roundSides(x, fixed, rng)
+	moves := 0
+	if opt.RepairBalance {
+		moves = repairBalance(g, ws, side, x, targets, halves, totals, rng)
+	}
+	asgn := partition.NewAssignment(n, 2)
+	for i, sd := range side {
+		if sd < 0 {
+			asgn.Parts[i] = 1
+		}
+		x[i] = float64(sd)
+	}
+	return &Result{X: x, Assignment: asgn, Iterations: itersRun, RepairMoves: moves}, nil
+}
+
+// roundSides applies the randomized rounding of §2: side +1 with probability
+// (1 + x_i)/2.
+func roundSides(x []float64, fixed []bool, rng *rand.Rand) []int8 {
+	side := make([]int8, len(x))
+	for i, v := range x {
+		switch {
+		case fixed[i] && v > 0:
+			side[i] = 1
+		case fixed[i]:
+			side[i] = -1
+		case rng.Float64() < (1+v)/2:
+			side[i] = 1
+		default:
+			side[i] = -1
+		}
+	}
+	return side
+}
+
+// fracImbalance is max_j |Σ w(j)·x − target_j| / W_j — for a two-way split
+// this equals (max side weight / average − 1) of the fractional solution.
+func fracImbalance(x []float64, ws [][]float64, totals, targets []float64) float64 {
+	worst := 0.0
+	for j, w := range ws {
+		v := 0.0
+		for i, wi := range w {
+			v += wi * x[i]
+		}
+		if totals[j] <= 0 {
+			continue
+		}
+		if im := math.Abs(v-targets[j]) / totals[j]; im > worst {
+			worst = im
+		}
+	}
+	return worst
+}
+
+func checkWeights(n int, ws [][]float64) error {
+	if len(ws) == 0 {
+		return fmt.Errorf("core: at least one weight function required")
+	}
+	for j, w := range ws {
+		if len(w) != n {
+			return fmt.Errorf("core: weight %d has length %d, graph has %d vertices", j, len(w), n)
+		}
+		for i, v := range w {
+			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("core: weight %d at vertex %d is %g, want > 0", j, i, v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mdbgp/internal/graph"
+	"mdbgp/internal/partition"
+)
+
+// PartitionK partitions g into k parts by recursive bisection (§3.3 of the
+// paper): ⌈log2 k⌉ levels of GD, each splitting its subgraph with target
+// fraction ⌈k'/2⌉/k'. The per-level ε budget is opt.Epsilon/⌈log2 k⌉ so the
+// leaf imbalance stays ≈ ε after multiplicative accumulation; k need not be
+// a power of two.
+func PartitionK(g *graph.Graph, ws [][]float64, k int, opt Options) (*partition.Assignment, error) {
+	opt.normalize()
+	if k <= 0 {
+		return nil, fmt.Errorf("core: k = %d, want >= 1", k)
+	}
+	n := g.N()
+	if err := checkWeights(n, ws); err != nil {
+		return nil, err
+	}
+	asgn := partition.NewAssignment(n, k)
+	if k == 1 || n == 0 {
+		return asgn, nil
+	}
+	levels := int(math.Ceil(math.Log2(float64(k))))
+	opt.Epsilon /= float64(levels)
+	opt.Trace = nil // traces are only meaningful for a single bisection
+
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	if err := recurse(g, ws, ids, k, 0, opt, asgn); err != nil {
+		return nil, err
+	}
+	return asgn, nil
+}
+
+// recurse bisects sub (whose local vertex i is global ids[i]) into k parts
+// labeled base..base+k−1 in asgn.
+func recurse(sub *graph.Graph, ws [][]float64, ids []int32, k, base int, opt Options, asgn *partition.Assignment) error {
+	if k == 1 {
+		for _, id := range ids {
+			asgn.Parts[id] = int32(base)
+		}
+		return nil
+	}
+	k1 := (k + 1) / 2
+	o := opt
+	o.TargetFraction = float64(k1) / float64(k)
+	res, err := Bisect(sub, ws, o)
+	if err != nil {
+		return err
+	}
+
+	var leftLocal, rightLocal []int32
+	for v := 0; v < sub.N(); v++ {
+		if res.Assignment.Parts[v] == 0 {
+			leftLocal = append(leftLocal, int32(v))
+		} else {
+			rightLocal = append(rightLocal, int32(v))
+		}
+	}
+
+	build := func(local []int32) (*graph.Graph, [][]float64, []int32) {
+		if len(local) == 0 {
+			return graph.NewBuilder(0).Build(), restrictWeights(ws, nil), nil
+		}
+		child, _ := graph.Subgraph(sub, local)
+		childWs := restrictWeights(ws, local)
+		childIDs := make([]int32, len(local))
+		for i, lv := range local {
+			childIDs[i] = ids[lv]
+		}
+		return child, childWs, childIDs
+	}
+
+	leftG, leftWs, leftIDs := build(leftLocal)
+	rightG, rightWs, rightIDs := build(rightLocal)
+
+	oLeft := opt
+	oLeft.Seed = opt.Seed*1000003 + 1
+	oRight := opt
+	oRight.Seed = opt.Seed*1000003 + 2
+	if err := recurse(leftG, leftWs, leftIDs, k1, base, oLeft, asgn); err != nil {
+		return err
+	}
+	return recurse(rightG, rightWs, rightIDs, k-k1, base+k1, oRight, asgn)
+}
+
+func restrictWeights(ws [][]float64, local []int32) [][]float64 {
+	out := make([][]float64, len(ws))
+	for j, w := range ws {
+		sub := make([]float64, len(local))
+		for i, v := range local {
+			sub[i] = w[v]
+		}
+		out[j] = sub
+	}
+	return out
+}

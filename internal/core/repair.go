@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"mdbgp/internal/graph"
+)
+
+// repairBalance greedily restores ε-balance after randomized rounding. It
+// repeatedly picks the dimension with the worst relative violation and moves
+// one vertex from its heavy side, choosing the move that (a) strictly
+// reduces the maximum violation across all dimensions and (b) among those,
+// does the least locality damage, preferring vertices whose fractional
+// value was most uncertain. Max-violation decreases strictly every move, so
+// the loop terminates; a move cap guards degenerate instances where ε-balance
+// is unattainable (e.g. a vertex heavier than ε·W).
+func repairBalance(g *graph.Graph, ws [][]float64, side []int8, x []float64,
+	targets, halves, totals []float64, rng *rand.Rand) int {
+
+	n := len(side)
+	d := len(ws)
+	if n == 0 {
+		return 0
+	}
+	diff := make([]float64, d) // Σ w(j)·side − target_j
+	for j, w := range ws {
+		v := -targets[j]
+		for i, wi := range w {
+			v += wi * float64(side[i])
+		}
+		diff[j] = v
+	}
+
+	relViol := func(dd []float64) (float64, int) {
+		worst, worstJ := 0.0, -1
+		for j := range dd {
+			if totals[j] <= 0 {
+				continue
+			}
+			excess := (math.Abs(dd[j]) - halves[j]) / totals[j]
+			if excess > worst+1e-12 {
+				worst, worstJ = excess, j
+			}
+		}
+		return worst, worstJ
+	}
+
+	damage := func(v int) int {
+		same, other := 0, 0
+		for _, u := range g.Neighbors(v) {
+			if side[u] == side[v] {
+				same++
+			} else {
+				other++
+			}
+		}
+		return same - other
+	}
+
+	newMaxViol := func(v int) float64 {
+		delta := -2 * float64(side[v])
+		worst := 0.0
+		for j := range diff {
+			if totals[j] <= 0 {
+				continue
+			}
+			nd := diff[j] + delta*ws[j][v]
+			excess := (math.Abs(nd) - halves[j]) / totals[j]
+			if excess > worst {
+				worst = excess
+			}
+		}
+		return worst
+	}
+
+	maxMoves := 2*n + 64
+	moves := 0
+	for ; moves < maxMoves; moves++ {
+		cur, j := relViol(diff)
+		if j < 0 {
+			break
+		}
+		heavy := int8(1)
+		if diff[j] < 0 {
+			heavy = -1
+		}
+
+		// Candidate pool: random sample on the heavy side; full scan for
+		// small graphs or when sampling comes up empty.
+		best, bestDamage := -1, 0
+		bestViol := cur
+		consider := func(v int) {
+			if side[v] != heavy {
+				return
+			}
+			nv := newMaxViol(v)
+			if nv >= cur-1e-12 {
+				return // must strictly reduce the max violation
+			}
+			dm := damage(v)
+			if best == -1 || nv < bestViol-1e-12 ||
+				(nv <= bestViol+1e-12 && (dm < bestDamage ||
+					(dm == bestDamage && math.Abs(x[v]) < math.Abs(x[best])))) {
+				best, bestDamage, bestViol = v, dm, nv
+			}
+		}
+		if n <= 512 {
+			for v := 0; v < n; v++ {
+				consider(v)
+			}
+		} else {
+			for c := 0; c < 192; c++ {
+				consider(rng.Intn(n))
+			}
+			if best == -1 {
+				for v := 0; v < n && best == -1; v++ {
+					consider(v)
+				}
+			}
+		}
+		if best == -1 {
+			break // ε-balance unattainable by single moves
+		}
+		delta := -2 * float64(side[best])
+		for jj := range diff {
+			diff[jj] += delta * ws[jj][best]
+		}
+		side[best] = -side[best]
+	}
+	return moves
+}

@@ -1,0 +1,108 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section on synthetic analogs of its datasets. Each experiment
+// is registered under the paper's figure/table number; cmd/experiments runs
+// them and renders plain-text tables mirroring the paper's plots.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"mdbgp/internal/gen"
+	"mdbgp/internal/graph"
+)
+
+// DatasetSpec describes one synthetic analog of a paper dataset. All analogs
+// are degree-corrected two-level stochastic block models; the knobs encode
+// the properties the partitioning algorithms are sensitive to (community
+// strength → achievable locality, degree skew → vertex/edge balance
+// tension). Sizes are ~1000× below the paper's graphs; see DESIGN.md §4.
+type DatasetSpec struct {
+	Name        string
+	PaperName   string // dataset it stands in for
+	N           int
+	AvgDegree   float64
+	Communities int
+	InFraction  float64
+	MicroSize   int
+	MicroFrac   float64
+	Exponent    float64 // Pareto degree-skew exponent (0 = none)
+	BlockSkew   float64 // per-community density skew (exp(U(−s,s)) multiplier)
+	Seed        int64
+}
+
+// specs is the dataset registry, ordered as in the paper (§4: public
+// networks, then Facebook friendship subgraphs, then the appendix Q&A
+// graph).
+var specs = []DatasetSpec{
+	{Name: "lj-sim", PaperName: "LiveJournal (4.8M/69M)", N: 100_000, AvgDegree: 40,
+		Communities: 50, InFraction: 0.38, MicroSize: 20, MicroFrac: 0.25, Exponent: 2.5, BlockSkew: 0.8, Seed: 101},
+	{Name: "orkut-sim", PaperName: "Orkut (3.1M/117M)", N: 60_000, AvgDegree: 80,
+		Communities: 30, InFraction: 0.45, MicroSize: 25, MicroFrac: 0.30, Exponent: 2.2, BlockSkew: 0.8, Seed: 102},
+	{Name: "twitter-sim", PaperName: "Twitter (41M/1.2B)", N: 150_000, AvgDegree: 40,
+		Communities: 60, InFraction: 0.30, MicroSize: 30, MicroFrac: 0.12, Exponent: 1.5, BlockSkew: 1.2, Seed: 103},
+	{Name: "friendster-sim", PaperName: "Friendster (65M/1.8B)", N: 240_000, AvgDegree: 33,
+		Communities: 80, InFraction: 0.35, MicroSize: 25, MicroFrac: 0.20, Exponent: 2.3, BlockSkew: 0.8, Seed: 104},
+	{Name: "fb3-sim", PaperName: "FB-3B", N: 150_000, AvgDegree: 40,
+		Communities: 128, InFraction: 0.30, MicroSize: 25, MicroFrac: 0.22, Exponent: 2.6, BlockSkew: 1.0, Seed: 105},
+	{Name: "fb80-sim", PaperName: "FB-80B", N: 300_000, AvgDegree: 53,
+		Communities: 256, InFraction: 0.30, MicroSize: 25, MicroFrac: 0.22, Exponent: 2.6, BlockSkew: 1.0, Seed: 106},
+	{Name: "fb400-sim", PaperName: "FB-400B", N: 600_000, AvgDegree: 53,
+		Communities: 512, InFraction: 0.30, MicroSize: 25, MicroFrac: 0.22, Exponent: 2.6, BlockSkew: 1.0, Seed: 107},
+	{Name: "stackoverflow-sim", PaperName: "sx-stackoverflow (2.6M/28M)", N: 80_000, AvgDegree: 30,
+		Communities: 40, InFraction: 0.28, MicroSize: 20, MicroFrac: 0.20, Exponent: 1.8, BlockSkew: 1.0, Seed: 108},
+}
+
+// Specs returns the registry in order.
+func Specs() []DatasetSpec {
+	out := make([]DatasetSpec, len(specs))
+	copy(out, specs)
+	return out
+}
+
+// SpecByName looks up a dataset spec.
+func SpecByName(name string) (DatasetSpec, error) {
+	for _, s := range specs {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	names := make([]string, 0, len(specs))
+	for _, s := range specs {
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	return DatasetSpec{}, fmt.Errorf("experiments: unknown dataset %q (have %v)", name, names)
+}
+
+// Generate materializes the dataset at the given scale divisor (1 = full;
+// quick mode uses 8). Vertex counts shrink by the divisor; average degree is
+// kept, preserving skew and community structure.
+func (s DatasetSpec) Generate(scaleDiv int) *graph.Graph {
+	if scaleDiv < 1 {
+		scaleDiv = 1
+	}
+	n := s.N / scaleDiv
+	if n < 1000 {
+		n = 1000
+	}
+	comm := s.Communities
+	if comm > n/50 {
+		comm = n / 50
+		if comm < 2 {
+			comm = 2
+		}
+	}
+	g, _ := gen.SBM(gen.SBMConfig{
+		N:               n,
+		Communities:     comm,
+		AvgDegree:       s.AvgDegree,
+		InFraction:      s.InFraction,
+		MicroSize:       s.MicroSize,
+		MicroFraction:   s.MicroFrac,
+		DegreeExponent:  s.Exponent,
+		BlockDegreeSkew: s.BlockSkew,
+		Seed:            s.Seed,
+	})
+	return g
+}

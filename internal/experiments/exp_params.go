@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mdbgp/internal/core"
+	"mdbgp/internal/partition"
+	"mdbgp/internal/project"
+)
+
+func init() {
+	register(Experiment{
+		Name:  "fig8",
+		Paper: "Figure 8",
+		Desc:  "Edge locality vs iteration for fixed step lengths {10, 5, 2, 1}·√n/100 on the LiveJournal and Orkut analogs; step length 2·ξ performs best.",
+		Run: func(ctx *Context) ([]*Table, error) {
+			return runStepLengthStudy(ctx, "Figure 8", []string{"lj-sim", "orkut-sim"})
+		},
+	})
+	register(Experiment{
+		Name:  "fig9",
+		Paper: "Figure 9",
+		Desc:  "Locality and max imbalance vs iteration for GD without adaptive step size, with adaptive step size, and with adaptive step size + vertex fixing.",
+		Run: func(ctx *Context) ([]*Table, error) {
+			return runAdaptivityStudy(ctx, "Figure 9", []string{"lj-sim", "orkut-sim"})
+		},
+	})
+	register(Experiment{
+		Name:  "fig10",
+		Paper: "Figure 10",
+		Desc:  "Locality vs iteration under exact projection (allowed imbalance ε ∈ {0.1, 0.01, 0.001}) vs one-shot alternating projection.",
+		Run: func(ctx *Context) ([]*Table, error) {
+			return runProjectionStudy(ctx, "Figure 10", []string{"lj-sim", "orkut-sim"})
+		},
+	})
+	register(Experiment{
+		Name:  "fig15",
+		Paper: "Figure 15 (Appendix C.2)",
+		Desc:  "Figure 9's adaptivity study on the sx-stackoverflow analog.",
+		Run: func(ctx *Context) ([]*Table, error) {
+			return runAdaptivityStudy(ctx, "Figure 15", []string{"stackoverflow-sim", "lj-sim"})
+		},
+	})
+	register(Experiment{
+		Name:  "fig16",
+		Paper: "Figure 16 (Appendix C.2)",
+		Desc:  "Figure 8's step-length study on the sx-stackoverflow analog.",
+		Run: func(ctx *Context) ([]*Table, error) {
+			return runStepLengthStudy(ctx, "Figure 16", []string{"stackoverflow-sim", "lj-sim"})
+		},
+	})
+	register(Experiment{
+		Name:  "fig17",
+		Paper: "Figure 17 (Appendix C.2)",
+		Desc:  "Figure 10's projection study on the sx-stackoverflow analog (the LiveJournal panel is Figure 10's).",
+		Run: func(ctx *Context) ([]*Table, error) {
+			return runProjectionStudy(ctx, "Figure 17", []string{"stackoverflow-sim"})
+		},
+	})
+}
+
+// sampleIters are the iterations at which the convergence tables sample the
+// per-iteration curves.
+var sampleIters = []int{0, 4, 9, 24, 49, 74, 99}
+
+// tracedRun executes a 2-D GD bisection with tracing and returns the curve
+// plus the final rounded result.
+func tracedRun(ctx *Context, dataset string, mutate func(*core.Options)) ([]core.IterStats, *core.Result, error) {
+	g, err := ctx.Graph(dataset)
+	if err != nil {
+		return nil, nil, err
+	}
+	ws, err := ctx.Weights(dataset, 2)
+	if err != nil {
+		return nil, nil, err
+	}
+	opt := core.DefaultOptions()
+	opt.Seed = ctx.Seed
+	var curve []core.IterStats
+	opt.Trace = func(s core.IterStats) { curve = append(curve, s) }
+	if mutate != nil {
+		mutate(&opt)
+	}
+	res, err := core.Bisect(g, ws, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return curve, res, nil
+}
+
+// curveRow renders sampled locality values plus the final rounded locality.
+func curveRow(label string, curve []core.IterStats, pick func(core.IterStats) float64, final float64) []string {
+	row := []string{label}
+	for _, it := range sampleIters {
+		if it < len(curve) {
+			row = append(row, pct(pick(curve[it])))
+		} else if len(curve) > 0 {
+			row = append(row, pct(pick(curve[len(curve)-1])))
+		} else {
+			row = append(row, "-")
+		}
+	}
+	row = append(row, pct(final))
+	return row
+}
+
+func curveHeader(first string) []string {
+	h := []string{first}
+	for _, it := range sampleIters {
+		h = append(h, fmt.Sprintf("it%d", it+1))
+	}
+	return append(h, "final")
+}
+
+func runStepLengthStudy(ctx *Context, figure string, datasets []string) ([]*Table, error) {
+	var tables []*Table
+	for _, ds := range datasets {
+		g, err := ctx.Graph(ds)
+		if err != nil {
+			return nil, err
+		}
+		tab := &Table{
+			Title:  fmt.Sprintf("%s: edge locality (%%) vs iteration on %s, fixed step length s·√n/100", figure, ds),
+			Note:   "paper: s = 2 reaches the best locality; s = 10 overshoots, s = 1 converges too slowly",
+			Header: curveHeader("step s"),
+		}
+		for _, s := range []float64{10, 5, 2, 1} {
+			step := s
+			curve, res, err := tracedRun(ctx, ds, func(o *core.Options) {
+				o.StepLength = step
+			})
+			if err != nil {
+				return nil, err
+			}
+			final := partition.EdgeLocality(g, res.Assignment)
+			tab.Rows = append(tab.Rows, curveRow(fmt.Sprintf("%.0f", s), curve,
+				func(st core.IterStats) float64 { return st.ExpectedLocality }, final))
+		}
+		tables = append(tables, tab)
+	}
+	return tables, nil
+}
+
+func runAdaptivityStudy(ctx *Context, figure string, datasets []string) ([]*Table, error) {
+	variants := []struct {
+		label  string
+		mutate func(*core.Options)
+	}{
+		{"nonadaptive", func(o *core.Options) { o.Adaptive = false; o.VertexFixing = false }},
+		{"adaptive", func(o *core.Options) { o.VertexFixing = false }},
+		{"adaptive+fixing", func(o *core.Options) {}},
+	}
+	var tables []*Table
+	for _, ds := range datasets {
+		g, err := ctx.Graph(ds)
+		if err != nil {
+			return nil, err
+		}
+		ws, err := ctx.Weights(ds, 2)
+		if err != nil {
+			return nil, err
+		}
+		locTab := &Table{
+			Title:  fmt.Sprintf("%s (left): edge locality (%%) vs iteration on %s", figure, ds),
+			Note:   "paper: adaptive + vertex fixing reaches the best locality",
+			Header: curveHeader("variant"),
+		}
+		imbTab := &Table{
+			Title:  fmt.Sprintf("%s (right): max imbalance (%%) vs iteration on %s", figure, ds),
+			Note:   "paper: vertex fixing keeps near-perfect balance throughout; the others accumulate imbalance that is repaired at the end",
+			Header: curveHeader("variant"),
+		}
+		for _, v := range variants {
+			curve, res, err := tracedRun(ctx, ds, v.mutate)
+			if err != nil {
+				return nil, err
+			}
+			finalLoc := partition.EdgeLocality(g, res.Assignment)
+			finalImb := partition.MaxImbalance(res.Assignment, ws)
+			locTab.Rows = append(locTab.Rows, curveRow(v.label, curve,
+				func(st core.IterStats) float64 { return st.ExpectedLocality }, finalLoc))
+			imbTab.Rows = append(imbTab.Rows, curveRow(v.label, curve,
+				func(st core.IterStats) float64 { return st.MaxImbalance }, finalImb))
+		}
+		tables = append(tables, locTab, imbTab)
+	}
+	return tables, nil
+}
+
+func runProjectionStudy(ctx *Context, figure string, datasets []string) ([]*Table, error) {
+	variants := []struct {
+		label  string
+		mutate func(*core.Options)
+	}{
+		{"exact eps=0.1", func(o *core.Options) { o.Epsilon = 0.1; o.Projection = project.Options{Method: project.Exact} }},
+		{"exact eps=0.01", func(o *core.Options) { o.Epsilon = 0.01; o.Projection = project.Options{Method: project.Exact} }},
+		{"exact eps=0.001", func(o *core.Options) { o.Epsilon = 0.001; o.Projection = project.Options{Method: project.Exact} }},
+		{"alternating", func(o *core.Options) {}},
+	}
+	var tables []*Table
+	for _, ds := range datasets {
+		g, err := ctx.Graph(ds)
+		if err != nil {
+			return nil, err
+		}
+		tab := &Table{
+			Title:  fmt.Sprintf("%s: edge locality (%%) vs iteration on %s by projection method", figure, ds),
+			Note:   "paper: larger allowed imbalance gives better locality; one-shot alternating is comparable to exact (Dykstra ≡ exact, not shown)",
+			Header: curveHeader("projection"),
+		}
+		for _, v := range variants {
+			curve, res, err := tracedRun(ctx, ds, v.mutate)
+			if err != nil {
+				return nil, err
+			}
+			final := partition.EdgeLocality(g, res.Assignment)
+			tab.Rows = append(tab.Rows, curveRow(v.label, curve,
+				func(st core.IterStats) float64 { return st.ExpectedLocality }, final))
+			ctx.Logf("%s %s %s done", figure, ds, v.label)
+		}
+		tables = append(tables, tab)
+	}
+	return tables, nil
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mdbgp/internal/baselines"
+	"mdbgp/internal/partition"
+	"mdbgp/internal/weights"
+)
+
+// publicGraphs are the three public networks of Figures 4 and 5.
+var publicGraphs = []string{"lj-sim", "twitter-sim", "friendster-sim"}
+
+// fbGraphs are the Facebook friendship analogs of Figure 6.
+var fbGraphs = []string{"fb3-sim", "fb80-sim", "fb400-sim"}
+
+func init() {
+	register(Experiment{
+		Name:  "fig4",
+		Paper: "Figure 4",
+		Desc:  "Vertex and edge imbalance of Spinner, BLP and SHP on the public networks, k ∈ {2, 8}. Spinner and SHP cannot balance both dimensions; Hash and GD stay below 0.01 (reported for reference).",
+		Run:   runFig4,
+	})
+	register(Experiment{
+		Name:  "fig5",
+		Paper: "Figure 5",
+		Desc:  "Edge locality (% uncut edges) of Hash, BLP and GD (vertex-edge mode) on the public networks, k ∈ {2, 8}.",
+		Run:   runFig5,
+	})
+	register(Experiment{
+		Name:  "fig6",
+		Paper: "Figure 6",
+		Desc:  "Edge locality of Hash, BLP and GD on the Facebook friendship analogs, k ∈ {16, 128}.",
+		Run:   runFig6,
+	})
+}
+
+func runFig4(ctx *Context) ([]*Table, error) {
+	vertexTab := &Table{
+		Title:  "Figure 4 (top): vertex imbalance (max/avg − 1)",
+		Note:   "lower is better; paper: Spinner/SHP up to 0.41 on Twitter, BLP ≤ 0.05, Hash/GD < 0.01",
+		Header: []string{"graph", "k", "Spinner", "BLP", "SHP", "Hash", "GD"},
+	}
+	edgeTab := &Table{
+		Title:  "Figure 4 (bottom): edge imbalance (max/avg − 1)",
+		Note:   "lower is better",
+		Header: []string{"graph", "k", "Spinner", "BLP", "SHP", "Hash", "GD"},
+	}
+	for _, name := range publicGraphs {
+		g, err := ctx.Graph(name)
+		if err != nil {
+			return nil, err
+		}
+		ws, err := ctx.Weights(name, 2)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range []int{2, 8} {
+			// Spinner's Giraph default balances edge load only.
+			sp := baselines.Spinner(g, [][]float64{weights.Degree(g)}, k, baselines.SpinnerOptions{Seed: ctx.Seed})
+			blp, err := ctx.BLPPartition(name, k)
+			if err != nil {
+				return nil, err
+			}
+			shp := baselines.SHP(g, k, baselines.SHPOptions{Seed: ctx.Seed})
+			hash, err := ctx.HashPartition(name, k)
+			if err != nil {
+				return nil, err
+			}
+			gd, err := ctx.GDPartition(name, ModeVertexEdge, k)
+			if err != nil {
+				return nil, err
+			}
+			row := func(w []float64) []string {
+				return []string{
+					name, fmt.Sprint(k),
+					fmt.Sprintf("%.3f", partition.Imbalance(sp, w)),
+					fmt.Sprintf("%.3f", partition.Imbalance(blp, w)),
+					fmt.Sprintf("%.3f", partition.Imbalance(shp, w)),
+					fmt.Sprintf("%.3f", partition.Imbalance(hash, w)),
+					fmt.Sprintf("%.3f", partition.Imbalance(gd, w)),
+				}
+			}
+			vertexTab.Rows = append(vertexTab.Rows, row(ws[0]))
+			edgeTab.Rows = append(edgeTab.Rows, row(ws[1]))
+		}
+	}
+	return []*Table{vertexTab, edgeTab}, nil
+}
+
+func localityTable(ctx *Context, title, note string, graphs []string, ks []int) (*Table, error) {
+	tab := &Table{
+		Title:  title,
+		Note:   note,
+		Header: []string{"graph", "k", "Hash %", "BLP %", "GD %"},
+	}
+	for _, name := range graphs {
+		g, err := ctx.Graph(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range ks {
+			hash, err := ctx.HashPartition(name, k)
+			if err != nil {
+				return nil, err
+			}
+			blp, err := ctx.BLPPartition(name, k)
+			if err != nil {
+				return nil, err
+			}
+			gd, err := ctx.GDPartition(name, ModeVertexEdge, k)
+			if err != nil {
+				return nil, err
+			}
+			tab.Rows = append(tab.Rows, []string{
+				name, fmt.Sprint(k),
+				pct(partition.EdgeLocality(g, hash)),
+				pct(partition.EdgeLocality(g, blp)),
+				pct(partition.EdgeLocality(g, gd)),
+			})
+		}
+	}
+	return tab, nil
+}
+
+func runFig5(ctx *Context) ([]*Table, error) {
+	tab, err := localityTable(ctx,
+		"Figure 5: edge locality on public networks (higher is better)",
+		"paper (LiveJournal k=2): Hash 50, BLP 75.2, GD 87.7; GD wins everywhere by 2–13 points",
+		publicGraphs, []int{2, 8})
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{tab}, nil
+}
+
+func runFig6(ctx *Context) ([]*Table, error) {
+	tab, err := localityTable(ctx,
+		"Figure 6: edge locality on Facebook friendship analogs (higher is better)",
+		"paper (FB-400B k=16): Hash 6.25, BLP 43.19, GD 52.09; GD's margin grows with graph size",
+		fbGraphs, []int{16, 128})
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{tab}, nil
+}

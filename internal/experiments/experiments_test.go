@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickCtx() *Context {
+	return NewContext(16, 42, nil) // 16× scale-down: every dataset ≥ 1000 vertices
+}
+
+func TestSpecRegistry(t *testing.T) {
+	ss := Specs()
+	if len(ss) != 8 {
+		t.Fatalf("expected 8 dataset specs, got %d", len(ss))
+	}
+	seen := map[string]bool{}
+	for _, s := range ss {
+		if seen[s.Name] {
+			t.Fatalf("duplicate spec %s", s.Name)
+		}
+		seen[s.Name] = true
+		if s.N <= 0 || s.AvgDegree <= 0 {
+			t.Fatalf("bad spec %+v", s)
+		}
+	}
+	if _, err := SpecByName("lj-sim"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SpecByName("nope"); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+}
+
+func TestGenerateScaling(t *testing.T) {
+	spec, _ := SpecByName("lj-sim")
+	small := spec.Generate(16)
+	if small.N() != spec.N/16 {
+		t.Fatalf("scaled n=%d, want %d", small.N(), spec.N/16)
+	}
+	// Floor at 1000 vertices.
+	tiny := spec.Generate(1 << 20)
+	if tiny.N() != 1000 {
+		t.Fatalf("floor n=%d, want 1000", tiny.N())
+	}
+}
+
+func TestContextCaches(t *testing.T) {
+	ctx := quickCtx()
+	g1, err := ctx.Graph("orkut-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := ctx.Graph("orkut-sim")
+	if g1 != g2 {
+		t.Fatal("graph not cached")
+	}
+	a1, err := ctx.GDPartition("orkut-sim", ModeVertexEdge, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := ctx.GDPartition("orkut-sim", ModeVertexEdge, 2)
+	if a1 != a2 {
+		t.Fatal("partition not cached")
+	}
+	w1, err := ctx.Weights("orkut-sim", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, _ := ctx.Weights("orkut-sim", 2)
+	if &w1[0][0] != &w2[0][0] {
+		t.Fatal("weights not cached")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig1", "fig4", "fig5", "fig6", "fig7", "table2",
+		"fig8", "fig9", "fig10", "fig11", "table3", "fig15", "fig16", "fig17", "ablations"}
+	have := map[string]bool{}
+	for _, e := range All() {
+		have[e.Name] = true
+		if e.Paper == "" || e.Desc == "" || e.Run == nil {
+			t.Fatalf("experiment %s incompletely registered", e.Name)
+		}
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Fatalf("experiment %s not registered", w)
+		}
+	}
+	if _, err := ByName("fig5"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("unknown name should error")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:  "T",
+		Note:   "n",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"xxx", "y"}},
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"T", "n", "a", "bb", "xxx"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Smoke-run the cheap experiments end to end at 16× reduction. The heavy
+// Giraph/FB experiments are exercised by the benchmarks instead.
+func TestRunFig5Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ctx := quickCtx()
+	e, err := ByName("fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 6 {
+		t.Fatalf("fig5: %d tables, %d rows", len(tables), len(tables[0].Rows))
+	}
+	// GD must beat hash on every row.
+	for _, row := range tables[0].Rows {
+		hash := parsePct(t, row[2])
+		gd := parsePct(t, row[4])
+		if gd <= hash {
+			t.Fatalf("GD %.1f <= hash %.1f in row %v", gd, hash, row)
+		}
+	}
+}
+
+func TestRunFig4Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ctx := quickCtx()
+	e, _ := ByName("fig4")
+	tables, err := e.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("fig4: %d tables", len(tables))
+	}
+	// GD column must stay within ~ε on both dimensions everywhere.
+	for _, tab := range tables {
+		for _, row := range tab.Rows {
+			var gd float64
+			if _, err := fmtSscan(row[6], &gd); err != nil {
+				t.Fatalf("bad GD cell %q", row[6])
+			}
+			if gd > 0.06 {
+				t.Fatalf("GD imbalance %v in row %v", gd, row)
+			}
+		}
+	}
+}
+
+func TestRunFig9Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ctx := quickCtx()
+	e, _ := ByName("fig9")
+	tables, err := e.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two datasets × (locality + imbalance) tables.
+	if len(tables) != 4 {
+		t.Fatalf("fig9: %d tables", len(tables))
+	}
+}
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := fmtSscan(s, &v); err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}

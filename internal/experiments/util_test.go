@@ -1,0 +1,8 @@
+package experiments
+
+import "fmt"
+
+// fmtSscan is a thin indirection so tests read cleanly.
+func fmtSscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(s, v)
+}

@@ -1,0 +1,282 @@
+// Package gen provides deterministic synthetic graph generators.
+//
+// The paper evaluates on SNAP social networks and proprietary Facebook
+// friendship subgraphs, none of which are available to this offline build.
+// The experiments substitute degree-corrected stochastic block model (DC-SBM)
+// graphs whose two knobs map directly onto the properties the partitioners
+// are sensitive to: community strength (achievable edge locality) and degree
+// skew (the vertex-vs-edge balance tension that motivates multi-dimensional
+// balancing). R-MAT, Chung–Lu, Erdős–Rényi and several structured graphs are
+// provided for tests and ablations.
+//
+// All generators are deterministic functions of their seed.
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"mdbgp/internal/graph"
+)
+
+// SBMConfig configures a degree-corrected stochastic block model graph.
+type SBMConfig struct {
+	N           int     // number of vertices
+	Communities int     // number of planted blocks (≥ 1)
+	AvgDegree   float64 // target average degree (before dedup)
+	InFraction  float64 // probability an edge stays inside its block (community strength)
+	// DegreeExponent is the Pareto shape of the per-vertex degree propensity.
+	// 0 disables skew (uniform propensities). Smaller values (≈1.5) give the
+	// heavy tails of Twitter-like graphs; ≈2.5 gives mild friendship-like skew.
+	DegreeExponent float64
+	// MaxPropensity caps a single vertex's degree propensity as a multiple of
+	// the mean propensity (0 = default 500).
+	MaxPropensity float64
+	// MicroSize > 0 adds a second, finer community level: each block is
+	// subdivided into contiguous micro-communities of ~MicroSize vertices,
+	// and a MicroFraction share of edges stays inside them. Real social
+	// networks are hierarchical in exactly this way; the micro level is what
+	// clustering-based partitioners (BLP) exploit.
+	MicroSize     int
+	MicroFraction float64
+	// BlockDegreeSkew > 0 multiplies every block's degree propensity by
+	// exp(U(−s, +s)), making communities differ in density as real ones do.
+	// This is the property that forces multi-dimensional balance: a
+	// partition with equal vertex counts then has unequal edge counts and
+	// vice versa (the paper's Figure 1 phenomenon).
+	BlockDegreeSkew float64
+	Seed            int64
+}
+
+// SBM generates a degree-corrected stochastic block model graph and the
+// planted block id of every vertex. Blocks are contiguous vertex ranges of
+// near-equal size. The expected fraction of intra-block edges is
+// cfg.InFraction plus the by-chance collision rate of the global sampler.
+func SBM(cfg SBMConfig) (*graph.Graph, []int32) {
+	if cfg.N <= 0 {
+		return graph.NewBuilder(0).Build(), nil
+	}
+	k := cfg.Communities
+	if k < 1 {
+		k = 1
+	}
+	if k > cfg.N {
+		k = cfg.N
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	blocks := make([]int32, cfg.N)
+	starts := make([]int, k+1)
+	for c := 0; c <= k; c++ {
+		starts[c] = c * cfg.N / k
+	}
+	for c := 0; c < k; c++ {
+		for v := starts[c]; v < starts[c+1]; v++ {
+			blocks[v] = int32(c)
+		}
+	}
+
+	theta := propensities(cfg.N, cfg.DegreeExponent, cfg.MaxPropensity, rng)
+	if cfg.BlockDegreeSkew > 0 {
+		mult := make([]float64, k)
+		for c := range mult {
+			mult[c] = math.Exp((rng.Float64()*2 - 1) * cfg.BlockDegreeSkew)
+		}
+		for i := range theta {
+			theta[i] *= mult[blocks[i]]
+		}
+	}
+	// Global and per-block cumulative propensity for O(log n) sampling.
+	cum := make([]float64, cfg.N+1)
+	for i, t := range theta {
+		cum[i+1] = cum[i] + t
+	}
+
+	micro := cfg.MicroFraction
+	if cfg.MicroSize <= 0 {
+		micro = 0
+	}
+	targetEdges := int(float64(cfg.N) * cfg.AvgDegree / 2)
+	b := graph.NewBuilder(cfg.N)
+	for i := 0; i < targetEdges; i++ {
+		u := sampleCum(cum, 0, cfg.N, rng)
+		c := int(blocks[u])
+		var v int
+		r := rng.Float64()
+		switch {
+		case r < micro:
+			lo, hi := microRange(u, starts[c], starts[c+1], cfg.MicroSize)
+			v = sampleCum(cum, lo, hi, rng)
+		case r < micro+cfg.InFraction:
+			v = sampleCum(cum, starts[c], starts[c+1], rng)
+		default:
+			v = sampleCum(cum, 0, cfg.N, rng)
+		}
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build(), blocks
+}
+
+// microRange returns the contiguous micro-community [lo, hi) of vertex u
+// inside its block [blockLo, blockHi).
+func microRange(u, blockLo, blockHi, size int) (int, int) {
+	idx := (u - blockLo) / size
+	lo := blockLo + idx*size
+	hi := lo + size
+	if hi > blockHi {
+		hi = blockHi
+	}
+	return lo, hi
+}
+
+// propensities draws n positive degree propensities. With exponent <= 0 all
+// propensities are 1; otherwise they follow a Pareto(exponent) distribution
+// truncated at maxMult times the mean.
+func propensities(n int, exponent, maxMult float64, rng *rand.Rand) []float64 {
+	theta := make([]float64, n)
+	if exponent <= 0 {
+		for i := range theta {
+			theta[i] = 1
+		}
+		return theta
+	}
+	if maxMult <= 0 {
+		maxMult = 500
+	}
+	cap := maxMult // Pareto xmin is 1, so the mean is α/(α−1) ≈ O(1).
+	for i := range theta {
+		u := rng.Float64()
+		t := math.Pow(1-u, -1/exponent)
+		if t > cap {
+			t = cap
+		}
+		theta[i] = t
+	}
+	return theta
+}
+
+// sampleCum samples an index in [lo, hi) with probability proportional to
+// the propensity encoded in the cumulative array cum (len n+1).
+func sampleCum(cum []float64, lo, hi int, rng *rand.Rand) int {
+	total := cum[hi] - cum[lo]
+	if total <= 0 {
+		return lo + rng.Intn(hi-lo)
+	}
+	x := cum[lo] + rng.Float64()*total
+	// Find the first index i in [lo,hi) with cum[i+1] > x.
+	i := sort.Search(hi-lo, func(j int) bool { return cum[lo+j+1] > x })
+	v := lo + i
+	if v >= hi {
+		v = hi - 1
+	}
+	return v
+}
+
+// ChungLu generates a power-law random graph: endpoints of each edge are
+// drawn independently with probability proportional to a Pareto(exponent)
+// propensity. Equivalent to SBM with a single block.
+func ChungLu(n int, avgDegree, exponent float64, seed int64) *graph.Graph {
+	g, _ := SBM(SBMConfig{
+		N: n, Communities: 1, AvgDegree: avgDegree,
+		InFraction: 0, DegreeExponent: exponent, Seed: seed,
+	})
+	return g
+}
+
+// RMAT generates a Recursive MATrix graph with 2^scale vertices and
+// edgeFactor·2^scale sampled edges using quadrant probabilities (a, b, c,
+// 1−a−b−c). Classic parameters (0.57, 0.19, 0.19) produce the skewed,
+// weakly clustered structure of web/follower graphs.
+func RMAT(scale, edgeFactor int, a, b, c float64, seed int64) *graph.Graph {
+	n := 1 << uint(scale)
+	rng := rand.New(rand.NewSource(seed))
+	bl := graph.NewBuilder(n)
+	edges := edgeFactor * n
+	for i := 0; i < edges; i++ {
+		u, v := 0, 0
+		for bit := scale - 1; bit >= 0; bit-- {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left: no bits set
+			case r < a+b:
+				v |= 1 << uint(bit)
+			case r < a+b+c:
+				u |= 1 << uint(bit)
+			default:
+				u |= 1 << uint(bit)
+				v |= 1 << uint(bit)
+			}
+		}
+		if u != v {
+			bl.AddEdge(u, v)
+		}
+	}
+	return bl.Build()
+}
+
+// ErdosRenyi generates a uniform random graph with n vertices and m sampled
+// edges (duplicates collapse, so the realized edge count can be lower).
+func ErdosRenyi(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return b.Build()
+}
+
+// Grid generates a rows×cols lattice. With torus set, rows and columns wrap
+// around. Grids have known perfectly balanced partitions with small cuts,
+// which makes them useful fixtures for partitioner tests.
+func Grid(rows, cols int, torus bool) *graph.Graph {
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			} else if torus && cols > 2 {
+				b.AddEdge(id(r, c), id(r, 0))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			} else if torus && rows > 2 {
+				b.AddEdge(id(r, c), id(0, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Star generates a star: vertex 0 connected to vertices 1..n−1. The extreme
+// degree skew makes it a worst case for vertex-count-only balancing.
+func Star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, v)
+	}
+	return b.Build()
+}
+
+// CliqueChain generates `cliques` cliques of `size` vertices each, joined in
+// a chain by single bridge edges. The optimal bisection cuts exactly one
+// bridge, making expected partition quality easy to assert in tests.
+func CliqueChain(cliques, size int) *graph.Graph {
+	b := graph.NewBuilder(cliques * size)
+	for c := 0; c < cliques; c++ {
+		base := c * size
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				b.AddEdge(base+i, base+j)
+			}
+		}
+		if c+1 < cliques {
+			b.AddEdge(base+size-1, base+size)
+		}
+	}
+	return b.Build()
+}

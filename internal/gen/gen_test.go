@@ -1,0 +1,212 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSBMDeterminism(t *testing.T) {
+	cfg := SBMConfig{N: 500, Communities: 4, AvgDegree: 10, InFraction: 0.8, DegreeExponent: 2, Seed: 42}
+	g1, b1 := SBM(cfg)
+	g2, b2 := SBM(cfg)
+	if g1.M() != g2.M() || g1.N() != g2.N() {
+		t.Fatalf("nondeterministic sizes: %v vs %v", g1, g2)
+	}
+	for i := range b1 {
+		if b1[i] != b2[i] {
+			t.Fatal("nondeterministic blocks")
+		}
+	}
+	g1.EachEdge(func(u, v int) bool {
+		if !g2.HasEdge(u, v) {
+			t.Fatalf("edge %d-%d missing from second run", u, v)
+		}
+		return true
+	})
+}
+
+func TestSBMCommunityStructure(t *testing.T) {
+	g, blocks := SBM(SBMConfig{N: 2000, Communities: 2, AvgDegree: 20, InFraction: 0.9, Seed: 7})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	intra := 0
+	g.EachEdge(func(u, v int) bool {
+		if blocks[u] == blocks[v] {
+			intra++
+		}
+		return true
+	})
+	frac := float64(intra) / float64(g.M())
+	// InFraction 0.9 plus ~50% by-chance collisions on the remaining 10%.
+	if frac < 0.85 {
+		t.Fatalf("intra-block edge fraction %.3f, want >= 0.85", frac)
+	}
+	// Blocks should be near-equal contiguous halves.
+	c0 := 0
+	for _, b := range blocks {
+		if b == 0 {
+			c0++
+		}
+	}
+	if c0 != 1000 {
+		t.Fatalf("block 0 size %d, want 1000", c0)
+	}
+}
+
+func TestSBMMicroCommunities(t *testing.T) {
+	cfg := SBMConfig{
+		N: 3000, Communities: 3, AvgDegree: 16,
+		InFraction: 0.4, MicroSize: 20, MicroFraction: 0.5, Seed: 21,
+	}
+	g, blocks := SBM(cfg)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Count edges inside micro-communities (contiguous 20-vertex ranges
+	// within each 1000-vertex block).
+	inMicro := 0
+	g.EachEdge(func(u, v int) bool {
+		if blocks[u] == blocks[v] && u/20 == v/20 {
+			inMicro++
+		}
+		return true
+	})
+	frac := float64(inMicro) / float64(g.M())
+	if frac < 0.4 {
+		t.Fatalf("micro-community edge fraction %.3f, want >= 0.4", frac)
+	}
+	// MicroSize without MicroFraction (or vice versa) must not panic and
+	// must degrade gracefully to the flat model.
+	flat, _ := SBM(SBMConfig{N: 500, Communities: 2, AvgDegree: 8, InFraction: 0.8, MicroFraction: 0.5, Seed: 1})
+	if flat.N() != 500 {
+		t.Fatal("flat fallback broken")
+	}
+}
+
+func TestSBMDegreeSkew(t *testing.T) {
+	flat, _ := SBM(SBMConfig{N: 3000, Communities: 1, AvgDegree: 16, Seed: 3})
+	skew, _ := SBM(SBMConfig{N: 3000, Communities: 1, AvgDegree: 16, DegreeExponent: 1.5, Seed: 3})
+	if skew.MaxDegree() <= 2*flat.MaxDegree() {
+		t.Fatalf("expected heavy tail: skew max=%d flat max=%d", skew.MaxDegree(), flat.MaxDegree())
+	}
+}
+
+func TestSBMEdgeCases(t *testing.T) {
+	g, blocks := SBM(SBMConfig{N: 0})
+	if g.N() != 0 || blocks != nil {
+		t.Fatal("empty SBM not empty")
+	}
+	g, blocks = SBM(SBMConfig{N: 5, Communities: 10, AvgDegree: 2, Seed: 1})
+	if g.N() != 5 {
+		t.Fatal("communities capped at N")
+	}
+	if len(blocks) != 5 {
+		t.Fatalf("blocks len %d", len(blocks))
+	}
+}
+
+func TestChungLuAverageDegree(t *testing.T) {
+	g := ChungLu(4000, 12, 0, 9)
+	avg := 2 * float64(g.M()) / float64(g.N())
+	// Dedup loses a few percent of sampled edges.
+	if avg < 10 || avg > 12.5 {
+		t.Fatalf("average degree %.2f, want ~12", avg)
+	}
+}
+
+func TestRMATShape(t *testing.T) {
+	g := RMAT(12, 8, 0.57, 0.19, 0.19, 11)
+	if g.N() != 4096 {
+		t.Fatalf("n=%d, want 4096", g.N())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxDegree() < 4*8 {
+		t.Fatalf("R-MAT should produce skew; max degree %d", g.MaxDegree())
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(1000, 5000, 13)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() < 4500 || g.M() > 5000 {
+		t.Fatalf("m=%d, want ~5000 after dedup", g.M())
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(4, 5, false)
+	if g.N() != 20 {
+		t.Fatalf("n=%d", g.N())
+	}
+	// 4 rows × 4 horizontal + 3 × 5 vertical = 16+15 = 31 edges.
+	if g.M() != 31 {
+		t.Fatalf("m=%d, want 31", g.M())
+	}
+	torus := Grid(4, 5, true)
+	// Every vertex has degree 4 in a torus.
+	for v := 0; v < torus.N(); v++ {
+		if torus.Degree(v) != 4 {
+			t.Fatalf("torus degree(%d)=%d, want 4", v, torus.Degree(v))
+		}
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(10)
+	if g.Degree(0) != 9 || g.M() != 9 {
+		t.Fatalf("star: deg(0)=%d m=%d", g.Degree(0), g.M())
+	}
+}
+
+func TestCliqueChain(t *testing.T) {
+	g := CliqueChain(3, 4)
+	if g.N() != 12 {
+		t.Fatalf("n=%d", g.N())
+	}
+	want := int64(3*6 + 2) // 3 K4s + 2 bridges
+	if g.M() != want {
+		t.Fatalf("m=%d, want %d", g.M(), want)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every generated SBM graph satisfies the CSR invariants and has
+// blocks covering exactly the requested communities.
+func TestQuickSBMValid(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw)%200 + 10
+		k := int(kRaw)%8 + 1
+		g, blocks := SBM(SBMConfig{N: n, Communities: k, AvgDegree: 6, InFraction: 0.7, DegreeExponent: 2, Seed: seed})
+		if g.Validate() != nil || len(blocks) != n {
+			return false
+		}
+		for _, b := range blocks {
+			if int(b) < 0 || int(b) >= k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropensityCap(t *testing.T) {
+	g1 := ChungLu(2000, 10, 1.2, 5)
+	maxAllowed := 2000 // hard sanity bound: cap prevents a single mega-hub
+	if g1.MaxDegree() > maxAllowed {
+		t.Fatalf("max degree %d exceeds propensity cap effect", g1.MaxDegree())
+	}
+	if math.IsNaN(float64(g1.M())) {
+		t.Fatal("unreachable")
+	}
+}

@@ -1,0 +1,311 @@
+package giraph
+
+import (
+	"sort"
+)
+
+// PageRank runs `iters` power-iteration supersteps (the paper uses 30) with
+// the given damping factor and returns the final probability vector together
+// with the run statistics. Every vertex is active every superstep and sends
+// rank/deg along each out-edge.
+func PageRank(c *Cluster, iters int, damping float64) ([]float64, *RunStats) {
+	if iters <= 0 {
+		iters = 30
+	}
+	if damping <= 0 || damping >= 1 {
+		damping = 0.85
+	}
+	g := c.G
+	n := g.N()
+	stats := &RunStats{}
+	pr := make([]float64, n)
+	next := make([]float64, n)
+	if n == 0 {
+		return pr, stats
+	}
+	for i := range pr {
+		pr[i] = 1.0 / float64(n)
+	}
+	s := c.structure()
+	for it := 0; it < iters; it++ {
+		dangling := 0.0
+		for v := 0; v < n; v++ {
+			if g.Degree(v) == 0 {
+				dangling += pr[v]
+			}
+			next[v] = 0
+		}
+		for v := 0; v < n; v++ {
+			d := g.Degree(v)
+			if d == 0 {
+				continue
+			}
+			share := pr[v] / float64(d)
+			for _, u := range g.Neighbors(v) {
+				next[u] += share
+			}
+		}
+		base := (1-damping)/float64(n) + damping*dangling/float64(n)
+		for v := 0; v < n; v++ {
+			next[v] = base + damping*next[v]
+		}
+		pr, next = next, pr
+		stats.Steps = append(stats.Steps, c.uniformStep(s, 1, 1))
+	}
+	return pr, stats
+}
+
+// ConnectedComponents runs min-label propagation until convergence (at most
+// maxSteps supersteps; the paper observes ≤ 50 rounds). Only vertices whose
+// label changed in the previous round send messages, so late supersteps are
+// cheap — the simulator charges costs accordingly.
+func ConnectedComponents(c *Cluster, maxSteps int) ([]int32, *RunStats) {
+	if maxSteps <= 0 {
+		maxSteps = 50
+	}
+	g := c.G
+	n := g.N()
+	parts := c.Assign.Parts
+	k := c.Workers()
+	cm := c.Cost
+	stats := &RunStats{}
+
+	labels := make([]int32, n)
+	for v := range labels {
+		labels[v] = int32(v)
+	}
+	active := make([]bool, n)
+	for v := range active {
+		active[v] = true
+	}
+	vertices := make([]int64, k)
+	for v := 0; v < n; v++ {
+		vertices[parts[v]]++
+	}
+
+	for step := 0; step < maxSteps; step++ {
+		busy := make([]float64, k)
+		sent := make([]float64, k)
+		for w := 0; w < k; w++ {
+			busy[w] = cm.VertexOverhead * float64(vertices[w])
+		}
+		// Message phase: active vertices push their labels.
+		inbox := make([]int32, n)
+		for v := range inbox {
+			inbox[v] = labels[v]
+		}
+		anyActive := false
+		for v := 0; v < n; v++ {
+			if !active[v] {
+				continue
+			}
+			anyActive = true
+			pv := parts[v]
+			busy[pv] += cm.EdgeCompute * float64(g.Degree(v))
+			lv := labels[v]
+			for _, u := range g.Neighbors(v) {
+				pu := parts[u]
+				if pu == pv {
+					busy[pv] += cm.LocalMsg
+				} else {
+					busy[pv] += cm.RemoteMsg / 2
+					busy[pu] += cm.RemoteMsg / 2
+					sent[pv] += cm.BytesPerUnit
+				}
+				if lv < inbox[u] {
+					inbox[u] = lv
+				}
+			}
+		}
+		if !anyActive {
+			break
+		}
+		changed := false
+		for v := 0; v < n; v++ {
+			if inbox[v] < labels[v] {
+				labels[v] = inbox[v]
+				active[v] = true
+				changed = true
+			} else {
+				active[v] = false
+			}
+		}
+		wall := 0.0
+		for _, b := range busy {
+			if b > wall {
+				wall = b
+			}
+		}
+		stats.Steps = append(stats.Steps, StepStats{Busy: busy, SentBytes: sent, Wall: wall + cm.Barrier})
+		if !changed {
+			break
+		}
+	}
+	return labels, stats
+}
+
+// MutualFriends computes, for every vertex, the total number of common
+// neighbors shared with its neighbors — the paper's friend-recommendation
+// feature workload. Superstep 1 sends each vertex's adjacency list to every
+// neighbor (message size = deg(v) units); superstep 2 intersects the
+// received lists with the local one. CapDegree truncates lists, as
+// production systems do for mega-hubs; 0 means the default 2048.
+func MutualFriends(c *Cluster, capDegree int) ([]int64, *RunStats) {
+	if capDegree <= 0 {
+		capDegree = 2048
+	}
+	g := c.G
+	n := g.N()
+	parts := c.Assign.Parts
+	k := c.Workers()
+	cm := c.Cost
+	stats := &RunStats{}
+	counts := make([]int64, n)
+	if n == 0 {
+		return counts, stats
+	}
+
+	effDeg := func(v int) float64 {
+		d := g.Degree(v)
+		if d > capDegree {
+			d = capDegree
+		}
+		return float64(d)
+	}
+
+	// Superstep 1: adjacency exchange.
+	busy := make([]float64, k)
+	sent := make([]float64, k)
+	for v := 0; v < n; v++ {
+		pv := parts[v]
+		busy[pv] += cm.VertexOverhead + cm.EdgeCompute*float64(g.Degree(v))
+		units := effDeg(v)
+		for _, u := range g.Neighbors(v) {
+			pu := parts[u]
+			if pu == pv {
+				busy[pv] += cm.LocalMsg * units
+			} else {
+				busy[pv] += cm.RemoteMsg * units / 2
+				busy[pu] += cm.RemoteMsg * units / 2
+				sent[pv] += cm.BytesPerUnit * units
+			}
+		}
+	}
+	stats.Steps = append(stats.Steps, finishStep(busy, sent, cm))
+
+	// Superstep 2: intersect received lists with the local list.
+	busy = make([]float64, k)
+	sent = make([]float64, k)
+	for v := 0; v < n; v++ {
+		pv := parts[v]
+		nv := g.Neighbors(v)
+		lv := nv
+		if len(lv) > capDegree {
+			lv = lv[:capDegree]
+		}
+		busy[pv] += cm.VertexOverhead
+		total := int64(0)
+		for _, u := range nv {
+			lu := g.Neighbors(int(u))
+			if len(lu) > capDegree {
+				lu = lu[:capDegree]
+			}
+			busy[pv] += cm.EdgeCompute * float64(len(lu)+len(lv))
+			total += int64(sortedIntersectCount(lv, lu))
+		}
+		counts[v] = total
+	}
+	stats.Steps = append(stats.Steps, finishStep(busy, sent, cm))
+	return counts, stats
+}
+
+func finishStep(busy, sent []float64, cm CostModel) StepStats {
+	wall := 0.0
+	for _, b := range busy {
+		if b > wall {
+			wall = b
+		}
+	}
+	return StepStats{Busy: busy, SentBytes: sent, Wall: wall + cm.Barrier}
+}
+
+// sortedIntersectCount counts common elements of two sorted int32 slices.
+func sortedIntersectCount(a, b []int32) int {
+	// Galloping for very lopsided pairs keeps hub intersections cheap.
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	if len(b) >= 16*len(a) {
+		cnt := 0
+		for _, x := range a {
+			i := sort.Search(len(b), func(j int) bool { return b[j] >= x })
+			if i < len(b) && b[i] == x {
+				cnt++
+			}
+		}
+		return cnt
+	}
+	cnt, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			cnt++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return cnt
+}
+
+// HypergraphClustering models the paper's production clustering workload: a
+// fixed number of label-exchange supersteps in which every vertex sends a
+// 4-unit message (cluster id plus metadata) along every edge and does twice
+// the per-edge compute of PageRank. Labels follow most-frequent-neighbor
+// updates, yielding a genuine clustering.
+func HypergraphClustering(c *Cluster, rounds int) ([]int32, *RunStats) {
+	if rounds <= 0 {
+		rounds = 10
+	}
+	g := c.G
+	n := g.N()
+	stats := &RunStats{}
+	labels := make([]int32, n)
+	for v := range labels {
+		labels[v] = int32(v)
+	}
+	if n == 0 {
+		return labels, stats
+	}
+	s := c.structure()
+	next := make([]int32, n)
+	counts := make(map[int32]int, 16)
+	for it := 0; it < rounds; it++ {
+		for v := 0; v < n; v++ {
+			ns := g.Neighbors(v)
+			if len(ns) == 0 {
+				next[v] = labels[v]
+				continue
+			}
+			clear(counts)
+			best, bestCnt := labels[v], 0
+			for _, u := range ns {
+				l := labels[u]
+				counts[l]++
+				if c := counts[l]; c > bestCnt || (c == bestCnt && l < best) {
+					best, bestCnt = l, c
+				}
+			}
+			next[v] = best
+		}
+		labels, next = next, labels
+		stats.Steps = append(stats.Steps, c.uniformStep(s, 4, 2))
+	}
+	return labels, stats
+}

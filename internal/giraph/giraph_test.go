@@ -1,0 +1,261 @@
+package giraph
+
+import (
+	"math"
+	"testing"
+
+	"mdbgp/internal/baselines"
+	"mdbgp/internal/gen"
+	"mdbgp/internal/graph"
+	"mdbgp/internal/partition"
+	"mdbgp/internal/weights"
+)
+
+func testCluster(t *testing.T, g *graph.Graph, k int) *Cluster {
+	t.Helper()
+	a := baselines.Hash(g.N(), k, 1)
+	c, err := NewCluster(g, a, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	g := gen.Grid(3, 3, false)
+	short := partition.NewAssignment(4, 2)
+	if _, err := NewCluster(g, short, DefaultCostModel()); err == nil {
+		t.Fatal("short assignment should error")
+	}
+	bad := partition.NewAssignment(9, 2)
+	bad.Parts[0] = 7
+	if _, err := NewCluster(g, bad, DefaultCostModel()); err == nil {
+		t.Fatal("invalid assignment should error")
+	}
+}
+
+func TestPageRankMatchesSerialReference(t *testing.T) {
+	g, _ := gen.SBM(gen.SBMConfig{N: 800, Communities: 3, AvgDegree: 10, InFraction: 0.8, DegreeExponent: 2, Seed: 2})
+	c := testCluster(t, g, 4)
+	pr, stats := PageRank(c, 20, 0.85)
+	sum := 0.0
+	for _, p := range pr {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("PageRank mass %g, want 1", sum)
+	}
+	// The weights-package implementation scales to mean 1: compare shapes.
+	ref := weights.PageRank(g, 0.85, 20)
+	for v := range pr {
+		if math.Abs(pr[v]*float64(g.N())-ref[v]) > 1e-6*math.Max(1, ref[v]) {
+			t.Fatalf("vertex %d: sim %g, ref %g", v, pr[v]*float64(g.N()), ref[v])
+		}
+	}
+	if len(stats.Steps) != 20 {
+		t.Fatalf("steps %d, want 20", len(stats.Steps))
+	}
+}
+
+func TestConnectedComponentsCorrect(t *testing.T) {
+	// Two disjoint cliques plus isolated vertices.
+	b := graph.NewBuilder(12)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(4+i, 4+j)
+		}
+	}
+	g := b.Build()
+	c := testCluster(t, g, 3)
+	labels, stats := ConnectedComponents(c, 0)
+	for v := 0; v < 4; v++ {
+		if labels[v] != 0 {
+			t.Fatalf("first clique label %d at %d", labels[v], v)
+		}
+		if labels[4+v] != 4 {
+			t.Fatalf("second clique label %d", labels[4+v])
+		}
+	}
+	for v := 8; v < 12; v++ {
+		if labels[v] != int32(v) {
+			t.Fatalf("isolated vertex %d got label %d", v, labels[v])
+		}
+	}
+	if len(stats.Steps) == 0 {
+		t.Fatal("no supersteps recorded")
+	}
+}
+
+func TestConnectedComponentsConvergesEarlyOnPath(t *testing.T) {
+	b := graph.NewBuilder(64)
+	for i := 0; i+1 < 64; i++ {
+		b.AddEdge(i, i+1)
+	}
+	g := b.Build()
+	c := testCluster(t, g, 2)
+	labels, stats := ConnectedComponents(c, 200)
+	for _, l := range labels {
+		if l != 0 {
+			t.Fatal("path should converge to label 0")
+		}
+	}
+	// 63 propagation rounds + 1 quiescent check at most.
+	if len(stats.Steps) > 65 {
+		t.Fatalf("too many supersteps: %d", len(stats.Steps))
+	}
+	// Later supersteps must be cheaper than the first (active set shrinks).
+	first := stats.Steps[0]
+	last := stats.Steps[len(stats.Steps)-2]
+	if sumF(last.Busy) >= sumF(first.Busy) {
+		t.Fatalf("active-set costing broken: first %g last %g", sumF(first.Busy), sumF(last.Busy))
+	}
+}
+
+func sumF(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestMutualFriendsKnownCounts(t *testing.T) {
+	// Triangle 0-1-2 plus pendant 3 attached to 2.
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 2, V: 3}})
+	c := testCluster(t, g, 2)
+	counts, stats := MutualFriends(c, 0)
+	// v0: neighbors 1,2 — shares 2 with 1, shares 1 with 2 → 2.
+	want := []int64{2, 2, 2, 0}
+	for v, w := range want {
+		if counts[v] != w {
+			t.Fatalf("MF counts = %v, want %v", counts, want)
+		}
+	}
+	if len(stats.Steps) != 2 {
+		t.Fatalf("MF supersteps %d, want 2", len(stats.Steps))
+	}
+}
+
+func TestMutualFriendsCapDegree(t *testing.T) {
+	g := gen.Star(200)
+	c := testCluster(t, g, 2)
+	_, uncapped := MutualFriends(c, 199)
+	_, capped := MutualFriends(c, 8)
+	if capped.TotalWall() >= uncapped.TotalWall() {
+		t.Fatalf("degree cap did not reduce cost: %g vs %g", capped.TotalWall(), uncapped.TotalWall())
+	}
+}
+
+func TestHypergraphClusteringClusters(t *testing.T) {
+	g, blocks := gen.SBM(gen.SBMConfig{N: 600, Communities: 3, AvgDegree: 14, InFraction: 0.95, Seed: 3})
+	c := testCluster(t, g, 4)
+	labels, stats := HypergraphClustering(c, 10)
+	if len(stats.Steps) != 10 {
+		t.Fatalf("HC steps %d", len(stats.Steps))
+	}
+	// Most vertices should share a label with the majority of their block.
+	agree := 0
+	for v := range labels {
+		// Compare against block representative's label.
+		rep := int(blocks[v]) * 200
+		if labels[v] == labels[rep] {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(labels)); frac < 0.5 {
+		t.Fatalf("HC block coherence %.3f", frac)
+	}
+}
+
+func TestCommunicationTracksLocality(t *testing.T) {
+	g, blocks := gen.SBM(gen.SBMConfig{N: 2000, Communities: 4, AvgDegree: 12, InFraction: 0.9, Seed: 5})
+	// Good assignment: planted blocks; bad: hash.
+	good := partition.NewAssignment(g.N(), 4)
+	copy(good.Parts, blocks)
+	hash := baselines.Hash(g.N(), 4, 5)
+	cGood, _ := NewCluster(g, good, DefaultCostModel())
+	cBad, _ := NewCluster(g, hash, DefaultCostModel())
+	_, sGood := PageRank(cGood, 5, 0.85)
+	_, sBad := PageRank(cBad, 5, 0.85)
+	if sGood.TotalCommGB() >= sBad.TotalCommGB() {
+		t.Fatalf("good partition should communicate less: %g vs %g",
+			sGood.TotalCommGB(), sBad.TotalCommGB())
+	}
+	if sGood.TotalWall() >= sBad.TotalWall() {
+		t.Fatalf("good partition should be faster: %g vs %g",
+			sGood.TotalWall(), sBad.TotalWall())
+	}
+}
+
+func TestStragglerDeterminesWall(t *testing.T) {
+	// All edges on worker 0 → worker 0 is the straggler and wall time
+	// reflects it, even though worker 1 holds as many vertices.
+	g := gen.CliqueChain(1, 30) // one clique of 30
+	a := partition.NewAssignment(60, 2)
+	// 30 clique vertices on worker 0; builder made n=30, so build a padded
+	// graph instead.
+	b := graph.NewBuilder(60)
+	for i := 0; i < 30; i++ {
+		for j := i + 1; j < 30; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	g = b.Build()
+	for v := 30; v < 60; v++ {
+		a.Parts[v] = 1
+	}
+	c, err := NewCluster(g, a, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats := PageRank(c, 3, 0.85)
+	for _, s := range stats.Steps {
+		if s.Busy[0] <= s.Busy[1] {
+			t.Fatalf("worker 0 should be the straggler: %v", s.Busy)
+		}
+		if s.Wall < s.Busy[0] {
+			t.Fatalf("wall %g below straggler busy %g", s.Wall, s.Busy[0])
+		}
+	}
+	mean, max, stdev := stats.WorkerBusyStats()
+	if max < mean || stdev <= 0 {
+		t.Fatalf("busy stats mean=%g max=%g stdev=%g", mean, max, stdev)
+	}
+}
+
+func TestRunStatsEmpty(t *testing.T) {
+	var r RunStats
+	if r.TotalWall() != 0 || r.TotalCommGB() != 0 {
+		t.Fatal("empty stats should be zero")
+	}
+	m, x, s := r.WorkerBusyStats()
+	if m != 0 || x != 0 || s != 0 {
+		t.Fatal("empty busy stats should be zero")
+	}
+	m, x, s = r.CommGBStats()
+	if m != 0 || x != 0 || s != 0 {
+		t.Fatal("empty comm stats should be zero")
+	}
+}
+
+func TestEmptyGraphApps(t *testing.T) {
+	g := graph.NewBuilder(0).Build()
+	a := partition.NewAssignment(0, 2)
+	c, err := NewCluster(g, a, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr, _ := PageRank(c, 3, 0.85); len(pr) != 0 {
+		t.Fatal("empty PageRank")
+	}
+	if labels, _ := ConnectedComponents(c, 5); len(labels) != 0 {
+		t.Fatal("empty CC")
+	}
+	if counts, _ := MutualFriends(c, 0); len(counts) != 0 {
+		t.Fatal("empty MF")
+	}
+	if labels, _ := HypergraphClustering(c, 3); len(labels) != 0 {
+		t.Fatal("empty HC")
+	}
+}

@@ -1,0 +1,488 @@
+package metis
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"mdbgp/internal/graph"
+	"mdbgp/internal/partition"
+)
+
+// Options configures the multilevel partitioner.
+type Options struct {
+	// UBFactor is the allowed part overweight factor per constraint during
+	// refinement, e.g. 1.005 allows 0.5% imbalance (METIS's default grain).
+	UBFactor float64
+	// CoarsenTo stops coarsening once the graph has at most this many
+	// vertices (default 160).
+	CoarsenTo int
+	// InitialTries is the number of greedy-graph-growing attempts at the
+	// coarsest level (default 8).
+	InitialTries int
+	// RefinePasses bounds FM passes per uncoarsening level (default 6).
+	RefinePasses int
+	Seed         int64
+}
+
+func (o *Options) normalize() {
+	if o.UBFactor <= 1 {
+		o.UBFactor = 1.005
+	}
+	if o.CoarsenTo <= 0 {
+		o.CoarsenTo = 160
+	}
+	if o.InitialTries <= 0 {
+		o.InitialTries = 8
+	}
+	if o.RefinePasses <= 0 {
+		o.RefinePasses = 6
+	}
+}
+
+// Bisect computes a multi-constraint bisection of g with target split
+// fractions (alpha, 1−alpha) per dimension.
+func Bisect(g *graph.Graph, ws [][]float64, alpha float64, opt Options) (*partition.Assignment, error) {
+	opt.normalize()
+	if alpha <= 0 || alpha >= 1 {
+		alpha = 0.5
+	}
+	n := g.N()
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("metis: at least one weight function required")
+	}
+	for j, w := range ws {
+		if len(w) != n {
+			return nil, fmt.Errorf("metis: weight %d length %d != n %d", j, len(w), n)
+		}
+	}
+	a := partition.NewAssignment(n, 2)
+	if n == 0 {
+		return a, nil
+	}
+
+	// Level 0 wgraph: unit edge weights from the CSR adjacency.
+	vw := make([][]float64, len(ws))
+	for j := range ws {
+		vw[j] = append([]float64(nil), ws[j]...)
+	}
+	ewAll := make([]float64, g.DirectedSize())
+	for i := range ewAll {
+		ewAll[i] = 1
+	}
+	offsets := make([]int64, n+1)
+	for v := 0; v <= n; v++ {
+		offsets[v] = int64(0)
+	}
+	adj := make([]int32, g.DirectedSize())
+	pos := int64(0)
+	for v := 0; v < n; v++ {
+		offsets[v] = pos
+		for _, u := range g.Neighbors(v) {
+			adj[pos] = u
+			pos++
+		}
+	}
+	offsets[n] = pos
+	level := &wgraph{offsets: offsets, adj: adj, ew: ewAll, vw: vw}
+
+	rng := rand.New(rand.NewSource(opt.Seed))
+	var hierarchy []*wgraph
+	var maps [][]int32
+	hierarchy = append(hierarchy, level)
+	for level.n() > opt.CoarsenTo {
+		coarse, cmap := coarsen(level, rng)
+		if coarse.n() >= int(float64(level.n())*0.95) {
+			break // matching stalled
+		}
+		hierarchy = append(hierarchy, coarse)
+		maps = append(maps, cmap)
+		level = coarse
+	}
+
+	coarsest := hierarchy[len(hierarchy)-1]
+	side := initialBisect(coarsest, alpha, opt, rng)
+	refine(coarsest, side, alpha, opt, rng)
+
+	for li := len(hierarchy) - 2; li >= 0; li-- {
+		fine := hierarchy[li]
+		cmap := maps[li]
+		fineSide := make([]int8, fine.n())
+		for v := range fineSide {
+			fineSide[v] = side[cmap[v]]
+		}
+		side = fineSide
+		refine(fine, side, alpha, opt, rng)
+	}
+
+	for v := 0; v < n; v++ {
+		if side[v] < 0 {
+			a.Parts[v] = 1
+		}
+	}
+	return a, nil
+}
+
+// PartitionK partitions into k parts by recursive bisection, the mode the
+// paper uses for multi-constraint METIS.
+func PartitionK(g *graph.Graph, ws [][]float64, k int, opt Options) (*partition.Assignment, error) {
+	opt.normalize()
+	if k <= 0 {
+		return nil, fmt.Errorf("metis: k = %d, want >= 1", k)
+	}
+	n := g.N()
+	asgn := partition.NewAssignment(n, k)
+	if k == 1 || n == 0 {
+		return asgn, nil
+	}
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	var rec func(sub *graph.Graph, subWs [][]float64, subIDs []int32, k, base int, seed int64) error
+	rec = func(sub *graph.Graph, subWs [][]float64, subIDs []int32, k, base int, seed int64) error {
+		if k == 1 {
+			for _, id := range subIDs {
+				asgn.Parts[id] = int32(base)
+			}
+			return nil
+		}
+		k1 := (k + 1) / 2
+		o := opt
+		o.Seed = seed
+		bi, err := Bisect(sub, subWs, float64(k1)/float64(k), o)
+		if err != nil {
+			return err
+		}
+		var left, right []int32
+		for v := 0; v < sub.N(); v++ {
+			if bi.Parts[v] == 0 {
+				left = append(left, int32(v))
+			} else {
+				right = append(right, int32(v))
+			}
+		}
+		split := func(local []int32) (*graph.Graph, [][]float64, []int32) {
+			if len(local) == 0 {
+				return graph.NewBuilder(0).Build(), make([][]float64, len(subWs)), nil
+			}
+			child, _ := graph.Subgraph(sub, local)
+			cw := make([][]float64, len(subWs))
+			for j := range subWs {
+				cw[j] = make([]float64, len(local))
+				for i, lv := range local {
+					cw[j][i] = subWs[j][lv]
+				}
+			}
+			cids := make([]int32, len(local))
+			for i, lv := range local {
+				cids[i] = subIDs[lv]
+			}
+			return child, cw, cids
+		}
+		lg, lw, lids := split(left)
+		rg, rw, rids := split(right)
+		if err := rec(lg, lw, lids, k1, base, seed*31+1); err != nil {
+			return err
+		}
+		return rec(rg, rw, rids, k-k1, base+k1, seed*31+2)
+	}
+	if err := rec(g, ws, ids, k, 0, opt.Seed); err != nil {
+		return nil, err
+	}
+	return asgn, nil
+}
+
+// coarsen contracts a heavy-edge matching, capping merged vertex weights per
+// dimension so coarse vertices stay small enough to balance later.
+func coarsen(g *wgraph, rng *rand.Rand) (*wgraph, []int32) {
+	n := g.n()
+	totals := g.totals()
+	caps := make([]float64, len(totals))
+	for j, t := range totals {
+		caps[j] = math.Max(t/20, 4*t/float64(n))
+	}
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(n)
+	for _, v := range order {
+		if match[v] != -1 {
+			continue
+		}
+		ns, ews := g.neighbors(v)
+		best, bestW := int32(-1), 0.0
+		for i, u := range ns {
+			if match[u] != -1 || int(u) == v {
+				continue
+			}
+			ok := true
+			for j := range caps {
+				if g.vw[j][v]+g.vw[j][u] > caps[j] {
+					ok = false
+					break
+				}
+			}
+			if ok && ews[i] > bestW {
+				best, bestW = u, ews[i]
+			}
+		}
+		if best == -1 {
+			match[v] = int32(v)
+		} else {
+			match[v] = best
+			match[best] = int32(v)
+		}
+	}
+	cmap := make([]int32, n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	next := int32(0)
+	for v := 0; v < n; v++ {
+		if cmap[v] != -1 {
+			continue
+		}
+		cmap[v] = next
+		if int(match[v]) != v {
+			cmap[match[v]] = next
+		}
+		next++
+	}
+	cn := int(next)
+	cvw := make([][]float64, len(g.vw))
+	for j := range cvw {
+		cvw[j] = make([]float64, cn)
+		for v := 0; v < n; v++ {
+			cvw[j][cmap[v]] += g.vw[j][v]
+		}
+	}
+	triples := make([]triple, 0, len(g.adj))
+	for v := 0; v < n; v++ {
+		ns, ews := g.neighbors(v)
+		for i, u := range ns {
+			cu, cv := cmap[u], cmap[v]
+			if cu != cv {
+				triples = append(triples, triple{u: cv, v: cu, w: ews[i]})
+			}
+		}
+	}
+	return buildWGraph(cn, triples, cvw), cmap
+}
+
+// initialBisect runs greedy graph growing from several random seeds and
+// keeps the lowest-cut result whose primary dimension hits the target.
+func initialBisect(g *wgraph, alpha float64, opt Options, rng *rand.Rand) []int8 {
+	n := g.n()
+	totals := g.totals()
+	target0 := alpha * totals[0]
+	bestSide := make([]int8, n)
+	bestCut := math.Inf(1)
+	queue := make([]int32, 0, n)
+	inSide := make([]bool, n)
+	for try := 0; try < opt.InitialTries; try++ {
+		for i := range inSide {
+			inSide[i] = false
+		}
+		queue = queue[:0]
+		seed := rng.Intn(n)
+		queue = append(queue, int32(seed))
+		inSide[seed] = true
+		w0 := g.vw[0][seed]
+		for qi := 0; qi < len(queue) && w0 < target0; qi++ {
+			v := queue[qi]
+			ns, _ := g.neighbors(int(v))
+			for _, u := range ns {
+				if !inSide[u] && w0 < target0 {
+					inSide[u] = true
+					w0 += g.vw[0][u]
+					queue = append(queue, u)
+				}
+			}
+		}
+		// Disconnected leftovers: add random vertices until target reached.
+		for w0 < target0 {
+			v := rng.Intn(n)
+			if !inSide[v] {
+				inSide[v] = true
+				w0 += g.vw[0][v]
+			}
+		}
+		side := make([]int8, n)
+		for v := range side {
+			if inSide[v] {
+				side[v] = 1
+			} else {
+				side[v] = -1
+			}
+		}
+		if c := g.cut(side); c < bestCut {
+			bestCut = c
+			copy(bestSide, side)
+		}
+	}
+	return bestSide
+}
+
+// refine runs FM-style passes: first restore any violated constraint with
+// least-damage moves, then make positive-gain moves that keep every
+// dimension inside the UBFactor bounds. Each vertex moves at most once per
+// pass.
+func refine(g *wgraph, side []int8, alpha float64, opt Options, rng *rand.Rand) {
+	n := g.n()
+	d := len(g.vw)
+	totals := g.totals()
+	load0 := make([]float64, d) // weight of side +1
+	for j := 0; j < d; j++ {
+		for v := 0; v < n; v++ {
+			if side[v] > 0 {
+				load0[j] += g.vw[j][v]
+			}
+		}
+	}
+	hi := make([]float64, d) // max allowed side-+1 weight
+	lo := make([]float64, d)
+	for j := 0; j < d; j++ {
+		hi[j] = opt.UBFactor * alpha * totals[j]
+		lo[j] = totals[j] - opt.UBFactor*(1-alpha)*totals[j]
+	}
+
+	gain := func(v int) float64 {
+		ns, ews := g.neighbors(v)
+		gn := 0.0
+		for i, u := range ns {
+			if side[u] == side[v] {
+				gn -= ews[i]
+			} else {
+				gn += ews[i]
+			}
+		}
+		return gn
+	}
+	feasibleMove := func(v int) bool {
+		dir := -float64(side[v]) // moving v changes load0 by dir·w
+		for j := 0; j < d; j++ {
+			nl := load0[j] + dir*g.vw[j][v]
+			if nl > hi[j]+1e-9 || nl < lo[j]-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	apply := func(v int) {
+		dir := -float64(side[v])
+		for j := 0; j < d; j++ {
+			load0[j] += dir * g.vw[j][v]
+		}
+		side[v] = -side[v]
+	}
+
+	moved := make([]bool, n)
+	for pass := 0; pass < opt.RefinePasses; pass++ {
+		for i := range moved {
+			moved[i] = false
+		}
+		// Balance phase: pull the worst violated dimension back in bounds.
+		// As in multi-constraint FM, a balance move may not push any OTHER
+		// currently-satisfied dimension out of its bounds — this is exactly
+		// why the multilevel approach gets stuck when d ≥ 3 constraints
+		// conflict (Table 3 of the paper).
+		balanceOK := func(v int, worstJ int) bool {
+			dir := -float64(side[v])
+			for j := 0; j < d; j++ {
+				if j == worstJ {
+					continue
+				}
+				nl := load0[j] + dir*g.vw[j][v]
+				cur := load0[j]
+				inBounds := cur <= hi[j]+1e-9 && cur >= lo[j]-1e-9
+				if inBounds && (nl > hi[j]+1e-9 || nl < lo[j]-1e-9) {
+					return false
+				}
+				if !inBounds { // never worsen an already-violated dimension
+					curEx := math.Max(cur-hi[j], lo[j]-cur)
+					newEx := math.Max(nl-hi[j], lo[j]-nl)
+					if newEx > curEx+1e-9 {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		for bal := 0; bal < n; bal++ {
+			worstJ, excess, fromSide := -1, 0.0, int8(1)
+			for j := 0; j < d; j++ {
+				if over := load0[j] - hi[j]; over > excess {
+					worstJ, excess, fromSide = j, over, 1
+				}
+				if under := lo[j] - load0[j]; under > excess {
+					worstJ, excess, fromSide = j, under, -1
+				}
+			}
+			if worstJ < 0 {
+				break
+			}
+			best, bestScore := -1, math.Inf(-1)
+			for c := 0; c < 256; c++ {
+				v := rng.Intn(n)
+				if side[v] != fromSide || moved[v] || g.vw[worstJ][v] <= 0 || !balanceOK(v, worstJ) {
+					continue
+				}
+				score := gain(v) / (1 + g.vw[worstJ][v])
+				if score > bestScore {
+					best, bestScore = v, score
+				}
+			}
+			if best == -1 {
+				for v := 0; v < n; v++ {
+					if side[v] == fromSide && !moved[v] && g.vw[worstJ][v] > 0 && balanceOK(v, worstJ) {
+						best = v
+						break
+					}
+				}
+			}
+			if best == -1 {
+				break // stuck: conflicting constraints (the d ≥ 3 regime)
+			}
+			apply(best)
+			moved[best] = true
+		}
+		// Gain phase: positive-gain boundary moves respecting all bounds.
+		var cands []cand
+		for v := 0; v < n; v++ {
+			if moved[v] {
+				continue
+			}
+			if gn := gain(v); gn > 0 {
+				cands = append(cands, cand{int32(v), gn})
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].g > cands[b].g })
+		applied := 0
+		for _, c := range cands {
+			v := int(c.v)
+			if moved[v] {
+				continue
+			}
+			if gn := gain(v); gn > 0 && feasibleMove(v) {
+				apply(v)
+				moved[v] = true
+				applied++
+			}
+		}
+		if applied == 0 {
+			break
+		}
+	}
+}
+
+// cand is a refinement move candidate with its cut gain.
+type cand struct {
+	v int32
+	g float64
+}

@@ -1,0 +1,197 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mdbgp/internal/graph"
+)
+
+func twoTriangles() *graph.Graph {
+	// Vertices 0,1,2 form a triangle; 3,4,5 form a triangle; bridge 2-3.
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(3, 5)
+	b.AddEdge(2, 3)
+	return b.Build()
+}
+
+func TestValidate(t *testing.T) {
+	a := NewAssignment(3, 2)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a.Parts[1] = 5
+	if err := a.Validate(); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	bad := &Assignment{Parts: []int32{0}, K: 0}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected K error")
+	}
+}
+
+func TestCutAndLocality(t *testing.T) {
+	g := twoTriangles()
+	a := NewAssignment(6, 2)
+	for v := 3; v < 6; v++ {
+		a.Parts[v] = 1
+	}
+	if cut := CutEdges(g, a); cut != 1 {
+		t.Fatalf("cut=%d, want 1", cut)
+	}
+	want := 1 - 1.0/7.0
+	if got := EdgeLocality(g, a); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("locality=%g, want %g", got, want)
+	}
+}
+
+func TestEdgeLocalityEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(3).Build()
+	a := NewAssignment(3, 2)
+	if EdgeLocality(g, a) != 1 {
+		t.Fatal("edgeless locality should be 1")
+	}
+}
+
+func TestLoadsAndImbalance(t *testing.T) {
+	a := &Assignment{Parts: []int32{0, 0, 1, 1}, K: 2}
+	w := []float64{3, 1, 2, 2}
+	loads := Loads(a, w)
+	if loads[0] != 4 || loads[1] != 4 {
+		t.Fatalf("loads=%v", loads)
+	}
+	if im := Imbalance(a, w); im != 0 {
+		t.Fatalf("balanced imbalance=%g", im)
+	}
+	w2 := []float64{6, 0, 1, 1}
+	// loads 6,2; avg 4; max/avg-1 = 0.5
+	if im := Imbalance(a, w2); math.Abs(im-0.5) > 1e-12 {
+		t.Fatalf("imbalance=%g, want 0.5", im)
+	}
+}
+
+func TestImbalanceZeroWeights(t *testing.T) {
+	a := &Assignment{Parts: []int32{0, 1}, K: 2}
+	if im := Imbalance(a, []float64{0, 0}); im != 0 {
+		t.Fatalf("zero-weight imbalance=%g", im)
+	}
+}
+
+func TestMaxImbalance(t *testing.T) {
+	a := &Assignment{Parts: []int32{0, 0, 1, 1}, K: 2}
+	w1 := []float64{1, 1, 1, 1} // balanced
+	w2 := []float64{3, 0, 1, 0} // loads 3,1 → max/avg−1 = 0.5
+	if got := MaxImbalance(a, [][]float64{w1, w2}); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("max imbalance=%g", got)
+	}
+}
+
+func TestIsBalanced(t *testing.T) {
+	a := &Assignment{Parts: []int32{0, 0, 1, 1}, K: 2}
+	w := [][]float64{{1, 1, 1, 1}}
+	if !IsBalanced(a, w, 0) {
+		t.Fatal("exactly balanced should pass eps=0")
+	}
+	w2 := [][]float64{{2, 1, 1, 1}} // loads 3,2, avg 2.5: 3 > 1.1*2.5? no (2.75); 3 > 1.05*2.5 yes
+	if IsBalanced(a, w2, 0.05) {
+		t.Fatal("3 vs 2 should violate eps=0.05")
+	}
+	if !IsBalanced(a, w2, 0.25) {
+		t.Fatal("3 vs 2 within eps=0.25")
+	}
+}
+
+func TestVertexEdgeImbalance(t *testing.T) {
+	g := twoTriangles()
+	a := NewAssignment(6, 2)
+	for v := 3; v < 6; v++ {
+		a.Parts[v] = 1
+	}
+	if im := VertexImbalance(a); im != 0 {
+		t.Fatalf("vertex imbalance=%g", im)
+	}
+	// Degrees: 2,2,3,3,2,2 — loads 7,7 → balanced.
+	if im := EdgeImbalance(g, a); im != 0 {
+		t.Fatalf("edge imbalance=%g", im)
+	}
+	// Skewed assignment: all in part 0 except vertex 5.
+	b := NewAssignment(6, 2)
+	b.Parts[5] = 1
+	if im := VertexImbalance(b); math.Abs(im-(5.0/3.0-1)) > 1e-12 {
+		t.Fatalf("skewed vertex imbalance=%g", im)
+	}
+}
+
+func TestPartSizesMembers(t *testing.T) {
+	a := &Assignment{Parts: []int32{1, 0, 1, 1}, K: 2}
+	sizes := a.PartSizes()
+	if sizes[0] != 1 || sizes[1] != 3 {
+		t.Fatalf("sizes=%v", sizes)
+	}
+	m := a.Members(1)
+	if len(m) != 3 || m[0] != 0 || m[1] != 2 || m[2] != 3 {
+		t.Fatalf("members=%v", m)
+	}
+}
+
+func TestLocalEdgeShares(t *testing.T) {
+	g := twoTriangles()
+	a := NewAssignment(6, 2)
+	for v := 3; v < 6; v++ {
+		a.Parts[v] = 1
+	}
+	shares := LocalEdgeShares(g, a)
+	// Part 0 stubs: triangle (6) local + 1 cut stub = 6/7.
+	if math.Abs(shares[0]-6.0/7.0) > 1e-12 || math.Abs(shares[1]-6.0/7.0) > 1e-12 {
+		t.Fatalf("shares=%v", shares)
+	}
+	// Empty part reports 1.
+	b := NewAssignment(6, 3)
+	shares = LocalEdgeShares(g, b)
+	if shares[2] != 1 {
+		t.Fatalf("empty part share=%g", shares[2])
+	}
+}
+
+// Property: locality == 1 − cut/m and both are invariant to part relabeling.
+func TestQuickLocalityCutIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 4
+		b := graph.NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		g := b.Build()
+		if g.M() == 0 {
+			return true
+		}
+		k := rng.Intn(3) + 2
+		a := NewAssignment(n, k)
+		for v := range a.Parts {
+			a.Parts[v] = int32(rng.Intn(k))
+		}
+		loc := EdgeLocality(g, a)
+		cut := CutEdges(g, a)
+		if math.Abs(loc-(1-float64(cut)/float64(g.M()))) > 1e-12 {
+			return false
+		}
+		// Relabel parts by a permutation: metrics unchanged.
+		perm := rng.Perm(k)
+		rel := NewAssignment(n, k)
+		for v := range rel.Parts {
+			rel.Parts[v] = int32(perm[a.Parts[v]])
+		}
+		return CutEdges(g, rel) == cut
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,477 @@
+package project
+
+import (
+	"math"
+	"sort"
+)
+
+// exact2D computes the exact projection onto B∞ ∩ S¹ ∩ S², following §2.2
+// and Appendix A.2 of the paper:
+//
+//  1. clamp; if both slabs hold the clamp is the projection (λ = 0);
+//  2. otherwise enumerate the 3²−1 sign guesses for (λ1, λ2); each guess
+//     reduces to an equality-constrained instance (Proposition 2.1);
+//  3. single-dimension guesses are 1-D breakpoint sweeps; the two-dimension
+//     guess is solved by strip bisection on λ1 (monotone ∆, Theorem A.5)
+//     followed by the bottom-to-top region walk of Theorem A.8;
+//  4. accept the first KKT-feasible solution (unique by Lemma A.1).
+func exact2D(dst, y []float64, con1, con2 Constraint, st *State) error {
+	copy(dst, y)
+	BoxClamp(dst)
+	v1 := con1.Value(dst)
+	v2 := con2.Value(dst)
+	tol := feasTol(con1, con2)
+	if v1 >= con1.Lo-tol && v1 <= con1.Hi+tol && v2 >= con2.Lo-tol && v2 <= con2.Hi+tol {
+		if st != nil {
+			st.Lambda = append(st.Lambda[:0], 0, 0)
+		}
+		return nil
+	}
+
+	ev := newEval2D(y, con1.W, con2.W)
+	guesses := signGuesses2(violSign(v1, con1), violSign(v2, con2))
+	for _, g := range guesses {
+		if tryGuess2D(dst, y, con1, con2, ev, g[0], g[1], tol, st) {
+			return nil
+		}
+	}
+	return ErrInfeasible
+}
+
+// feasTol derives an absolute feasibility tolerance from the constraint
+// scales.
+func feasTol(cons ...Constraint) float64 {
+	scale := 1.0
+	for _, c := range cons {
+		if t := c.TotalWeight(); t > scale {
+			scale = t
+		}
+	}
+	return 1e-9 * scale
+}
+
+// violSign returns +1/-1/0 according to which slab face v violates.
+func violSign(v float64, c Constraint) int {
+	if v > c.Hi {
+		return +1
+	}
+	if v < c.Lo {
+		return -1
+	}
+	return 0
+}
+
+// signGuesses2 enumerates the sign guesses (s1, s2) ∈ {−1,0,+1}² \ {(0,0)},
+// ordered so the guess matching the observed violation directions comes
+// first.
+func signGuesses2(h1, h2 int) [][2]int {
+	all := make([][2]int, 0, 8)
+	for _, s1 := range []int{+1, 0, -1} {
+		for _, s2 := range []int{+1, 0, -1} {
+			if s1 == 0 && s2 == 0 {
+				continue
+			}
+			all = append(all, [2]int{s1, s2})
+		}
+	}
+	dist := func(g [2]int) int {
+		d := 0
+		if g[0] != h1 {
+			d++
+		}
+		if g[1] != h2 {
+			d++
+		}
+		return d
+	}
+	sort.SliceStable(all, func(a, b int) bool { return dist(all[a]) < dist(all[b]) })
+	return all
+}
+
+// faceTarget returns the equality target for an active sign.
+func faceTarget(c Constraint, sign int) float64 {
+	if sign > 0 {
+		return c.Hi
+	}
+	return c.Lo
+}
+
+// signOK verifies the KKT sign condition λ·sign ≥ 0 (within tolerance).
+func signOK(lam float64, sign int) bool {
+	const lamTol = 1e-7
+	if sign > 0 {
+		return lam >= -lamTol
+	}
+	return lam <= lamTol
+}
+
+// tryGuess2D attempts one sign guess. On success dst holds the projection
+// and the warm-start state is updated.
+func tryGuess2D(dst, y []float64, con1, con2 Constraint, ev *eval2D, s1, s2 int, tol float64, st *State) bool {
+	switch {
+	case s1 != 0 && s2 == 0:
+		lam, ok := solveLambda(y, con1.W, faceTarget(con1, s1))
+		if !ok || !signOK(lam, s1) {
+			return false
+		}
+		applyLambda1(dst, y, con1.W, lam)
+		if !con2.Satisfied(dst, tol) {
+			return false
+		}
+		saveState(st, lam, 0)
+		return true
+	case s1 == 0 && s2 != 0:
+		lam, ok := solveLambda(y, con2.W, faceTarget(con2, s2))
+		if !ok || !signOK(lam, s2) {
+			return false
+		}
+		applyLambda1(dst, y, con2.W, lam)
+		if !con1.Satisfied(dst, tol) {
+			return false
+		}
+		saveState(st, 0, lam)
+		return true
+	default:
+		c1 := faceTarget(con1, s1)
+		c2 := faceTarget(con2, s2)
+		lam1, lam2, ok := ev.solveEquality(c1, c2, st)
+		if !ok || !signOK(lam1, s1) || !signOK(lam2, s2) {
+			return false
+		}
+		ev.apply(dst, lam1, lam2)
+		// The equality solve can be a high-precision fallback rather than a
+		// closed-form region solution; verify both equalities actually hold.
+		if math.Abs(con1.Value(dst)-c1) > 100*tol || math.Abs(con2.Value(dst)-c2) > 100*tol {
+			return false
+		}
+		saveState(st, lam1, lam2)
+		return true
+	}
+}
+
+func saveState(st *State, l1, l2 float64) {
+	if st != nil {
+		st.Lambda = append(st.Lambda[:0], l1, l2)
+	}
+}
+
+// eval2D solves the two-dimensional equality system
+//
+//	h(1)(λ1,λ2) = c1,  h(2)(λ1,λ2) = c2,
+//	h(j)(λ) = Σ_i w(j)_i · clamp(y_i − λ1·w(1)_i − λ2·w(2)_i)
+//
+// via bisection on λ1 (∆ of Definition A.2 is monotone) plus the region
+// walk of Theorem A.8 once the strip is crossing-free.
+type eval2D struct {
+	y, w1, w2 []float64
+	lineIdx   []int32 // coords with w2 > 0: two boundary lines each
+	vertIdx   []int32 // coords with w2 = 0, w1 > 0: vertical breakpoints
+	yShift    []float64
+	totalW1   float64
+	totalW2   float64
+}
+
+func newEval2D(y, w1, w2 []float64) *eval2D {
+	ev := &eval2D{y: y, w1: w1, w2: w2, yShift: make([]float64, len(y))}
+	for i := range y {
+		switch {
+		case w2[i] > 0:
+			ev.lineIdx = append(ev.lineIdx, int32(i))
+			ev.totalW2 += w2[i]
+		case w1[i] > 0:
+			ev.vertIdx = append(ev.vertIdx, int32(i))
+		}
+		ev.totalW1 += w1[i]
+	}
+	return ev
+}
+
+// apply writes x_i = clamp(y_i − λ1·w1_i − λ2·w2_i) into dst.
+func (ev *eval2D) apply(dst []float64, lam1, lam2 float64) {
+	for i := range ev.y {
+		v := ev.y[i] - lam1*ev.w1[i] - lam2*ev.w2[i]
+		if v > 1 {
+			v = 1
+		} else if v < -1 {
+			v = -1
+		}
+		dst[i] = v
+	}
+}
+
+// inner solves h(2)(λ1, λ2) = c2 for λ2 at fixed λ1 (a 1-D sweep on the
+// shifted point y − λ1·w1).
+func (ev *eval2D) inner(lam1, c2 float64) (float64, bool) {
+	for i := range ev.y {
+		ev.yShift[i] = ev.y[i] - lam1*ev.w1[i]
+	}
+	return solveLambda(ev.yShift, ev.w2, c2)
+}
+
+// delta evaluates ∆(λ1) = h(1)(λ1, λ2*(λ1)) where λ2* solves the inner
+// problem.
+func (ev *eval2D) delta(lam1, c2 float64) (float64, float64, bool) {
+	lam2, ok := ev.inner(lam1, c2)
+	if !ok {
+		return 0, 0, false
+	}
+	h1 := 0.0
+	for i := range ev.y {
+		v := ev.y[i] - lam1*ev.w1[i] - lam2*ev.w2[i]
+		if v > 1 {
+			v = 1
+		} else if v < -1 {
+			v = -1
+		}
+		h1 += ev.w1[i] * v
+	}
+	return h1, lam2, true
+}
+
+// solveEquality finds (λ1, λ2) with h(1) = c1 and h(2) = c2. The returned
+// bool is false when the system is infeasible. Warm-start state seeds the
+// λ1 bracket.
+func (ev *eval2D) solveEquality(c1, c2 float64, st *State) (float64, float64, bool) {
+	scale := math.Max(1, math.Max(ev.totalW1, ev.totalW2))
+	eps := 1e-12 * scale
+	if math.Abs(c1) > ev.totalW1+eps || math.Abs(c2) > ev.totalW2+eps {
+		return 0, 0, false
+	}
+
+	center := 0.0
+	half := 1.0
+	if st != nil && len(st.Lambda) >= 1 {
+		// Warm start: GD iterates move slowly, so the previous λ1 is close.
+		center = st.Lambda[0]
+		half = 0.125 * (1 + math.Abs(center))
+	}
+	var lo, hi, dLo, dHi float64
+	bracketed := false
+	for try := 0; try < 70; try++ {
+		lo, hi = center-half, center+half
+		var ok1, ok2 bool
+		dLo, _, ok1 = ev.delta(lo, c2)
+		dHi, _, ok2 = ev.delta(hi, c2)
+		if !ok1 || !ok2 {
+			return 0, 0, false
+		}
+		if math.Min(dLo, dHi)-eps <= c1 && c1 <= math.Max(dLo, dHi)+eps {
+			bracketed = true
+			break
+		}
+		half *= 4
+	}
+	if !bracketed {
+		// ∆ may be constant (e.g. proportional weight functions): accept if
+		// it already matches, otherwise infeasible.
+		if math.Abs(dLo-c1) <= 1e-7*scale {
+			lam2, ok := ev.inner(center, c2)
+			return center, lam2, ok
+		}
+		return 0, 0, false
+	}
+	increasing := dHi >= dLo
+
+	// Root-find ∆(λ1) = c1 with the Illinois (modified regula falsi)
+	// method: ∆ is monotone piecewise linear, so the secant step converges
+	// in a handful of evaluations where plain bisection needs ~60 O(n log n)
+	// sweeps; bisection remains the safeguard when the secant step stalls.
+	fLo, fHi := dLo-c1, dHi-c1
+	if !increasing {
+		fLo, fHi = -fLo, -fHi
+	}
+	tolF := 1e-13 * scale
+	for it := 0; it < 100; it++ {
+		if hi-lo < 1e-15*(1+math.Abs(lo)+math.Abs(hi)) {
+			break
+		}
+		var next float64
+		if fHi != fLo {
+			next = hi - fHi*(hi-lo)/(fHi-fLo)
+		}
+		if fHi == fLo || next <= lo || next >= hi {
+			next = (lo + hi) / 2
+		}
+		if next == lo || next == hi {
+			break
+		}
+		dNext, _, ok := ev.delta(next, c2)
+		if !ok {
+			return 0, 0, false
+		}
+		fNext := dNext - c1
+		if !increasing {
+			fNext = -fNext
+		}
+		if math.Abs(fNext) <= tolF {
+			// The inner solve already enforces h(2) = c2 exactly; h(1) is
+			// within tolerance, so (next, λ2(next)) is the projection point.
+			lam2, ok := ev.inner(next, c2)
+			return next, lam2, ok
+		}
+		if fNext < 0 {
+			lo, fLo = next, fNext
+			fHi /= 2 // Illinois: damp the retained endpoint
+		} else {
+			hi, fHi = next, fNext
+			fLo /= 2
+		}
+		// Attempt the exact region walk once the strip is narrow; for big
+		// instances the walk itself costs a sort, so gate it.
+		if it >= 6 && it%6 == 0 {
+			if l1, l2, ok := ev.regionWalk(lo, hi, c1, c2); ok {
+				return l1, l2, true
+			}
+		}
+	}
+	if l1, l2, ok := ev.regionWalk(lo, hi, c1, c2); ok {
+		return l1, l2, true
+	}
+	// Fallback: the interval has collapsed to float precision; the midpoint
+	// with its inner solve is the projection up to ~1e-13 relative.
+	mid := (lo + hi) / 2
+	lam2, ok := ev.inner(mid, c2)
+	return mid, lam2, ok
+}
+
+// regionWalk implements Theorem A.8: when the strip (lo1, hi1) contains no
+// boundary-line intersections, the plane restricted to the strip is
+// partitioned by the lines into O(n) regions inside which both h(j) are
+// linear; walking the regions bottom-to-top with O(1) coefficient updates
+// finds the exact (λ1, λ2) if it lies in the strip.
+func (ev *eval2D) regionWalk(lo1, hi1, c1, c2 float64) (float64, float64, bool) {
+	y, w1, w2 := ev.y, ev.w1, ev.w2
+	// Vertical breakpoints (w2 = 0 coords) must not cross the strip,
+	// otherwise classification is not constant in it.
+	for _, i := range ev.vertIdx {
+		b1 := (y[i] - 1) / w1[i]
+		b2 := (y[i] + 1) / w1[i]
+		if (b1 > lo1 && b1 < hi1) || (b2 > lo1 && b2 < hi1) {
+			return 0, 0, false
+		}
+	}
+
+	k := 2 * len(ev.lineIdx)
+	coord := make([]int32, k)
+	upper := make([]bool, k)
+	valLo := make([]float64, k)
+	valHi := make([]float64, k)
+	for li, i := range ev.lineIdx {
+		for b := 0; b < 2; b++ {
+			j := 2*li + b
+			t := y[i] - 1
+			if b == 1 {
+				t = y[i] + 1
+			}
+			coord[j] = i
+			upper[j] = b == 1
+			valLo[j] = (t - lo1*w1[i]) / w2[i]
+			valHi[j] = (t - hi1*w1[i]) / w2[i]
+		}
+	}
+	order := make([]int, k)
+	for j := range order {
+		order[j] = j
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return valLo[order[a]]+valHi[order[a]] < valLo[order[b]]+valHi[order[b]]
+	})
+	// Crossing-free check: the order by λ2 must agree at both strip borders.
+	for j := 1; j < k; j++ {
+		a, b := order[j-1], order[j]
+		if valLo[a] > valLo[b]+1e-15 || valHi[a] > valHi[b]+1e-15 {
+			return 0, 0, false
+		}
+	}
+
+	mid := (lo1 + hi1) / 2
+	// Accumulators: cs = clamped contributions, P/Q = linear coefficients of
+	// the middle set: h(j) = cs_j + P_j − Q_j1·λ1 − Q_j2·λ2.
+	var cs1, cs2, p1, p2, q11, q12, q22 float64
+	for _, i := range ev.lineIdx {
+		cs1 += w1[i] // bottom region: σ → −∞ ⇒ x_i = +1
+		cs2 += w2[i]
+	}
+	for _, i := range ev.vertIdx {
+		sigma := mid * w1[i]
+		switch {
+		case sigma < y[i]-1:
+			cs1 += w1[i]
+		case sigma > y[i]+1:
+			cs1 -= w1[i]
+		default:
+			p1 += w1[i] * y[i]
+			q11 += w1[i] * w1[i]
+		}
+	}
+
+	lineValAt := func(j int, lam1 float64) float64 {
+		i := coord[j]
+		t := y[i] - 1
+		if upper[j] {
+			t = y[i] + 1
+		}
+		return (t - lam1*w1[i]) / w2[i]
+	}
+	lamTol := 1e-9 * math.Max(1, math.Abs(lo1)+math.Abs(hi1))
+
+	trySolve := func(low, high int) (float64, float64, bool) {
+		det := q11*q22 - q12*q12
+		if math.Abs(det) < 1e-30 {
+			return 0, 0, false
+		}
+		r1 := cs1 + p1 - c1
+		r2 := cs2 + p2 - c2
+		l1 := (r1*q22 - r2*q12) / det
+		l2 := (q11*r2 - q12*r1) / det
+		if l1 < lo1-lamTol || l1 > hi1+lamTol {
+			return 0, 0, false
+		}
+		if low >= 0 {
+			b := lineValAt(order[low], l1)
+			if l2 < b-1e-9*math.Max(1, math.Abs(b)) {
+				return 0, 0, false
+			}
+		}
+		if high < k {
+			b := lineValAt(order[high], l1)
+			if l2 > b+1e-9*math.Max(1, math.Abs(b)) {
+				return 0, 0, false
+			}
+		}
+		return l1, l2, true
+	}
+
+	for t := 0; t <= k; t++ {
+		if l1, l2, ok := trySolve(t-1, t); ok {
+			return l1, l2, true
+		}
+		if t == k {
+			break
+		}
+		// Cross line order[t] from below: its coordinate moves to the next
+		// clamp case.
+		j := order[t]
+		i := coord[j]
+		if !upper[j] {
+			// +1 → middle
+			cs1 -= w1[i]
+			cs2 -= w2[i]
+			p1 += w1[i] * y[i]
+			p2 += w2[i] * y[i]
+			q11 += w1[i] * w1[i]
+			q12 += w1[i] * w2[i]
+			q22 += w2[i] * w2[i]
+		} else {
+			// middle → −1
+			p1 -= w1[i] * y[i]
+			p2 -= w2[i] * y[i]
+			q11 -= w1[i] * w1[i]
+			q12 -= w1[i] * w2[i]
+			q22 -= w2[i] * w2[i]
+			cs1 -= w1[i]
+			cs2 -= w2[i]
+		}
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,113 @@
+package project
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SolveLambdaLinear finds λ with H(λ) = Σ_i w_i·clamp(y_i − λ·w_i) = c in
+// expected O(n) time, the improvement over the O(n log n) sorted sweep that
+// the paper cites from Maculan et al. [31] (§2.3). Instead of sorting all 2n
+// breakpoints, a random pivot breakpoint is evaluated per round; since H is
+// monotone, half the breakpoints are discarded and every coordinate whose
+// clamp state becomes determined on the surviving bracket is folded into
+// constant/linear accumulators — a quickselect-style recursion with
+// geometrically shrinking active sets.
+//
+// Returns false when c is outside the achievable range [−Σw, +Σw].
+// Cross-validated against solveLambda in tests; BenchmarkSolveLambda1D
+// compares the two exact 1-D algorithms.
+func SolveLambdaLinear(y, w []float64, c float64, seed int64) (float64, bool) {
+	totalW := 0.0
+	active := make([]int32, 0, len(y))
+	for i := range y {
+		if w[i] > 0 {
+			totalW += w[i]
+			active = append(active, int32(i))
+		}
+	}
+	scale := math.Max(1, totalW)
+	eps := 1e-12 * scale
+	if c > totalW+eps || c < -totalW-eps {
+		return 0, false
+	}
+	if len(active) == 0 {
+		if math.Abs(c) <= eps {
+			return 0, true
+		}
+		return 0, false
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	lo, hi := math.Inf(-1), math.Inf(1)
+	// H(λ) = accConst + accLin − accSlope·λ + Σ_active h_i(λ) on (lo, hi).
+	accConst, accLin, accSlope := 0.0, 0.0, 0.0
+	lower := func(i int32) float64 { return (y[i] - 1) / w[i] }
+	upper := func(i int32) float64 { return (y[i] + 1) / w[i] }
+	hAt := func(lam float64) float64 {
+		h := accConst + accLin - accSlope*lam
+		for _, i := range active {
+			v := y[i] - lam*w[i]
+			if v > 1 {
+				v = 1
+			} else if v < -1 {
+				v = -1
+			}
+			h += w[i] * v
+		}
+		return h
+	}
+
+	for len(active) > 0 {
+		// Random pivot breakpoint strictly inside the bracket (every active
+		// coordinate has at least one).
+		ci := active[rng.Intn(len(active))]
+		pivot := lower(ci)
+		if pivot <= lo || pivot >= hi {
+			pivot = upper(ci)
+		}
+		// H is non-increasing: keep the half that can still contain λ*.
+		if hAt(pivot) >= c {
+			lo = pivot
+		} else {
+			hi = pivot
+		}
+		kept := active[:0]
+		for _, i := range active {
+			a, b := lower(i), upper(i)
+			switch {
+			case (a > lo && a < hi) || (b > lo && b < hi):
+				kept = append(kept, i)
+			case b <= lo:
+				accConst -= w[i] // clamped at −1 on the whole bracket
+			case a >= hi:
+				accConst += w[i] // clamped at +1 on the whole bracket
+			default: // a <= lo && b >= hi: linear on the whole bracket
+				accLin += w[i] * y[i]
+				accSlope += w[i] * w[i]
+			}
+		}
+		active = kept
+	}
+
+	// No breakpoints left inside (lo, hi): H is a single linear piece.
+	if accSlope > 0 {
+		lam := (accConst + accLin - c) / accSlope
+		if lam < lo {
+			lam = lo
+		} else if lam > hi {
+			lam = hi
+		}
+		return lam, true
+	}
+	mid := 0.0
+	switch {
+	case !math.IsInf(lo, 0) && !math.IsInf(hi, 0):
+		mid = (lo + hi) / 2
+	case !math.IsInf(lo, 0):
+		mid = lo
+	case !math.IsInf(hi, 0):
+		mid = hi
+	}
+	return mid, math.Abs(accConst+accLin-c) <= 1e-6*scale
+}

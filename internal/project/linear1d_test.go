@@ -1,0 +1,160 @@
+package project
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the expected-O(n) solver and the O(n log n) sweep agree — not
+// necessarily on λ (ties can differ on flat segments) but always on the
+// achieved constraint value and the induced x.
+func TestQuickLinearMatchesSweep(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(60) + 2
+		y := make([]float64, n)
+		w := make([]float64, n)
+		total := 0.0
+		for i := range y {
+			y[i] = rng.NormFloat64() * 3
+			w[i] = rng.Float64()*2 + 0.01
+			total += w[i]
+		}
+		c := (rng.Float64()*2 - 1) * total * 0.9
+		lamA, okA := solveLambda(y, w, c)
+		lamB, okB := SolveLambdaLinear(y, w, c, seed+1)
+		if okA != okB {
+			t.Logf("seed %d: feasibility disagrees: sweep=%v linear=%v", seed, okA, okB)
+			return false
+		}
+		if !okA {
+			return true
+		}
+		evalAt := func(lam float64) float64 {
+			h := 0.0
+			for i := range y {
+				v := y[i] - lam*w[i]
+				if v > 1 {
+					v = 1
+				} else if v < -1 {
+					v = -1
+				}
+				h += w[i] * v
+			}
+			return h
+		}
+		tol := 1e-6 * math.Max(1, total)
+		if math.Abs(evalAt(lamA)-c) > tol || math.Abs(evalAt(lamB)-c) > tol {
+			t.Logf("seed %d: targets missed: sweep %g linear %g want %g",
+				seed, evalAt(lamA), evalAt(lamB), c)
+			return false
+		}
+		// The induced x must coincide (projection is unique).
+		for i := range y {
+			xa := clampV(y[i] - lamA*w[i])
+			xb := clampV(y[i] - lamB*w[i])
+			if math.Abs(xa-xb) > 1e-5 {
+				t.Logf("seed %d: x differs at %d: %g vs %g", seed, i, xa, xb)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clampV(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	if v < -1 {
+		return -1
+	}
+	return v
+}
+
+func TestLinearInfeasibleAndEdgeCases(t *testing.T) {
+	y := []float64{2, 2, 0}
+	w := []float64{1, 1, 1}
+	if _, ok := SolveLambdaLinear(y, w, 3.5, 1); ok {
+		t.Fatal("c beyond +Σw should be infeasible")
+	}
+	if _, ok := SolveLambdaLinear(y, w, -3.5, 1); ok {
+		t.Fatal("c beyond −Σw should be infeasible")
+	}
+	lam, ok := SolveLambdaLinear(y, w, 1, 1)
+	if !ok || math.Abs(lam-1) > 1e-9 {
+		t.Fatalf("lam=%g ok=%v, want 1", lam, ok)
+	}
+	if _, ok := SolveLambdaLinear([]float64{5}, []float64{0}, 0, 1); !ok {
+		t.Fatal("all-zero weights with c=0 should be feasible")
+	}
+	if _, ok := SolveLambdaLinear([]float64{5}, []float64{0}, 2, 1); ok {
+		t.Fatal("all-zero weights with c=2 should be infeasible")
+	}
+}
+
+func TestLinearLargeInstance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 20000
+	y := make([]float64, n)
+	w := make([]float64, n)
+	total := 0.0
+	for i := range y {
+		y[i] = rng.NormFloat64() * 2
+		w[i] = rng.Float64() + 0.01
+		total += w[i]
+	}
+	c := 0.01 * total
+	lam, ok := SolveLambdaLinear(y, w, c, 7)
+	if !ok {
+		t.Fatal("large instance infeasible")
+	}
+	got := 0.0
+	for i := range y {
+		got += w[i] * clampV(y[i]-lam*w[i])
+	}
+	if math.Abs(got-c) > 1e-6*total {
+		t.Fatalf("target missed: %g vs %g", got, c)
+	}
+}
+
+// BenchmarkSolveLambda1D compares the O(n log n) sweep with the expected
+// O(n) quickselect variant — the ablation the paper's §2.3 invites.
+func BenchmarkSolveLambda1DSweep(b *testing.B) {
+	y, w, c := benchInstance1D()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := solveLambda(y, w, c); !ok {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+func BenchmarkSolveLambda1DLinear(b *testing.B) {
+	y, w, c := benchInstance1D()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := SolveLambdaLinear(y, w, c, int64(i)); !ok {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+func benchInstance1D() ([]float64, []float64, float64) {
+	rng := rand.New(rand.NewSource(5))
+	n := 100000
+	y := make([]float64, n)
+	w := make([]float64, n)
+	total := 0.0
+	for i := range y {
+		y[i] = rng.NormFloat64() * 2
+		w[i] = rng.Float64() + 0.01
+		total += w[i]
+	}
+	return y, w, 0.005 * total
+}

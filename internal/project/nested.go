@@ -1,0 +1,277 @@
+package project
+
+import (
+	"math"
+)
+
+// nested implements the Appendix A.1 nested binary search: for every sign
+// guess, the active equality system h(j)(λ) = c_j is solved by binary
+// search on λ1, recursively solving the (d−1)-dimensional system for the
+// remaining multipliers at each probe (∆_t is well-defined and monotone by
+// Lemmas A.2–A.5). The λ precision is delta; brackets are found by
+// geometric expansion, the open question the paper notes in §5.
+//
+// The cost is O(n · Π_j log(r_j/δ)) per guess, exponential in d, so this
+// method is meant for small instances, cross-checking the fast exact
+// projections, and the d = 3,4 experiments at modest n.
+func nested(dst, y []float64, cons []Constraint, delta float64, st *State) error {
+	d := len(cons)
+	if d == 0 {
+		copy(dst, y)
+		BoxClamp(dst)
+		return nil
+	}
+	if d > 6 {
+		return ErrInfeasible // 3^d sign guesses; refuse absurd dimensions
+	}
+	copy(dst, y)
+	BoxClamp(dst)
+	tol := feasTol(cons...)
+	viol := make([]int, d)
+	allOK := true
+	for j, c := range cons {
+		viol[j] = violSign(c.Value(dst), c)
+		if viol[j] != 0 {
+			allOK = false
+		}
+	}
+	if allOK {
+		if st != nil {
+			st.Lambda = st.Lambda[:0]
+			for range cons {
+				st.Lambda = append(st.Lambda, 0)
+			}
+		}
+		return nil
+	}
+
+	solver := &nestedSolver{y: y, cons: cons, delta: delta}
+	for _, guess := range signGuessesD(viol) {
+		var active []int
+		var targets []float64
+		for j, s := range guess {
+			if s != 0 {
+				active = append(active, j)
+				targets = append(targets, faceTarget(cons[j], s))
+			}
+		}
+		if len(active) == 0 {
+			continue
+		}
+		lams, ok := solver.solve(active, targets)
+		if !ok {
+			continue
+		}
+		// Verify sign conditions and inactive slabs.
+		good := true
+		for a, j := range active {
+			if !signOK(lams[a], guess[j]) {
+				good = false
+				break
+			}
+		}
+		if !good {
+			continue
+		}
+		solver.apply(dst, active, lams)
+		for j, s := range guess {
+			if s == 0 && !cons[j].Satisfied(dst, 100*tol) {
+				good = false
+				break
+			}
+		}
+		// Active equalities must actually be met (bracket expansion can fail
+		// silently on saturated h).
+		for a, j := range active {
+			if math.Abs(cons[j].Value(dst)-targets[a]) > 1000*tol {
+				good = false
+				break
+			}
+		}
+		if !good {
+			continue
+		}
+		if st != nil {
+			st.Lambda = st.Lambda[:0]
+			for j := range cons {
+				l := 0.0
+				for a, aj := range active {
+					if aj == j {
+						l = lams[a]
+					}
+				}
+				st.Lambda = append(st.Lambda, l)
+			}
+		}
+		return nil
+	}
+	return ErrInfeasible
+}
+
+// signGuessesD enumerates {−1,0,+1}^d \ {0}, ordered by Hamming distance to
+// the observed violation pattern.
+func signGuessesD(viol []int) [][]int {
+	d := len(viol)
+	total := 1
+	for i := 0; i < d; i++ {
+		total *= 3
+	}
+	type scored struct {
+		g    []int
+		dist int
+	}
+	all := make([]scored, 0, total-1)
+	for code := 0; code < total; code++ {
+		g := make([]int, d)
+		c := code
+		zero := true
+		dist := 0
+		for j := 0; j < d; j++ {
+			g[j] = c%3 - 1 // −1, 0, +1
+			c /= 3
+			if g[j] != 0 {
+				zero = false
+			}
+			if g[j] != viol[j] {
+				dist++
+			}
+		}
+		if zero {
+			continue
+		}
+		all = append(all, scored{g, dist})
+	}
+	// Stable selection sort by distance keeps enumeration deterministic.
+	out := make([][]int, 0, len(all))
+	for dist := 0; dist <= d; dist++ {
+		for _, s := range all {
+			if s.dist == dist {
+				out = append(out, s.g)
+			}
+		}
+	}
+	return out
+}
+
+type nestedSolver struct {
+	y     []float64
+	cons  []Constraint
+	delta float64
+}
+
+// apply writes x = clamp(y − Σ_a λ_a·w_active[a]) into dst.
+func (ns *nestedSolver) apply(dst []float64, active []int, lams []float64) {
+	for i := range ns.y {
+		v := ns.y[i]
+		for a, j := range active {
+			v -= lams[a] * ns.cons[j].W[i]
+		}
+		if v > 1 {
+			v = 1
+		} else if v < -1 {
+			v = -1
+		}
+		dst[i] = v
+	}
+}
+
+// hValue evaluates h(j) at the multipliers (active dims only).
+func (ns *nestedSolver) hValue(j int, active []int, lams []float64) float64 {
+	w := ns.cons[j].W
+	s := 0.0
+	for i := range ns.y {
+		v := ns.y[i]
+		for a, aj := range active {
+			v -= lams[a] * ns.cons[aj].W[i]
+		}
+		if v > 1 {
+			v = 1
+		} else if v < -1 {
+			v = -1
+		}
+		s += w[i] * v
+	}
+	return s
+}
+
+// solve finds multipliers for the equality system over the active dims.
+func (ns *nestedSolver) solve(active []int, targets []float64) ([]float64, bool) {
+	lams := make([]float64, len(active))
+	ok := ns.solveLevel(0, active, targets, lams)
+	return lams, ok
+}
+
+// solveLevel fixes λ for active[level] by binary search, recursively solving
+// deeper levels at each probe. The deepest level uses the exact 1-D sweep.
+func (ns *nestedSolver) solveLevel(level int, active []int, targets []float64, lams []float64) bool {
+	if level == len(active)-1 {
+		// Exact 1-D solve on the shifted point.
+		j := active[level]
+		yShift := make([]float64, len(ns.y))
+		for i := range ns.y {
+			v := ns.y[i]
+			for a := 0; a < level; a++ {
+				v -= lams[a] * ns.cons[active[a]].W[i]
+			}
+			yShift[i] = v
+		}
+		lam, ok := solveLambda(yShift, ns.cons[j].W, targets[level])
+		if !ok {
+			return false
+		}
+		lams[level] = lam
+		return true
+	}
+
+	evalAt := func(lam float64) (float64, bool) {
+		lams[level] = lam
+		if !ns.solveLevel(level+1, active, targets, lams) {
+			return 0, false
+		}
+		return ns.hValue(active[level], active, lams), true
+	}
+
+	c := targets[level]
+	half := 1.0
+	var lo, hi, dLo, dHi float64
+	bracketed := false
+	for try := 0; try < 60; try++ {
+		lo, hi = -half, half
+		var ok1, ok2 bool
+		dLo, ok1 = evalAt(lo)
+		dHi, ok2 = evalAt(hi)
+		if !ok1 || !ok2 {
+			return false
+		}
+		if math.Min(dLo, dHi) <= c && c <= math.Max(dLo, dHi) {
+			bracketed = true
+			break
+		}
+		half *= 4
+	}
+	if !bracketed {
+		if math.Abs(dLo-c) <= 1e-7*math.Max(1, math.Abs(c)) {
+			_, ok := evalAt(0)
+			return ok
+		}
+		return false
+	}
+	increasing := dHi >= dLo
+	for hi-lo > ns.delta {
+		mid := (lo + hi) / 2
+		if mid == lo || mid == hi {
+			break
+		}
+		dMid, ok := evalAt(mid)
+		if !ok {
+			return false
+		}
+		if (dMid < c) == increasing {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	_, ok := evalAt((lo + hi) / 2)
+	return ok
+}

@@ -1,0 +1,220 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	"mdbgp/internal/graph"
+)
+
+func randomGraph(seed int64, n, m int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return b.Build()
+}
+
+func naiveSpMV(g *graph.Graph, x []float64) []float64 {
+	n := g.N()
+	dst := make([]float64, n)
+	g.EachEdge(func(u, v int) bool {
+		dst[u] += x[v]
+		dst[v] += x[u]
+		return true
+	})
+	return dst
+}
+
+func TestSpMVAgainstNaive(t *testing.T) {
+	g := randomGraph(1, 50, 200)
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, g.N())
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := naiveSpMV(g, x)
+	got := make([]float64, g.N())
+	SpMV(g, x, got)
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-9 {
+			t.Fatalf("SpMV[%d]=%g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSpMVParallelMatchesSerialForced(t *testing.T) {
+	// Force the concurrent code path even on single-CPU machines.
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	g := randomGraph(13, 20000, 80000)
+	x := make([]float64, g.N())
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	serial := make([]float64, g.N())
+	parallel := make([]float64, g.N())
+	SpMV(g, x, serial)
+	SpMVParallel(g, x, parallel)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("forced parallel mismatch at %d", i)
+		}
+	}
+}
+
+func TestSpMVParallelMatchesSerial(t *testing.T) {
+	g := randomGraph(3, 10000, 40000)
+	rng := rand.New(rand.NewSource(4))
+	x := make([]float64, g.N())
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	serial := make([]float64, g.N())
+	parallel := make([]float64, g.N())
+	SpMV(g, x, serial)
+	SpMVParallel(g, x, parallel)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("parallel mismatch at %d: %g vs %g", i, parallel[i], serial[i])
+		}
+	}
+}
+
+func TestSpMVMaskedSkipsFixedRows(t *testing.T) {
+	g := randomGraph(5, 30, 100)
+	x := make([]float64, g.N())
+	for i := range x {
+		x[i] = float64(i%3) - 1
+	}
+	dst := make([]float64, g.N())
+	for i := range dst {
+		dst[i] = 42
+	}
+	fixed := make([]bool, g.N())
+	for i := 0; i < g.N(); i += 2 {
+		fixed[i] = true
+	}
+	SpMVMasked(g, x, dst, fixed)
+	full := make([]float64, g.N())
+	SpMV(g, x, full)
+	for i := range dst {
+		if fixed[i] {
+			if dst[i] != 42 {
+				t.Fatalf("fixed row %d overwritten", i)
+			}
+		} else if dst[i] != full[i] {
+			t.Fatalf("free row %d: %g, want %g", i, dst[i], full[i])
+		}
+	}
+}
+
+func TestDotNormDist(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, -5, 6}
+	if got := Dot(a, b); got != 1*4-2*5+3*6 {
+		t.Fatalf("Dot=%g", got)
+	}
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Fatalf("Norm2=%g", got)
+	}
+	if got := Dist2([]float64{1, 1}, []float64{4, 5}); got != 5 {
+		t.Fatalf("Dist2=%g", got)
+	}
+}
+
+func TestAXPYScaleClampCopy(t *testing.T) {
+	dst := make([]float64, 3)
+	AXPY(dst, []float64{1, 2, 3}, 2, []float64{10, 20, 30})
+	if dst[0] != 21 || dst[2] != 63 {
+		t.Fatalf("AXPY=%v", dst)
+	}
+	Scale(dst, 0.5)
+	if dst[0] != 10.5 {
+		t.Fatalf("Scale=%v", dst)
+	}
+	v := []float64{-3, 0.25, 7}
+	Clamp(v)
+	if v[0] != -1 || v[1] != 0.25 || v[2] != 1 {
+		t.Fatalf("Clamp=%v", v)
+	}
+	c := Copy(v)
+	c[0] = 99
+	if v[0] == 99 {
+		t.Fatal("Copy aliased input")
+	}
+}
+
+func TestClampVal(t *testing.T) {
+	cases := map[float64]float64{-2: -1, -1: -1, 0: 0, 0.5: 0.5, 1: 1, 3: 1}
+	for in, want := range cases {
+		if got := ClampVal(in); got != want {
+			t.Fatalf("ClampVal(%g)=%g, want %g", in, got, want)
+		}
+	}
+}
+
+// Property: xᵀAx equals 2·Σ_{edges} x_u·x_v.
+func TestQuickQuadraticForm(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 20, 60)
+		rng := rand.New(rand.NewSource(seed + 1))
+		x := make([]float64, g.N())
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+		}
+		edgeSum := 0.0
+		g.EachEdge(func(u, v int) bool {
+			edgeSum += x[u] * x[v]
+			return true
+		})
+		return math.Abs(QuadraticForm(g, x)-2*edgeSum) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for integral x ∈ {-1,1}^n, expected locality equals the exact
+// fraction of uncut edges.
+func TestQuickExpectedLocalityIntegral(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 24, 80)
+		if g.M() == 0 {
+			return ExpectedLocality(g, make([]float64, g.N())) == 1
+		}
+		rng := rand.New(rand.NewSource(seed * 7))
+		x := make([]float64, g.N())
+		for i := range x {
+			if rng.Intn(2) == 0 {
+				x[i] = -1
+			} else {
+				x[i] = 1
+			}
+		}
+		uncut := 0
+		g.EachEdge(func(u, v int) bool {
+			if x[u] == x[v] {
+				uncut++
+			}
+			return true
+		})
+		want := float64(uncut) / float64(g.M())
+		return math.Abs(ExpectedLocality(g, x)-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpectedLocalityAtZeroIsHalf(t *testing.T) {
+	g := randomGraph(11, 40, 120)
+	x := make([]float64, g.N())
+	if got := ExpectedLocality(g, x); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("locality at x=0 is %g, want 0.5", got)
+	}
+}

@@ -1,0 +1,152 @@
+// Package weights provides the vertex weight functions used as balance
+// dimensions in the paper: unit (vertex count), degree (edge count),
+// PageRank (activity proxy) and sum-of-neighbor-degrees (2-hop size proxy).
+// See §4.1 and Appendix C.1 of the paper.
+package weights
+
+import (
+	"fmt"
+
+	"mdbgp/internal/graph"
+)
+
+// Unit returns the all-ones weight function: balancing on it equalizes
+// vertex counts (the classic vertex partitioning model).
+func Unit(g *graph.Graph) []float64 {
+	w := make([]float64, g.N())
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// Degree returns w(v) = deg(v): balancing on it equalizes per-part edge
+// counts (the edge partitioning model), since Σ_v deg(v) = 2|E|.
+// Isolated vertices receive a small positive floor so the weight function
+// stays strictly positive, as the problem definition requires (w: V → R+).
+func Degree(g *graph.Graph) []float64 {
+	w := make([]float64, g.N())
+	for v := range w {
+		d := float64(g.Degree(v))
+		if d == 0 {
+			d = 1e-3
+		}
+		w[v] = d
+	}
+	return w
+}
+
+// PageRank runs `iters` power-iteration steps with the given damping factor
+// and returns scores scaled so they average 1 (making imbalance percentages
+// comparable across dimensions). Dangling mass is redistributed uniformly.
+func PageRank(g *graph.Graph, damping float64, iters int) []float64 {
+	n := g.N()
+	if n == 0 {
+		return nil
+	}
+	if damping <= 0 || damping >= 1 {
+		damping = 0.85
+	}
+	if iters <= 0 {
+		iters = 20
+	}
+	pr := make([]float64, n)
+	next := make([]float64, n)
+	for i := range pr {
+		pr[i] = 1.0 / float64(n)
+	}
+	for it := 0; it < iters; it++ {
+		dangling := 0.0
+		for v := 0; v < n; v++ {
+			if g.Degree(v) == 0 {
+				dangling += pr[v]
+			}
+			next[v] = 0
+		}
+		for v := 0; v < n; v++ {
+			d := g.Degree(v)
+			if d == 0 {
+				continue
+			}
+			share := pr[v] / float64(d)
+			for _, u := range g.Neighbors(v) {
+				next[u] += share
+			}
+		}
+		base := (1-damping)/float64(n) + damping*dangling/float64(n)
+		for v := 0; v < n; v++ {
+			next[v] = base + damping*next[v]
+		}
+		pr, next = next, pr
+	}
+	// Scale to mean 1 and floor at a small positive value.
+	for v := range pr {
+		pr[v] *= float64(n)
+		if pr[v] < 1e-6 {
+			pr[v] = 1e-6
+		}
+	}
+	return pr
+}
+
+// NeighborDegreeSum returns w(v) = Σ_{u ∈ N(v)} deg(u), the paper's proxy
+// for the size of the 2-hop neighborhood (Appendix C.1). Values are floored
+// at a small positive constant.
+func NeighborDegreeSum(g *graph.Graph) []float64 {
+	w := make([]float64, g.N())
+	for v := 0; v < g.N(); v++ {
+		s := 0.0
+		for _, u := range g.Neighbors(v) {
+			s += float64(g.Degree(int(u)))
+		}
+		if s == 0 {
+			s = 1e-3
+		}
+		w[v] = s
+	}
+	return w
+}
+
+// Standard produces the first d standard balance dimensions used throughout
+// the paper's experiments, in order: vertices, degrees, neighbor-degree
+// sums, PageRank. d must be between 1 and 4.
+func Standard(g *graph.Graph, d int) ([][]float64, error) {
+	if d < 1 || d > 4 {
+		return nil, fmt.Errorf("weights: standard dimensions d=%d, want 1..4", d)
+	}
+	out := make([][]float64, 0, d)
+	out = append(out, Unit(g))
+	if d >= 2 {
+		out = append(out, Degree(g))
+	}
+	if d >= 3 {
+		out = append(out, NeighborDegreeSum(g))
+	}
+	if d >= 4 {
+		out = append(out, PageRank(g, 0.85, 20))
+	}
+	return out, nil
+}
+
+// Total returns the sum of a weight function over all vertices.
+func Total(w []float64) float64 {
+	s := 0.0
+	for _, v := range w {
+		s += v
+	}
+	return s
+}
+
+// Validate checks that a weight vector matches the graph and is strictly
+// positive, as required by the MDBGP definition.
+func Validate(g *graph.Graph, w []float64) error {
+	if len(w) != g.N() {
+		return fmt.Errorf("weights: length %d, graph has %d vertices", len(w), g.N())
+	}
+	for v, x := range w {
+		if x <= 0 {
+			return fmt.Errorf("weights: w[%d] = %g, want > 0", v, x)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+package weights
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mdbgp/internal/gen"
+	"mdbgp/internal/graph"
+)
+
+func lineGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+func TestUnit(t *testing.T) {
+	g := lineGraph(5)
+	w := Unit(g)
+	for _, x := range w {
+		if x != 1 {
+			t.Fatalf("unit weight %g", x)
+		}
+	}
+	if Total(w) != 5 {
+		t.Fatalf("total=%g", Total(w))
+	}
+}
+
+func TestDegree(t *testing.T) {
+	g := lineGraph(4) // degrees 1,2,2,1
+	w := Degree(g)
+	want := []float64{1, 2, 2, 1}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Fatalf("degree weights %v", w)
+		}
+	}
+	// Sum of degrees is 2m.
+	if Total(w) != float64(2*g.M()) {
+		t.Fatalf("degree total %g != 2m", Total(w))
+	}
+}
+
+func TestDegreeIsolatedFloor(t *testing.T) {
+	g := graph.NewBuilder(3).Build()
+	w := Degree(g)
+	for _, x := range w {
+		if x <= 0 {
+			t.Fatal("degree weight not floored for isolated vertex")
+		}
+	}
+	if err := Validate(g, w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageRankUniformOnRegular(t *testing.T) {
+	g := gen.Grid(10, 10, true) // 4-regular torus: PageRank is uniform
+	pr := PageRank(g, 0.85, 50)
+	for v, x := range pr {
+		if math.Abs(x-1) > 1e-6 {
+			t.Fatalf("torus PageRank[%d]=%g, want 1", v, x)
+		}
+	}
+}
+
+func TestPageRankMassConservation(t *testing.T) {
+	g, _ := gen.SBM(gen.SBMConfig{N: 500, Communities: 3, AvgDegree: 8, InFraction: 0.8, DegreeExponent: 2, Seed: 5})
+	pr := PageRank(g, 0.85, 30)
+	// Scaled to mean 1 → total ≈ n.
+	if math.Abs(Total(pr)-float64(g.N())) > 1e-3*float64(g.N()) {
+		t.Fatalf("PageRank total %g, want ~%d", Total(pr), g.N())
+	}
+}
+
+func TestPageRankHubDominates(t *testing.T) {
+	g := gen.Star(50)
+	pr := PageRank(g, 0.85, 40)
+	for v := 1; v < 50; v++ {
+		if pr[0] <= pr[v] {
+			t.Fatalf("hub rank %g not above leaf %g", pr[0], pr[v])
+		}
+	}
+}
+
+func TestPageRankDefaultsAndEmpty(t *testing.T) {
+	if PageRank(graph.NewBuilder(0).Build(), 0.85, 10) != nil {
+		t.Fatal("empty graph should give nil")
+	}
+	g := lineGraph(3)
+	a := PageRank(g, -1, 0) // defaults kick in
+	if len(a) != 3 {
+		t.Fatal("defaults failed")
+	}
+}
+
+func TestNeighborDegreeSum(t *testing.T) {
+	g := lineGraph(4) // degrees 1,2,2,1
+	w := NeighborDegreeSum(g)
+	want := []float64{2, 3, 3, 2}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Fatalf("nds weights %v, want %v", w, want)
+		}
+	}
+}
+
+func TestNeighborDegreeSumBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := graph.NewBuilder(30)
+	for i := 0; i < 90; i++ {
+		b.AddEdge(rng.Intn(30), rng.Intn(30))
+	}
+	g := b.Build()
+	w := NeighborDegreeSum(g)
+	for v := 0; v < g.N(); v++ {
+		s := 0.0
+		for _, u := range g.Neighbors(v) {
+			s += float64(g.Degree(int(u)))
+		}
+		if s == 0 {
+			s = 1e-3
+		}
+		if w[v] != s {
+			t.Fatalf("nds[%d]=%g, want %g", v, w[v], s)
+		}
+	}
+}
+
+func TestStandard(t *testing.T) {
+	g := lineGraph(6)
+	for d := 1; d <= 4; d++ {
+		ws, err := Standard(g, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ws) != d {
+			t.Fatalf("Standard(%d) returned %d dims", d, len(ws))
+		}
+		for j, w := range ws {
+			if err := Validate(g, w); err != nil {
+				t.Fatalf("dim %d: %v", j, err)
+			}
+		}
+	}
+	if _, err := Standard(g, 0); err == nil {
+		t.Fatal("d=0 should error")
+	}
+	if _, err := Standard(g, 5); err == nil {
+		t.Fatal("d=5 should error")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	g := lineGraph(3)
+	if err := Validate(g, []float64{1, 1}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if err := Validate(g, []float64{1, 0, 1}); err == nil {
+		t.Fatal("zero weight should error")
+	}
+}
+
+// Property: all standard weight functions are strictly positive on random
+// graphs (including ones with isolated vertices).
+func TestQuickStandardPositive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50) + 5
+		b := graph.NewBuilder(n)
+		for i := 0; i < n; i++ { // sparse: isolated vertices likely
+			b.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		g := b.Build()
+		ws, err := Standard(g, 4)
+		if err != nil {
+			return false
+		}
+		for _, w := range ws {
+			if Validate(g, w) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+package mdbgp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func testGraph() (*Graph, []int32) {
+	return GenerateSocialGraph(SocialGraphConfig{
+		N: 1000, Communities: 4, AvgDegree: 12, InFraction: 0.85,
+		DegreeExponent: 2, Seed: 1,
+	})
+}
+
+func TestPartitionDefaults(t *testing.T) {
+	g, _ := testGraph()
+	res, err := Partition(g, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment.K != 2 {
+		t.Fatalf("default K=%d, want 2", res.Assignment.K)
+	}
+	if res.EdgeLocality <= 0.5 {
+		t.Fatalf("locality %.3f, want > 0.5", res.EdgeLocality)
+	}
+	if len(res.Imbalances) != 2 {
+		t.Fatalf("imbalances %v, want 2 dims", res.Imbalances)
+	}
+	for j, im := range res.Imbalances {
+		if im > 0.051 {
+			t.Fatalf("dim %d imbalance %.4f > ε", j, im)
+		}
+	}
+	if diff := float64(res.CutEdges) - float64(g.M())*(1-res.EdgeLocality); diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("cut/locality inconsistent: %d vs %.3f", res.CutEdges, res.EdgeLocality)
+	}
+}
+
+func TestPartitionKWay(t *testing.T) {
+	g, _ := testGraph()
+	res, err := Partition(g, Options{K: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, _ := StandardWeights(g, WeightVertices, WeightEdges)
+	if !IsBalanced(res.Assignment, ws, 0.08) {
+		t.Fatalf("4-way imbalance %.4f", MaxImbalance(res.Assignment, ws))
+	}
+	if res.EdgeLocality < 0.4 {
+		t.Fatalf("4-way locality %.3f", res.EdgeLocality)
+	}
+}
+
+func TestPartitionCustomWeightsAndProjection(t *testing.T) {
+	g, _ := testGraph()
+	ws, err := StandardWeights(g, WeightVertices, WeightEdges, WeightNeighborDegrees, WeightPageRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(g, Options{Weights: ws, Projection: "dykstra", Iterations: 40, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxImbalance(res.Assignment, ws) > 0.06 {
+		t.Fatalf("d=4 imbalance %.4f", MaxImbalance(res.Assignment, ws))
+	}
+}
+
+func TestPartitionDirect(t *testing.T) {
+	g, _ := testGraph()
+	res, err := PartitionDirect(g, Options{K: 4, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, _ := StandardWeights(g, WeightVertices, WeightEdges)
+	if !IsBalanced(res.Assignment, ws, 0.051) {
+		t.Fatalf("direct imbalance %.4f", MaxImbalance(res.Assignment, ws))
+	}
+	if res.EdgeLocality < 0.4 {
+		t.Fatalf("direct locality %.3f", res.EdgeLocality)
+	}
+	if _, err := PartitionDirect(g, Options{K: -2}); err == nil {
+		t.Fatal("negative K should error")
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	g, _ := testGraph()
+	if _, err := Partition(g, Options{K: -1}); err == nil {
+		t.Fatal("negative K should error")
+	}
+	if _, err := Partition(g, Options{Projection: "bogus"}); err == nil {
+		t.Fatal("bogus projection should error")
+	}
+	if _, err := StandardWeights(g); err == nil {
+		t.Fatal("no dims should error")
+	}
+	if _, err := StandardWeights(g, Weight(99)); err == nil {
+		t.Fatal("unknown dim should error")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	b := NewBuilder(0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.M() != 2 {
+		t.Fatalf("round trip m=%d", g2.M())
+	}
+	g3 := FromEdges(3, []Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	if g3.M() != g.M() {
+		t.Fatal("FromEdges mismatch")
+	}
+}
+
+func TestClusterSimulation(t *testing.T) {
+	g, blocks := testGraph()
+	res, err := Partition(g, Options{K: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := NewCluster(g, res.Assignment, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, stats := SimulatePageRank(cluster, 10, 0.85)
+	if len(pr) != g.N() || stats.TotalWall() <= 0 {
+		t.Fatal("PageRank sim broken")
+	}
+	labels, _ := SimulateConnectedComponents(cluster, 0)
+	if len(labels) != g.N() {
+		t.Fatal("CC sim broken")
+	}
+	counts, _ := SimulateMutualFriends(cluster, 0)
+	if len(counts) != g.N() {
+		t.Fatal("MF sim broken")
+	}
+	hc, _ := SimulateHypergraphClustering(cluster, 5)
+	if len(hc) != g.N() {
+		t.Fatal("HC sim broken")
+	}
+	_ = blocks
+}
+
+func TestGenerateRMAT(t *testing.T) {
+	g := GenerateRMAT(10, 8, 0.57, 0.19, 0.19, 6)
+	if g.N() != 1024 || g.M() == 0 {
+		t.Fatalf("RMAT n=%d m=%d", g.N(), g.M())
+	}
+}

@@ -1,0 +1,47 @@
+package mdbgp
+
+import (
+	"mdbgp/internal/giraph"
+)
+
+// Cluster simulates a Giraph-style distributed processing cluster: vertices
+// live on workers per the assignment, computation runs in bulk-synchronous
+// supersteps, and a calibrated cost model charges workers for vertices,
+// edges and local/remote messages. See internal/giraph for details.
+type Cluster = giraph.Cluster
+
+// RunStats aggregates the simulated cost of a job.
+type RunStats = giraph.RunStats
+
+// CostModel holds the simulator's per-operation costs.
+type CostModel = giraph.CostModel
+
+// DefaultCostModel returns the calibrated cost constants.
+func DefaultCostModel() CostModel { return giraph.DefaultCostModel() }
+
+// NewCluster builds a simulated cluster from a graph and an assignment; the
+// number of workers is the assignment's K.
+func NewCluster(g *Graph, a *Assignment, cost CostModel) (*Cluster, error) {
+	return giraph.NewCluster(g, a, cost)
+}
+
+// SimulatePageRank runs PageRank on the cluster and returns the rank vector
+// and run statistics.
+func SimulatePageRank(c *Cluster, iters int, damping float64) ([]float64, *RunStats) {
+	return giraph.PageRank(c, iters, damping)
+}
+
+// SimulateConnectedComponents runs min-label propagation to convergence.
+func SimulateConnectedComponents(c *Cluster, maxSteps int) ([]int32, *RunStats) {
+	return giraph.ConnectedComponents(c, maxSteps)
+}
+
+// SimulateMutualFriends runs the common-neighbor-count workload.
+func SimulateMutualFriends(c *Cluster, capDegree int) ([]int64, *RunStats) {
+	return giraph.MutualFriends(c, capDegree)
+}
+
+// SimulateHypergraphClustering runs the heavy-message clustering workload.
+func SimulateHypergraphClustering(c *Cluster, rounds int) ([]int32, *RunStats) {
+	return giraph.HypergraphClustering(c, rounds)
+}
