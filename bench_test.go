@@ -8,6 +8,7 @@
 package mdbgp
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -130,6 +131,42 @@ func BenchmarkSpMV(b *testing.B) {
 	}
 }
 
+// benchWorkerCounts is the worker sweep of the parallel benchmarks; the
+// speedup trajectory across this ladder reproduces the Fig. 11-style
+// scalability story on multicore hardware.
+var benchWorkerCounts = []int{1, 2, 4, 8}
+
+// BenchmarkSpMVParallel measures the sharded CSR SpMV gradient step across
+// worker counts (O(|E|/m) per step on m workers, Theorem 1.1).
+func BenchmarkSpMVParallel(b *testing.B) {
+	g, _ := benchGraph()
+	x := make([]float64, g.N())
+	dst := make([]float64, g.N())
+	for i := range x {
+		x[i] = float64(i%3) - 1
+	}
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			pool := vecmath.NewPool(w)
+			b.SetBytes(8 * g.DirectedSize())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				vecmath.SpMVPool(g, x, dst, pool)
+			}
+		})
+	}
+}
+
+// BenchmarkProjectionParallel measures the one-shot alternating projection
+// (the paper's default inside GD iterations) across worker counts.
+func BenchmarkProjectionParallel(b *testing.B) {
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchProjectionWorkers(b, 2, project.AlternatingOneShot, w)
+		})
+	}
+}
+
 // BenchmarkProjectionExact1D measures the O(n log n) exact single-slab
 // projection.
 func BenchmarkProjectionExact1D(b *testing.B) {
@@ -155,6 +192,11 @@ func BenchmarkProjectionDykstra(b *testing.B) {
 
 func benchProjection(b *testing.B, d int, m project.Method) {
 	b.Helper()
+	benchProjectionWorkers(b, d, m, 1)
+}
+
+func benchProjectionWorkers(b *testing.B, d int, m project.Method, workers int) {
+	b.Helper()
 	n := 50000
 	rng := rand.New(rand.NewSource(11))
 	y := make([]float64, n)
@@ -173,9 +215,10 @@ func benchProjection(b *testing.B, d int, m project.Method) {
 	}
 	dst := make([]float64, n)
 	st := &project.State{}
+	opt := project.Options{Method: m, Center: true, Workers: workers}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := project.Project(dst, y, cons, project.Options{Method: m, Center: true}, st); err != nil {
+		if err := project.Project(dst, y, cons, opt, st); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -192,6 +235,46 @@ func BenchmarkGDBisect(b *testing.B) {
 		if _, err := core.Bisect(g, ws, opt); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkGDBisectParallel measures the full GD bisection across worker
+// counts on the 50k-vertex benchmark graph. The partition is bit-identical
+// at every worker count (see TestBisectDeterministicAcrossWorkers), so the
+// sweep isolates pure engine speedup.
+func BenchmarkGDBisectParallel(b *testing.B) {
+	g, ws := benchGraph()
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opt := core.DefaultOptions()
+			opt.Seed = 42
+			opt.Workers = w
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Bisect(g, ws, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKWayRecursiveParallel adds concurrent sibling bisection on top
+// of the parallel kernels (k=8 gives up to 4 concurrent leaf bisections).
+func BenchmarkKWayRecursiveParallel(b *testing.B) {
+	g, ws := benchGraph()
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opt := core.DefaultOptions()
+			opt.Seed = 42
+			opt.Workers = w
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.PartitionK(g, ws, 8, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -24,6 +24,7 @@ func main() {
 		runList = flag.String("run", "all", "comma-separated experiment names, or 'all'")
 		scale   = flag.String("scale", "full", "dataset scale: full (paper-analog sizes) or quick (8x smaller)")
 		seed    = flag.Int64("seed", 42, "random seed")
+		par     = flag.Int("p", 0, "GD worker parallelism: 0 = all cores, 1 = serial (results are seed-deterministic either way)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		quiet   = flag.Bool("quiet", false, "suppress progress logging")
 	)
@@ -70,6 +71,7 @@ func main() {
 	} else {
 		ctx = experiments.NewContext(scaleDiv, *seed, nil)
 	}
+	ctx.Parallelism = *par
 
 	grandStart := time.Now()
 	for _, e := range selected {

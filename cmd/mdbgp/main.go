@@ -31,15 +31,16 @@ func main() {
 		iters      = flag.Int("iters", 100, "gradient iterations per bisection")
 		projection = flag.String("projection", "", "projection method: alternating-oneshot (default), alternating, dykstra, exact, nested")
 		seed       = flag.Int64("seed", 42, "random seed")
+		par        = flag.Int("p", 0, "worker parallelism: 0 = all cores, 1 = serial (results are seed-deterministic either way)")
 	)
 	flag.Parse()
-	if err := run(*in, *out, *k, *eps, *dims, *iters, *projection, *seed); err != nil {
+	if err := run(*in, *out, *k, *eps, *dims, *iters, *projection, *seed, *par); err != nil {
 		fmt.Fprintf(os.Stderr, "mdbgp: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out string, k int, eps float64, dims string, iters int, projection string, seed int64) error {
+func run(in, out string, k int, eps float64, dims string, iters int, projection string, seed int64, par int) error {
 	var reader *os.File
 	if in == "-" {
 		reader = os.Stdin
@@ -82,7 +83,7 @@ func run(in, out string, k int, eps float64, dims string, iters int, projection 
 	start = time.Now()
 	res, err := mdbgp.Partition(g, mdbgp.Options{
 		K: k, Epsilon: eps, Weights: ws, Iterations: iters,
-		Projection: projection, Seed: seed,
+		Projection: projection, Seed: seed, Parallelism: par,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,3 @@
+module mdbgp
+
+go 1.24

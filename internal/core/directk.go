@@ -8,6 +8,7 @@ import (
 
 	"mdbgp/internal/graph"
 	"mdbgp/internal/partition"
+	"mdbgp/internal/vecmath"
 )
 
 // DirectKOptions configures the direct (non-recursive) k-way relaxation.
@@ -27,6 +28,10 @@ type DirectKOptions struct {
 	// impractical at scale (the paper's reason for recursive bisection,
 	// §3.3). 0 defaults to 2e7 cells (~160 MB of float64).
 	MaxCells int64
+	// Workers is the number of goroutines used by the gradient, projection
+	// and reduction loops; 0 selects GOMAXPROCS, 1 forces the serial path.
+	// Results are bit-identical for a fixed Seed regardless of Workers.
+	Workers int
 }
 
 // DefaultDirectKOptions mirrors DefaultOptions for the direct relaxation.
@@ -90,6 +95,7 @@ func DirectKWay(g *graph.Graph, ws [][]float64, k int, opt DirectKOptions) (*par
 		}
 	}
 
+	pool := vecmath.NewPool(opt.Workers)
 	rng := rand.New(rand.NewSource(opt.Seed))
 	p := make([]float64, n*k)
 	prev := make([]float64, n*k)
@@ -109,23 +115,22 @@ func DirectKWay(g *graph.Graph, ws [][]float64, k int, opt DirectKOptions) (*par
 	L := opt.StepLength * math.Sqrt(float64(n)) / float64(opt.Iterations)
 	for t := 0; t < opt.Iterations; t++ {
 		// Gradient: G[v][b] = Σ_{u∈N(v)} p[u][b] — k values per edge stub.
-		for i := range grad {
-			grad[i] = 0
-		}
-		for v := 0; v < n; v++ {
-			gv := grad[v*k : v*k+k]
-			for _, u := range g.Neighbors(v) {
-				pu := p[int(u)*k : int(u)*k+k]
-				for b := 0; b < k; b++ {
-					gv[b] += pu[b]
+		// Rows (vertices) are independent, so they shard over the pool.
+		pool.For(n, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				gv := grad[v*k : v*k+k]
+				for b := range gv {
+					gv[b] = 0
+				}
+				for _, u := range g.Neighbors(v) {
+					pu := p[int(u)*k : int(u)*k+k]
+					for b := 0; b < k; b++ {
+						gv[b] += pu[b]
+					}
 				}
 			}
-		}
-		gnorm := 0.0
-		for _, gi := range grad {
-			gnorm += gi * gi
-		}
-		gnorm = math.Sqrt(gnorm)
+		})
+		gnorm := vecmath.Norm2Pool(grad, pool)
 		if gnorm < 1e-12 {
 			break
 		}
@@ -135,36 +140,47 @@ func DirectKWay(g *graph.Graph, ws [][]float64, k int, opt DirectKOptions) (*par
 		// so double γ until the realized progress reaches L/2 (the same
 		// §3.2 rule as the 2-way algorithm).
 		for attempt := 0; ; attempt++ {
-			for i := range p {
-				p[i] = prev[i] + gamma*grad[i]
-			}
+			vecmath.AXPYPool(p, prev, gamma, grad, pool)
 			// One-shot alternating projection: per-bucket balance
 			// hyperplanes (centered, as in the 2-way algorithm), then the
-			// vertex simplices.
+			// vertex simplices. The column sums are chunk-ordered
+			// reductions so the step is worker-count independent.
 			for j := 0; j < d; j++ {
 				if wNormSq[j] <= 0 {
 					continue
 				}
+				wj := ws[j]
 				target := totals[j] / float64(k)
 				for b := 0; b < k; b++ {
-					col := 0.0
-					for v := 0; v < n; v++ {
-						col += ws[j][v] * p[v*k+b]
-					}
+					col := pool.ReduceSum(n, func(lo, hi int) float64 {
+						s := 0.0
+						for v := lo; v < hi; v++ {
+							s += wj[v] * p[v*k+b]
+						}
+						return s
+					})
 					alpha := (col - target) / wNormSq[j]
-					for v := 0; v < n; v++ {
-						p[v*k+b] -= alpha * ws[j][v]
-					}
+					pool.For(n, func(lo, hi int) {
+						for v := lo; v < hi; v++ {
+							p[v*k+b] -= alpha * wj[v]
+						}
+					})
 				}
 			}
-			for v := 0; v < n; v++ {
-				projectSimplex(p[v*k:v*k+k], buf)
-			}
-			progress := 0.0
-			for i := range p {
-				dlt := p[i] - prev[i]
-				progress += dlt * dlt
-			}
+			pool.For(n, func(lo, hi int) {
+				scratch := make([]float64, k) // per-range: buf would race
+				for v := lo; v < hi; v++ {
+					projectSimplex(p[v*k:v*k+k], scratch)
+				}
+			})
+			progress := pool.ReduceSum(n*k, func(lo, hi int) float64 {
+				s := 0.0
+				for i := lo; i < hi; i++ {
+					dlt := p[i] - prev[i]
+					s += dlt * dlt
+				}
+				return s
+			})
 			if math.Sqrt(progress) >= L/2 || attempt >= 4 {
 				break
 			}

@@ -54,6 +54,12 @@ type Options struct {
 	// Seed drives all randomness (noise, rounding, repair); runs are
 	// deterministic given a seed.
 	Seed int64
+	// Workers is the number of goroutines used by the SpMV gradient step,
+	// the vector kernels, the projection, and — in PartitionK — concurrent
+	// recursive bisection of sibling subgraphs; 0 selects GOMAXPROCS, 1
+	// forces the serial path. All reductions are chunk-ordered, so for a
+	// fixed Seed the result is bit-identical regardless of Workers.
+	Workers int
 	// TargetFraction α is the weight fraction assigned to side V1 (part 0);
 	// 0 defaults to ½. Recursive partitioning uses α = ⌈k/2⌉/k.
 	TargetFraction float64
@@ -146,6 +152,10 @@ func Bisect(g *graph.Graph, ws [][]float64, opt Options) (*Result, error) {
 	if n == 0 {
 		return &Result{X: nil, Assignment: partition.NewAssignment(0, 2)}, nil
 	}
+	pool := vecmath.NewPool(opt.Workers)
+	if opt.Projection.Workers == 0 {
+		opt.Projection.Workers = opt.Workers
+	}
 
 	d := len(ws)
 	totals := make([]float64, d)
@@ -202,14 +212,19 @@ func Bisect(g *graph.Graph, ws [][]float64, opt Options) (*Result, error) {
 			}
 		}
 
-		vecmath.SpMVMasked(g, z, grad, fixed)
-		gnorm := 0.0
-		for i := 0; i < n; i++ {
-			if !fixed[i] {
-				gnorm += grad[i] * grad[i]
-			}
+		vecmath.SpMVMaskedPool(g, z, grad, fixed, pool)
+		maskedNormSq := func() float64 {
+			return pool.ReduceSum(n, func(lo, hi int) float64 {
+				s := 0.0
+				for i := lo; i < hi; i++ {
+					if !fixed[i] {
+						s += grad[i] * grad[i]
+					}
+				}
+				return s
+			})
 		}
-		gnorm = math.Sqrt(gnorm)
+		gnorm := math.Sqrt(maskedNormSq())
 		if gnorm < 1e-12 {
 			// Saddle/flat region: fall back to a random direction so the
 			// iteration still makes progress (noise escape, §2.1 Step 1).
@@ -218,13 +233,7 @@ func Bisect(g *graph.Graph, ws [][]float64, opt Options) (*Result, error) {
 					grad[i] = rng.NormFloat64()
 				}
 			}
-			gnorm = 0
-			for i := 0; i < n; i++ {
-				if !fixed[i] {
-					gnorm += grad[i] * grad[i]
-				}
-			}
-			gnorm = math.Sqrt(gnorm)
+			gnorm = math.Sqrt(maskedNormSq())
 			if gnorm == 0 {
 				break
 			}
@@ -274,26 +283,33 @@ func Bisect(g *graph.Graph, ws [][]float64, opt Options) (*Result, error) {
 
 		stepNorm := 0.0
 		for attempt := 0; ; attempt++ {
-			for fi, i := range freeIdx {
-				yF[fi] = z[i] + gamma*grad[i]
-			}
+			pool.For(nf, func(lo, hi int) {
+				for fi := lo; fi < hi; fi++ {
+					i := freeIdx[fi]
+					yF[fi] = z[i] + gamma*grad[i]
+				}
+			})
 			if err := project.Project(xF[:nf], yF[:nf], cons, opt.Projection, &st); err != nil {
 				return nil, fmt.Errorf("core: projection failed at iteration %d: %w", t, err)
 			}
-			stepNorm = 0
-			for fi, i := range freeIdx {
-				dlt := xF[fi] - x[i]
-				stepNorm += dlt * dlt
-			}
-			stepNorm = math.Sqrt(stepNorm)
+			stepNorm = math.Sqrt(pool.ReduceSum(nf, func(lo, hi int) float64 {
+				s := 0.0
+				for fi := lo; fi < hi; fi++ {
+					dlt := xF[fi] - x[freeIdx[fi]]
+					s += dlt * dlt
+				}
+				return s
+			}))
 			if !opt.Adaptive || stepNorm >= L/2 || attempt >= 3 {
 				break
 			}
 			gamma *= 2
 		}
-		for fi, i := range freeIdx {
-			x[i] = xF[fi]
-		}
+		pool.For(nf, func(lo, hi int) {
+			for fi := lo; fi < hi; fi++ {
+				x[freeIdx[fi]] = xF[fi]
+			}
+		})
 
 		if opt.VertexFixing {
 			for _, i := range freeIdx {

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"mdbgp/internal/graph"
 	"mdbgp/internal/partition"
@@ -13,6 +15,12 @@ import (
 // fraction ⌈k'/2⌉/k'. The per-level ε budget is opt.Epsilon/⌈log2 k⌉ so the
 // leaf imbalance stays ≈ ε after multiplicative accumulation; k need not be
 // a power of two.
+//
+// Sibling subgraphs after a split are vertex-disjoint and are bisected
+// concurrently when opt.Workers allows: a shared semaphore bounds the extra
+// goroutines, each branch derives its own RNG seed, and branches write
+// disjoint entries of the assignment, so the result is identical to the
+// serial recursion.
 func PartitionK(g *graph.Graph, ws [][]float64, k int, opt Options) (*partition.Assignment, error) {
 	opt.normalize()
 	if k <= 0 {
@@ -34,7 +42,21 @@ func PartitionK(g *graph.Graph, ws [][]float64, k int, opt Options) (*partition.
 	for i := range ids {
 		ids[i] = int32(i)
 	}
-	if err := recurse(g, ws, ids, k, 0, opt, asgn); err != nil {
+	// Resolve the worker budget once so recursion can split it between
+	// concurrent branches (a branch forking with budget w hands ⌈w/2⌉ and
+	// ⌊w/2⌋ to its children, keeping the total pool goroutines across all
+	// concurrent Bisect calls ≈ workers instead of workers²).
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	var sem chan struct{}
+	if opt.Workers > 1 {
+		// Tokens for branches forked off the current goroutine; the
+		// recursion itself always keeps running, so workers−1 tokens give
+		// at most `workers` concurrent branches.
+		sem = make(chan struct{}, opt.Workers-1)
+	}
+	if err := recurse(g, ws, ids, k, 0, opt, asgn, sem); err != nil {
 		return nil, err
 	}
 	return asgn, nil
@@ -42,7 +64,7 @@ func PartitionK(g *graph.Graph, ws [][]float64, k int, opt Options) (*partition.
 
 // recurse bisects sub (whose local vertex i is global ids[i]) into k parts
 // labeled base..base+k−1 in asgn.
-func recurse(sub *graph.Graph, ws [][]float64, ids []int32, k, base int, opt Options, asgn *partition.Assignment) error {
+func recurse(sub *graph.Graph, ws [][]float64, ids []int32, k, base int, opt Options, asgn *partition.Assignment, sem chan struct{}) error {
 	if k == 1 {
 		for _, id := range ids {
 			asgn.Parts[id] = int32(base)
@@ -86,10 +108,40 @@ func recurse(sub *graph.Graph, ws [][]float64, ids []int32, k, base int, opt Opt
 	oLeft.Seed = opt.Seed*1000003 + 1
 	oRight := opt
 	oRight.Seed = opt.Seed*1000003 + 2
-	if err := recurse(leftG, leftWs, leftIDs, k1, base, oLeft, asgn); err != nil {
+
+	// The two branches touch disjoint vertices (and disjoint asgn entries)
+	// and carry independently derived seeds, so running them concurrently
+	// cannot change the result (Workers never affects the bits, only the
+	// schedule). Fork the left branch onto another goroutine when a
+	// semaphore token is free, halving each side's kernel-worker budget so
+	// concurrent branches don't oversubscribe the CPU; otherwise recurse
+	// serially with the full budget.
+	if sem != nil && opt.Workers > 1 {
+		select {
+		case sem <- struct{}{}:
+			oLeft.Workers = (opt.Workers + 1) / 2
+			oRight.Workers = opt.Workers - oLeft.Workers
+			var wg sync.WaitGroup
+			var errLeft error
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				errLeft = recurse(leftG, leftWs, leftIDs, k1, base, oLeft, asgn, sem)
+			}()
+			errRight := recurse(rightG, rightWs, rightIDs, k-k1, base+k1, oRight, asgn, sem)
+			wg.Wait()
+			if errLeft != nil {
+				return errLeft
+			}
+			return errRight
+		default:
+		}
+	}
+	if err := recurse(leftG, leftWs, leftIDs, k1, base, oLeft, asgn, sem); err != nil {
 		return err
 	}
-	return recurse(rightG, rightWs, rightIDs, k-k1, base+k1, oRight, asgn)
+	return recurse(rightG, rightWs, rightIDs, k-k1, base+k1, oRight, asgn, sem)
 }
 
 func restrictWeights(ws [][]float64, local []int32) [][]float64 {

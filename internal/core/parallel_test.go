@@ -1,0 +1,206 @@
+package core
+
+// Determinism and race coverage for the parallel execution engine: for a
+// fixed seed the fractional solution and the rounded partition must be
+// bit-identical at every worker count, and concurrent Partition calls on
+// shared graphs must be race-free (run with -race).
+
+import (
+	"sync"
+	"testing"
+
+	"mdbgp/internal/gen"
+	"mdbgp/internal/graph"
+	"mdbgp/internal/partition"
+	"mdbgp/internal/project"
+)
+
+var workerCounts = []int{1, 2, 8}
+
+// Graph sizes must exceed vecmath's 4096-element chunk size: smaller inputs
+// short-circuit to the single-chunk serial path and would make these
+// determinism tests vacuous (they'd compare identical serial executions).
+
+func assertSameParts(t *testing.T, label string, want, got *partition.Assignment) {
+	t.Helper()
+	if want.K != got.K || len(want.Parts) != len(got.Parts) {
+		t.Fatalf("%s: shape mismatch K=%d/%d n=%d/%d", label, want.K, got.K, len(want.Parts), len(got.Parts))
+	}
+	for v := range want.Parts {
+		if want.Parts[v] != got.Parts[v] {
+			t.Fatalf("%s: vertex %d in part %d, want %d", label, v, got.Parts[v], want.Parts[v])
+		}
+	}
+}
+
+func TestBisectDeterministicAcrossWorkers(t *testing.T) {
+	g, _ := gen.SBM(gen.SBMConfig{N: 9000, Communities: 2, AvgDegree: 12, InFraction: 0.85, Seed: 5})
+	ws := vertexEdgeWeights(g)
+	opt := DefaultOptions()
+	opt.Seed = 31
+	opt.Workers = 1
+	ref, err := Bisect(g, ws, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts[1:] {
+		opt.Workers = w
+		res, err := Bisect(g, ws, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.X {
+			if res.X[i] != ref.X[i] {
+				t.Fatalf("workers=%d: fractional X[%d] = %v, want %v (not bit-identical)", w, i, res.X[i], ref.X[i])
+			}
+		}
+		assertSameParts(t, "bisect", ref.Assignment, res.Assignment)
+		if res.Iterations != ref.Iterations || res.RepairMoves != ref.RepairMoves {
+			t.Fatalf("workers=%d: iterations/moves %d/%d, want %d/%d",
+				w, res.Iterations, res.RepairMoves, ref.Iterations, ref.RepairMoves)
+		}
+	}
+}
+
+// The exact projection drives solveLambda + pooled apply passes; it must be
+// deterministic across worker counts too.
+func TestBisectExactProjectionDeterministicAcrossWorkers(t *testing.T) {
+	g, _ := gen.SBM(gen.SBMConfig{N: 6000, Communities: 2, AvgDegree: 10, InFraction: 0.8, Seed: 6})
+	ws := [][]float64{vertexEdgeWeights(g)[0]} // d=1 exercises exact1D
+	opt := DefaultOptions()
+	opt.Projection = project.Options{Method: project.Exact}
+	opt.Seed = 32
+	opt.Workers = 1
+	ref, err := Bisect(g, ws, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts[1:] {
+		opt.Workers = w
+		res, err := Bisect(g, ws, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameParts(t, "bisect-exact", ref.Assignment, res.Assignment)
+	}
+}
+
+func TestPartitionKDeterministicAcrossWorkers(t *testing.T) {
+	g, _ := gen.SBM(gen.SBMConfig{N: 10000, Communities: 5, AvgDegree: 12, InFraction: 0.85, Seed: 7})
+	ws := vertexEdgeWeights(g)
+	for _, k := range []int{5, 8} {
+		opt := DefaultOptions()
+		opt.Seed = 33
+		opt.Workers = 1
+		ref, err := PartitionK(g, ws, k, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workerCounts[1:] {
+			opt.Workers = w
+			asgn, err := PartitionK(g, ws, k, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameParts(t, "kway", ref, asgn)
+		}
+	}
+}
+
+func TestDirectKWayDeterministicAcrossWorkers(t *testing.T) {
+	g, _ := gen.SBM(gen.SBMConfig{N: 5000, Communities: 4, AvgDegree: 10, InFraction: 0.85, Seed: 8})
+	ws := vertexEdgeWeights(g)
+	opt := DefaultDirectKOptions()
+	opt.Seed = 34
+	opt.Iterations = 40
+	opt.Workers = 1
+	ref, err := DirectKWay(g, ws, 4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts[1:] {
+		opt.Workers = w
+		asgn, err := DirectKWay(g, ws, 4, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameParts(t, "directk", ref, asgn)
+	}
+}
+
+// Concurrent stress: several Partition calls race on the same shared graph
+// and weight vectors (all read-only). Run under -race this is the primary
+// data-race check for the whole engine.
+func TestPartitionConcurrentStress(t *testing.T) {
+	g, _ := gen.SBM(gen.SBMConfig{N: 6000, Communities: 4, AvgDegree: 10, InFraction: 0.85, Seed: 9})
+	ws := vertexEdgeWeights(g)
+	calls := 8
+	if testing.Short() {
+		calls = 4
+	}
+	results := make([]*partition.Assignment, calls)
+	errs := make([]error, calls)
+	var wg sync.WaitGroup
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			opt := DefaultOptions()
+			opt.Seed = 55
+			opt.Iterations = 40
+			opt.Workers = 1 + i%3 // mix of worker counts on shared inputs
+			results[i], errs[i] = PartitionK(g, ws, 4, opt)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	for i := 1; i < calls; i++ {
+		assertSameParts(t, "stress", results[0], results[i])
+	}
+}
+
+// Mixed direct/recursive concurrent calls plus an edge-case subgraph shape:
+// deep recursion (k larger than some sibling sizes) while other goroutines
+// run the direct relaxation on the same graph.
+func TestPartitionConcurrentMixed(t *testing.T) {
+	b := graph.NewBuilder(0)
+	for c := 0; c < 3; c++ {
+		base := c * 50
+		for i := 0; i < 49; i++ {
+			b.AddEdge(base+i, base+i+1)
+		}
+	}
+	g := b.Build()
+	ws := vertexEdgeWeights(g)
+	var wg sync.WaitGroup
+	errs := make([]error, 6)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				opt := DefaultOptions()
+				opt.Seed = int64(60)
+				opt.Epsilon = 0.15
+				opt.Workers = 4
+				_, errs[i] = PartitionK(g, ws, 7, opt)
+			} else {
+				opt := DefaultDirectKOptions()
+				opt.Seed = int64(61)
+				opt.Iterations = 25
+				opt.Workers = 4
+				_, errs[i] = DirectKWay(g, ws, 3, opt)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("mixed call %d: %v", i, err)
+		}
+	}
+}

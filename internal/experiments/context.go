@@ -24,6 +24,10 @@ type Context struct {
 	Seed int64
 	// Log receives progress lines (nil discards them).
 	Log io.Writer
+	// Parallelism is the GD worker count (core.Options.Workers): 0 uses
+	// GOMAXPROCS, 1 forces the serial path. Partitions are seed-
+	// deterministic regardless, so cached results stay comparable.
+	Parallelism int
 
 	graphs map[string]*graph.Graph
 	parts  map[string]*partition.Assignment
@@ -106,6 +110,16 @@ func modeWeights(g *graph.Graph, mode string) ([][]float64, error) {
 	return nil, fmt.Errorf("experiments: unknown GD mode %q", mode)
 }
 
+// GDOptions returns the paper-default GD options with the context's seed
+// and worker parallelism applied; every experiment that runs GD directly
+// must start from this so -p is honored uniformly.
+func (c *Context) GDOptions() core.Options {
+	opt := core.DefaultOptions()
+	opt.Seed = c.Seed
+	opt.Workers = c.Parallelism
+	return opt
+}
+
 // GDPartition runs (and caches) GD with the given balance mode and k.
 func (c *Context) GDPartition(name, mode string, k int) (*partition.Assignment, error) {
 	key := fmt.Sprintf("gd:%s:%s:k=%d", name, mode, k)
@@ -120,8 +134,7 @@ func (c *Context) GDPartition(name, mode string, k int) (*partition.Assignment, 
 	if err != nil {
 		return nil, err
 	}
-	opt := core.DefaultOptions()
-	opt.Seed = c.Seed
+	opt := c.GDOptions()
 	start := time.Now()
 	a, err := core.PartitionK(g, ws, k, opt)
 	if err != nil {

@@ -51,8 +51,7 @@ func runAblations(ctx *Context) ([]*Table, error) {
 		{"no vertex fixing", func(o *core.Options) { o.VertexFixing = false }},
 	}
 	for _, v := range variants {
-		opt := core.DefaultOptions()
-		opt.Seed = ctx.Seed
+		opt := ctx.GDOptions()
 		v.mutate(&opt)
 		res, err := core.Bisect(g, ws, opt)
 		if err != nil {
@@ -72,14 +71,14 @@ func runAblations(ctx *Context) ([]*Table, error) {
 		Note:   "the direct O(k·|E|)-per-iteration relaxation of §3.3 vs the production recursive scheme",
 		Header: []string{"method", "locality %", "max imbalance %"},
 	}
-	recOpt := core.DefaultOptions()
-	recOpt.Seed = ctx.Seed
+	recOpt := ctx.GDOptions()
 	rec, err := core.PartitionK(g, ws, 8, recOpt)
 	if err != nil {
 		return nil, err
 	}
 	dirOpt := core.DefaultDirectKOptions()
 	dirOpt.Seed = ctx.Seed
+	dirOpt.Workers = ctx.Parallelism
 	direct, err := core.DirectKWay(g, ws, 8, dirOpt)
 	if err != nil {
 		return nil, err

@@ -74,8 +74,7 @@ func tracedRun(ctx *Context, dataset string, mutate func(*core.Options)) ([]core
 	if err != nil {
 		return nil, nil, err
 	}
-	opt := core.DefaultOptions()
-	opt.Seed = ctx.Seed
+	opt := ctx.GDOptions()
 	var curve []core.IterStats
 	opt.Trace = func(s core.IterStats) { curve = append(curve, s) }
 	if mutate != nil {

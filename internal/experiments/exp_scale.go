@@ -41,8 +41,7 @@ func runFig11(ctx *Context) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		opt := core.DefaultOptions()
-		opt.Seed = ctx.Seed
+		opt := ctx.GDOptions()
 		start := time.Now()
 		if _, err := core.Bisect(g, ws, opt); err != nil {
 			return nil, err
@@ -92,8 +91,7 @@ func runTable3(ctx *Context) ([]*Table, error) {
 
 			var gdAsgn *partition.Assignment
 			gdSecs, gdMB, err := measure(func() error {
-				opt := core.DefaultOptions()
-				opt.Seed = ctx.Seed
+				opt := ctx.GDOptions()
 				res, err := core.Bisect(g, ws, opt)
 				if err != nil {
 					return err

@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"mdbgp/internal/vecmath"
 )
 
 // Constraint is one balance slab Lo ≤ Σ_i W[i]·x[i] ≤ Hi with W[i] ≥ 0.
@@ -130,6 +132,11 @@ type Options struct {
 	Center bool
 	// Delta is the λ precision of the nested binary search. 0 = 1e-10.
 	Delta float64
+	// Workers is the number of goroutines used for the coordinate-wise
+	// work (hyperplane/slab steps, cube clamps, the exact-1D apply) and the
+	// chunk-ordered reductions; 0 selects GOMAXPROCS, 1 forces the serial
+	// path. Results are bit-identical for any worker count.
+	Workers int
 }
 
 func (o Options) maxIter() int {
@@ -152,6 +159,8 @@ func (o Options) delta() float64 {
 	}
 	return o.Delta
 }
+
+func (o Options) pool() *vecmath.Pool { return vecmath.NewPool(o.Workers) }
 
 // State carries warm-start information between successive projections of
 // slowly moving points (the GD iterates). It is optional; nil disables warm
@@ -213,15 +222,79 @@ func Project(dst, y []float64, cons []Constraint, opt Options, st *State) error 
 	}
 	switch opt.Method {
 	case AlternatingOneShot, Alternating:
-		return alternating(dst, y, cons, opt)
+		return alternating(dst, y, cons, opt, opt.pool())
 	case DykstraMethod:
-		return dykstra(dst, y, cons, opt.maxIter(), opt.tol())
+		return dykstra(dst, y, cons, opt.maxIter(), opt.tol(), opt.pool())
 	case Exact:
 		return exact(dst, y, cons, opt, st)
 	case Nested:
 		return nested(dst, y, cons, opt.delta(), st)
 	}
 	return fmt.Errorf("project: unknown method %v", opt.Method)
+}
+
+// --- Pooled coordinate-wise helpers --------------------------------------
+//
+// These shard the coordinate loops of the projection steps over a
+// vecmath.Pool. All reductions are chunk-ordered, so for a fixed input the
+// projected point is bit-identical at every worker count. (The serial
+// hyperplaneProject below survives for its direct test coverage; the d ≤ 2
+// exact machinery keeps its own specialized sweeps.)
+
+// valueP is Constraint.Value with a chunk-ordered reduction.
+func valueP(c Constraint, x []float64, p *vecmath.Pool) float64 {
+	return vecmath.DotPool(c.W, x, p)
+}
+
+// hyperplaneProjectP is hyperplaneProject with the ‖w‖² and ⟨w,x⟩ sums
+// fused into one chunked pass and the update sharded over the pool.
+func hyperplaneProjectP(x []float64, w []float64, c float64, p *vecmath.Pool) {
+	nsq, v := p.ReduceSum2(len(x), func(lo, hi int) (float64, float64) {
+		sn, sv := 0.0, 0.0
+		for i := lo; i < hi; i++ {
+			sn += w[i] * w[i]
+			sv += w[i] * x[i]
+		}
+		return sn, sv
+	})
+	if nsq == 0 {
+		return
+	}
+	alpha := (v - c) / nsq
+	p.For(len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] -= alpha * w[i]
+		}
+	})
+}
+
+// slabProjectP moves x onto the nearest face of the slab if it is outside,
+// and leaves it unchanged otherwise.
+func slabProjectP(x []float64, con Constraint, p *vecmath.Pool) {
+	v := valueP(con, x, p)
+	switch {
+	case v > con.Hi:
+		hyperplaneProjectP(x, con.W, con.Hi, p)
+	case v < con.Lo:
+		hyperplaneProjectP(x, con.W, con.Lo, p)
+	}
+}
+
+// feasibleP is Feasible with pooled constraint evaluations. The box check
+// is a pure comparison scan, so it needs no reduction ordering.
+func feasibleP(x []float64, cons []Constraint, tol float64, p *vecmath.Pool) bool {
+	for _, v := range x {
+		if v > 1+tol || v < -1-tol {
+			return false
+		}
+	}
+	for _, c := range cons {
+		v := valueP(c, x, p)
+		if v < c.Lo-tol || v > c.Hi+tol {
+			return false
+		}
+	}
+	return true
 }
 
 // hyperplaneProject moves x onto {Σ w·x = c} by the orthogonal step
@@ -242,22 +315,10 @@ func hyperplaneProject(x []float64, w []float64, c float64) {
 	}
 }
 
-// slabProject moves x onto the nearest face of the slab if it is outside,
-// and leaves it unchanged otherwise.
-func slabProject(x []float64, con Constraint) {
-	v := con.Value(x)
-	switch {
-	case v > con.Hi:
-		hyperplaneProject(x, con.W, con.Hi)
-	case v < con.Lo:
-		hyperplaneProject(x, con.W, con.Lo)
-	}
-}
-
 // alternating implements (one-shot) alternating projections: sequentially
 // project onto each slab (or its center hyperplane when opt.Center) and then
 // onto the cube, once for one-shot mode or until the point is feasible.
-func alternating(dst, y []float64, cons []Constraint, opt Options) error {
+func alternating(dst, y []float64, cons []Constraint, opt Options, pool *vecmath.Pool) error {
 	copy(dst, y)
 	passes := 1
 	if opt.Method == Alternating {
@@ -267,13 +328,13 @@ func alternating(dst, y []float64, cons []Constraint, opt Options) error {
 	for p := 0; p < passes; p++ {
 		for _, con := range cons {
 			if opt.Center {
-				hyperplaneProject(dst, con.W, con.Center())
+				hyperplaneProjectP(dst, con.W, con.Center(), pool)
 			} else {
-				slabProject(dst, con)
+				slabProjectP(dst, con, pool)
 			}
 		}
-		BoxClamp(dst)
-		if opt.Method == Alternating && Feasible(dst, cons, tol) {
+		vecmath.ClampPool(dst, pool)
+		if opt.Method == Alternating && feasibleP(dst, cons, tol, pool) {
 			return nil
 		}
 	}
@@ -283,7 +344,7 @@ func alternating(dst, y []float64, cons []Constraint, opt Options) error {
 // dykstra implements Dykstra's projection algorithm over the cube and the d
 // slabs; unlike plain alternating projections it converges to the exact
 // Euclidean projection onto the intersection.
-func dykstra(dst, y []float64, cons []Constraint, maxIter int, tol float64) error {
+func dykstra(dst, y []float64, cons []Constraint, maxIter int, tol float64, pool *vecmath.Pool) error {
 	n := len(y)
 	copy(dst, y)
 	sets := len(cons) + 1
@@ -296,26 +357,33 @@ func dykstra(dst, y []float64, cons []Constraint, maxIter int, tol float64) erro
 	for it := 0; it < maxIter; it++ {
 		copy(prev, dst)
 		for s := 0; s < sets; s++ {
-			for i := range z {
-				z[i] = dst[i] + corr[s][i]
-			}
+			cs := corr[s]
+			pool.For(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					z[i] = dst[i] + cs[i]
+					dst[i] = z[i]
+				}
+			})
 			if s < len(cons) {
-				copy(dst, z)
-				slabProject(dst, cons[s])
+				slabProjectP(dst, cons[s], pool)
 			} else {
-				copy(dst, z)
-				BoxClamp(dst)
+				vecmath.ClampPool(dst, pool)
 			}
-			for i := range z {
-				corr[s][i] = z[i] - dst[i]
+			pool.For(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					cs[i] = z[i] - dst[i]
+				}
+			})
+		}
+		change := pool.ReduceSum(n, func(lo, hi int) float64 {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				d := dst[i] - prev[i]
+				s += d * d
 			}
-		}
-		change := 0.0
-		for i := range dst {
-			d := dst[i] - prev[i]
-			change += d * d
-		}
-		if change < tol*tol && Feasible(dst, cons, 10*tol) {
+			return s
+		})
+		if change < tol*tol && feasibleP(dst, cons, 10*tol, pool) {
 			return nil
 		}
 	}
@@ -429,10 +497,16 @@ func applyLambda1(dst, y, w []float64, lam float64) {
 // exact1D computes the exact projection for a single slab constraint:
 // clamp, and if the slab is violated solve the equality on the violated
 // face. KKT sign conditions hold automatically because H is non-increasing.
-func exact1D(dst, y []float64, con Constraint, st *State) error {
-	copy(dst, y)
-	BoxClamp(dst)
-	v := con.Value(dst)
+// The coordinate-wise clamp/apply passes and the slab-value reduction run
+// over the pool; the O(n log n) breakpoint sweep of solveLambda stays
+// serial (it is dominated by the sort and feeds a single scalar λ).
+func exact1D(dst, y []float64, con Constraint, st *State, pool *vecmath.Pool) error {
+	pool.For(len(y), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = vecmath.ClampVal(y[i])
+		}
+	})
+	v := valueP(con, dst, pool)
 	var target float64
 	switch {
 	case v > con.Hi:
@@ -446,7 +520,12 @@ func exact1D(dst, y []float64, con Constraint, st *State) error {
 	if !ok {
 		return ErrInfeasible
 	}
-	applyLambda1(dst, y, con.W, lam)
+	w := con.W
+	pool.For(len(y), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = vecmath.ClampVal(y[i] - lam*w[i])
+		}
+	})
 	if st != nil {
 		st.Lambda = append(st.Lambda[:0], lam)
 	}
@@ -461,13 +540,13 @@ func exact(dst, y []float64, cons []Constraint, opt Options, st *State) error {
 		BoxClamp(dst)
 		return nil
 	case 1:
-		return exact1D(dst, y, cons[0], st)
+		return exact1D(dst, y, cons[0], st, opt.pool())
 	case 2:
 		return exact2D(dst, y, cons[0], cons[1], st)
 	default:
 		// For d > 2 the exact projection is obtained with Dykstra at tight
 		// tolerance; the paper observes Dykstra and the exact projection
 		// coincide (§3.1). The Nested method offers the Appendix A.1 scheme.
-		return dykstra(dst, y, cons, 50*opt.maxIter(), opt.tol()*1e-3)
+		return dykstra(dst, y, cons, 50*opt.maxIter(), opt.tol()*1e-3, opt.pool())
 	}
 }

@@ -7,8 +7,6 @@ package vecmath
 
 import (
 	"math"
-	"runtime"
-	"sync"
 
 	"mdbgp/internal/graph"
 )
@@ -31,36 +29,23 @@ func SpMV(g *graph.Graph, x, dst []float64) {
 // vertex ranges. It matches SpMV bit-for-bit because each output coordinate
 // is produced by exactly one goroutine with the same summation order.
 func SpMVParallel(g *graph.Graph, x, dst []float64) {
-	n := g.N()
-	workers := runtime.GOMAXPROCS(0)
-	if workers <= 1 || n < 4096 {
-		SpMV(g, x, dst)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for v := lo; v < hi; v++ {
-				s := 0.0
-				for _, u := range g.Neighbors(v) {
-					s += x[u]
-				}
-				dst[v] = s
+	SpMVPool(g, x, dst, NewPool(0))
+}
+
+// SpMVPool is SpMV sharded over the pool's workers in contiguous CSR row
+// ranges. Each output coordinate is produced by exactly one goroutine with
+// the same per-row summation order, so the result matches SpMV bit-for-bit
+// at any worker count.
+func SpMVPool(g *graph.Graph, x, dst []float64, p *Pool) {
+	p.For(g.N(), func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			s := 0.0
+			for _, u := range g.Neighbors(v) {
+				s += x[u]
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
+			dst[v] = s
+		}
+	})
 }
 
 // SpMVMasked computes dst = A·x restricted to output rows where fixed[v] is
@@ -79,6 +64,23 @@ func SpMVMasked(g *graph.Graph, x, dst []float64, fixed []bool) {
 		}
 		dst[v] = s
 	}
+}
+
+// SpMVMaskedPool is SpMVMasked sharded over the pool's workers; like
+// SpMVPool it is bit-identical to the serial kernel at any worker count.
+func SpMVMaskedPool(g *graph.Graph, x, dst []float64, fixed []bool, p *Pool) {
+	p.For(g.N(), func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if fixed[v] {
+				continue
+			}
+			s := 0.0
+			for _, u := range g.Neighbors(v) {
+				s += x[u]
+			}
+			dst[v] = s
+		}
+	})
 }
 
 // Dot returns the inner product Σ a[i]·b[i].
@@ -109,6 +111,30 @@ func Dist2(a, b []float64) float64 {
 	return math.Sqrt(s)
 }
 
+// DotPool is Dot with a chunk-ordered parallel reduction; the result is
+// bit-identical for any worker count of p (but may differ in the last ulps
+// from the serial left-to-right Dot, which uses a different association).
+func DotPool(a, b []float64, p *Pool) float64 {
+	return p.ReduceSum(len(a), func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += a[i] * b[i]
+		}
+		return s
+	})
+}
+
+// Norm2Pool is Norm2 with a chunk-ordered parallel reduction.
+func Norm2Pool(a []float64, p *Pool) float64 {
+	return math.Sqrt(p.ReduceSum(len(a), func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += a[i] * a[i]
+		}
+		return s
+	}))
+}
+
 // AXPY computes dst[i] = x[i] + alpha·y[i].
 func AXPY(dst []float64, x []float64, alpha float64, y []float64) {
 	for i := range dst {
@@ -116,11 +142,30 @@ func AXPY(dst []float64, x []float64, alpha float64, y []float64) {
 	}
 }
 
+// AXPYPool is AXPY sharded over the pool's workers (elementwise, so
+// bit-identical at any worker count).
+func AXPYPool(dst []float64, x []float64, alpha float64, y []float64, p *Pool) {
+	p.For(len(dst), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = x[i] + alpha*y[i]
+		}
+	})
+}
+
 // Scale multiplies a by alpha in place.
 func Scale(a []float64, alpha float64) {
 	for i := range a {
 		a[i] *= alpha
 	}
+}
+
+// ScalePool is Scale sharded over the pool's workers.
+func ScalePool(a []float64, alpha float64, p *Pool) {
+	p.For(len(a), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a[i] *= alpha
+		}
+	})
 }
 
 // Clamp truncates every coordinate into [-1, 1] in place: the projection
@@ -133,6 +178,19 @@ func Clamp(a []float64) {
 			a[i] = -1
 		}
 	}
+}
+
+// ClampPool is Clamp sharded over the pool's workers.
+func ClampPool(a []float64, p *Pool) {
+	p.For(len(a), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if a[i] > 1 {
+				a[i] = 1
+			} else if a[i] < -1 {
+				a[i] = -1
+			}
+		}
+	})
 }
 
 // ClampVal returns min(1, max(-1, v)) — the truncated linear function [z]

@@ -23,6 +23,18 @@
 // BLP, SHP), a METIS-style multilevel multi-constraint comparator, a
 // Giraph-like cluster simulator with the paper's four workloads, and the
 // harness regenerating every table and figure of the paper (cmd/experiments).
+//
+// # Parallel execution
+//
+// Each GD iteration is an SpMV gradient step plus a coordinate-separable
+// projection — both embarrassingly parallel (Theorem 1.1: O(|E|/m) per step
+// on m workers) — and sibling subgraphs of the recursive bisection are
+// independent. Options.Parallelism controls the worker count for all three
+// levels (0 uses every core, 1 forces the serial path); the cmd/mdbgp and
+// cmd/experiments binaries expose it as the -p flag. Floating point
+// reductions are combined in a fixed chunk order and every recursion branch
+// derives its own RNG stream, so for a fixed Seed the partition is
+// bit-identical regardless of Parallelism.
 package mdbgp
 
 import (
@@ -127,6 +139,11 @@ type Options struct {
 	Projection string
 	// Seed makes runs deterministic.
 	Seed int64
+	// Parallelism is the number of worker goroutines used by the gradient
+	// kernels, the projection and concurrent recursive bisection; 0 uses
+	// GOMAXPROCS, 1 forces the serial path. For a fixed Seed the result is
+	// bit-identical regardless of Parallelism.
+	Parallelism int
 	// DisableAdaptiveStep freezes the step size (the paper's ablation
 	// baseline; normally leave false).
 	DisableAdaptiveStep bool
@@ -168,6 +185,7 @@ func Partition(g *Graph, opts Options) (*Result, error) {
 	opt.Iterations = opts.Iterations
 	opt.StepLength = opts.StepLength
 	opt.Seed = opts.Seed
+	opt.Workers = opts.Parallelism
 	opt.Adaptive = !opts.DisableAdaptiveStep
 	opt.VertexFixing = !opts.DisableVertexFixing
 	if opts.Projection != "" {
@@ -227,6 +245,7 @@ func PartitionDirect(g *Graph, opts Options) (*Result, error) {
 		opt.StepLength = opts.StepLength
 	}
 	opt.Seed = opts.Seed
+	opt.Workers = opts.Parallelism
 	asgn, err := core.DirectKWay(g, ws, opts.K, opt)
 	if err != nil {
 		return nil, err
