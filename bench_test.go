@@ -11,10 +11,14 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
+	"mdbgp/internal/coarsen"
 	"mdbgp/internal/core"
 	"mdbgp/internal/experiments"
 	"mdbgp/internal/gen"
+	"mdbgp/internal/multilevel"
+	"mdbgp/internal/partition"
 	"mdbgp/internal/project"
 	"mdbgp/internal/vecmath"
 	"mdbgp/internal/weights"
@@ -301,6 +305,97 @@ func BenchmarkKWayDirect(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := core.DirectKWay(g, ws, 8, opt); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Multilevel benches --------------------------------------------------
+
+// benchMLGraph is the multilevel benchmark instance: ≥ 500k edges with the
+// tight-community structure of real social networks (the regime the V-cycle
+// targets; see internal/multilevel). m = 573104 at these parameters.
+func benchMLGraph() (*Graph, [][]float64) {
+	g, _ := gen.SBM(gen.SBMConfig{
+		N: 100000, Communities: 4000, AvgDegree: 14, InFraction: 0.8, Seed: 17,
+	})
+	ws, _ := weights.Standard(g, 2)
+	return g, ws
+}
+
+// BenchmarkMultilevelBisect measures the V-cycle bisection end to end
+// (hierarchy construction, coarsest solve, warm-started refinement,
+// rounding) and reports the achieved uncut fraction.
+func BenchmarkMultilevelBisect(b *testing.B) {
+	g, ws := benchMLGraph()
+	opt := core.DefaultOptions()
+	opt.Seed = 42
+	b.SetBytes(8 * g.DirectedSize())
+	b.ResetTimer()
+	var loc float64
+	for i := 0; i < b.N; i++ {
+		res, err := multilevel.Bisect(g, ws, multilevel.Options{GD: opt})
+		if err != nil {
+			b.Fatal(err)
+		}
+		loc = partition.EdgeLocality(g, res.Assignment)
+	}
+	b.ReportMetric(loc, "locality")
+	b.ReportMetric(float64(g.M()), "edges")
+}
+
+// BenchmarkMultilevelVsDirect runs direct GD and multilevel GD back to back
+// on the same ≥ 500k-edge graph and reports the acceptance metrics of the
+// multilevel milestone: both uncut fractions, their gap, and the speedup.
+// cmd/benchjson turns the output into BENCH_multilevel.json.
+func BenchmarkMultilevelVsDirect(b *testing.B) {
+	g, ws := benchMLGraph()
+	opt := core.DefaultOptions()
+	opt.Seed = 42
+	b.ResetTimer()
+	var direct, ml float64
+	var directSecs, mlSecs float64
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		dres, err := core.Bisect(g, ws, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		directSecs += time.Since(start).Seconds()
+		direct = partition.EdgeLocality(g, dres.Assignment)
+
+		start = time.Now()
+		mres, err := multilevel.Bisect(g, ws, multilevel.Options{GD: opt})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mlSecs += time.Since(start).Seconds()
+		ml = partition.EdgeLocality(g, mres.Assignment)
+	}
+	b.ReportMetric(float64(g.M()), "edges")
+	b.ReportMetric(direct, "locality_direct")
+	b.ReportMetric(ml, "locality_multilevel")
+	b.ReportMetric(direct-ml, "locality_gap")
+	b.ReportMetric(directSecs/float64(b.N)*1e3, "direct_ms")
+	b.ReportMetric(mlSecs/float64(b.N)*1e3, "multilevel_ms")
+	b.ReportMetric(directSecs/mlSecs, "speedup")
+}
+
+// BenchmarkMultilevelCoarsen isolates hierarchy construction (cluster
+// coarsening + contraction per level), the fixed cost of every V-cycle.
+func BenchmarkMultilevelCoarsen(b *testing.B) {
+	g, ws := benchMLGraph()
+	wg0 := coarsen.Wrap(g, ws)
+	b.SetBytes(8 * g.DirectedSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(7))
+		levels, _ := coarsen.Hierarchy(wg0, coarsen.HierarchyOptions{
+			CoarsenTo: 8000,
+			Clusters:  true,
+			Cluster:   coarsen.ClusterOptions{MaxClusterVertices: 32},
+		}, rng, nil)
+		if len(levels) < 2 {
+			b.Fatal("no hierarchy")
 		}
 	}
 }

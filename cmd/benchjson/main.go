@@ -1,0 +1,103 @@
+// Command benchjson converts `go test -bench` output read from stdin into a
+// JSON benchmark record, seeding the repo's performance trajectory files
+// (BENCH_*.json). Standard benchmark lines look like
+//
+//	BenchmarkMultilevelVsDirect-8   1   86933661 ns/op   0.88 locality_direct   3.1 speedup
+//
+// i.e. a name, an iteration count, then value/unit pairs; everything else
+// (headers, PASS/ok lines) is passed through to stderr untouched.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkMultilevel' -benchtime 1x . | go run ./cmd/benchjson -out BENCH_multilevel.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark result: the run count plus every reported metric
+// (ns/op, MB/s, and b.ReportMetric custom units) keyed by unit.
+type Record struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("out", "", "output JSON file (default stdout)")
+	flag.Parse()
+
+	var records []Record
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		rec, ok := parseBenchLine(line)
+		if !ok {
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		records = append(records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(records) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine decodes one "BenchmarkName-P  N  v unit  v unit ..." line.
+func parseBenchLine(line string) (Record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Record{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Record{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix if present.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	rec := Record{Name: name, Runs: runs, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Record{}, false
+		}
+		rec.Metrics[fields[i+1]] = v
+	}
+	if len(rec.Metrics) == 0 {
+		return Record{}, false
+	}
+	return rec, true
+}

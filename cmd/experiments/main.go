@@ -25,6 +25,7 @@ func main() {
 		scale   = flag.String("scale", "full", "dataset scale: full (paper-analog sizes) or quick (8x smaller)")
 		seed    = flag.Int64("seed", 42, "random seed")
 		par     = flag.Int("p", 0, "GD worker parallelism: 0 = all cores, 1 = serial (results are seed-deterministic either way)")
+		ml      = flag.Bool("multilevel", false, "run GD partitions through the V-cycle multilevel path")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		quiet   = flag.Bool("quiet", false, "suppress progress logging")
 	)
@@ -72,6 +73,7 @@ func main() {
 		ctx = experiments.NewContext(scaleDiv, *seed, nil)
 	}
 	ctx.Parallelism = *par
+	ctx.Multilevel = *ml
 
 	grandStart := time.Now()
 	for _, e := range selected {

@@ -3,8 +3,10 @@
 //
 // Usage:
 //
-//	gengraph -type social -n 100000 -avgdeg 40 -communities 50 > graph.txt
-//	gengraph -type rmat -scale 18 -edgefactor 16 > rmat.txt
+//	gengraph -model social -n 100000 -avgdeg 40 -communities 50 > graph.txt
+//	gengraph -model rmat -scale 18 -edgefactor 16 > rmat.txt
+//	gengraph -model ba -n 200000 -edgefactor 8 > powerlaw.txt
+//	gengraph -model chunglu -n 100000 -avgdeg 20 -exponent 1.8 > skewed.txt
 package main
 
 import (
@@ -13,26 +15,38 @@ import (
 	"os"
 
 	"mdbgp"
+	"mdbgp/internal/gen"
 )
 
 func main() {
 	var (
-		typ         = flag.String("type", "social", "graph type: social, rmat")
-		n           = flag.Int("n", 100000, "vertices (social)")
-		avgDeg      = flag.Float64("avgdeg", 30, "average degree (social)")
+		model       = flag.String("model", "", "graph model: social, rmat, ba (powerlaw), chunglu, er, grid")
+		typ         = flag.String("type", "", "deprecated alias for -model")
+		n           = flag.Int("n", 100000, "vertices (social, ba, chunglu, er)")
+		avgDeg      = flag.Float64("avgdeg", 30, "average degree (social, chunglu, er)")
 		communities = flag.Int("communities", 50, "planted communities (social)")
 		inFrac      = flag.Float64("infrac", 0.5, "intra-community edge fraction (social)")
 		microSize   = flag.Int("microsize", 20, "micro-community size, 0 disables (social)")
 		microFrac   = flag.Float64("microfrac", 0.25, "micro-community edge fraction (social)")
-		exponent    = flag.Float64("exponent", 2.5, "degree-skew Pareto exponent, 0 disables (social)")
+		exponent    = flag.Float64("exponent", 2.5, "degree-skew Pareto exponent, 0 disables (social, chunglu)")
 		scale       = flag.Int("scale", 16, "log2 vertices (rmat)")
-		edgeFactor  = flag.Int("edgefactor", 16, "edges per vertex (rmat)")
+		edgeFactor  = flag.Int("edgefactor", 16, "edges per vertex (rmat, ba)")
+		rows        = flag.Int("rows", 512, "grid rows")
+		cols        = flag.Int("cols", 512, "grid cols")
+		torus       = flag.Bool("torus", false, "wrap the grid into a torus")
 		seed        = flag.Int64("seed", 42, "random seed")
 	)
 	flag.Parse()
+	m := *model
+	if m == "" {
+		m = *typ
+	}
+	if m == "" {
+		m = "social"
+	}
 
 	var g *mdbgp.Graph
-	switch *typ {
+	switch m {
 	case "social":
 		g, _ = mdbgp.GenerateSocialGraph(mdbgp.SocialGraphConfig{
 			N: *n, Communities: *communities, AvgDegree: *avgDeg,
@@ -41,11 +55,19 @@ func main() {
 		})
 	case "rmat":
 		g = mdbgp.GenerateRMAT(*scale, *edgeFactor, 0.57, 0.19, 0.19, *seed)
+	case "ba", "powerlaw":
+		g = gen.BarabasiAlbert(*n, *edgeFactor, *seed)
+	case "chunglu":
+		g = gen.ChungLu(*n, *avgDeg, *exponent, *seed)
+	case "er":
+		g = gen.ErdosRenyi(*n, int(float64(*n)**avgDeg/2), *seed)
+	case "grid":
+		g = gen.Grid(*rows, *cols, *torus)
 	default:
-		fmt.Fprintf(os.Stderr, "gengraph: unknown type %q\n", *typ)
+		fmt.Fprintf(os.Stderr, "gengraph: unknown model %q (want social, rmat, ba, chunglu, er, grid)\n", m)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "generated %s graph: n=%d m=%d\n", *typ, g.N(), g.M())
+	fmt.Fprintf(os.Stderr, "generated %s graph: n=%d m=%d\n", m, g.N(), g.M())
 	if err := mdbgp.WriteEdgeList(os.Stdout, g); err != nil {
 		fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
 		os.Exit(1)

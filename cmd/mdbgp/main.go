@@ -32,15 +32,18 @@ func main() {
 		projection = flag.String("projection", "", "projection method: alternating-oneshot (default), alternating, dykstra, exact, nested")
 		seed       = flag.Int64("seed", 42, "random seed")
 		par        = flag.Int("p", 0, "worker parallelism: 0 = all cores, 1 = serial (results are seed-deterministic either way)")
+		multilevel = flag.Bool("multilevel", false, "use the V-cycle multilevel GD path (coarsen, solve coarse, warm-started refinement)")
+		coarsenTo  = flag.Int("coarsento", 0, "multilevel: stop coarsening at this many vertices (0 = default)")
+		refineIter = flag.Int("refineiters", 0, "multilevel: finest-level refinement iterations (0 = default)")
 	)
 	flag.Parse()
-	if err := run(*in, *out, *k, *eps, *dims, *iters, *projection, *seed, *par); err != nil {
+	if err := run(*in, *out, *k, *eps, *dims, *iters, *projection, *seed, *par, *multilevel, *coarsenTo, *refineIter); err != nil {
 		fmt.Fprintf(os.Stderr, "mdbgp: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out string, k int, eps float64, dims string, iters int, projection string, seed int64, par int) error {
+func run(in, out string, k int, eps float64, dims string, iters int, projection string, seed int64, par int, multilevel bool, coarsenTo, refineIter int) error {
 	var reader *os.File
 	if in == "-" {
 		reader = os.Stdin
@@ -84,6 +87,7 @@ func run(in, out string, k int, eps float64, dims string, iters int, projection 
 	res, err := mdbgp.Partition(g, mdbgp.Options{
 		K: k, Epsilon: eps, Weights: ws, Iterations: iters,
 		Projection: projection, Seed: seed, Parallelism: par,
+		Multilevel: multilevel, CoarsenTo: coarsenTo, RefineIterations: refineIter,
 	})
 	if err != nil {
 		return err

@@ -32,7 +32,7 @@ func TestRunEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	in, g := writeTestGraph(t, dir)
 	out := filepath.Join(dir, "parts.txt")
-	if err := run(in, out, 4, 0.05, "vertices,edges", 60, "", 42, 2); err != nil {
+	if err := run(in, out, 4, 0.05, "vertices,edges", 60, "", 42, 2, false, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -72,7 +72,7 @@ func TestRunAllDimensions(t *testing.T) {
 	dir := t.TempDir()
 	in, _ := writeTestGraph(t, dir)
 	out := filepath.Join(dir, "parts.txt")
-	err := run(in, out, 2, 0.05, "vertices,edges,neighbor-degrees,pagerank", 30, "dykstra", 1, 0)
+	err := run(in, out, 2, 0.05, "vertices,edges,neighbor-degrees,pagerank", 30, "dykstra", 1, 0, false, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,13 +82,37 @@ func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	in, _ := writeTestGraph(t, dir)
 	out := filepath.Join(dir, "parts.txt")
-	if err := run(filepath.Join(dir, "missing.txt"), out, 2, 0.05, "vertices", 10, "", 1, 1); err == nil {
+	if err := run(filepath.Join(dir, "missing.txt"), out, 2, 0.05, "vertices", 10, "", 1, 1, false, 0, 0); err == nil {
 		t.Fatal("missing input should error")
 	}
-	if err := run(in, out, 2, 0.05, "bogus-dim", 10, "", 1, 1); err == nil {
+	if err := run(in, out, 2, 0.05, "bogus-dim", 10, "", 1, 1, false, 0, 0); err == nil {
 		t.Fatal("unknown dimension should error")
 	}
-	if err := run(in, out, 2, 0.05, "vertices", 10, "bogus-projection", 1, 1); err == nil {
+	if err := run(in, out, 2, 0.05, "vertices", 10, "bogus-projection", 1, 1, false, 0, 0); err == nil {
 		t.Fatal("unknown projection should error")
+	}
+}
+
+func TestRunMultilevel(t *testing.T) {
+	dir := t.TempDir()
+	in, g := writeTestGraph(t, dir)
+	out := filepath.Join(dir, "parts.txt")
+	// Small graphs fall back to direct GD inside the V-cycle; force a real
+	// hierarchy with a low coarsening threshold.
+	if err := run(in, out, 2, 0.05, "vertices,edges", 60, "", 42, 1, true, 150, 8); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		lines++
+	}
+	if lines != g.N() {
+		t.Fatalf("output has %d lines, want %d", lines, g.N())
 	}
 }

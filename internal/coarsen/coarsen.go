@@ -1,0 +1,666 @@
+package coarsen
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+
+	"mdbgp/internal/vecmath"
+)
+
+// mergeScratch is the per-goroutine workspace of the row merge: a dense
+// fused epoch-mark/accumulator over coarse ids, plus the touched-id list.
+type mergeScratch struct {
+	am      []epochAcc
+	touched []int32
+}
+
+// epochAcc is a fused epoch mark + accumulator entry: cluster scoring
+// touches one cache line per candidate instead of two parallel arrays.
+type epochAcc struct {
+	epoch int32
+	acc   float64
+}
+
+// arena recycles the row-assembly buffers across Contract calls (every row
+// is written before it is read, so stale contents are harmless); a V-cycle
+// contracts once per level and the buffers only shrink going coarser, so
+// reuse avoids re-zeroing ~|arcs| of scratch per level.
+type arena struct {
+	adj []int32
+	ew  []float64
+}
+
+var contractArena = sync.Pool{New: func() any { return &arena{} }}
+
+// cnScorer scores candidate pairs by edge weight plus shared-neighbor
+// weight — Σ_t min(w(v,t), w(u,t)) over common neighbors t — the signal both
+// the CN-aware matching and cluster seeding use (a bare edge weight carries
+// no information on a unit-weight level). mark/nw hold v's neighborhood,
+// epoch-validated so no clearing is needed between vertices.
+type cnScorer struct {
+	mark []int32
+	nw   []float64
+	// degreeCap bounds the candidate degree scanned; hubs score by edge
+	// weight alone.
+	degreeCap int
+}
+
+func newCNScorer(n, degreeCap int) *cnScorer {
+	return &cnScorer{mark: make([]int32, n), nw: make([]float64, n), degreeCap: degreeCap}
+}
+
+// begin loads v's neighborhood for the given epoch (any value unique to v
+// within the current pass).
+func (s *cnScorer) begin(ns []int32, ews []float64, epoch int32) {
+	for i, t := range ns {
+		s.mark[t] = epoch
+		if ews == nil {
+			s.nw[t] = 1
+		} else {
+			s.nw[t] = ews[i]
+		}
+	}
+}
+
+// score returns w plus the shared-neighbor weight of candidate u against
+// the neighborhood loaded by begin.
+func (s *cnScorer) score(g *Graph, u int32, w float64, epoch int32) float64 {
+	uns, uews := g.Neighbors(int(u))
+	if len(uns) > s.degreeCap {
+		return w
+	}
+	for k, t := range uns {
+		if s.mark[t] == epoch {
+			uw := 1.0
+			if uews != nil {
+				uw = uews[k]
+			}
+			w += math.Min(s.nw[t], uw)
+		}
+	}
+	return w
+}
+
+// MatchOptions tunes the heavy-edge matching.
+type MatchOptions struct {
+	// CommonNeighbors adds the weight of shared neighbors to each
+	// candidate's score: score(u,v) = w(u,v) + Σ_t min(w(v,t), w(u,t)).
+	// Plain heavy-edge matching carries no signal on a unit-weight finest
+	// level (every edge weighs 1, so it contracts a RANDOM matching, and
+	// every cross-cluster merge permanently forfeits cut options); shared
+	// neighborhood weight is exactly the evidence that two endpoints belong
+	// to the same cluster. Costs one sorted-adjacency mark pass per matched
+	// vertex, skipped for hub candidates (degree > CommonNeighborCap).
+	CommonNeighbors bool
+	// CommonNeighborCap bounds the candidate degree scanned for shared
+	// neighbors (default 96); hubs score by edge weight alone.
+	CommonNeighborCap int
+}
+
+// defaultCNDegreeCap is the default hub cutoff for shared-neighbor scoring.
+const defaultCNDegreeCap = 96
+
+func (o *MatchOptions) normalize() {
+	if o.CommonNeighborCap <= 0 {
+		o.CommonNeighborCap = defaultCNDegreeCap
+	}
+}
+
+// Coarsen contracts a heavy-edge matching of g [Karypis–Kumar SC'98],
+// capping merged vertex weights per dimension so coarse vertices stay small
+// enough to balance later. It returns the coarse graph and the fine→coarse
+// vertex map.
+//
+// The matching itself is a cheap serial scan driven by rng (one Perm per
+// level), so a fixed seed yields a fixed matching. Contraction — vertex
+// weight accumulation and coarse CSR assembly — is sharded over the pool in
+// fixed per-coarse-vertex units, so the coarse graph is bit-identical at any
+// worker count (a nil pool runs serially).
+func Coarsen(g *Graph, opt MatchOptions, rng *rand.Rand, pool *vecmath.Pool) (*Graph, []int32) {
+	opt.normalize()
+	n := g.N()
+	totals := g.Totals()
+	caps := make([]float64, len(totals))
+	for j, t := range totals {
+		caps[j] = math.Max(t/20, 4*t/float64(n))
+	}
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	var scorer *cnScorer
+	if opt.CommonNeighbors {
+		scorer = newCNScorer(n, opt.CommonNeighborCap)
+	}
+	order := rng.Perm(n)
+	for _, v := range order {
+		if match[v] != -1 {
+			continue
+		}
+		ns, ews := g.Neighbors(v)
+		epoch := int32(v) + 1
+		if scorer != nil {
+			scorer.begin(ns, ews, epoch)
+		}
+		best, bestW := int32(-1), 0.0
+		for i, u := range ns {
+			if match[u] != -1 || int(u) == v {
+				continue
+			}
+			ok := true
+			for j := range caps {
+				if g.VW[j][v]+g.VW[j][u] > caps[j] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			w := 1.0
+			if ews != nil {
+				w = ews[i]
+			}
+			if scorer != nil {
+				w = scorer.score(g, u, w, epoch)
+			}
+			if w > bestW {
+				best, bestW = u, w
+			}
+		}
+		if best == -1 {
+			match[v] = int32(v)
+		} else {
+			match[v] = best
+			match[best] = int32(v)
+		}
+	}
+	return contractMatching(g, match, pool)
+}
+
+// contractMatching reindexes a matching into a fine→coarse map (coarse ids
+// assigned in ascending order of each pair's smaller fine id) and contracts
+// it.
+func contractMatching(g *Graph, match []int32, pool *vecmath.Pool) (*Graph, []int32) {
+	n := g.N()
+	cmap := make([]int32, n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	next := int32(0)
+	for v := 0; v < n; v++ {
+		if cmap[v] != -1 {
+			continue
+		}
+		cmap[v] = next
+		if int(match[v]) != v {
+			cmap[match[v]] = next
+		}
+		next++
+	}
+	return Contract(g, cmap, int(next), pool), cmap
+}
+
+// Contract builds the coarse graph for an arbitrary aggregation: cmap maps
+// every fine vertex to one of cn coarse vertices. Vertex weights accumulate
+// per dimension, parallel fine edges merge by summing weights, and
+// intra-group edges vanish. Member lists are ordered by ascending fine id,
+// which fixes every floating point summation order; each coarse row is
+// produced by exactly one goroutine, so the result is bit-identical at any
+// worker count.
+func Contract(g *Graph, cmap []int32, cn int, pool *vecmath.Pool) *Graph {
+	n := g.N()
+	// Counting sort of fine vertices by coarse id: members of coarse c are
+	// memberList[memberStart[c]:memberStart[c+1]] in ascending fine id.
+	memberStart := make([]int32, cn+1)
+	for _, c := range cmap {
+		memberStart[c+1]++
+	}
+	for c := 0; c < cn; c++ {
+		memberStart[c+1] += memberStart[c]
+	}
+	memberList := make([]int32, n)
+	cursor := make([]int32, cn)
+	copy(cursor, memberStart[:cn])
+	for v := 0; v < n; v++ {
+		c := cmap[v]
+		memberList[cursor[c]] = int32(v)
+		cursor[c]++
+	}
+
+	d := len(g.VW)
+	cvw := make([][]float64, d)
+	for j := range cvw {
+		cvw[j] = make([]float64, cn)
+	}
+	pool.For(cn, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			for j := 0; j < d; j++ {
+				w := 0.0
+				for _, v := range memberList[memberStart[c]:memberStart[c+1]] {
+					w += g.VW[j][v]
+				}
+				cvw[j][c] = w
+			}
+		}
+	})
+
+	// Coarse rows: gather the members' arcs mapped through cmap, drop
+	// intra-pair arcs, merge duplicates with a dense accumulator (deep
+	// levels have huge multi-edge fan-in; per-row sorting of un-merged arcs
+	// would dominate the whole V-cycle), then sort only the merged neighbor
+	// ids. Rows are assembled into an upper-bound-sized scratch area and
+	// compacted afterwards. Accumulation order per row is the fixed gather
+	// order and each row is produced by exactly one goroutine, so edge
+	// weights are bit-identical at any worker count; the scratch buffers are
+	// recycled through a sync.Pool, which never affects row content thanks
+	// to the row-id epoch marks.
+	bound := make([]int64, cn+1)
+	for c := 0; c < cn; c++ {
+		deg := int64(0)
+		for _, v := range memberList[memberStart[c]:memberStart[c+1]] {
+			deg += g.Offsets[v+1] - g.Offsets[v]
+		}
+		bound[c+1] = bound[c] + deg
+	}
+	ar := contractArena.Get().(*arena)
+	defer contractArena.Put(ar)
+	if int64(cap(ar.adj)) < bound[cn] {
+		ar.adj = make([]int32, bound[cn])
+		ar.ew = make([]float64, bound[cn])
+	}
+	scratchAdj := ar.adj[:bound[cn]]
+	scratchEW := ar.ew[:bound[cn]]
+	rowLen := make([]int32, cn)
+	var scratchPool sync.Pool
+	scratchPool.New = func() any {
+		return &mergeScratch{am: make([]epochAcc, cn)}
+	}
+	pool.For(cn, func(lo, hi int) {
+		sc := scratchPool.Get().(*mergeScratch)
+		defer scratchPool.Put(sc)
+		touched := sc.touched[:0]
+		for c := lo; c < hi; c++ {
+			touched = touched[:0]
+			epoch := int32(c) + 1 // fresh zeroed marks never collide
+			for _, v := range memberList[memberStart[c]:memberStart[c+1]] {
+				rlo, rhi := g.Offsets[v], g.Offsets[v+1]
+				if g.EW == nil {
+					for _, u := range g.Adj[rlo:rhi] {
+						cu := cmap[u]
+						if cu == int32(c) {
+							continue
+						}
+						if sc.am[cu].epoch != epoch {
+							sc.am[cu] = epochAcc{epoch: epoch, acc: 1}
+							touched = append(touched, cu)
+						} else {
+							sc.am[cu].acc++
+						}
+					}
+				} else {
+					arcs := g.Adj[rlo:rhi]
+					ews := g.EW[rlo:rhi]
+					for i, u := range arcs {
+						cu := cmap[u]
+						if cu == int32(c) {
+							continue
+						}
+						if sc.am[cu].epoch != epoch {
+							sc.am[cu] = epochAcc{epoch: epoch, acc: ews[i]}
+							touched = append(touched, cu)
+						} else {
+							sc.am[cu].acc += ews[i]
+						}
+					}
+				}
+			}
+			// Rows come out in first-touch order, NOT sorted: nothing in the
+			// pipeline needs sorted coarse rows (SpMV, Cut, further
+			// contraction and FM refinement are order-insensitive), the
+			// order is a deterministic function of the aggregation, and
+			// skipping the per-row sort is a double-digit share of
+			// contraction time. Use Build if a canonical sorted graph is
+			// required.
+			out := bound[c]
+			for _, cu := range touched {
+				scratchAdj[out] = cu
+				scratchEW[out] = sc.am[cu].acc
+				out++
+			}
+			rowLen[c] = int32(len(touched))
+		}
+		sc.touched = touched
+	})
+
+	offsets := make([]int64, cn+1)
+	for c := 0; c < cn; c++ {
+		offsets[c+1] = offsets[c] + int64(rowLen[c])
+	}
+	adj := make([]int32, offsets[cn])
+	ew := make([]float64, offsets[cn])
+	pool.For(cn, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			copy(adj[offsets[c]:offsets[c+1]], scratchAdj[bound[c]:bound[c]+int64(rowLen[c])])
+			copy(ew[offsets[c]:offsets[c+1]], scratchEW[bound[c]:bound[c]+int64(rowLen[c])])
+		}
+	})
+	return &Graph{Offsets: offsets, Adj: adj, EW: ew, VW: cvw}
+}
+
+// ClusterOptions tunes the greedy cluster coarsening.
+type ClusterOptions struct {
+	// MaxClusterVertices scales the per-dimension cluster weight cap:
+	// cap_j = min(totals_j/8, MaxClusterVertices·totals_j/n) with n the
+	// CURRENT level's vertex count (default 8) — clusters may grow to this
+	// multiple of the level's average vertex weight, never past ⅛ of a
+	// dimension's total. Ignored when Caps is set.
+	MaxClusterVertices int
+	// Caps, when non-nil, are ABSOLUTE per-dimension cluster weight bounds.
+	// A hierarchy must anchor the caps at the finest level (Hierarchy does
+	// this): a per-level relative cap lets every level grow clusters by the
+	// same factor again, and a "128-vertex" cap at level 1 really means 128
+	// whole communities — the over-merge that destroys coarse solvability.
+	Caps []float64
+}
+
+func (o *ClusterOptions) normalize() {
+	if o.MaxClusterVertices <= 0 {
+		o.MaxClusterVertices = 8
+	}
+}
+
+// ClusterCaps derives the absolute per-dimension cluster weight caps for a
+// hierarchy rooted at g: maxVertices multiples of g's average vertex weight,
+// bounded by ⅛ of each dimension's total.
+func ClusterCaps(g *Graph, maxVertices int) []float64 {
+	totals := g.Totals()
+	caps := make([]float64, len(totals))
+	for j, t := range totals {
+		caps[j] = math.Min(t/8, float64(maxVertices)*t/float64(g.N()))
+	}
+	return caps
+}
+
+// CoarsenClusters contracts size-capped greedy clusters instead of a
+// matching: each vertex (in rng order) joins the neighboring cluster it is
+// most strongly connected to — summing ALL its arcs into that cluster, which
+// makes the score implicitly common-neighbor aware — or pairs with its
+// heaviest free neighbor when no cluster is adjacent, subject to
+// per-dimension weight caps. One level shrinks the graph by roughly the
+// cluster size instead of 2×, so hierarchies are a third as deep as matching
+// hierarchies and contraction touches each fine arc far fewer times; on
+// graphs with community structure the clusters track communities the way
+// label propagation does.
+//
+// The clustering scan is serial and rng-driven (deterministic for a fixed
+// seed); contraction is the shared Contract, bit-identical at any worker
+// count.
+func CoarsenClusters(g *Graph, opt ClusterOptions, rng *rand.Rand, pool *vecmath.Pool) (*Graph, []int32) {
+	opt.normalize()
+	n := g.N()
+	d := len(g.VW)
+	caps := opt.Caps
+	if caps == nil {
+		caps = ClusterCaps(g, opt.MaxClusterVertices)
+	}
+
+	cmap := make([]int32, n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	// Cluster weights interleaved per cluster (cwf[c*d+j]) so a cap check
+	// touches one cache line, not d.
+	cwf := make([]float64, 0, (n/2+1)*d)
+	clusters := 0
+	newCluster := func(v int) int32 {
+		c := int32(clusters)
+		clusters++
+		for j := 0; j < d; j++ {
+			cwf = append(cwf, g.VW[j][v])
+		}
+		return c
+	}
+	join := func(v int, c int32) {
+		cmap[v] = c
+		base := int(c) * d
+		for j := 0; j < d; j++ {
+			cwf[base+j] += g.VW[j][v]
+		}
+	}
+
+	// Dense scoring scratch over clusters, epoch mark and accumulator fused
+	// in one 16-byte entry so first-touch and re-touch hit a single cache
+	// line (degenerate graphs can leave every vertex a singleton cluster,
+	// hence size n). vmark/vnw hold v's own neighborhood for common-neighbor
+	// scoring of seed pairs.
+	am := make([]epochAcc, n)
+	touched := make([]int32, 0, 64)
+	freeCand := make([]int32, 0, 64)
+	scorer := newCNScorer(n, defaultCNDegreeCap)
+
+	// Unassigned vertices are tagged in cmap itself: freeLight marks
+	// vertices below half the cap in every dimension — two such vertices
+	// always pair within the caps — so the per-arc hot path reads ONE array
+	// (cmap) instead of cmap plus a fits table; the d-way weight check runs
+	// only for the rare heavy endpoints.
+	const (
+		freeLight = -2
+		freeHeavy = -1
+	)
+	for u := 0; u < n; u++ {
+		light := true
+		for j := 0; j < d; j++ {
+			if g.VW[j][u] > caps[j]/2 {
+				light = false
+				break
+			}
+		}
+		if light {
+			cmap[u] = freeLight
+		}
+	}
+	pairFits := func(v int, u int32) bool {
+		for j := 0; j < d; j++ {
+			if g.VW[j][v]+g.VW[j][u] > caps[j] {
+				return false
+			}
+		}
+		return true
+	}
+
+	order := rng.Perm(n)
+	for vi, v := range order {
+		if cmap[v] >= 0 {
+			continue
+		}
+		ns, ews := g.Neighbors(v)
+		epoch := int32(vi) + 1
+		touched = touched[:0]
+		// Pass 1: score adjacent clusters only. Free neighbors are skipped
+		// with a single compare — they matter only on the (rare) seed path,
+		// which re-scans the row below.
+		if ews == nil {
+			for _, u := range ns {
+				if c := cmap[u]; c >= 0 {
+					if am[c].epoch != epoch {
+						am[c] = epochAcc{epoch: epoch, acc: 1}
+						touched = append(touched, c)
+					} else {
+						am[c].acc++
+					}
+				}
+			}
+		} else {
+			for i, u := range ns {
+				if c := cmap[u]; c >= 0 {
+					if am[c].epoch != epoch {
+						am[c] = epochAcc{epoch: epoch, acc: ews[i]}
+						touched = append(touched, c)
+					} else {
+						am[c].acc += ews[i]
+					}
+				}
+			}
+		}
+		bestC, bestCW := int32(-1), 0.0
+		for _, c := range touched {
+			if sc := am[c].acc; sc > bestCW {
+				ok := true
+				base := int(c) * d
+				for j := 0; j < d; j++ {
+					if cwf[base+j]+g.VW[j][v] > caps[j] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					bestC, bestCW = c, sc
+				}
+			}
+		}
+		if bestC != -1 {
+			join(v, bestC)
+			continue
+		}
+		// No joinable adjacent cluster: seed a new one. The partner choice
+		// is what decides whether the seed respects community structure, and
+		// a bare edge weight carries no signal on a unit-weight level — so
+		// score partners by edge weight plus shared-neighbor weight, exactly
+		// as MatchOptions.CommonNeighbors does for matchings.
+		vLight := cmap[v] == freeLight
+		freeCand = freeCand[:0]
+		for i, u := range ns {
+			if int(u) == v || cmap[u] >= 0 {
+				continue
+			}
+			if (vLight && cmap[u] == freeLight) || pairFits(v, u) {
+				freeCand = append(freeCand, int32(i))
+			}
+		}
+		bestFree, bestFreeW := int32(-1), 0.0
+		if len(freeCand) > 0 {
+			// Scoring every candidate costs deg² per seed; the first dozen
+			// (in adjacency order, deterministic) carry plenty of signal.
+			if len(freeCand) > 12 {
+				freeCand = freeCand[:12]
+			}
+			scorer.begin(ns, ews, epoch)
+			for _, i := range freeCand {
+				u := ns[i]
+				w := 1.0
+				if ews != nil {
+					w = ews[i]
+				}
+				w = scorer.score(g, u, w, epoch)
+				if w > bestFreeW {
+					bestFree, bestFreeW = u, w
+				}
+			}
+		}
+		if bestFree != -1 {
+			c := newCluster(v)
+			cmap[v] = c
+			join(int(bestFree), c)
+		} else {
+			cmap[v] = newCluster(v)
+		}
+	}
+
+	// Renumber clusters in first-appearance order of fine ids: coarse ids
+	// then correlate with fine id ranges, which keeps the contraction's
+	// member walk and the coarse CSR cache-friendly. Purely a relabeling —
+	// deterministic and independent of the worker count.
+	cn := clusters
+	renum := make([]int32, cn)
+	for i := range renum {
+		renum[i] = -1
+	}
+	next := int32(0)
+	for v := 0; v < n; v++ {
+		if c := cmap[v]; renum[c] == -1 {
+			renum[c] = next
+			next++
+		}
+	}
+	for v := 0; v < n; v++ {
+		cmap[v] = renum[cmap[v]]
+	}
+	return Contract(g, cmap, cn, pool), cmap
+}
+
+// HierarchyOptions bounds a coarsening hierarchy.
+type HierarchyOptions struct {
+	// CoarsenTo stops coarsening once a level has at most this many vertices
+	// (default 160, METIS's grain).
+	CoarsenTo int
+	// MaxLevels bounds the number of coarse levels built (0 = unlimited).
+	MaxLevels int
+	// StallRatio aborts when a level shrinks to more than this fraction of
+	// its parent — the matching has stalled (default 0.95).
+	StallRatio float64
+	// EdgeStallRatio, when in (0, 1), additionally aborts once a level keeps
+	// more than this fraction of its parent's arcs: contraction is no longer
+	// absorbing edge weight, so further levels just get denser and harder
+	// (near-complete weighted graphs) without getting cheaper. The V-cycle
+	// uses this to stop where coarsening stops paying; 0 disables the check
+	// (the METIS comparator coarsens to its vertex threshold regardless).
+	EdgeStallRatio float64
+	// Match tunes the per-level matching (ignored when Clusters is set).
+	Match MatchOptions
+	// Clusters selects greedy cluster coarsening instead of pair matching:
+	// ~3× fewer levels, implicitly community-aware. The METIS comparator
+	// keeps classic matching; the GD V-cycle uses clusters.
+	Clusters bool
+	// Cluster tunes cluster coarsening when Clusters is set.
+	Cluster ClusterOptions
+}
+
+func (o *HierarchyOptions) normalize() {
+	if o.CoarsenTo <= 0 {
+		o.CoarsenTo = 160
+	}
+	if o.StallRatio <= 0 || o.StallRatio >= 1 {
+		o.StallRatio = 0.95
+	}
+}
+
+// Hierarchy repeatedly coarsens g0 until the options say stop. It returns
+// all levels finest-first (levels[0] == g0) and the fine→coarse maps
+// (cmaps[i] maps levels[i] vertices to levels[i+1] vertices). The rng drives
+// one matching per level; determinism follows from Coarsen's contract.
+func Hierarchy(g0 *Graph, opt HierarchyOptions, rng *rand.Rand, pool *vecmath.Pool) (levels []*Graph, cmaps [][]int32) {
+	opt.normalize()
+	if opt.Clusters && opt.Cluster.Caps == nil {
+		// Anchor cluster caps at the finest level so deeper levels cannot
+		// re-grow clusters by the same relative factor (see ClusterOptions).
+		opt.Cluster.normalize()
+		opt.Cluster.Caps = ClusterCaps(g0, opt.Cluster.MaxClusterVertices)
+	}
+	levels = append(levels, g0)
+	level := g0
+	for level.N() > opt.CoarsenTo {
+		if opt.MaxLevels > 0 && len(levels) > opt.MaxLevels {
+			break
+		}
+		var coarse *Graph
+		var cmap []int32
+		if opt.Clusters {
+			coarse, cmap = CoarsenClusters(level, opt.Cluster, rng, pool)
+		} else {
+			coarse, cmap = Coarsen(level, opt.Match, rng, pool)
+		}
+		if float64(coarse.N()) >= float64(level.N())*opt.StallRatio {
+			break
+		}
+		if opt.EdgeStallRatio > 0 && opt.EdgeStallRatio < 1 &&
+			float64(len(coarse.Adj)) >= float64(len(level.Adj))*opt.EdgeStallRatio {
+			break
+		}
+		levels = append(levels, coarse)
+		cmaps = append(cmaps, cmap)
+		level = coarse
+	}
+	return levels, cmaps
+}

@@ -1,0 +1,199 @@
+package coarsen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mdbgp/internal/gen"
+	"mdbgp/internal/vecmath"
+	"mdbgp/internal/weights"
+)
+
+func TestBuildMergesDuplicates(t *testing.T) {
+	vw := [][]float64{{1, 1, 1}}
+	triples := []Triple{
+		{0, 1, 1}, {1, 0, 1},
+		{0, 1, 2}, {1, 0, 2}, // duplicate edge: weights sum
+		{1, 2, 1}, {2, 1, 1},
+		{2, 2, 5}, // self loop dropped
+	}
+	g := Build(3, triples, vw)
+	ns, ws := g.Neighbors(0)
+	if len(ns) != 1 || ns[0] != 1 || ws[0] != 3 {
+		t.Fatalf("vertex 0: ns=%v ws=%v", ns, ws)
+	}
+	ns, _ = g.Neighbors(2)
+	if len(ns) != 1 || ns[0] != 1 {
+		t.Fatalf("self loop not dropped: %v", ns)
+	}
+}
+
+func TestWrapMatchesFromGraph(t *testing.T) {
+	g := gen.Grid(8, 8, false)
+	ws, _ := weights.Standard(g, 2)
+	wrapped := Wrap(g, ws)
+	copied := FromGraph(g, ws)
+	if wrapped.N() != copied.N() || wrapped.TotalEdgeWeight() != copied.TotalEdgeWeight() {
+		t.Fatalf("wrap/copy mismatch: n %d/%d, W %g/%g",
+			wrapped.N(), copied.N(), wrapped.TotalEdgeWeight(), copied.TotalEdgeWeight())
+	}
+	side := make([]int8, g.N())
+	for v := range side {
+		side[v] = int8(1 - 2*(v%2))
+	}
+	if a, b := wrapped.Cut(side), copied.Cut(side); a != b {
+		t.Fatalf("cut mismatch: wrap %g, copy %g", a, b)
+	}
+	for v := 0; v < g.N(); v++ {
+		ns, ews := wrapped.Neighbors(v)
+		if ews != nil {
+			t.Fatal("wrapped graph should report nil edge weights")
+		}
+		ns2, ews2 := copied.Neighbors(v)
+		if len(ns) != len(ns2) || len(ews2) != len(ns2) {
+			t.Fatalf("vertex %d adjacency mismatch", v)
+		}
+	}
+}
+
+func TestCoarsenHalvesAndConserves(t *testing.T) {
+	g := gen.Grid(20, 20, false)
+	ws, _ := weights.Standard(g, 2)
+	lvl := FromGraph(g, ws)
+	rng := rand.New(rand.NewSource(1))
+	coarse, cmap := Coarsen(lvl, MatchOptions{}, rng, nil)
+	if coarse.N() >= lvl.N() {
+		t.Fatalf("coarsening did not shrink: %d -> %d", lvl.N(), coarse.N())
+	}
+	if coarse.N() < lvl.N()/2 {
+		t.Fatalf("matching contracted more than pairs: %d -> %d", lvl.N(), coarse.N())
+	}
+	assertConserved(t, lvl, coarse, cmap)
+	for v, c := range cmap {
+		if c < 0 || int(c) >= coarse.N() {
+			t.Fatalf("bad cmap[%d]=%d", v, c)
+		}
+	}
+}
+
+// assertConserved checks the two coarsening invariants: per-dimension vertex
+// weight totals are preserved exactly, and edge weight is conserved in the
+// cut sense — the coarse total equals the weight of fine edges whose
+// endpoints were not merged (contracted edges vanish into vertices; they can
+// never be cut again).
+func assertConserved(t *testing.T, fine, coarse *Graph, cmap []int32) {
+	t.Helper()
+	ft, ct := fine.Totals(), coarse.Totals()
+	for j := range ft {
+		if math.Abs(ft[j]-ct[j]) > 1e-9*math.Max(1, math.Abs(ft[j])) {
+			t.Fatalf("dim %d: vertex weight not conserved: fine %g coarse %g", j, ft[j], ct[j])
+		}
+	}
+	crossing := 0.0
+	for v := 0; v < fine.N(); v++ {
+		ns, ews := fine.Neighbors(v)
+		for i, u := range ns {
+			if int(u) > v && cmap[u] != cmap[v] {
+				if ews == nil {
+					crossing++
+				} else {
+					crossing += ews[i]
+				}
+			}
+		}
+	}
+	if got := coarse.TotalEdgeWeight(); math.Abs(got-crossing) > 1e-6*math.Max(1, crossing) {
+		t.Fatalf("edge weight not conserved: coarse total %g, fine crossing weight %g", got, crossing)
+	}
+}
+
+func TestCoarsenPreservesCuts(t *testing.T) {
+	g, _ := gen.SBM(gen.SBMConfig{N: 2000, Communities: 4, AvgDegree: 10, InFraction: 0.8, DegreeExponent: 2, Seed: 3})
+	ws, _ := weights.Standard(g, 2)
+	lvl := Wrap(g, ws)
+	rng := rand.New(rand.NewSource(4))
+	coarse, cmap := Coarsen(lvl, MatchOptions{}, rng, nil)
+	assertConserved(t, lvl, coarse, cmap)
+
+	// Any coarse bisection lifted through cmap has exactly the same cut
+	// weight on the fine graph.
+	cside := make([]int8, coarse.N())
+	r := rand.New(rand.NewSource(5))
+	for c := range cside {
+		cside[c] = int8(1 - 2*r.Intn(2))
+	}
+	fside := make([]int8, lvl.N())
+	for v := range fside {
+		fside[v] = cside[cmap[v]]
+	}
+	if cc, fc := coarse.Cut(cside), lvl.Cut(fside); math.Abs(cc-fc) > 1e-6 {
+		t.Fatalf("lifted cut mismatch: coarse %g, fine %g", cc, fc)
+	}
+}
+
+func TestCoarsenDeterministicAcrossWorkers(t *testing.T) {
+	g, _ := gen.SBM(gen.SBMConfig{N: 9000, Communities: 3, AvgDegree: 12, InFraction: 0.7, DegreeExponent: 2, Seed: 6})
+	ws, _ := weights.Standard(g, 2)
+	lvl := Wrap(g, ws)
+	ref, refMap := Coarsen(lvl, MatchOptions{CommonNeighbors: true}, rand.New(rand.NewSource(7)), vecmath.NewPool(1))
+	for _, workers := range []int{2, 8} {
+		got, gotMap := Coarsen(lvl, MatchOptions{CommonNeighbors: true}, rand.New(rand.NewSource(7)), vecmath.NewPool(workers))
+		if got.N() != ref.N() {
+			t.Fatalf("workers=%d: n %d, want %d", workers, got.N(), ref.N())
+		}
+		for v := range refMap {
+			if refMap[v] != gotMap[v] {
+				t.Fatalf("workers=%d: cmap[%d] = %d, want %d", workers, v, gotMap[v], refMap[v])
+			}
+		}
+		for i := range ref.Offsets {
+			if ref.Offsets[i] != got.Offsets[i] {
+				t.Fatalf("workers=%d: offsets[%d] differ", workers, i)
+			}
+		}
+		for i := range ref.Adj {
+			if ref.Adj[i] != got.Adj[i] || ref.EW[i] != got.EW[i] {
+				t.Fatalf("workers=%d: arc %d differs (not bit-identical)", workers, i)
+			}
+		}
+		for j := range ref.VW {
+			for v := range ref.VW[j] {
+				if ref.VW[j][v] != got.VW[j][v] {
+					t.Fatalf("workers=%d: vw[%d][%d] differs", workers, j, v)
+				}
+			}
+		}
+	}
+}
+
+func TestHierarchyInvariants(t *testing.T) {
+	g, _ := gen.SBM(gen.SBMConfig{N: 6000, Communities: 4, AvgDegree: 14, InFraction: 0.75, DegreeExponent: 2.2, Seed: 8})
+	ws, _ := weights.Standard(g, 3)
+	levels, cmaps := Hierarchy(Wrap(g, ws), HierarchyOptions{CoarsenTo: 200}, rand.New(rand.NewSource(9)), nil)
+	if len(levels) < 3 {
+		t.Fatalf("expected a real hierarchy, got %d levels", len(levels))
+	}
+	if len(cmaps) != len(levels)-1 {
+		t.Fatalf("cmaps %d, levels %d", len(cmaps), len(levels))
+	}
+	for i := 0; i+1 < len(levels); i++ {
+		if levels[i+1].N() >= levels[i].N() {
+			t.Fatalf("level %d did not shrink: %d -> %d", i, levels[i].N(), levels[i+1].N())
+		}
+		assertConserved(t, levels[i], levels[i+1], cmaps[i])
+	}
+	if last := levels[len(levels)-1].N(); last > 6000 {
+		t.Fatalf("coarsest level too large: %d", last)
+	}
+}
+
+func TestHierarchyRespectsCoarsenTo(t *testing.T) {
+	g := gen.Grid(40, 40, false)
+	ws, _ := weights.Standard(g, 1)
+	levels, _ := Hierarchy(Wrap(g, ws), HierarchyOptions{CoarsenTo: 1200}, rand.New(rand.NewSource(10)), nil)
+	if coarsest := levels[len(levels)-1].N(); coarsest > 1200 {
+		// One level above the threshold is allowed to stop only on stall.
+		t.Fatalf("coarsest %d > CoarsenTo 1200 without stall", coarsest)
+	}
+}

@@ -1,0 +1,201 @@
+// Package coarsen provides the shared weighted-graph representation and
+// heavy-edge matching coarsening used across multilevel partitioners: the
+// METIS-style comparator (internal/metis) and the multilevel GD V-cycle
+// (internal/multilevel) both contract the same hierarchy.
+//
+// A Graph carries multi-dimensional vertex weights (one vector per balance
+// constraint) and per-arc edge weights that accumulate contracted
+// multi-edges across levels, so every coarse level remains a faithful
+// instance of the multi-dimensional balanced partitioning problem: vertex
+// weight totals are preserved per dimension, and the weight of any coarse
+// cut equals the weight of the corresponding fine cut.
+package coarsen
+
+import (
+	"sort"
+
+	"mdbgp/internal/graph"
+)
+
+// Graph is a weighted graph in CSR form used across a multilevel hierarchy.
+// Fields are exported for zero-cost access by the GD kernels; treat them as
+// read-only after construction.
+type Graph struct {
+	// Offsets has length N()+1; the arcs of v are Adj[Offsets[v]:Offsets[v+1]].
+	Offsets []int64
+	// Adj holds neighbor ids; every undirected edge appears twice. Graphs
+	// produced by Wrap, FromGraph and Build have sorted rows; Contract
+	// emits rows in deterministic first-touch order instead (nothing in the
+	// multilevel pipeline needs sorted coarse rows, and the per-row sort is
+	// a double-digit share of contraction time) — do not binary-search or
+	// merge-join adjacency on a contracted level.
+	Adj []int32
+	// EW holds per-arc edge weights aligned with Adj. nil means every arc has
+	// weight 1 (the zero-copy wrap of an unweighted level-0 graph).
+	EW []float64
+	// VW[j][v] is the weight of vertex v in balance dimension j.
+	VW [][]float64
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int {
+	if len(g.Offsets) == 0 {
+		return 0
+	}
+	return len(g.Offsets) - 1
+}
+
+// Neighbors returns the adjacency of v and the aligned edge weights. The
+// weight slice is nil for unit-weight graphs (see EW); callers on hot paths
+// should branch once on nil rather than materializing ones.
+func (g *Graph) Neighbors(v int) ([]int32, []float64) {
+	lo, hi := g.Offsets[v], g.Offsets[v+1]
+	if g.EW == nil {
+		return g.Adj[lo:hi], nil
+	}
+	return g.Adj[lo:hi], g.EW[lo:hi]
+}
+
+// Totals returns the per-dimension vertex weight sums.
+func (g *Graph) Totals() []float64 {
+	out := make([]float64, len(g.VW))
+	for j, w := range g.VW {
+		for _, x := range w {
+			out[j] += x
+		}
+	}
+	return out
+}
+
+// TotalEdgeWeight returns the summed weight of all undirected edges.
+func (g *Graph) TotalEdgeWeight() float64 {
+	if g.EW == nil {
+		return float64(len(g.Adj)) / 2
+	}
+	s := 0.0
+	for _, w := range g.EW {
+		s += w
+	}
+	return s / 2
+}
+
+// Cut returns the total weight of edges crossing the bisection given by
+// side (two distinct labels, e.g. ±1).
+func (g *Graph) Cut(side []int8) float64 {
+	c := 0.0
+	for v := 0; v < g.N(); v++ {
+		ns, ws := g.Neighbors(v)
+		for i, u := range ns {
+			if int(u) > v && side[u] != side[v] {
+				if ws == nil {
+					c++
+				} else {
+					c += ws[i]
+				}
+			}
+		}
+	}
+	return c
+}
+
+// Wrap views an unweighted CSR graph as a unit-edge-weight Graph without
+// copying: Adj and Offsets alias g's storage and EW stays nil, so the GD
+// kernels keep their unweighted fast path on level 0.
+func Wrap(g *graph.Graph, vw [][]float64) *Graph {
+	offsets, adj := g.CSR()
+	return &Graph{Offsets: offsets, Adj: adj, VW: vw}
+}
+
+// FromGraph copies an unweighted CSR graph into a Graph with materialized
+// unit edge weights, for consumers that index edge weights unconditionally
+// (the METIS-style FM refinement).
+func FromGraph(g *graph.Graph, vw [][]float64) *Graph {
+	offsets, adj := g.CSR()
+	ew := make([]float64, len(adj))
+	for i := range ew {
+		ew[i] = 1
+	}
+	return &Graph{Offsets: offsets, Adj: adj, EW: ew, VW: vw}
+}
+
+// Triple is a directed weighted edge used while assembling a Graph.
+type Triple struct {
+	U, V int32
+	W    float64
+}
+
+// Build assembles a Graph from directed triples (both directions must be
+// present), merging duplicate arcs by summing weights and dropping self
+// loops. Rows come out sorted, matching the canonical CSR invariants.
+func Build(n int, triples []Triple, vw [][]float64) *Graph {
+	counts := make([]int64, n+1)
+	for _, t := range triples {
+		if t.U != t.V {
+			counts[t.U+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		counts[i+1] += counts[i]
+	}
+	adj := make([]int32, counts[n])
+	ew := make([]float64, counts[n])
+	cursor := make([]int64, n)
+	copy(cursor, counts[:n])
+	for _, t := range triples {
+		if t.U == t.V {
+			continue
+		}
+		adj[cursor[t.U]] = t.V
+		ew[cursor[t.U]] = t.W
+		cursor[t.U]++
+	}
+	offsets := make([]int64, n+1)
+	out := int64(0)
+	var row []arc
+	for v := 0; v < n; v++ {
+		row = row[:0]
+		for i := counts[v]; i < counts[v+1]; i++ {
+			row = append(row, arc{adj[i], ew[i]})
+		}
+		sortArcs(row)
+		offsets[v] = out
+		for i := 0; i < len(row); {
+			j := i
+			sum := 0.0
+			for j < len(row) && row[j].v == row[i].v {
+				sum += row[j].w
+				j++
+			}
+			adj[out] = row[i].v
+			ew[out] = sum
+			out++
+			i = j
+		}
+	}
+	offsets[n] = out
+	return &Graph{Offsets: offsets, Adj: adj[:out:out], EW: ew[:out:out], VW: vw}
+}
+
+// arc is one (neighbor, weight) adjacency entry during row assembly.
+type arc struct {
+	v int32
+	w float64
+}
+
+// sortArcs orders a row by neighbor id with a stable sort, so duplicate arcs
+// are summed in their gather order regardless of row length or worker count.
+func sortArcs(row []arc) {
+	if len(row) < 24 {
+		for i := 1; i < len(row); i++ {
+			x := row[i]
+			j := i - 1
+			for j >= 0 && row[j].v > x.v {
+				row[j+1] = row[j]
+				j--
+			}
+			row[j+1] = x
+		}
+		return
+	}
+	sort.SliceStable(row, func(a, b int) bool { return row[a].v < row[b].v })
+}

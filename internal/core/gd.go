@@ -18,6 +18,7 @@ import (
 	"math"
 	"math/rand"
 
+	"mdbgp/internal/coarsen"
 	"mdbgp/internal/graph"
 	"mdbgp/internal/partition"
 	"mdbgp/internal/project"
@@ -67,6 +68,11 @@ type Options struct {
 	// rounding until every dimension is within ε (the paper notes residual
 	// rounding imbalance is "fixed in the end", Figure 9).
 	RepairBalance bool
+	// WarmStart, when non-nil, initializes the fractional solution x instead
+	// of the origin (values are clamped into [-1, 1]) and suppresses the
+	// t = 0 Gaussian noise — the multilevel V-cycle prolongates each coarse
+	// solution through this field. Must have length n when set.
+	WarmStart []float64
 	// Trace, when set, receives per-iteration statistics (costs one extra
 	// SpMV per iteration).
 	Trace func(IterStats)
@@ -142,38 +148,98 @@ type Result struct {
 }
 
 // Bisect partitions g into two sides with per-dimension weight targets
-// (α, 1−α)·W ± ε·W/2 while maximizing edge locality.
+// (α, 1−α)·W ± ε·W/2 while maximizing edge locality. It is the unit-edge-
+// weight case of BisectWeighted (the wrap is zero-copy and keeps the
+// unweighted SpMV fast path).
 func Bisect(g *graph.Graph, ws [][]float64, opt Options) (*Result, error) {
+	return BisectWeighted(coarsen.Wrap(g, ws), opt)
+}
+
+// BisectWeighted runs the full GD bisection — gradient ascent, randomized
+// rounding, balance repair — on an edge-weighted graph. Coarse levels of a
+// multilevel hierarchy are first-class inputs: the gradient is the weighted
+// SpMV A_w·x and the objective is the expected uncut edge WEIGHT, so
+// optimizing a coarse level optimizes exactly the fine-graph objective
+// restricted to the surviving edges.
+func BisectWeighted(wg *coarsen.Graph, opt Options) (*Result, error) {
 	opt.normalize()
-	n := g.N()
-	if err := checkWeights(n, ws); err != nil {
+	n := wg.N()
+	if err := checkWeights(n, wg.VW); err != nil {
 		return nil, err
 	}
 	if n == 0 {
 		return &Result{X: nil, Assignment: partition.NewAssignment(0, 2)}, nil
 	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	x, fixed, itersRun, targets, halves, totals, err := optimize(wg, opt, rng)
+	if err != nil {
+		return nil, err
+	}
+	side := roundSides(x, fixed, rng)
+	moves := 0
+	if opt.RepairBalance {
+		moves = repairBalance(wg, side, x, targets, halves, totals, rng)
+	}
+	asgn := partition.NewAssignment(n, 2)
+	for i, sd := range side {
+		if sd < 0 {
+			asgn.Parts[i] = 1
+		}
+		x[i] = float64(sd)
+	}
+	return &Result{X: x, Assignment: asgn, Iterations: itersRun, RepairMoves: moves}, nil
+}
+
+// OptimizeWeighted runs only the projected gradient ascent and returns the
+// FRACTIONAL solution (fixed coordinates are exactly ±1, free ones lie in
+// [-1, 1]) together with the iteration count. The multilevel V-cycle uses it
+// on every level except the finest, where BisectWeighted performs the final
+// rounding and repair.
+func OptimizeWeighted(wg *coarsen.Graph, opt Options) ([]float64, int, error) {
+	opt.normalize()
+	if err := checkWeights(wg.N(), wg.VW); err != nil {
+		return nil, 0, err
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	x, _, iters, _, _, _, err := optimize(wg, opt, rng)
+	return x, iters, err
+}
+
+// optimize is the shared gradient loop of Algorithm 1. opt must already be
+// normalized; rng carries the caller's stream so rounding continues it.
+func optimize(wg *coarsen.Graph, opt Options, rng *rand.Rand) (xOut []float64, fixedOut []bool, itersRun int, targets, halves, totals []float64, err error) {
+	n := wg.N()
+	ws := wg.VW
 	pool := vecmath.NewPool(opt.Workers)
 	if opt.Projection.Workers == 0 {
 		opt.Projection.Workers = opt.Workers
 	}
 
 	d := len(ws)
-	totals := make([]float64, d)
+	totals = make([]float64, d)
 	for j, w := range ws {
 		for _, v := range w {
 			totals[j] += v
 		}
 	}
 	s := 2*opt.TargetFraction - 1
-	targets := make([]float64, d) // slab centers: Σ w x = s·W
-	halves := make([]float64, d)  // slab half-widths: ε·W
+	targets = make([]float64, d) // slab centers: Σ w x = s·W
+	halves = make([]float64, d)  // slab half-widths: ε·W
 	for j := range targets {
 		targets[j] = s * totals[j]
 		halves[j] = opt.Epsilon * totals[j]
 	}
 
-	rng := rand.New(rand.NewSource(opt.Seed))
 	x := make([]float64, n)
+	if opt.WarmStart != nil {
+		if len(opt.WarmStart) != n {
+			return nil, nil, 0, nil, nil, nil,
+				fmt.Errorf("core: warm start length %d, graph has %d vertices", len(opt.WarmStart), n)
+		}
+		for i, v := range opt.WarmStart {
+			x[i] = vecmath.ClampVal(v)
+		}
+	}
 	z := make([]float64, n)
 	grad := make([]float64, n)
 	fixed := make([]bool, n)
@@ -195,7 +261,6 @@ func Bisect(g *graph.Graph, ws [][]float64, opt Options) (*Result, error) {
 	L := opt.StepLength * math.Sqrt(float64(n)) / float64(opt.Iterations)
 	gammaFrozen := opt.FixedGamma
 	var st project.State
-	itersRun := 0
 
 	for t := 0; t < opt.Iterations; t++ {
 		if fixedCount == n {
@@ -204,7 +269,7 @@ func Bisect(g *graph.Graph, ws [][]float64, opt Options) (*Result, error) {
 		itersRun++
 
 		copy(z, x)
-		if t == 0 {
+		if t == 0 && opt.WarmStart == nil {
 			for i := 0; i < n; i++ {
 				if !fixed[i] {
 					z[i] += rng.NormFloat64() * opt.NoiseScale
@@ -212,7 +277,7 @@ func Bisect(g *graph.Graph, ws [][]float64, opt Options) (*Result, error) {
 			}
 		}
 
-		vecmath.SpMVMaskedPool(g, z, grad, fixed, pool)
+		vecmath.SpMVWeightedMaskedPool(wg.Offsets, wg.Adj, wg.EW, z, grad, fixed, pool)
 		maskedNormSq := func() float64 {
 			return pool.ReduceSum(n, func(lo, hi int) float64 {
 				s := 0.0
@@ -290,7 +355,8 @@ func Bisect(g *graph.Graph, ws [][]float64, opt Options) (*Result, error) {
 				}
 			})
 			if err := project.Project(xF[:nf], yF[:nf], cons, opt.Projection, &st); err != nil {
-				return nil, fmt.Errorf("core: projection failed at iteration %d: %w", t, err)
+				return nil, nil, 0, nil, nil, nil,
+					fmt.Errorf("core: projection failed at iteration %d: %w", t, err)
 			}
 			stepNorm = math.Sqrt(pool.ReduceSum(nf, func(lo, hi int) float64 {
 				s := 0.0
@@ -300,7 +366,13 @@ func Bisect(g *graph.Graph, ws [][]float64, opt Options) (*Result, error) {
 				}
 				return s
 			}))
-			if !opt.Adaptive || stepNorm >= L/2 || attempt >= 3 {
+			// The doubling loop enforces minimum per-iteration progress so a
+			// cold start escapes the flat region around the origin (§3.2).
+			// A warm-started refinement is the opposite situation: it is
+			// already near a good solution, and forcing L/2 of movement onto
+			// the few coordinates the warm start left free just jolts them
+			// off it — so refinement takes the plain projected step.
+			if !opt.Adaptive || opt.WarmStart != nil || stepNorm >= L/2 || attempt >= 3 {
 				break
 			}
 			gamma *= 2
@@ -333,7 +405,7 @@ func Bisect(g *graph.Graph, ws [][]float64, opt Options) (*Result, error) {
 		if opt.Trace != nil {
 			opt.Trace(IterStats{
 				Iter:             t,
-				ExpectedLocality: vecmath.ExpectedLocality(g, x),
+				ExpectedLocality: vecmath.ExpectedLocalityWeighted(wg.Offsets, wg.Adj, wg.EW, x),
 				MaxImbalance:     fracImbalance(x, ws, totals, targets),
 				Fixed:            fixedCount,
 				Gamma:            gamma,
@@ -342,19 +414,7 @@ func Bisect(g *graph.Graph, ws [][]float64, opt Options) (*Result, error) {
 		}
 	}
 
-	side := roundSides(x, fixed, rng)
-	moves := 0
-	if opt.RepairBalance {
-		moves = repairBalance(g, ws, side, x, targets, halves, totals, rng)
-	}
-	asgn := partition.NewAssignment(n, 2)
-	for i, sd := range side {
-		if sd < 0 {
-			asgn.Parts[i] = 1
-		}
-		x[i] = float64(sd)
-	}
-	return &Result{X: x, Assignment: asgn, Iterations: itersRun, RepairMoves: moves}, nil
+	return x, fixed, itersRun, targets, halves, totals, nil
 }
 
 // roundSides applies the randomized rounding of §2: side +1 with probability

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"mdbgp/internal/coarsen"
 	"mdbgp/internal/gen"
 	"mdbgp/internal/graph"
 	"mdbgp/internal/partition"
@@ -344,7 +345,7 @@ func TestRepairBalanceDirect(t *testing.T) {
 	targets := []float64{0, 0}
 	halves := []float64{0.05 * totals[0], 0.05 * totals[1]}
 	rng := rand.New(rand.NewSource(23))
-	moves := repairBalance(g, ws, side, x, targets, halves, totals, rng)
+	moves := repairBalance(coarsen.Wrap(g, ws), side, x, targets, halves, totals, rng)
 	if moves == 0 {
 		t.Fatal("repair did nothing on an all-ones assignment")
 	}
@@ -367,7 +368,7 @@ func TestRepairBalanceUnattainableTerminates(t *testing.T) {
 	side := []int8{1, 1, 1}
 	x := make([]float64, 3)
 	rng := rand.New(rand.NewSource(24))
-	repairBalance(g, ws, side, x, []float64{0}, []float64{0.3}, []float64{30}, rng)
+	repairBalance(coarsen.Wrap(g, ws), side, x, []float64{0}, []float64{0.3}, []float64{30}, rng)
 	// No assertion on balance — only termination (the test would time out
 	// otherwise) and validity of sides.
 	for _, s := range side {

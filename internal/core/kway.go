@@ -22,6 +22,18 @@ import (
 // disjoint entries of the assignment, so the result is identical to the
 // serial recursion.
 func PartitionK(g *graph.Graph, ws [][]float64, k int, opt Options) (*partition.Assignment, error) {
+	return PartitionKWith(g, ws, k, opt, Bisect)
+}
+
+// BisectFunc computes one 2-way split during recursive k-way partitioning.
+// Implementations must honor opt.Seed, opt.Workers and opt.TargetFraction
+// the way Bisect does; the multilevel driver plugs its V-cycle in here.
+type BisectFunc func(g *graph.Graph, ws [][]float64, opt Options) (*Result, error)
+
+// PartitionKWith is PartitionK with a pluggable bisection: the same ε
+// budgeting, seed derivation and concurrent sibling recursion, but each
+// 2-way split delegated to bisect.
+func PartitionKWith(g *graph.Graph, ws [][]float64, k int, opt Options, bisect BisectFunc) (*partition.Assignment, error) {
 	opt.normalize()
 	if k <= 0 {
 		return nil, fmt.Errorf("core: k = %d, want >= 1", k)
@@ -56,7 +68,7 @@ func PartitionK(g *graph.Graph, ws [][]float64, k int, opt Options) (*partition.
 		// at most `workers` concurrent branches.
 		sem = make(chan struct{}, opt.Workers-1)
 	}
-	if err := recurse(g, ws, ids, k, 0, opt, asgn, sem); err != nil {
+	if err := recurse(g, ws, ids, k, 0, opt, asgn, sem, bisect); err != nil {
 		return nil, err
 	}
 	return asgn, nil
@@ -64,7 +76,7 @@ func PartitionK(g *graph.Graph, ws [][]float64, k int, opt Options) (*partition.
 
 // recurse bisects sub (whose local vertex i is global ids[i]) into k parts
 // labeled base..base+k−1 in asgn.
-func recurse(sub *graph.Graph, ws [][]float64, ids []int32, k, base int, opt Options, asgn *partition.Assignment, sem chan struct{}) error {
+func recurse(sub *graph.Graph, ws [][]float64, ids []int32, k, base int, opt Options, asgn *partition.Assignment, sem chan struct{}, bisect BisectFunc) error {
 	if k == 1 {
 		for _, id := range ids {
 			asgn.Parts[id] = int32(base)
@@ -74,7 +86,7 @@ func recurse(sub *graph.Graph, ws [][]float64, ids []int32, k, base int, opt Opt
 	k1 := (k + 1) / 2
 	o := opt
 	o.TargetFraction = float64(k1) / float64(k)
-	res, err := Bisect(sub, ws, o)
+	res, err := bisect(sub, ws, o)
 	if err != nil {
 		return err
 	}
@@ -127,9 +139,9 @@ func recurse(sub *graph.Graph, ws [][]float64, ids []int32, k, base int, opt Opt
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
-				errLeft = recurse(leftG, leftWs, leftIDs, k1, base, oLeft, asgn, sem)
+				errLeft = recurse(leftG, leftWs, leftIDs, k1, base, oLeft, asgn, sem, bisect)
 			}()
-			errRight := recurse(rightG, rightWs, rightIDs, k-k1, base+k1, oRight, asgn, sem)
+			errRight := recurse(rightG, rightWs, rightIDs, k-k1, base+k1, oRight, asgn, sem, bisect)
 			wg.Wait()
 			if errLeft != nil {
 				return errLeft
@@ -138,10 +150,10 @@ func recurse(sub *graph.Graph, ws [][]float64, ids []int32, k, base int, opt Opt
 		default:
 		}
 	}
-	if err := recurse(leftG, leftWs, leftIDs, k1, base, oLeft, asgn, sem); err != nil {
+	if err := recurse(leftG, leftWs, leftIDs, k1, base, oLeft, asgn, sem, bisect); err != nil {
 		return err
 	}
-	return recurse(rightG, rightWs, rightIDs, k-k1, base+k1, oRight, asgn, sem)
+	return recurse(rightG, rightWs, rightIDs, k-k1, base+k1, oRight, asgn, sem, bisect)
 }
 
 func restrictWeights(ws [][]float64, local []int32) [][]float64 {

@@ -4,20 +4,22 @@ import (
 	"math"
 	"math/rand"
 
-	"mdbgp/internal/graph"
+	"mdbgp/internal/coarsen"
 )
 
 // repairBalance greedily restores ε-balance after randomized rounding. It
 // repeatedly picks the dimension with the worst relative violation and moves
 // one vertex from its heavy side, choosing the move that (a) strictly
 // reduces the maximum violation across all dimensions and (b) among those,
-// does the least locality damage, preferring vertices whose fractional
+// does the least locality damage (in edge WEIGHT, so coarse levels count
+// their accumulated multi-edges), preferring vertices whose fractional
 // value was most uncertain. Max-violation decreases strictly every move, so
 // the loop terminates; a move cap guards degenerate instances where ε-balance
 // is unattainable (e.g. a vertex heavier than ε·W).
-func repairBalance(g *graph.Graph, ws [][]float64, side []int8, x []float64,
+func repairBalance(wg *coarsen.Graph, side []int8, x []float64,
 	targets, halves, totals []float64, rng *rand.Rand) int {
 
+	ws := wg.VW
 	n := len(side)
 	d := len(ws)
 	if n == 0 {
@@ -46,13 +48,18 @@ func repairBalance(g *graph.Graph, ws [][]float64, side []int8, x []float64,
 		return worst, worstJ
 	}
 
-	damage := func(v int) int {
-		same, other := 0, 0
-		for _, u := range g.Neighbors(v) {
+	damage := func(v int) float64 {
+		same, other := 0.0, 0.0
+		ns, ews := wg.Neighbors(v)
+		for i, u := range ns {
+			w := 1.0
+			if ews != nil {
+				w = ews[i]
+			}
 			if side[u] == side[v] {
-				same++
+				same += w
 			} else {
-				other++
+				other += w
 			}
 		}
 		return same - other
@@ -88,7 +95,7 @@ func repairBalance(g *graph.Graph, ws [][]float64, side []int8, x []float64,
 
 		// Candidate pool: random sample on the heavy side; full scan for
 		// small graphs or when sampling comes up empty.
-		best, bestDamage := -1, 0
+		best, bestDamage := -1, 0.0
 		bestViol := cur
 		consider := func(v int) {
 			if side[v] != heavy {

@@ -9,6 +9,7 @@ import (
 	"mdbgp/internal/baselines"
 	"mdbgp/internal/core"
 	"mdbgp/internal/graph"
+	"mdbgp/internal/multilevel"
 	"mdbgp/internal/partition"
 	"mdbgp/internal/weights"
 )
@@ -28,6 +29,9 @@ type Context struct {
 	// GOMAXPROCS, 1 forces the serial path. Partitions are seed-
 	// deterministic regardless, so cached results stay comparable.
 	Parallelism int
+	// Multilevel routes every GD partition through the V-cycle multilevel
+	// path (multilevel.PartitionK) instead of direct recursive GD.
+	Multilevel bool
 
 	graphs map[string]*graph.Graph
 	parts  map[string]*partition.Assignment
@@ -120,9 +124,14 @@ func (c *Context) GDOptions() core.Options {
 	return opt
 }
 
-// GDPartition runs (and caches) GD with the given balance mode and k.
+// GDPartition runs (and caches) GD with the given balance mode and k,
+// routed through the multilevel V-cycle when c.Multilevel is set.
 func (c *Context) GDPartition(name, mode string, k int) (*partition.Assignment, error) {
-	key := fmt.Sprintf("gd:%s:%s:k=%d", name, mode, k)
+	engine := "gd"
+	if c.Multilevel {
+		engine = "gdml"
+	}
+	key := fmt.Sprintf("%s:%s:%s:k=%d", engine, name, mode, k)
 	if a, ok := c.parts[key]; ok {
 		return a, nil
 	}
@@ -136,12 +145,17 @@ func (c *Context) GDPartition(name, mode string, k int) (*partition.Assignment, 
 	}
 	opt := c.GDOptions()
 	start := time.Now()
-	a, err := core.PartitionK(g, ws, k, opt)
+	var a *partition.Assignment
+	if c.Multilevel {
+		a, err = multilevel.PartitionK(g, ws, k, multilevel.Options{GD: opt})
+	} else {
+		a, err = core.PartitionK(g, ws, k, opt)
+	}
 	if err != nil {
 		return nil, err
 	}
-	c.Logf("GD  %-18s mode=%-11s k=%-3d locality=%5.1f%% (%.1fs)",
-		name, mode, k, 100*partition.EdgeLocality(g, a), time.Since(start).Seconds())
+	c.Logf("%-3s %-18s mode=%-11s k=%-3d locality=%5.1f%% (%.1fs)",
+		strings.ToUpper(engine), name, mode, k, 100*partition.EdgeLocality(g, a), time.Since(start).Seconds())
 	c.parts[key] = a
 	return a, nil
 }

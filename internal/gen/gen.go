@@ -218,6 +218,62 @@ func RMAT(scale, edgeFactor int, a, b, c float64, seed int64) *graph.Graph {
 	return bl.Build()
 }
 
+// BarabasiAlbert generates a preferential-attachment power-law graph: each
+// new vertex attaches m edges to existing vertices chosen with probability
+// proportional to their current degree (the repeated-endpoints list trick
+// makes each draw O(1)). The resulting degree distribution follows the
+// ~k^-3 tail of the classic BA model — unlike Chung–Lu/R-MAT there are no
+// isolated vertices, and the oldest vertices become genuine hubs, which is
+// the degree profile that stresses multilevel coarsening (hub rows resist
+// clustering) and multi-dimensional balance alike.
+func BarabasiAlbert(n, m int, seed int64) *graph.Graph {
+	if m < 1 {
+		m = 1
+	}
+	if n <= m {
+		// Too small for attachment: fall back to a clique on n vertices.
+		b := graph.NewBuilder(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				b.AddEdge(i, j)
+			}
+		}
+		return b.Build()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	// Seed core: an (m+1)-clique so every early vertex has degree ≥ m.
+	repeated := make([]int32, 0, 2*n*m)
+	for i := 0; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			b.AddEdge(i, j)
+			repeated = append(repeated, int32(i), int32(j))
+		}
+	}
+	chosen := make([]int32, 0, m)
+	for v := m + 1; v < n; v++ {
+		chosen = chosen[:0]
+		for len(chosen) < m {
+			t := repeated[rng.Intn(len(repeated))]
+			dup := false
+			for _, c := range chosen {
+				if c == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				chosen = append(chosen, t)
+			}
+		}
+		for _, t := range chosen {
+			b.AddEdge(v, int(t))
+			repeated = append(repeated, int32(v), t)
+		}
+	}
+	return b.Build()
+}
+
 // ErdosRenyi generates a uniform random graph with n vertices and m sampled
 // edges (duplicates collapse, so the realized edge count can be lower).
 func ErdosRenyi(n, m int, seed int64) *graph.Graph {

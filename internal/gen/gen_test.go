@@ -210,3 +210,76 @@ func TestPropensityCap(t *testing.T) {
 		t.Fatal("unreachable")
 	}
 }
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(5000, 4, 7)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5000 {
+		t.Fatalf("n=%d", g.N())
+	}
+	// Every vertex attaches with m edges, so min degree >= m and m ≈ n·m.
+	ds := g.Degrees()
+	min := ds[0]
+	for _, d := range ds {
+		if d < min {
+			min = d
+		}
+	}
+	if min < 4 {
+		t.Fatalf("min degree %d, want >= 4 (attachment count)", min)
+	}
+	// Exactly C(m+1,2) seed-clique edges plus m per attached vertex.
+	if m := g.M(); m != 10+4*(5000-5) {
+		t.Fatalf("m=%d, want %d", m, 10+4*(5000-5))
+	}
+	// Preferential attachment must yield genuine hubs: the maximum degree of
+	// a BA graph grows like √n, far beyond the attachment count.
+	if g.MaxDegree() < 40 {
+		t.Fatalf("max degree %d, want heavy-tailed hubs (>= 40)", g.MaxDegree())
+	}
+}
+
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	a := BarabasiAlbert(2000, 3, 11)
+	b := BarabasiAlbert(2000, 3, 11)
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatalf("shape differs: %v vs %v", a, b)
+	}
+	for v := 0; v < a.N(); v++ {
+		na, nb := a.Neighbors(v), b.Neighbors(v)
+		if len(na) != len(nb) {
+			t.Fatalf("vertex %d: degree %d vs %d", v, len(na), len(nb))
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("vertex %d: adjacency differs", v)
+			}
+		}
+	}
+	if c := BarabasiAlbert(2000, 3, 12); c.M() == a.M() && func() bool {
+		for v := 0; v < a.N(); v++ {
+			na, nc := a.Neighbors(v), c.Neighbors(v)
+			if len(na) != len(nc) {
+				return false
+			}
+			for i := range na {
+				if na[i] != nc[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}() {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestBarabasiAlbertTiny(t *testing.T) {
+	// n <= m degenerates to a clique.
+	g := BarabasiAlbert(3, 5, 1)
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("tiny BA: %v, want triangle", g)
+	}
+}

@@ -153,3 +153,10 @@ func (g *Graph) Validate() error {
 func FromCSR(offsets []int64, adj []int32) *Graph {
 	return &Graph{offsets: offsets, adj: adj}
 }
+
+// CSR exposes the raw CSR arrays for zero-copy consumers (the weighted
+// coarsening wrapper, SpMV kernels). The returned slices alias the graph's
+// internal storage and must not be modified.
+func (g *Graph) CSR() (offsets []int64, adj []int32) {
+	return g.offsets, g.adj
+}

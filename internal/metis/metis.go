@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"mdbgp/internal/coarsen"
 	"mdbgp/internal/graph"
 	"mdbgp/internal/partition"
 )
@@ -62,44 +63,19 @@ func Bisect(g *graph.Graph, ws [][]float64, alpha float64, opt Options) (*partit
 		return a, nil
 	}
 
-	// Level 0 wgraph: unit edge weights from the CSR adjacency.
-	vw := make([][]float64, len(ws))
-	for j := range ws {
-		vw[j] = append([]float64(nil), ws[j]...)
-	}
-	ewAll := make([]float64, g.DirectedSize())
-	for i := range ewAll {
-		ewAll[i] = 1
-	}
-	offsets := make([]int64, n+1)
-	for v := 0; v <= n; v++ {
-		offsets[v] = int64(0)
-	}
-	adj := make([]int32, g.DirectedSize())
-	pos := int64(0)
-	for v := 0; v < n; v++ {
-		offsets[v] = pos
-		for _, u := range g.Neighbors(v) {
-			adj[pos] = u
-			pos++
-		}
-	}
-	offsets[n] = pos
-	level := &wgraph{offsets: offsets, adj: adj, ew: ewAll, vw: vw}
+	// Level 0: the shared weighted-graph wrapper with materialized unit
+	// edge weights (FM refinement indexes edge weights unconditionally).
+	level0 := coarsen.FromGraph(g, ws)
 
 	rng := rand.New(rand.NewSource(opt.Seed))
-	var hierarchy []*wgraph
-	var maps [][]int32
-	hierarchy = append(hierarchy, level)
-	for level.n() > opt.CoarsenTo {
-		coarse, cmap := coarsen(level, rng)
-		if coarse.n() >= int(float64(level.n())*0.95) {
-			break // matching stalled
-		}
-		hierarchy = append(hierarchy, coarse)
-		maps = append(maps, cmap)
-		level = coarse
-	}
+	hierarchy, maps := coarsen.Hierarchy(level0, coarsen.HierarchyOptions{
+		CoarsenTo:  opt.CoarsenTo,
+		StallRatio: 0.95,
+		// Plain heavy-edge matching is blind on the unit-weight finest level
+		// (every edge weighs 1); shared-neighbor scoring keeps the matching
+		// inside clusters, which is what lets FM refinement find low cuts.
+		Match: coarsen.MatchOptions{CommonNeighbors: true},
+	}, rng, nil)
 
 	coarsest := hierarchy[len(hierarchy)-1]
 	side := initialBisect(coarsest, alpha, opt, rng)
@@ -108,7 +84,7 @@ func Bisect(g *graph.Graph, ws [][]float64, alpha float64, opt Options) (*partit
 	for li := len(hierarchy) - 2; li >= 0; li-- {
 		fine := hierarchy[li]
 		cmap := maps[li]
-		fineSide := make([]int8, fine.n())
+		fineSide := make([]int8, fine.N())
 		for v := range fineSide {
 			fineSide[v] = side[cmap[v]]
 		}
@@ -194,89 +170,11 @@ func PartitionK(g *graph.Graph, ws [][]float64, k int, opt Options) (*partition.
 	return asgn, nil
 }
 
-// coarsen contracts a heavy-edge matching, capping merged vertex weights per
-// dimension so coarse vertices stay small enough to balance later.
-func coarsen(g *wgraph, rng *rand.Rand) (*wgraph, []int32) {
-	n := g.n()
-	totals := g.totals()
-	caps := make([]float64, len(totals))
-	for j, t := range totals {
-		caps[j] = math.Max(t/20, 4*t/float64(n))
-	}
-	match := make([]int32, n)
-	for i := range match {
-		match[i] = -1
-	}
-	order := rng.Perm(n)
-	for _, v := range order {
-		if match[v] != -1 {
-			continue
-		}
-		ns, ews := g.neighbors(v)
-		best, bestW := int32(-1), 0.0
-		for i, u := range ns {
-			if match[u] != -1 || int(u) == v {
-				continue
-			}
-			ok := true
-			for j := range caps {
-				if g.vw[j][v]+g.vw[j][u] > caps[j] {
-					ok = false
-					break
-				}
-			}
-			if ok && ews[i] > bestW {
-				best, bestW = u, ews[i]
-			}
-		}
-		if best == -1 {
-			match[v] = int32(v)
-		} else {
-			match[v] = best
-			match[best] = int32(v)
-		}
-	}
-	cmap := make([]int32, n)
-	for i := range cmap {
-		cmap[i] = -1
-	}
-	next := int32(0)
-	for v := 0; v < n; v++ {
-		if cmap[v] != -1 {
-			continue
-		}
-		cmap[v] = next
-		if int(match[v]) != v {
-			cmap[match[v]] = next
-		}
-		next++
-	}
-	cn := int(next)
-	cvw := make([][]float64, len(g.vw))
-	for j := range cvw {
-		cvw[j] = make([]float64, cn)
-		for v := 0; v < n; v++ {
-			cvw[j][cmap[v]] += g.vw[j][v]
-		}
-	}
-	triples := make([]triple, 0, len(g.adj))
-	for v := 0; v < n; v++ {
-		ns, ews := g.neighbors(v)
-		for i, u := range ns {
-			cu, cv := cmap[u], cmap[v]
-			if cu != cv {
-				triples = append(triples, triple{u: cv, v: cu, w: ews[i]})
-			}
-		}
-	}
-	return buildWGraph(cn, triples, cvw), cmap
-}
-
 // initialBisect runs greedy graph growing from several random seeds and
 // keeps the lowest-cut result whose primary dimension hits the target.
-func initialBisect(g *wgraph, alpha float64, opt Options, rng *rand.Rand) []int8 {
-	n := g.n()
-	totals := g.totals()
+func initialBisect(g *coarsen.Graph, alpha float64, opt Options, rng *rand.Rand) []int8 {
+	n := g.N()
+	totals := g.Totals()
 	target0 := alpha * totals[0]
 	bestSide := make([]int8, n)
 	bestCut := math.Inf(1)
@@ -290,14 +188,14 @@ func initialBisect(g *wgraph, alpha float64, opt Options, rng *rand.Rand) []int8
 		seed := rng.Intn(n)
 		queue = append(queue, int32(seed))
 		inSide[seed] = true
-		w0 := g.vw[0][seed]
+		w0 := g.VW[0][seed]
 		for qi := 0; qi < len(queue) && w0 < target0; qi++ {
 			v := queue[qi]
-			ns, _ := g.neighbors(int(v))
+			ns, _ := g.Neighbors(int(v))
 			for _, u := range ns {
 				if !inSide[u] && w0 < target0 {
 					inSide[u] = true
-					w0 += g.vw[0][u]
+					w0 += g.VW[0][u]
 					queue = append(queue, u)
 				}
 			}
@@ -307,7 +205,7 @@ func initialBisect(g *wgraph, alpha float64, opt Options, rng *rand.Rand) []int8
 			v := rng.Intn(n)
 			if !inSide[v] {
 				inSide[v] = true
-				w0 += g.vw[0][v]
+				w0 += g.VW[0][v]
 			}
 		}
 		side := make([]int8, n)
@@ -318,7 +216,7 @@ func initialBisect(g *wgraph, alpha float64, opt Options, rng *rand.Rand) []int8
 				side[v] = -1
 			}
 		}
-		if c := g.cut(side); c < bestCut {
+		if c := g.Cut(side); c < bestCut {
 			bestCut = c
 			copy(bestSide, side)
 		}
@@ -330,15 +228,15 @@ func initialBisect(g *wgraph, alpha float64, opt Options, rng *rand.Rand) []int8
 // least-damage moves, then make positive-gain moves that keep every
 // dimension inside the UBFactor bounds. Each vertex moves at most once per
 // pass.
-func refine(g *wgraph, side []int8, alpha float64, opt Options, rng *rand.Rand) {
-	n := g.n()
-	d := len(g.vw)
-	totals := g.totals()
+func refine(g *coarsen.Graph, side []int8, alpha float64, opt Options, rng *rand.Rand) {
+	n := g.N()
+	d := len(g.VW)
+	totals := g.Totals()
 	load0 := make([]float64, d) // weight of side +1
 	for j := 0; j < d; j++ {
 		for v := 0; v < n; v++ {
 			if side[v] > 0 {
-				load0[j] += g.vw[j][v]
+				load0[j] += g.VW[j][v]
 			}
 		}
 	}
@@ -350,7 +248,7 @@ func refine(g *wgraph, side []int8, alpha float64, opt Options, rng *rand.Rand) 
 	}
 
 	gain := func(v int) float64 {
-		ns, ews := g.neighbors(v)
+		ns, ews := g.Neighbors(v)
 		gn := 0.0
 		for i, u := range ns {
 			if side[u] == side[v] {
@@ -364,7 +262,7 @@ func refine(g *wgraph, side []int8, alpha float64, opt Options, rng *rand.Rand) 
 	feasibleMove := func(v int) bool {
 		dir := -float64(side[v]) // moving v changes load0 by dir·w
 		for j := 0; j < d; j++ {
-			nl := load0[j] + dir*g.vw[j][v]
+			nl := load0[j] + dir*g.VW[j][v]
 			if nl > hi[j]+1e-9 || nl < lo[j]-1e-9 {
 				return false
 			}
@@ -374,7 +272,7 @@ func refine(g *wgraph, side []int8, alpha float64, opt Options, rng *rand.Rand) 
 	apply := func(v int) {
 		dir := -float64(side[v])
 		for j := 0; j < d; j++ {
-			load0[j] += dir * g.vw[j][v]
+			load0[j] += dir * g.VW[j][v]
 		}
 		side[v] = -side[v]
 	}
@@ -395,7 +293,7 @@ func refine(g *wgraph, side []int8, alpha float64, opt Options, rng *rand.Rand) 
 				if j == worstJ {
 					continue
 				}
-				nl := load0[j] + dir*g.vw[j][v]
+				nl := load0[j] + dir*g.VW[j][v]
 				cur := load0[j]
 				inBounds := cur <= hi[j]+1e-9 && cur >= lo[j]-1e-9
 				if inBounds && (nl > hi[j]+1e-9 || nl < lo[j]-1e-9) {
@@ -427,17 +325,17 @@ func refine(g *wgraph, side []int8, alpha float64, opt Options, rng *rand.Rand) 
 			best, bestScore := -1, math.Inf(-1)
 			for c := 0; c < 256; c++ {
 				v := rng.Intn(n)
-				if side[v] != fromSide || moved[v] || g.vw[worstJ][v] <= 0 || !balanceOK(v, worstJ) {
+				if side[v] != fromSide || moved[v] || g.VW[worstJ][v] <= 0 || !balanceOK(v, worstJ) {
 					continue
 				}
-				score := gain(v) / (1 + g.vw[worstJ][v])
+				score := gain(v) / (1 + g.VW[worstJ][v])
 				if score > bestScore {
 					best, bestScore = v, score
 				}
 			}
 			if best == -1 {
 				for v := 0; v < n; v++ {
-					if side[v] == fromSide && !moved[v] && g.vw[worstJ][v] > 0 && balanceOK(v, worstJ) {
+					if side[v] == fromSide && !moved[v] && g.VW[worstJ][v] > 0 && balanceOK(v, worstJ) {
 						best = v
 						break
 					}

@@ -1,7 +1,6 @@
 package metis
 
 import (
-	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -10,68 +9,6 @@ import (
 	"mdbgp/internal/partition"
 	"mdbgp/internal/weights"
 )
-
-func TestBuildWGraphMergesDuplicates(t *testing.T) {
-	vw := [][]float64{{1, 1, 1}}
-	triples := []triple{
-		{0, 1, 1}, {1, 0, 1},
-		{0, 1, 2}, {1, 0, 2}, // duplicate edge: weights sum
-		{1, 2, 1}, {2, 1, 1},
-		{2, 2, 5}, // self loop dropped
-	}
-	g := buildWGraph(3, triples, vw)
-	ns, ws := g.neighbors(0)
-	if len(ns) != 1 || ns[0] != 1 || ws[0] != 3 {
-		t.Fatalf("vertex 0: ns=%v ws=%v", ns, ws)
-	}
-	ns, _ = g.neighbors(2)
-	if len(ns) != 1 || ns[0] != 1 {
-		t.Fatalf("self loop not dropped: %v", ns)
-	}
-}
-
-func TestCoarsenHalves(t *testing.T) {
-	g := gen.Grid(20, 20, false)
-	ws, _ := weights.Standard(g, 2)
-	lvl := toWGraph(g, ws)
-	rng := rand.New(rand.NewSource(1))
-	coarse, cmap := coarsen(lvl, rng)
-	if coarse.n() >= lvl.n() {
-		t.Fatalf("coarsening did not shrink: %d -> %d", lvl.n(), coarse.n())
-	}
-	if coarse.n() < lvl.n()/2 {
-		t.Fatalf("matching contracted more than pairs: %d -> %d", lvl.n(), coarse.n())
-	}
-	// Total vertex weight is conserved per dimension.
-	ct := coarse.totals()
-	ft := lvl.totals()
-	for j := range ct {
-		if diff := ct[j] - ft[j]; diff > 1e-9 || diff < -1e-9 {
-			t.Fatalf("dim %d: weight not conserved: %g vs %g", j, ct[j], ft[j])
-		}
-	}
-	for v, c := range cmap {
-		if c < 0 || int(c) >= coarse.n() {
-			t.Fatalf("bad cmap[%d]=%d", v, c)
-		}
-	}
-}
-
-// toWGraph converts for tests (mirrors the Bisect level-0 construction).
-func toWGraph(g *graph.Graph, ws [][]float64) *wgraph {
-	n := g.N()
-	triples := make([]triple, 0, g.DirectedSize())
-	for v := 0; v < n; v++ {
-		for _, u := range g.Neighbors(v) {
-			triples = append(triples, triple{u: int32(v), v: u, w: 1})
-		}
-	}
-	vw := make([][]float64, len(ws))
-	for j := range ws {
-		vw[j] = append([]float64(nil), ws[j]...)
-	}
-	return buildWGraph(n, triples, vw)
-}
 
 func TestBisectGridBalancedSmallCut(t *testing.T) {
 	g := gen.Grid(24, 24, false)

@@ -1,0 +1,226 @@
+// Package multilevel implements the V-cycle multilevel driver for the GD
+// partitioner: coarsen the graph with size-capped greedy clustering until it
+// is small, run the projected-gradient bisection on the coarsest level,
+// then walk back up the hierarchy — prolongate each fractional solution to
+// the next finer level as a damped warm start and spend a small budget of GD
+// refinement iterations there — and round only at the finest level.
+//
+// Direct GD costs O(I·|E|) for I iterations on the full edge set. The
+// V-cycle pays roughly one contraction pass per level plus a shrinking
+// number of refinement iterations, so total work is a small multiple of |E|
+// instead of I·|E|; on graphs with community structure (where cluster
+// coarsening finds and absorbs the clusters GD would otherwise spend
+// iterations discovering) it reaches the locality of direct GD at a
+// fraction of its running time. Every coarse level is an exact instance of
+// the multi-dimensional problem — vertex weight totals per dimension and
+// cut weights are preserved by contraction — so the coarse gradient
+// optimizes exactly the fine objective restricted to the surviving edges,
+// and ε-balance of a prolongated fractional solution carries down the
+// hierarchy unchanged (see Prolongate).
+//
+// Determinism: the clustering order, the per-level GD seeds and the
+// rounding stream are all derived from Options.GD.Seed, and every parallel
+// kernel (contraction, weighted SpMV, projection) is chunk-ordered, so the
+// result is bit-identical for a fixed seed at any worker count — the same
+// contract the flat engine established.
+package multilevel
+
+import (
+	"math/rand"
+
+	"mdbgp/internal/coarsen"
+	"mdbgp/internal/core"
+	"mdbgp/internal/graph"
+	"mdbgp/internal/partition"
+	"mdbgp/internal/vecmath"
+)
+
+// Options configures the V-cycle. GD supplies the inner gradient-descent
+// configuration (seed, workers, ε, target fraction, projection all apply
+// unchanged).
+type Options struct {
+	// GD configures the inner solver. Its Iterations field is the reference
+	// budget direct GD would use; the V-cycle derives its per-level budgets
+	// from it.
+	GD core.Options
+	// CoarsenTo stops coarsening once a level has at most this many vertices
+	// (default 8000). Graphs already at or below it run plain GD — the
+	// V-cycle only pays off once the finest level dwarfs the coarsest.
+	CoarsenTo int
+	// MaxLevels bounds the hierarchy depth (default 32).
+	MaxLevels int
+	// ClusterSize caps coarsening clusters at this multiple of the finest
+	// level's average vertex weight per dimension (default 32; see
+	// coarsen.ClusterCaps).
+	ClusterSize int
+	// CoarsestIterations is the GD budget of the coarsest-level solve
+	// (default 2/5 of GD.Iterations — the coarse level starts from cluster
+	// structure, not from scratch, and needs correspondingly fewer steps).
+	CoarsestIterations int
+	// RefineIterations is the GD refinement budget at the FINEST level
+	// (default 16). Each coarser intermediate level uses half the previous,
+	// floored at 4: the finest level is where refinement buys locality, the
+	// intermediate levels only smooth the prolongation.
+	RefineIterations int
+}
+
+func (o *Options) normalize() {
+	if o.CoarsenTo <= 0 {
+		o.CoarsenTo = 8000
+	}
+	if o.MaxLevels <= 0 {
+		o.MaxLevels = 32
+	}
+	if o.ClusterSize <= 0 {
+		o.ClusterSize = 32
+	}
+	if o.GD.Iterations <= 0 {
+		o.GD.Iterations = 100
+	}
+	if o.GD.StepLength <= 0 {
+		o.GD.StepLength = 2
+	}
+	if o.CoarsestIterations <= 0 {
+		o.CoarsestIterations = (2*o.GD.Iterations + 4) / 5
+	}
+	if o.RefineIterations <= 0 {
+		o.RefineIterations = 16
+	}
+}
+
+// warmDamp scales a prolongated solution before it seeds the next
+// refinement: coarse solutions are near-integral (vertex fixing drives
+// coordinates to ±1), and an undamped ±1 coordinate would re-fix on the
+// first refinement iteration, freezing the coarse decision before the finer
+// level ever votes. 0.98 keeps every coordinate below the 0.99 fix
+// threshold — one aligned gradient step re-saturates it, a disagreeing one
+// pulls it free.
+const warmDamp = 0.98
+
+// minEdgeAbsorption is the fallback threshold: if the coarsest level still
+// carries more than this fraction of the finest level's edge weight, the
+// graph did not really coarsen and the V-cycle yields to direct GD.
+const minEdgeAbsorption = 0.5
+
+// Prolongate lifts a coarse fractional solution to the parent level:
+// fine[v] = coarse[cmap[v]]. Because a coarse vertex's weight is exactly the
+// sum of its members' weights, Σ_v w(j)_v·fine_v = Σ_c w(j)_c·coarse_c per
+// dimension, so any balance slab the coarse solution satisfies, the
+// prolongated one satisfies too.
+func Prolongate(coarseX []float64, cmap []int32) []float64 {
+	fine := make([]float64, len(cmap))
+	for v, c := range cmap {
+		fine[v] = coarseX[c]
+	}
+	return fine
+}
+
+// Bisect computes a 2-way multilevel GD partition of g. The result has the
+// same shape and guarantees as core.Bisect; small graphs (n ≤ CoarsenTo, or
+// a stalled clustering) fall back to plain GD transparently.
+func Bisect(g *graph.Graph, ws [][]float64, opt Options) (*core.Result, error) {
+	opt.normalize()
+	wg0 := coarsen.Wrap(g, ws)
+	pool := vecmath.NewPool(opt.GD.Workers)
+	// The coarsening stream is independent of the GD streams so hierarchy
+	// shape never shifts the solver's randomness.
+	rng := rand.New(rand.NewSource(opt.GD.Seed*1000003 + 77))
+	levels, cmaps := coarsen.Hierarchy(wg0, coarsen.HierarchyOptions{
+		CoarsenTo: opt.CoarsenTo,
+		MaxLevels: opt.MaxLevels,
+		Clusters:  true,
+		Cluster:   coarsen.ClusterOptions{MaxClusterVertices: opt.ClusterSize},
+		// Stop descending as soon as a level stops shedding arcs: on graphs
+		// without local clustering the hierarchy would otherwise grind all
+		// the way to CoarsenTo only for the edge-absorption check below to
+		// throw it away.
+		EdgeStallRatio: 0.9,
+	}, rng, pool)
+
+	// Coarsening only helps when contraction absorbs edge weight (clusters
+	// internalize their edges, which both shrinks the levels and hands the
+	// coarse solver a solvable instance). On graphs without local
+	// clustering the hierarchy stays dense and the coarse solution caps the
+	// achievable locality — detect that and fall back to direct GD, which
+	// keeps Multilevel safe to enable on arbitrary inputs.
+	if len(levels) == 1 ||
+		levels[len(levels)-1].TotalEdgeWeight() > minEdgeAbsorption*wg0.TotalEdgeWeight() {
+		return core.BisectWeighted(wg0, opt.GD)
+	}
+
+	// Coarsest-level solve; keep the solution fractional.
+	copt := opt.GD
+	copt.Iterations = opt.CoarsestIterations
+	copt.Seed = levelSeed(opt.GD.Seed, len(levels)-1)
+	x, _, err := core.OptimizeWeighted(levels[len(levels)-1], copt)
+	if err != nil {
+		return nil, err
+	}
+
+	// Uncoarsen: warm-started refinement on every intermediate level.
+	for li := len(levels) - 2; li >= 1; li-- {
+		ropt := refineOptions(opt, li)
+		ropt.WarmStart = dampInPlace(Prolongate(x, cmaps[li]))
+		x, _, err = core.OptimizeWeighted(levels[li], ropt)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Finest level: refinement plus the usual rounding and balance repair.
+	ropt := refineOptions(opt, 0)
+	ropt.WarmStart = dampInPlace(Prolongate(x, cmaps[0]))
+	return core.BisectWeighted(wg0, ropt)
+}
+
+// refineOptions derives the GD options for refinement at level li (level 0
+// finest). The iteration budget
+// halves per level going coarser (floored at 4), and StepLength is rescaled
+// so each refinement iteration moves like a late-stage iteration of the
+// full run: the adaptive step targets StepLength·√n/Iterations per
+// iteration, and refinement must not take full-run-sized leaps away from
+// its warm start. Refinement also projects onto the slab itself rather than
+// its center (Projection.Center off): the warm start is already feasible,
+// and re-centering every iteration would drag saturated coordinates back
+// off ±1, undoing the coarse solution instead of polishing it.
+func refineOptions(opt Options, li int) core.Options {
+	budget := opt.RefineIterations
+	for l := 0; l < li && budget > 4; l++ {
+		budget /= 2
+		if budget < 4 {
+			budget = 4
+		}
+	}
+	ropt := opt.GD
+	ropt.Iterations = budget
+	ropt.StepLength = opt.GD.StepLength * float64(budget) / float64(opt.GD.Iterations)
+	ropt.Projection.Center = false
+	ropt.Seed = levelSeed(opt.GD.Seed, li)
+	return ropt
+}
+
+// levelSeed derives a per-level GD seed the way the recursive k-way split
+// derives per-branch seeds.
+func levelSeed(seed int64, li int) int64 {
+	return seed*1000003 + 101 + int64(li)
+}
+
+func dampInPlace(x []float64) []float64 {
+	for i := range x {
+		x[i] *= warmDamp
+	}
+	return x
+}
+
+// PartitionK computes a k-way partition by recursive multilevel bisection:
+// the flat engine's ε budgeting, per-branch seed derivation and concurrent
+// sibling recursion, with each 2-way split replaced by a V-cycle.
+func PartitionK(g *graph.Graph, ws [][]float64, k int, opt Options) (*partition.Assignment, error) {
+	opt.normalize()
+	return core.PartitionKWith(g, ws, k, opt.GD,
+		func(sub *graph.Graph, subWs [][]float64, gdOpt core.Options) (*core.Result, error) {
+			o := opt
+			o.GD = gdOpt
+			return Bisect(sub, subWs, o)
+		})
+}

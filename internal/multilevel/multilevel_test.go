@@ -1,0 +1,275 @@
+package multilevel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mdbgp/internal/coarsen"
+	"mdbgp/internal/core"
+	"mdbgp/internal/gen"
+	"mdbgp/internal/graph"
+	"mdbgp/internal/partition"
+	"mdbgp/internal/weights"
+)
+
+// clusteredGraph builds the multilevel-friendly fixture: many small
+// high-locality communities, the structure cluster coarsening absorbs.
+// Sizes must exceed vecmath's 4096-element chunk size so the worker
+// determinism tests exercise the genuinely parallel paths.
+func clusteredGraph(t *testing.T, n int, seed int64) (*graph.Graph, [][]float64) {
+	t.Helper()
+	g, _ := gen.SBM(gen.SBMConfig{
+		N: n, Communities: n / 25, AvgDegree: 14, InFraction: 0.8, Seed: seed,
+	})
+	ws, err := weights.Standard(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, ws
+}
+
+func testOptions(workers int) Options {
+	gd := core.DefaultOptions()
+	gd.Seed = 71
+	gd.Workers = workers
+	return Options{GD: gd, CoarsenTo: 1500}
+}
+
+func TestBisectQualityAndBalance(t *testing.T) {
+	g, ws := clusteredGraph(t, 20000, 5)
+	res, err := Bisect(g, ws, testOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Assignment.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !partition.IsBalanced(res.Assignment, ws, 0.05+1e-9) {
+		t.Fatalf("not ε-balanced: %.4f", partition.MaxImbalance(res.Assignment, ws))
+	}
+	loc := partition.EdgeLocality(g, res.Assignment)
+	// Direct GD reaches ~0.87 on this family; the V-cycle must stay close.
+	direct, err := core.Bisect(g, ws, testOptions(0).GD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directLoc := partition.EdgeLocality(g, direct.Assignment)
+	if loc < directLoc-0.02 {
+		t.Fatalf("multilevel locality %.4f, want within 2%% of direct %.4f", loc, directLoc)
+	}
+}
+
+func TestBisectDeterministicAcrossWorkers(t *testing.T) {
+	g, ws := clusteredGraph(t, 20000, 6)
+	ref, err := Bisect(g, ws, testOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		res, err := Bisect(g, ws, testOptions(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.X {
+			if res.X[i] != ref.X[i] {
+				t.Fatalf("workers=%d: X[%d] = %v, want %v (not bit-identical)", w, i, res.X[i], ref.X[i])
+			}
+		}
+		for v := range ref.Assignment.Parts {
+			if res.Assignment.Parts[v] != ref.Assignment.Parts[v] {
+				t.Fatalf("workers=%d: vertex %d differs", w, v)
+			}
+		}
+	}
+}
+
+func TestPartitionKDeterministicAcrossWorkers(t *testing.T) {
+	g, ws := clusteredGraph(t, 16000, 7)
+	opt := testOptions(1)
+	ref, err := PartitionK(g, ws, 4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		o := testOptions(w)
+		asgn, err := PartitionK(g, ws, 4, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range ref.Parts {
+			if asgn.Parts[v] != ref.Parts[v] {
+				t.Fatalf("workers=%d: vertex %d in part %d, want %d", w, v, asgn.Parts[v], ref.Parts[v])
+			}
+		}
+	}
+}
+
+// TestHierarchyInvariants re-checks the coarsening invariants on the exact
+// hierarchy the V-cycle builds: per-dimension vertex weight totals and
+// cut-conserved edge weight at every level.
+func TestHierarchyInvariants(t *testing.T) {
+	g, ws := clusteredGraph(t, 12000, 8)
+	opt := testOptions(0)
+	opt.normalize()
+	rng := rand.New(rand.NewSource(opt.GD.Seed*1000003 + 77))
+	levels, cmaps := coarsen.Hierarchy(coarsen.Wrap(g, ws), coarsen.HierarchyOptions{
+		CoarsenTo: opt.CoarsenTo,
+		MaxLevels: opt.MaxLevels,
+		Clusters:  true,
+		Cluster:   coarsen.ClusterOptions{MaxClusterVertices: opt.ClusterSize},
+	}, rng, nil)
+	if len(levels) < 2 {
+		t.Fatalf("expected a real hierarchy, got %d levels", len(levels))
+	}
+	for li := 0; li+1 < len(levels); li++ {
+		fine, coarse, cmap := levels[li], levels[li+1], cmaps[li]
+		ft, ct := fine.Totals(), coarse.Totals()
+		for j := range ft {
+			if math.Abs(ft[j]-ct[j]) > 1e-9*math.Max(1, ft[j]) {
+				t.Fatalf("level %d dim %d: vertex weight %g -> %g", li, j, ft[j], ct[j])
+			}
+		}
+		crossing := 0.0
+		for v := 0; v < fine.N(); v++ {
+			ns, ews := fine.Neighbors(v)
+			for i, u := range ns {
+				if int(u) > v && cmap[u] != cmap[v] {
+					if ews == nil {
+						crossing++
+					} else {
+						crossing += ews[i]
+					}
+				}
+			}
+		}
+		if got := coarse.TotalEdgeWeight(); math.Abs(got-crossing) > 1e-6*math.Max(1, crossing) {
+			t.Fatalf("level %d: edge weight %g, want crossing weight %g", li, got, crossing)
+		}
+	}
+}
+
+// TestProlongationPreservesBalance checks the warm-start contract: the
+// prolongated fractional solution satisfies exactly the balance sums its
+// coarse parent satisfied, at every level of the V-cycle.
+func TestProlongationPreservesBalance(t *testing.T) {
+	g, ws := clusteredGraph(t, 12000, 9)
+	opt := testOptions(0)
+	opt.normalize()
+	rng := rand.New(rand.NewSource(opt.GD.Seed*1000003 + 77))
+	levels, cmaps := coarsen.Hierarchy(coarsen.Wrap(g, ws), coarsen.HierarchyOptions{
+		CoarsenTo: opt.CoarsenTo,
+		MaxLevels: opt.MaxLevels,
+		Clusters:  true,
+		Cluster:   coarsen.ClusterOptions{MaxClusterVertices: opt.ClusterSize},
+	}, rng, nil)
+	if len(levels) < 2 {
+		t.Fatalf("expected a real hierarchy, got %d levels", len(levels))
+	}
+	coarsest := levels[len(levels)-1]
+	copt := opt.GD
+	copt.Iterations = 40
+	x, _, err := core.OptimizeWeighted(coarsest, copt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li := len(levels) - 2; li >= 0; li-- {
+		coarse, fine := levels[li+1], levels[li]
+		fx := Prolongate(x, cmaps[li])
+		for j := range coarse.VW {
+			cs, fs := 0.0, 0.0
+			for c, xc := range x {
+				cs += coarse.VW[j][c] * xc
+			}
+			for v, xv := range fx {
+				fs += fine.VW[j][v] * xv
+			}
+			if math.Abs(cs-fs) > 1e-6*math.Max(1, math.Abs(cs)) {
+				t.Fatalf("level %d dim %d: balance sum %g -> %g after prolongation", li, j, cs, fs)
+			}
+		}
+		x = fx
+	}
+	// The fully prolongated solution still fits the ε slab the coarsest
+	// solve targeted (|Σ w x| ≤ ε·W for the symmetric split).
+	totals := make([]float64, len(ws))
+	for j, w := range ws {
+		for _, v := range w {
+			totals[j] += v
+		}
+	}
+	for j, w := range ws {
+		s := 0.0
+		for i, wi := range w {
+			s += wi * x[i]
+		}
+		if math.Abs(s) > 0.05*totals[j]+1e-6 {
+			t.Fatalf("dim %d: prolongated solution violates the ε slab: |%g| > %g", j, s, 0.05*totals[j])
+		}
+	}
+}
+
+// TestFallbackOnUncoarsenableGraph: a triangle-free random graph absorbs
+// almost no edge weight under contraction; the V-cycle must detect it and
+// return exactly what direct GD returns.
+func TestFallbackOnUncoarsenableGraph(t *testing.T) {
+	g := gen.ErdosRenyi(9000, 50000, 10)
+	ws, err := weights.Standard(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := testOptions(0)
+	ml, err := Bisect(g, ws, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := core.Bisect(g, ws, opt.GD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range direct.Assignment.Parts {
+		if ml.Assignment.Parts[v] != direct.Assignment.Parts[v] {
+			t.Fatalf("fallback is not bit-identical to direct GD at vertex %d", v)
+		}
+	}
+}
+
+// TestSmallGraphFallsBack: below CoarsenTo the V-cycle is plain GD.
+func TestSmallGraphFallsBack(t *testing.T) {
+	g, ws := clusteredGraph(t, 1200, 11)
+	opt := testOptions(0)
+	opt.CoarsenTo = 8000
+	ml, err := Bisect(g, ws, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := core.Bisect(g, ws, opt.GD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range direct.Assignment.Parts {
+		if ml.Assignment.Parts[v] != direct.Assignment.Parts[v] {
+			t.Fatal("small-graph fallback differs from direct GD")
+		}
+	}
+}
+
+func TestPartitionKBalanced(t *testing.T) {
+	g, ws := clusteredGraph(t, 16000, 12)
+	asgn, err := PartitionK(g, ws, 6, testOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asgn.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if im := partition.MaxImbalance(asgn, ws); im > 0.06 {
+		t.Fatalf("k=6 imbalance %.4f", im)
+	}
+	if loc := partition.EdgeLocality(g, asgn); loc < 0.5 {
+		t.Fatalf("k=6 locality %.4f", loc)
+	}
+}

@@ -68,19 +68,94 @@ func SpMVMasked(g *graph.Graph, x, dst []float64, fixed []bool) {
 
 // SpMVMaskedPool is SpMVMasked sharded over the pool's workers; like
 // SpMVPool it is bit-identical to the serial kernel at any worker count.
+// It is the unit-edge-weight case of SpMVWeightedMaskedPool, whose nil-EW
+// branch runs the identical inner loop.
 func SpMVMaskedPool(g *graph.Graph, x, dst []float64, fixed []bool, p *Pool) {
-	p.For(g.N(), func(lo, hi int) {
+	offsets, adj := g.CSR()
+	SpMVWeightedMaskedPool(offsets, adj, nil, x, dst, fixed, p)
+}
+
+// SpMVWeightedMaskedPool computes dst = A_w·x over a raw weighted CSR
+// adjacency (dst[v] = Σ_i ew[i]·x[adj[i]] over v's arc range), restricted to
+// output rows where fixed[v] is false; fixed rows keep their previous dst
+// value. ew == nil selects unit edge weights via the unweighted inner loop,
+// so wrapping an unweighted graph costs nothing. fixed == nil computes every
+// row. Like the unweighted kernels, rows are sharded in contiguous chunks
+// and each output coordinate is produced by exactly one goroutine with a
+// fixed summation order, so the result is bit-identical at any worker count.
+//
+// This is the gradient step of multilevel GD: coarse levels carry the edge
+// weights accumulated by contraction, and the weighted quadratic form
+// ½·xᵀA_w·x is exactly the expected uncut weight objective on that level.
+func SpMVWeightedMaskedPool(offsets []int64, adj []int32, ew []float64, x, dst []float64, fixed []bool, p *Pool) {
+	n := len(offsets) - 1
+	p.For(n, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
-			if fixed[v] {
+			if fixed != nil && fixed[v] {
 				continue
 			}
 			s := 0.0
-			for _, u := range g.Neighbors(v) {
-				s += x[u]
+			row := adj[offsets[v]:offsets[v+1]]
+			if ew == nil {
+				for _, u := range row {
+					s += x[u]
+				}
+			} else {
+				wrow := ew[offsets[v]:offsets[v+1]]
+				for i, u := range row {
+					s += wrow[i] * x[u]
+				}
 			}
 			dst[v] = s
 		}
 	})
+}
+
+// QuadraticFormWeighted returns xᵀA_w x for a raw weighted CSR adjacency,
+// computed row by row without materializing A_w. ew == nil means unit
+// weights. Equals 2·Σ_{(u,v)∈E} w_uv·x_u·x_v.
+func QuadraticFormWeighted(offsets []int64, adj []int32, ew []float64, x []float64) float64 {
+	n := len(offsets) - 1
+	s := 0.0
+	for v := 0; v < n; v++ {
+		row := 0.0
+		if ew == nil {
+			for _, u := range adj[offsets[v]:offsets[v+1]] {
+				row += x[u]
+			}
+		} else {
+			arcs := adj[offsets[v]:offsets[v+1]]
+			wrow := ew[offsets[v]:offsets[v+1]]
+			for i, u := range arcs {
+				row += wrow[i] * x[u]
+			}
+		}
+		s += x[v] * row
+	}
+	return s
+}
+
+// ExpectedLocalityWeighted returns the expected fraction of uncut edge
+// WEIGHT under independent randomized rounding of the fractional solution x:
+// (xᵀA_w x/4 + W/2) / W with W the total edge weight (Σ ew / 2, or |E| when
+// ew is nil). On a coarse level this is the weighted counterpart of
+// ExpectedLocality, and it equals the fine-graph expected locality of the
+// lifted solution restricted to the edges still present at that level.
+// Returns 1 for edgeless graphs.
+func ExpectedLocalityWeighted(offsets []int64, adj []int32, ew []float64, x []float64) float64 {
+	W := 0.0
+	if ew == nil {
+		W = float64(len(adj)) / 2
+	} else {
+		for _, w := range ew {
+			W += w
+		}
+		W /= 2
+	}
+	if W == 0 {
+		return 1
+	}
+	return (QuadraticFormWeighted(offsets, adj, ew, x)/4 + W/2) / W
 }
 
 // Dot returns the inner product Σ a[i]·b[i].
@@ -229,11 +304,9 @@ func QuadraticForm(g *graph.Graph, x []float64) float64 {
 // ExpectedLocality returns the expected fraction of uncut edges under
 // independent randomized rounding of the fractional solution x:
 // (½ Σ_(u,v)∈E (x_u·x_v + 1)) / m  =  (xᵀAx/4 + m/2) / m.
-// Returns 1 for edgeless graphs.
+// Returns 1 for edgeless graphs. It is the unit-edge-weight case of
+// ExpectedLocalityWeighted.
 func ExpectedLocality(g *graph.Graph, x []float64) float64 {
-	m := float64(g.M())
-	if m == 0 {
-		return 1
-	}
-	return (QuadraticForm(g, x)/4 + m/2) / m
+	offsets, adj := g.CSR()
+	return ExpectedLocalityWeighted(offsets, adj, nil, x)
 }

@@ -218,3 +218,164 @@ func TestExpectedLocalityAtZeroIsHalf(t *testing.T) {
 		t.Fatalf("locality at x=0 is %g, want 0.5", got)
 	}
 }
+
+// --- Weighted (coarse-level) kernels ------------------------------------
+
+func TestSpMVWeightedNilMatchesUnweighted(t *testing.T) {
+	g := randomGraph(21, 8000, 40000)
+	offsets, adj := g.CSR()
+	x := make([]float64, g.N())
+	for i := range x {
+		x[i] = float64(i%5) - 2
+	}
+	want := make([]float64, g.N())
+	SpMV(g, x, want)
+	got := make([]float64, g.N())
+	SpMVWeightedMaskedPool(offsets, adj, nil, x, got, nil, nil)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("nil-ew SpMV[%d]=%g, want %g (must be bit-identical)", i, got[i], want[i])
+		}
+	}
+	// Materialized unit weights give the same values.
+	ew := make([]float64, len(adj))
+	for i := range ew {
+		ew[i] = 1
+	}
+	SpMVWeightedMaskedPool(offsets, adj, ew, x, got, nil, nil)
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-12 {
+			t.Fatalf("unit-ew SpMV[%d]=%g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSpMVWeightedAgainstNaive(t *testing.T) {
+	g := randomGraph(22, 60, 240)
+	offsets, adj := g.CSR()
+	rng := rand.New(rand.NewSource(23))
+	ew := make([]float64, len(adj))
+	// Symmetric per-edge weights: weight of {u,v} must match both arcs.
+	for v := 0; v < g.N(); v++ {
+		for i := offsets[v]; i < offsets[v+1]; i++ {
+			u := int(adj[i])
+			if u > v {
+				ew[i] = rng.Float64()*3 + 0.1
+			}
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		for i := offsets[v]; i < offsets[v+1]; i++ {
+			u := int(adj[i])
+			if u < v {
+				for k := offsets[u]; k < offsets[u+1]; k++ {
+					if int(adj[k]) == v {
+						ew[i] = ew[k]
+					}
+				}
+			}
+		}
+	}
+	x := make([]float64, g.N())
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, g.N())
+	g.EachEdge(func(u, v int) bool {
+		var w float64
+		for i := offsets[u]; i < offsets[u+1]; i++ {
+			if int(adj[i]) == v {
+				w = ew[i]
+			}
+		}
+		want[u] += w * x[v]
+		want[v] += w * x[u]
+		return true
+	})
+	got := make([]float64, g.N())
+	SpMVWeightedMaskedPool(offsets, adj, ew, x, got, nil, nil)
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-9 {
+			t.Fatalf("weighted SpMV[%d]=%g, want %g", i, got[i], want[i])
+		}
+	}
+	// Quadratic form agrees with Σ x·(A_w x).
+	qf := QuadraticFormWeighted(offsets, adj, ew, x)
+	dot := 0.0
+	for i := range want {
+		dot += x[i] * want[i]
+	}
+	if math.Abs(qf-dot) > 1e-9 {
+		t.Fatalf("QuadraticFormWeighted=%g, want %g", qf, dot)
+	}
+}
+
+func TestSpMVWeightedMaskedRespectsFixed(t *testing.T) {
+	g := randomGraph(24, 500, 2000)
+	offsets, adj := g.CSR()
+	x := make([]float64, g.N())
+	dst := make([]float64, g.N())
+	fixed := make([]bool, g.N())
+	for i := range x {
+		x[i] = float64(i % 3)
+		fixed[i] = i%4 == 0
+		dst[i] = -99
+	}
+	SpMVWeightedMaskedPool(offsets, adj, nil, x, dst, fixed, NewPool(4))
+	for i := range dst {
+		if fixed[i] && dst[i] != -99 {
+			t.Fatalf("fixed row %d overwritten", i)
+		}
+		if !fixed[i] && dst[i] == -99 {
+			t.Fatalf("free row %d not computed", i)
+		}
+	}
+}
+
+func TestSpMVWeightedDeterministicAcrossWorkers(t *testing.T) {
+	g := randomGraph(25, 20000, 100000)
+	offsets, adj := g.CSR()
+	rng := rand.New(rand.NewSource(26))
+	ew := make([]float64, len(adj))
+	for i := range ew {
+		ew[i] = rng.Float64() + 0.5
+	}
+	x := make([]float64, g.N())
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	ref := make([]float64, g.N())
+	SpMVWeightedMaskedPool(offsets, adj, ew, x, ref, nil, NewPool(1))
+	for _, w := range []int{2, 8} {
+		got := make([]float64, g.N())
+		SpMVWeightedMaskedPool(offsets, adj, ew, x, got, nil, NewPool(w))
+		for i := range ref {
+			if ref[i] != got[i] {
+				t.Fatalf("workers=%d: row %d not bit-identical", w, i)
+			}
+		}
+	}
+}
+
+func TestExpectedLocalityWeightedMatchesUnweighted(t *testing.T) {
+	g := randomGraph(27, 2000, 8000)
+	offsets, adj := g.CSR()
+	rng := rand.New(rand.NewSource(28))
+	x := make([]float64, g.N())
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	want := ExpectedLocality(g, x)
+	got := ExpectedLocalityWeighted(offsets, adj, nil, x)
+	if math.Abs(want-got) > 1e-12 {
+		t.Fatalf("nil-ew expected locality %g, want %g", got, want)
+	}
+	// Scaling every edge weight by a constant leaves the fraction unchanged.
+	ew := make([]float64, len(adj))
+	for i := range ew {
+		ew[i] = 2.5
+	}
+	if got := ExpectedLocalityWeighted(offsets, adj, ew, x); math.Abs(want-got) > 1e-9 {
+		t.Fatalf("scaled-ew expected locality %g, want %g", got, want)
+	}
+}

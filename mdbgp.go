@@ -35,6 +35,22 @@
 // reductions are combined in a fixed chunk order and every recursion branch
 // derives its own RNG stream, so for a fixed Seed the partition is
 // bit-identical regardless of Parallelism.
+//
+// # Multilevel execution
+//
+// Options.Multilevel switches each bisection to a V-cycle (the -multilevel
+// flag on both binaries): the graph is coarsened by size-capped greedy
+// clustering — multi-dimensional vertex weights and cut weights are
+// preserved exactly at every level — GD runs on the coarsest level, and the
+// fractional solution is prolongated level by level as a warm start for a
+// shrinking budget of refinement iterations, with rounding and balance
+// repair only at the finest level. Direct GD pays O(|E|) per iteration for
+// the full budget; the V-cycle pays one contraction pass per level plus a
+// few refinement sweeps, which on large community-structured graphs reaches
+// the same edge locality several times faster (see BenchmarkMultilevel* and
+// BENCH_multilevel.json). Coarsening, like the rest of the engine, is
+// deterministic for a fixed Seed at any Parallelism. Graphs at or below
+// Options.CoarsenTo fall back to direct GD transparently.
 package mdbgp
 
 import (
@@ -44,6 +60,7 @@ import (
 	"mdbgp/internal/core"
 	"mdbgp/internal/gen"
 	"mdbgp/internal/graph"
+	"mdbgp/internal/multilevel"
 	"mdbgp/internal/partition"
 	"mdbgp/internal/project"
 	"mdbgp/internal/weights"
@@ -149,6 +166,22 @@ type Options struct {
 	DisableAdaptiveStep bool
 	// DisableVertexFixing turns off snapping of near-integral coordinates.
 	DisableVertexFixing bool
+	// Multilevel enables the V-cycle multilevel path: coarsen the graph by
+	// size-capped greedy clustering, run GD on the coarsest level,
+	// prolongate the fractional solution as a warm start, and spend a small
+	// refinement budget per level. On large graphs with community structure
+	// it reaches direct GD's locality severalfold faster; results remain
+	// bit-identical for a fixed Seed at any Parallelism.
+	Multilevel bool
+	// CoarsenTo stops multilevel coarsening once a level has at most this
+	// many vertices (0 = default 8000). Only used when Multilevel is set.
+	CoarsenTo int
+	// ClusterSize caps coarsening clusters at this multiple of the average
+	// vertex weight (0 = default 32). Only used when Multilevel is set.
+	ClusterSize int
+	// RefineIterations is the finest-level refinement budget of the V-cycle
+	// (0 = default 16). Only used when Multilevel is set.
+	RefineIterations int
 }
 
 // Result reports a partition and its quality.
@@ -195,7 +228,18 @@ func Partition(g *Graph, opts Options) (*Result, error) {
 		}
 		opt.Projection = project.Options{Method: m, Center: m == project.AlternatingOneShot}
 	}
-	asgn, err := core.PartitionK(g, ws, opts.K, opt)
+	var asgn *partition.Assignment
+	var err error
+	if opts.Multilevel {
+		asgn, err = multilevel.PartitionK(g, ws, opts.K, multilevel.Options{
+			GD:               opt,
+			CoarsenTo:        opts.CoarsenTo,
+			ClusterSize:      opts.ClusterSize,
+			RefineIterations: opts.RefineIterations,
+		})
+	} else {
+		asgn, err = core.PartitionK(g, ws, opts.K, opt)
+	}
 	if err != nil {
 		return nil, err
 	}
