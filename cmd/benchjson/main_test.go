@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	rec, ok := parseBenchLine("BenchmarkServingE2E-8 \t 1\t  95454133 ns/op\t 0.8750 cache_hit_rate\t 20.49 p50_ms")
+	if !ok {
+		t.Fatal("valid bench line rejected")
+	}
+	if rec.Name != "BenchmarkServingE2E" {
+		t.Fatalf("name %q (GOMAXPROCS suffix should be stripped)", rec.Name)
+	}
+	if rec.Runs != 1 {
+		t.Fatalf("runs %d", rec.Runs)
+	}
+	want := map[string]float64{"ns/op": 95454133, "cache_hit_rate": 0.875, "p50_ms": 20.49}
+	for unit, v := range want {
+		if rec.Metrics[unit] != v {
+			t.Fatalf("metric %s = %v, want %v", unit, rec.Metrics[unit], v)
+		}
+	}
+
+	rejected := []string{
+		"",
+		"PASS",
+		"ok  \tmdbgp\t0.1s",
+		"goos: linux",
+		"BenchmarkBroken x 1 ns/op",   // non-numeric run count
+		"BenchmarkNoMetrics 5",        // no value/unit pairs
+		"BenchmarkBadValue 5 x ns/op", // non-numeric value
+		"NotABenchmark 5 100 ns/op",   // wrong prefix
+	}
+	for _, line := range rejected {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("line %q accepted", line)
+		}
+	}
+}
+
+func TestParseBenchLineKeepsNonNumericSuffix(t *testing.T) {
+	// A trailing -suffix that is not a number is part of the name.
+	rec, ok := parseBenchLine("BenchmarkFoo-bar 2 10 ns/op")
+	if !ok || rec.Name != "BenchmarkFoo-bar" {
+		t.Fatalf("rec %+v ok=%v", rec, ok)
+	}
+}

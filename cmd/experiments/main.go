@@ -12,12 +12,74 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"mdbgp/internal/experiments"
 )
+
+// parseScale maps the -scale flag onto a dataset divisor.
+func parseScale(s string) (int, error) {
+	switch s {
+	case "full":
+		return 1, nil
+	case "quick":
+		return 8, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q (want full or quick)", s)
+	}
+}
+
+// selectExperiments resolves a comma-separated -run list ("all" included).
+func selectExperiments(runList string) ([]experiments.Experiment, error) {
+	if runList == "all" {
+		return experiments.All(), nil
+	}
+	var selected []experiments.Experiment
+	for _, name := range strings.Split(runList, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		e, err := experiments.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		selected = append(selected, e)
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("empty -run list")
+	}
+	return selected, nil
+}
+
+func listExperiments(w io.Writer) {
+	for _, e := range experiments.All() {
+		fmt.Fprintf(w, "%-8s %-26s %s\n", e.Name, e.Paper, e.Desc)
+	}
+}
+
+// runExperiments executes the selection in order, rendering every table to w.
+func runExperiments(ctx *experiments.Context, selected []experiments.Experiment, w io.Writer) error {
+	grandStart := time.Now()
+	for _, e := range selected {
+		fmt.Fprintf(w, "\n================ %s — %s ================\n", e.Paper, e.Name)
+		fmt.Fprintln(w, e.Desc)
+		start := time.Now()
+		tables, err := e.Run(ctx)
+		if err != nil {
+			return fmt.Errorf("%s failed: %w", e.Name, err)
+		}
+		for _, t := range tables {
+			t.Render(w)
+		}
+		fmt.Fprintf(w, "\n[%s completed in %.1fs]\n", e.Name, time.Since(start).Seconds())
+	}
+	fmt.Fprintf(w, "\nAll done in %.1fs (seed=%d)\n", time.Since(grandStart).Seconds(), ctx.Seed)
+	return nil
+}
 
 func main() {
 	var (
@@ -32,63 +94,31 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, e := range experiments.All() {
-			fmt.Printf("%-8s %-26s %s\n", e.Name, e.Paper, e.Desc)
-		}
+		listExperiments(os.Stdout)
 		return
 	}
 
-	scaleDiv := 1
-	switch *scale {
-	case "full":
-	case "quick":
-		scaleDiv = 8
-	default:
-		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q (want full or quick)\n", *scale)
+	scaleDiv, err := parseScale(*scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	selected, err := selectExperiments(*runList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	var selected []experiments.Experiment
-	if *runList == "all" {
-		selected = experiments.All()
-	} else {
-		for _, name := range strings.Split(*runList, ",") {
-			e, err := experiments.ByName(strings.TrimSpace(name))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			selected = append(selected, e)
-		}
+	var logSink io.Writer
+	if !*quiet {
+		logSink = os.Stderr
 	}
-
-	logSink := os.Stderr
-	if *quiet {
-		logSink = nil
-	}
-	var ctx *experiments.Context
-	if logSink != nil {
-		ctx = experiments.NewContext(scaleDiv, *seed, logSink)
-	} else {
-		ctx = experiments.NewContext(scaleDiv, *seed, nil)
-	}
+	ctx := experiments.NewContext(scaleDiv, *seed, logSink)
 	ctx.Parallelism = *par
 	ctx.Multilevel = *ml
 
-	grandStart := time.Now()
-	for _, e := range selected {
-		fmt.Printf("\n================ %s — %s ================\n", e.Paper, e.Name)
-		fmt.Println(e.Desc)
-		start := time.Now()
-		tables, err := e.Run(ctx)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.Name, err)
-			os.Exit(1)
-		}
-		for _, t := range tables {
-			t.Render(os.Stdout)
-		}
-		fmt.Printf("\n[%s completed in %.1fs]\n", e.Name, time.Since(start).Seconds())
+	if err := runExperiments(ctx, selected, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
 	}
-	fmt.Printf("\nAll done in %.1fs (scale=%s, seed=%d)\n", time.Since(grandStart).Seconds(), *scale, *seed)
 }

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mdbgp/internal/experiments"
+)
+
+func TestParseScale(t *testing.T) {
+	if d, err := parseScale("full"); err != nil || d != 1 {
+		t.Fatalf("full: %d %v", d, err)
+	}
+	if d, err := parseScale("quick"); err != nil || d != 8 {
+		t.Fatalf("quick: %d %v", d, err)
+	}
+	if _, err := parseScale("tiny"); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestSelectExperiments(t *testing.T) {
+	all, err := selectExperiments("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) == 0 {
+		t.Fatal("empty registry")
+	}
+
+	first := all[0].Name
+	one, err := selectExperiments(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0].Name != first {
+		t.Fatalf("selected %v, want [%s]", one, first)
+	}
+
+	// Comma lists with whitespace and trailing separators.
+	two, err := selectExperiments(" " + all[0].Name + " , " + all[1].Name + ", ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 {
+		t.Fatalf("selected %d experiments, want 2", len(two))
+	}
+
+	if _, err := selectExperiments("no-such-experiment"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if _, err := selectExperiments(" , "); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+}
+
+func TestListExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	listExperiments(&buf)
+	out := buf.String()
+	for _, e := range experiments.All() {
+		if !strings.Contains(out, e.Name) {
+			t.Fatalf("listing lacks %q:\n%s", e.Name, out)
+		}
+	}
+}
+
+// TestRunExperimentsSmoke drives the real CLI path — selection, context,
+// run, table rendering — on one experiment over heavily scaled-down
+// datasets.
+func TestRunExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke run in -short mode")
+	}
+	selected, err := selectExperiments("fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := experiments.NewContext(32, 42, nil) // 32× smaller than paper-analog
+	var out bytes.Buffer
+	if err := runExperiments(ctx, selected, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "fig5") || !strings.Contains(text, "completed in") {
+		t.Fatalf("unexpected output:\n%s", text)
+	}
+}

@@ -10,33 +10,59 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"mdbgp"
 	"mdbgp/internal/gen"
 )
 
-func main() {
+// genParams carries every generator knob; each model reads the subset it
+// documents.
+type genParams struct {
+	n           int
+	avgDeg      float64
+	communities int
+	inFrac      float64
+	microSize   int
+	microFrac   float64
+	exponent    float64
+	scale       int
+	edgeFactor  int
+	rows, cols  int
+	torus       bool
+	seed        int64
+}
+
+// parseFlags maps the command line onto a model name and its parameters.
+func parseFlags(args []string) (string, genParams, error) {
+	fs := flag.NewFlagSet("gengraph", flag.ContinueOnError)
 	var (
-		model       = flag.String("model", "", "graph model: social, rmat, ba (powerlaw), chunglu, er, grid")
-		typ         = flag.String("type", "", "deprecated alias for -model")
-		n           = flag.Int("n", 100000, "vertices (social, ba, chunglu, er)")
-		avgDeg      = flag.Float64("avgdeg", 30, "average degree (social, chunglu, er)")
-		communities = flag.Int("communities", 50, "planted communities (social)")
-		inFrac      = flag.Float64("infrac", 0.5, "intra-community edge fraction (social)")
-		microSize   = flag.Int("microsize", 20, "micro-community size, 0 disables (social)")
-		microFrac   = flag.Float64("microfrac", 0.25, "micro-community edge fraction (social)")
-		exponent    = flag.Float64("exponent", 2.5, "degree-skew Pareto exponent, 0 disables (social, chunglu)")
-		scale       = flag.Int("scale", 16, "log2 vertices (rmat)")
-		edgeFactor  = flag.Int("edgefactor", 16, "edges per vertex (rmat, ba)")
-		rows        = flag.Int("rows", 512, "grid rows")
-		cols        = flag.Int("cols", 512, "grid cols")
-		torus       = flag.Bool("torus", false, "wrap the grid into a torus")
-		seed        = flag.Int64("seed", 42, "random seed")
+		model       = fs.String("model", "", "graph model: social, rmat, ba (powerlaw), chunglu, er, grid")
+		typ         = fs.String("type", "", "deprecated alias for -model")
+		n           = fs.Int("n", 100000, "vertices (social, ba, chunglu, er)")
+		avgDeg      = fs.Float64("avgdeg", 30, "average degree (social, chunglu, er)")
+		communities = fs.Int("communities", 50, "planted communities (social)")
+		inFrac      = fs.Float64("infrac", 0.5, "intra-community edge fraction (social)")
+		microSize   = fs.Int("microsize", 20, "micro-community size, 0 disables (social)")
+		microFrac   = fs.Float64("microfrac", 0.25, "micro-community edge fraction (social)")
+		exponent    = fs.Float64("exponent", 2.5, "degree-skew Pareto exponent, 0 disables (social, chunglu)")
+		scale       = fs.Int("scale", 16, "log2 vertices (rmat)")
+		edgeFactor  = fs.Int("edgefactor", 16, "edges per vertex (rmat, ba)")
+		rows        = fs.Int("rows", 512, "grid rows")
+		cols        = fs.Int("cols", 512, "grid cols")
+		torus       = fs.Bool("torus", false, "wrap the grid into a torus")
+		seed        = fs.Int64("seed", 42, "random seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return "", genParams{}, err
+	}
+	if fs.NArg() > 0 {
+		return "", genParams{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
 	m := *model
 	if m == "" {
 		m = *typ
@@ -44,31 +70,60 @@ func main() {
 	if m == "" {
 		m = "social"
 	}
+	return m, genParams{
+		n: *n, avgDeg: *avgDeg, communities: *communities, inFrac: *inFrac,
+		microSize: *microSize, microFrac: *microFrac, exponent: *exponent,
+		scale: *scale, edgeFactor: *edgeFactor, rows: *rows, cols: *cols,
+		torus: *torus, seed: *seed,
+	}, nil
+}
 
-	var g *mdbgp.Graph
-	switch m {
+// generate materializes the requested model.
+func generate(model string, p genParams) (*mdbgp.Graph, error) {
+	switch model {
 	case "social":
-		g, _ = mdbgp.GenerateSocialGraph(mdbgp.SocialGraphConfig{
-			N: *n, Communities: *communities, AvgDegree: *avgDeg,
-			InFraction: *inFrac, MicroSize: *microSize, MicroFraction: *microFrac,
-			DegreeExponent: *exponent, Seed: *seed,
+		g, _ := mdbgp.GenerateSocialGraph(mdbgp.SocialGraphConfig{
+			N: p.n, Communities: p.communities, AvgDegree: p.avgDeg,
+			InFraction: p.inFrac, MicroSize: p.microSize, MicroFraction: p.microFrac,
+			DegreeExponent: p.exponent, Seed: p.seed,
 		})
+		return g, nil
 	case "rmat":
-		g = mdbgp.GenerateRMAT(*scale, *edgeFactor, 0.57, 0.19, 0.19, *seed)
+		return mdbgp.GenerateRMAT(p.scale, p.edgeFactor, 0.57, 0.19, 0.19, p.seed), nil
 	case "ba", "powerlaw":
-		g = gen.BarabasiAlbert(*n, *edgeFactor, *seed)
+		return gen.BarabasiAlbert(p.n, p.edgeFactor, p.seed), nil
 	case "chunglu":
-		g = gen.ChungLu(*n, *avgDeg, *exponent, *seed)
+		return gen.ChungLu(p.n, p.avgDeg, p.exponent, p.seed), nil
 	case "er":
-		g = gen.ErdosRenyi(*n, int(float64(*n)**avgDeg/2), *seed)
+		return gen.ErdosRenyi(p.n, int(float64(p.n)*p.avgDeg/2), p.seed), nil
 	case "grid":
-		g = gen.Grid(*rows, *cols, *torus)
+		return gen.Grid(p.rows, p.cols, p.torus), nil
 	default:
-		fmt.Fprintf(os.Stderr, "gengraph: unknown model %q (want social, rmat, ba, chunglu, er, grid)\n", m)
-		os.Exit(1)
+		return nil, fmt.Errorf("unknown model %q (want social, rmat, ba, chunglu, er, grid)", model)
 	}
-	fmt.Fprintf(os.Stderr, "generated %s graph: n=%d m=%d\n", m, g.N(), g.M())
-	if err := mdbgp.WriteEdgeList(os.Stdout, g); err != nil {
+}
+
+// run generates the graph and writes it as an edge list to out, logging a
+// one-line summary to logw.
+func run(model string, p genParams, out, logw io.Writer) error {
+	g, err := generate(model, p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "generated %s graph: n=%d m=%d\n", model, g.N(), g.M())
+	return mdbgp.WriteEdgeList(out, g)
+}
+
+func main() {
+	model, p, err := parseFlags(os.Args[1:])
+	if errors.Is(err, flag.ErrHelp) {
+		return // usage already printed
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
+		os.Exit(2)
+	}
+	if err := run(model, p, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
 		os.Exit(1)
 	}

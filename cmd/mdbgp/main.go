@@ -62,21 +62,9 @@ func run(in, out string, k int, eps float64, dims string, iters int, projection 
 	}
 	fmt.Fprintf(os.Stderr, "loaded graph: n=%d m=%d (%.1fs)\n", g.N(), g.M(), time.Since(start).Seconds())
 
-	var dimList []mdbgp.Weight
-	for _, d := range strings.Split(dims, ",") {
-		switch strings.TrimSpace(d) {
-		case "vertices":
-			dimList = append(dimList, mdbgp.WeightVertices)
-		case "edges":
-			dimList = append(dimList, mdbgp.WeightEdges)
-		case "neighbor-degrees":
-			dimList = append(dimList, mdbgp.WeightNeighborDegrees)
-		case "pagerank":
-			dimList = append(dimList, mdbgp.WeightPageRank)
-		case "":
-		default:
-			return fmt.Errorf("unknown dimension %q", d)
-		}
+	dimList, dimNames, err := mdbgp.ParseWeightDims(dims)
+	if err != nil {
+		return err
 	}
 	ws, err := mdbgp.StandardWeights(g, dimList...)
 	if err != nil {
@@ -95,7 +83,7 @@ func run(in, out string, k int, eps float64, dims string, iters int, projection 
 	fmt.Fprintf(os.Stderr, "partitioned into k=%d in %.1fs\n", k, time.Since(start).Seconds())
 	fmt.Fprintf(os.Stderr, "edge locality: %.2f%%  cut edges: %d\n", 100*res.EdgeLocality, res.CutEdges)
 	for j, im := range res.Imbalances {
-		fmt.Fprintf(os.Stderr, "imbalance dim %d (%s): %.3f%%\n", j, strings.Split(dims, ",")[j], 100*im)
+		fmt.Fprintf(os.Stderr, "imbalance dim %d (%s): %.3f%%\n", j, strings.Split(dimNames, ",")[j], 100*im)
 	}
 
 	var writer *os.File

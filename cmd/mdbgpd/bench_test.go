@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"mdbgp"
+	"mdbgp/internal/server"
+)
+
+// BenchmarkServingE2E boots the daemon and drives it with concurrent mixed
+// traffic (a few distinct graphs, many repeats), reporting the serving
+// latency distribution and the cache hit rate. CI converts the output into
+// BENCH_serving.json via cmd/benchjson:
+//
+//	go test -run '^$' -bench BenchmarkServingE2E -benchtime 1x ./cmd/mdbgpd \
+//	  | go run ./cmd/benchjson -out BENCH_serving.json
+func BenchmarkServingE2E(b *testing.B) {
+	const (
+		distinctGraphs = 4
+		repeatsPer     = 8
+		concurrency    = 8
+	)
+	bodies := make([][]byte, distinctGraphs)
+	for i := range bodies {
+		g, _ := mdbgp.GenerateSocialGraph(mdbgp.SocialGraphConfig{
+			N: 2000, Communities: 4, AvgDegree: 10, InFraction: 0.85, Seed: int64(100 + i),
+		})
+		var buf bytes.Buffer
+		if err := mdbgp.WriteEdgeList(&buf, g); err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = buf.Bytes()
+	}
+
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- run(server.Config{Workers: 4, QueueDepth: 256}, "127.0.0.1:0", ready) }()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		b.Fatalf("daemon failed to boot: %v", err)
+	}
+
+	var latencies []time.Duration
+	var mu sync.Mutex
+	b.ResetTimer()
+	for iter := 0; iter < b.N; iter++ {
+		requests := make(chan int, distinctGraphs*repeatsPer)
+		for i := 0; i < distinctGraphs*repeatsPer; i++ {
+			requests <- i % distinctGraphs
+		}
+		close(requests)
+		var wg sync.WaitGroup
+		for c := 0; c < concurrency; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for gi := range requests {
+					start := time.Now()
+					resp, err := http.Post(
+						fmt.Sprintf("%s/v1/partition?k=4&iters=40&seed=3&wait=true", base),
+						"text/plain", bytes.NewReader(bodies[gi]))
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					var m map[string]any
+					json.NewDecoder(resp.Body).Decode(&m)
+					resp.Body.Close()
+					if m["status"] != "done" {
+						b.Errorf("request did not finish synchronously: %v", m)
+						return
+					}
+					mu.Lock()
+					latencies = append(latencies, time.Since(start))
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	if len(latencies) > 0 {
+		p50 := latencies[len(latencies)/2]
+		p99 := latencies[len(latencies)*99/100]
+		b.ReportMetric(p50.Seconds()*1e3, "p50_ms")
+		b.ReportMetric(p99.Seconds()*1e3, "p99_ms")
+	}
+
+	// Scrape the daemon's own accounting for the hit rate.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var hits, misses float64
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		fmt.Sscanf(string(line), "mdbgpd_cache_hits_total %g", &hits)
+		fmt.Sscanf(string(line), "mdbgpd_cache_misses_total %g", &misses)
+	}
+	if hits+misses > 0 {
+		b.ReportMetric(hits/(hits+misses), "cache_hit_rate")
+	}
+	b.ReportMetric(float64(len(latencies)), "requests")
+
+	stopDaemon(b, errc)
+}
+
+// stopDaemon terminates the daemon booted by run via the same signal path
+// the operator would use.
+func stopDaemon(b *testing.B, errc chan error) {
+	b.Helper()
+	if err := selfTerm(); err != nil {
+		b.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			b.Fatalf("daemon shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		b.Fatal("daemon did not shut down")
+	}
+}

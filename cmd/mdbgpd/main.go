@@ -1,0 +1,121 @@
+// Command mdbgpd is the partitioning-as-a-service daemon: a long-running
+// HTTP server wrapping the mdbgp engine with a bounded async job queue, a
+// worker pool and a content-addressed LRU result cache (internal/server).
+//
+// Usage:
+//
+//	mdbgpd -addr :8080 -workers 4 -queue 128 -cache 512
+//
+//	# submit a job (body = edge list, options = query params)
+//	curl -s --data-binary @graph.txt 'localhost:8080/v1/partition?k=8&seed=42'
+//	# poll it
+//	curl -s localhost:8080/v1/jobs/j1-ab12cd34
+//	# fetch the assignment ("vertex part" lines)
+//	curl -s localhost:8080/v1/jobs/j1-ab12cd34/assignment
+//	# or block until solved (bounded by -maxwait)
+//	curl -s --data-binary @graph.txt 'localhost:8080/v1/partition?k=8&wait=true'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mdbgp/internal/server"
+)
+
+func main() {
+	cfg, addr, err := parseFlags(os.Args[1:])
+	if errors.Is(err, flag.ErrHelp) {
+		return // usage already printed
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdbgpd: %v\n", err)
+		os.Exit(2)
+	}
+	if err := run(cfg, addr, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "mdbgpd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseFlags maps the command line onto a server.Config plus listen address.
+func parseFlags(args []string) (server.Config, string, error) {
+	fs := flag.NewFlagSet("mdbgpd", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", ":8080", "listen address")
+		workers     = fs.Int("workers", 2, "concurrent partition jobs")
+		queue       = fs.Int("queue", 64, "pending-job queue depth (beyond it submissions get 429)")
+		cache       = fs.Int("cache", 256, "result-cache capacity in entries (negative disables)")
+		maxBodyMB   = fs.Int64("max-body-mb", 256, "request body limit in MiB")
+		maxVertexID = fs.Int("max-vertex-id", 0, "largest accepted vertex id (0 = 16M default; negative = representation limit)")
+		par         = fs.Int("p", 0, "solver parallelism per job: 0 = all cores (results are seed-deterministic either way)")
+		retain      = fs.Int("retain", 1024, "completed jobs kept for polling")
+		maxWait     = fs.Duration("maxwait", 30*time.Second, "cap on ?wait=true blocking")
+	)
+	if err := fs.Parse(args); err != nil {
+		return server.Config{}, "", err
+	}
+	if fs.NArg() > 0 {
+		return server.Config{}, "", fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	cfg := server.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cache,
+		MaxBodyBytes: *maxBodyMB << 20,
+		MaxVertexID:  *maxVertexID,
+		Parallelism:  *par,
+		RetainJobs:   *retain,
+		MaxWait:      *maxWait,
+	}
+	return cfg, *addr, nil
+}
+
+// run boots the service and blocks until SIGINT/SIGTERM or a serve error.
+// ready, when non-nil, receives the bound address once listening — the e2e
+// harness uses it to drive a daemon bound to port 0.
+func run(cfg server.Config, addr string, ready chan<- string) error {
+	svc := server.New(cfg)
+	defer svc.Close()
+	httpSrv := &http.Server{Addr: addr, Handler: svc}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	eff := svc.Config()
+	log.Printf("mdbgpd: serving on %s (workers=%d queue=%d cache=%d)", ln.Addr(), eff.Workers, eff.QueueDepth, eff.CacheEntries)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case s := <-sig:
+		log.Printf("mdbgpd: %v, shutting down", s)
+		// The drain must outlast the longest a handler can legitimately
+		// block: a ?wait=true submission waits up to MaxWait.
+		ctx, cancel := context.WithTimeout(context.Background(), svc.Config().MaxWait+5*time.Second)
+		defer cancel()
+		return httpSrv.Shutdown(ctx)
+	}
+}

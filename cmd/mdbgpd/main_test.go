@@ -1,0 +1,220 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"mdbgp"
+	"mdbgp/internal/server"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, addr, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != ":8080" {
+		t.Fatalf("addr = %q, want :8080", addr)
+	}
+	want := server.Config{
+		Workers: 2, QueueDepth: 64, CacheEntries: 256,
+		MaxBodyBytes: 256 << 20, RetainJobs: 1024, MaxWait: 30 * time.Second,
+	}
+	if cfg != want {
+		t.Fatalf("cfg = %+v, want %+v", cfg, want)
+	}
+}
+
+func TestParseFlagsOverrides(t *testing.T) {
+	cfg, addr, err := parseFlags([]string{
+		"-addr", "127.0.0.1:9999", "-workers", "8", "-queue", "16",
+		"-cache", "-1", "-max-body-mb", "1", "-max-vertex-id", "1000",
+		"-p", "4", "-retain", "10", "-maxwait", "5s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != "127.0.0.1:9999" {
+		t.Fatalf("addr = %q", addr)
+	}
+	want := server.Config{
+		Workers: 8, QueueDepth: 16, CacheEntries: -1, MaxBodyBytes: 1 << 20,
+		MaxVertexID: 1000, Parallelism: 4, RetainJobs: 10, MaxWait: 5 * time.Second,
+	}
+	if cfg != want {
+		t.Fatalf("cfg = %+v, want %+v", cfg, want)
+	}
+}
+
+func TestParseFlagsErrors(t *testing.T) {
+	if _, _, err := parseFlags([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if _, _, err := parseFlags([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h: err = %v, want flag.ErrHelp (main exits 0 on it)", err)
+	}
+	if _, _, err := parseFlags([]string{"stray-positional"}); err == nil {
+		t.Fatal("positional argument accepted")
+	}
+	if _, _, err := parseFlags([]string{"-workers", "x"}); err == nil {
+		t.Fatal("non-integer flag value accepted")
+	}
+}
+
+// bootDaemon starts the real daemon (TCP listener, HTTP server, signal
+// handling) on an ephemeral port and returns its base URL plus a channel
+// that yields run's error after shutdown.
+func bootDaemon(t *testing.T, cfg server.Config) (string, chan error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- run(cfg, "127.0.0.1:0", ready) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, errc
+	case err := <-errc:
+		t.Fatalf("daemon failed to boot: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not become ready")
+	}
+	return "", nil
+}
+
+// selfTerm delivers SIGTERM to the test process; the daemon's signal
+// handler consumes it and shuts down gracefully.
+func selfTerm() error { return syscall.Kill(os.Getpid(), syscall.SIGTERM) }
+
+func graphBody(t *testing.T, seed int64) []byte {
+	t.Helper()
+	g, _ := mdbgp.GenerateSocialGraph(mdbgp.SocialGraphConfig{
+		N: 300, Communities: 3, AvgDegree: 8, InFraction: 0.85, Seed: seed,
+	})
+	var buf bytes.Buffer
+	if err := mdbgp.WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDaemonEndToEnd boots mdbgpd, drives the full submit→poll→assignment
+// flow over real TCP, verifies a repeat request is served from the cache
+// byte-identically, and shuts the daemon down via SIGTERM.
+func TestDaemonEndToEnd(t *testing.T) {
+	base, errc := bootDaemon(t, server.Config{Workers: 2})
+	body := graphBody(t, 17)
+
+	postJSON := func(query string) (int, map[string]any) {
+		resp, err := http.Post(base+"/v1/partition?"+query, "text/plain", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, m
+	}
+	fetch := func(path string) (int, []byte) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+
+	if code, b := fetch("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz: %d %s", code, b)
+	}
+
+	code, m := postJSON("k=4&seed=42&iters=30&wait=true")
+	if code != http.StatusOK || m["status"] != "done" {
+		t.Fatalf("submit: %d %v", code, m)
+	}
+	id := m["job_id"].(string)
+	code, a1 := fetch("/v1/jobs/" + id + "/assignment")
+	if code != http.StatusOK {
+		t.Fatalf("assignment: %d", code)
+	}
+
+	// Identical request through a fresh TCP connection: cache hit,
+	// byte-identical assignment.
+	code, m2 := postJSON("k=4&seed=42&iters=30&wait=true")
+	if code != http.StatusOK || m2["cache"] != "hit" {
+		t.Fatalf("repeat submit: %d %v", code, m2)
+	}
+	_, a2 := fetch("/v1/jobs/" + m2["job_id"].(string) + "/assignment")
+	if !bytes.Equal(a1, a2) {
+		t.Fatal("daemon cache hit returned different bytes")
+	}
+
+	if code, b := fetch("/metrics"); code != http.StatusOK || !bytes.Contains(b, []byte("mdbgpd_cache_hits_total 1")) {
+		t.Fatalf("metrics after hit: %d\n%s", code, b)
+	}
+
+	// Graceful shutdown on SIGTERM.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down on SIGTERM")
+	}
+}
+
+// TestDaemonDeterminismAcrossWorkerCounts is the binary-level golden check:
+// daemons configured with 1, 2 and 8 workers (queue and solver) must serve
+// byte-identical assignments for a fixed seed.
+func TestDaemonDeterminismAcrossWorkerCounts(t *testing.T) {
+	body := graphBody(t, 23)
+	var golden []byte
+	for _, w := range []int{1, 2, 8} {
+		base, errc := bootDaemon(t, server.Config{Workers: w, Parallelism: w})
+		resp, err := http.Post(base+"/v1/partition?k=4&seed=7&iters=40&wait=true", "text/plain", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if m["status"] != "done" {
+			t.Fatalf("workers=%d: %v", w, m)
+		}
+		ar, err := http.Get(base + "/v1/jobs/" + m["job_id"].(string) + "/assignment")
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := io.ReadAll(ar.Body)
+		ar.Body.Close()
+		if golden == nil {
+			golden = a
+		} else if !bytes.Equal(golden, a) {
+			t.Fatalf("workers=%d daemon diverged from workers=1", w)
+		}
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-errc; err != nil {
+			t.Fatalf("workers=%d shutdown: %v", w, err)
+		}
+	}
+	if len(golden) == 0 {
+		t.Fatal("no assignment collected")
+	}
+}

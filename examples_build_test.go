@@ -1,0 +1,41 @@
+package mdbgp
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplesCompile builds every example program so the examples/ tree
+// cannot rot: they are runnable documentation, never imported by anything,
+// and would otherwise only break when a reader tries them. CI additionally
+// vets them (see .github/workflows/ci.yml).
+func TestExamplesCompile(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := e.Name()
+		t.Run(dir, func(t *testing.T) {
+			cmd := exec.Command(goBin, "build", "-o", os.DevNull, "./"+filepath.Join("examples", dir))
+			cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+			if out, err := cmd.CombinedOutput(); err != nil {
+				t.Fatalf("example %s does not compile: %v\n%s", dir, err, out)
+			}
+		})
+		built++
+	}
+	if built == 0 {
+		t.Fatal("no example programs found under examples/")
+	}
+}

@@ -31,13 +31,19 @@ func (b *Builder) Grow(n int) {
 }
 
 // AddEdge records the undirected edge {u,v}. Self loops are silently
-// ignored. Out-of-range endpoints grow the vertex set.
+// ignored. Out-of-range endpoints grow the vertex set. Ids outside
+// [0, MaxVertexID] panic: the CSR representation stores neighbors as int32,
+// and narrowing silently here would corrupt the graph (callers ingesting
+// untrusted input should bound ids first — see ReadEdgeListInto).
 func (b *Builder) AddEdge(u, v int) {
 	if u == v {
 		return
 	}
 	if u < 0 || v < 0 {
 		panic(fmt.Sprintf("graph: negative vertex id (%d,%d)", u, v))
+	}
+	if u > MaxVertexID || v > MaxVertexID {
+		panic(fmt.Sprintf("graph: vertex id %d exceeds MaxVertexID (%d)", max(u, v), MaxVertexID))
 	}
 	if u >= b.n || v >= b.n {
 		m := u

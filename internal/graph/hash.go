@@ -1,0 +1,59 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Hash returns a SHA-256 digest of the graph's canonical CSR form. The
+// builder canonicalizes (sorts, deduplicates, symmetrizes) adjacency, so two
+// graphs built from the same edge set — regardless of edge order, duplicate
+// edges or self loops in the input — hash identically. This is the
+// content-address used by the serving cache.
+func (g *Graph) Hash() [sha256.Size]byte {
+	h := sha256.New()
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(g.N()))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(g.adj)))
+	h.Write(hdr[:])
+
+	// Offsets are determined by adjacency row lengths and adjacency rows are
+	// hashed in offset order, so hashing adj alone plus the header captures
+	// the whole structure only if row boundaries are included. Hash both
+	// arrays to keep the digest a direct function of the canonical CSR.
+	buf := make([]byte, 8*1024)
+	n := 0
+	for _, o := range g.offsets {
+		binary.LittleEndian.PutUint64(buf[n:], uint64(o))
+		n += 8
+		if n == len(buf) {
+			h.Write(buf)
+			n = 0
+		}
+	}
+	if n > 0 {
+		h.Write(buf[:n])
+		n = 0
+	}
+	for _, a := range g.adj {
+		binary.LittleEndian.PutUint32(buf[n:], uint32(a))
+		n += 4
+		if n == len(buf) {
+			h.Write(buf)
+			n = 0
+		}
+	}
+	if n > 0 {
+		h.Write(buf[:n])
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// HashString returns Hash hex-encoded.
+func (g *Graph) HashString() string {
+	sum := g.Hash()
+	return hex.EncodeToString(sum[:])
+}

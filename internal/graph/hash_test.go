@@ -1,0 +1,41 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHashContentAddressing(t *testing.T) {
+	// Same edge set in different input orders, with duplicates and self
+	// loops, must hash identically: the builder canonicalizes.
+	a := FromEdges(0, []Edge{{0, 1}, {1, 2}, {2, 3}, {0, 3}})
+	b := FromEdges(0, []Edge{{3, 0}, {2, 1}, {1, 0}, {3, 2}, {1, 0}, {2, 2}})
+	if a.Hash() != b.Hash() {
+		t.Fatal("canonically equal graphs hash differently")
+	}
+	if a.HashString() != b.HashString() {
+		t.Fatal("HashString disagrees with Hash")
+	}
+	if len(a.HashString()) != 64 || strings.Trim(a.HashString(), "0123456789abcdef") != "" {
+		t.Fatalf("HashString %q is not hex sha256", a.HashString())
+	}
+}
+
+func TestHashDistinguishesStructure(t *testing.T) {
+	base := FromEdges(0, []Edge{{0, 1}, {1, 2}})
+	cases := map[string]*Graph{
+		"extra edge":     FromEdges(0, []Edge{{0, 1}, {1, 2}, {0, 2}}),
+		"extra vertex":   FromEdges(4, []Edge{{0, 1}, {1, 2}}),
+		"different edge": FromEdges(0, []Edge{{0, 1}, {0, 2}}),
+		"empty":          FromEdges(0, nil),
+		"isolated-only":  FromEdges(3, nil),
+	}
+	seen := map[[32]byte]string{base.Hash(): "base"}
+	for name, g := range cases {
+		h := g.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		seen[h] = name
+	}
+}

@@ -4,9 +4,16 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
+
+// MaxVertexID is the largest vertex id accepted by the edge-list readers.
+// The CSR representation stores neighbor ids as int32, so ids beyond this
+// bound cannot be represented and are rejected with an error instead of
+// silently overflowing.
+const MaxVertexID = math.MaxInt32 - 1
 
 // WriteEdgeList writes the graph as whitespace-separated "u v" lines, one
 // per undirected edge with u < v, preceded by a "# n m" header comment.
@@ -34,9 +41,25 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 // used only to pre-size the builder. Vertex ids may appear in any order and
 // duplicates are tolerated.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
+	b := NewBuilder(0)
+	if err := ReadEdgeListInto(b, r, 0); err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}
+
+// ReadEdgeListInto streams an edge list into an existing builder, so callers
+// (the serving ingest path, incremental loaders) can accumulate several
+// sources or bound resources before Build. Malformed lines, negative ids and
+// ids above maxVertexID (0 means MaxVertexID) return an error identifying
+// the offending line; the builder is left with every edge parsed up to that
+// point. Self loops are dropped by the builder as usual.
+func ReadEdgeListInto(b *Builder, r io.Reader, maxVertexID int) error {
+	if maxVertexID <= 0 || maxVertexID > MaxVertexID {
+		maxVertexID = MaxVertexID
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	b := NewBuilder(0)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -49,23 +72,26 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("graph: line %d: want 'u v', got %q", lineNo, line)
+			return fmt.Errorf("graph: line %d: want 'u v', got %q", lineNo, line)
 		}
 		u, err := strconv.Atoi(fields[0])
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad vertex %q: %v", lineNo, fields[0], err)
+			return fmt.Errorf("graph: line %d: bad vertex %q: %v", lineNo, fields[0], err)
 		}
 		v, err := strconv.Atoi(fields[1])
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad vertex %q: %v", lineNo, fields[1], err)
+			return fmt.Errorf("graph: line %d: bad vertex %q: %v", lineNo, fields[1], err)
 		}
 		if u < 0 || v < 0 {
-			return nil, fmt.Errorf("graph: line %d: negative vertex id", lineNo)
+			return fmt.Errorf("graph: line %d: negative vertex id", lineNo)
+		}
+		if u > maxVertexID || v > maxVertexID {
+			return fmt.Errorf("graph: line %d: vertex id %d exceeds limit %d", lineNo, max(u, v), maxVertexID)
 		}
 		b.AddEdge(u, v)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return err
 	}
-	return b.Build(), nil
+	return nil
 }

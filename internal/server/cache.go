@@ -1,0 +1,90 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"mdbgp"
+)
+
+// resultCache is a content-addressed LRU over completed partition results.
+// Keys are graph-hash + canonical-options fingerprints (see (*Server).cacheKey),
+// so any byte stream that canonicalizes to the same graph and the same
+// solver configuration — reordered edge lists, duplicate edges, explicit
+// defaults — addresses the same entry. Cached *mdbgp.Result values are
+// shared across jobs and must be treated as immutable.
+type resultCache struct {
+	mu       sync.Mutex
+	capacity int        // max entries; <= 0 disables the cache
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	bytes    int64 // approximate retained payload size, for the metrics gauge
+}
+
+type cacheEntry struct {
+	key   string
+	res   *mdbgp.Result
+	bytes int64
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{capacity: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached result for key, promoting it to most recent.
+func (c *resultCache) get(key string) (*mdbgp.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put inserts or refreshes key and returns how many entries were evicted.
+func (c *resultCache) put(key string, res *mdbgp.Result) int {
+	if c.capacity <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.bytes += resultBytes(res) - e.bytes
+		e.res, e.bytes = res, resultBytes(res)
+		return 0
+	}
+	e := &cacheEntry{key: key, res: res, bytes: resultBytes(res)}
+	c.items[key] = c.ll.PushFront(e)
+	c.bytes += e.bytes
+	evicted := 0
+	for c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		old := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, old.key)
+		c.bytes -= old.bytes
+		evicted++
+	}
+	return evicted
+}
+
+func (c *resultCache) stats() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.bytes
+}
+
+// resultBytes approximates the retained size of a result: the assignment
+// dominates (4 bytes per vertex), plus the fixed-size quality fields.
+func resultBytes(res *mdbgp.Result) int64 {
+	b := int64(64)
+	if res.Assignment != nil {
+		b += int64(len(res.Assignment.Parts)) * 4
+	}
+	b += int64(len(res.Imbalances)) * 8
+	return b
+}

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"mdbgp"
+)
+
+func fakeResult(n int) *mdbgp.Result {
+	return &mdbgp.Result{
+		Assignment:   &mdbgp.Assignment{Parts: make([]int32, n), K: 2},
+		EdgeLocality: 0.5,
+		Imbalances:   []float64{0.01},
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", fakeResult(10))
+	c.put("b", fakeResult(10))
+	if ev := c.put("c", fakeResult(10)); ev != 1 {
+		t.Fatalf("third insert evicted %d entries, want 1", ev)
+	}
+	if _, ok := c.get("a"); ok {
+		t.Fatal("least recently used entry survived eviction")
+	}
+	for _, k := range []string{"b", "c"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("entry %q missing", k)
+		}
+	}
+}
+
+func TestCacheGetPromotes(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", fakeResult(10))
+	c.put("b", fakeResult(10))
+	c.get("a") // a is now most recent; b must be the eviction victim
+	c.put("c", fakeResult(10))
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("recently used entry was evicted")
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("stale entry survived")
+	}
+}
+
+func TestCachePutRefreshes(t *testing.T) {
+	c := newResultCache(4)
+	c.put("a", fakeResult(10))
+	bigger := fakeResult(100)
+	if ev := c.put("a", bigger); ev != 0 {
+		t.Fatalf("refresh evicted %d entries", ev)
+	}
+	got, ok := c.get("a")
+	if !ok || got != bigger {
+		t.Fatal("refresh did not replace the value")
+	}
+	entries, bytes := c.stats()
+	if entries != 1 {
+		t.Fatalf("entries = %d, want 1", entries)
+	}
+	if want := resultBytes(bigger); bytes != want {
+		t.Fatalf("bytes = %d, want %d", bytes, want)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(-1)
+	c.put("a", fakeResult(10))
+	if _, ok := c.get("a"); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+	if entries, bytes := c.stats(); entries != 0 || bytes != 0 {
+		t.Fatalf("disabled cache reports entries=%d bytes=%d", entries, bytes)
+	}
+}
+
+func TestCacheBytesAccounting(t *testing.T) {
+	c := newResultCache(8)
+	var want int64
+	for i := 0; i < 5; i++ {
+		r := fakeResult(10 * (i + 1))
+		want += resultBytes(r)
+		c.put(fmt.Sprintf("k%d", i), r)
+	}
+	if _, bytes := c.stats(); bytes != want {
+		t.Fatalf("bytes = %d, want %d", bytes, want)
+	}
+	// Eviction releases the accounted bytes.
+	c2 := newResultCache(1)
+	c2.put("a", fakeResult(1000))
+	c2.put("b", fakeResult(10))
+	if _, bytes := c2.stats(); bytes != resultBytes(fakeResult(10)) {
+		t.Fatalf("post-eviction bytes = %d", bytes)
+	}
+}

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mdbgp"
+)
+
+// Status is the lifecycle state of a partition job.
+type Status string
+
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// job is one partition request flowing through the queue. The graph is
+// retained only until the job finishes; results are shared with the cache
+// and must not be mutated.
+type job struct {
+	id   string
+	key  string // content address: graph hash + dims + options fingerprint
+	opts mdbgp.Options
+	dims []mdbgp.Weight
+
+	done chan struct{} // closed exactly once, when status becomes done/failed
+
+	mu        sync.Mutex
+	status    Status
+	cache     string // "hit", "miss" or "pending" as reported at submit time
+	errMsg    string
+	n         int
+	m         int64
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	res       *mdbgp.Result
+	g         *mdbgp.Graph
+}
+
+// snapshot copies the mutable fields under the job lock for rendering.
+type jobView struct {
+	ID        string
+	Key       string
+	Status    Status
+	Cache     string
+	ErrMsg    string
+	N         int
+	M         int64
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+	Res       *mdbgp.Result
+}
+
+func (j *job) view() jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobView{
+		ID: j.id, Key: j.key, Status: j.status, Cache: j.cache, ErrMsg: j.errMsg,
+		N: j.n, M: j.m, Submitted: j.submitted, Started: j.started, Finished: j.finished,
+		Res: j.res,
+	}
+}
+
+// worker drains the queue until the server is closed.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.started = time.Now()
+	g, opts, dims := j.g, j.opts, j.dims
+	j.mu.Unlock()
+	s.met.jobsRunning.Add(1)
+	defer s.met.jobsRunning.Add(-1)
+
+	solve := s.solve
+	if solve == nil {
+		solve = s.defaultSolve
+	}
+	start := time.Now()
+	res, err := solve(g, dims, opts)
+	s.met.solveNanos.Add(int64(time.Since(start)))
+	s.finishJob(j, res, err)
+}
+
+// defaultSolve materializes the balance dimensions and runs the engine.
+func (s *Server) defaultSolve(g *mdbgp.Graph, dims []mdbgp.Weight, opts mdbgp.Options) (*mdbgp.Result, error) {
+	ws, err := mdbgp.StandardWeights(g, dims...)
+	if err != nil {
+		return nil, err
+	}
+	opts.Weights = ws
+	opts.Parallelism = s.cfg.Parallelism
+	return mdbgp.Partition(g, opts)
+}
+
+// finishJob records the outcome, publishes to the cache, releases the graph
+// and wakes any waiters. It is also used for cache-hit jobs (err == nil,
+// res from the cache) and shutdown failures.
+func (s *Server) finishJob(j *job, res *mdbgp.Result, err error) {
+	if err == nil && res != nil && j.cacheable() {
+		if ev := s.cache.put(j.key, res); ev > 0 {
+			s.met.cacheEvictions.Add(int64(ev))
+		}
+	}
+	j.mu.Lock()
+	j.finished = time.Now()
+	j.g = nil // the graph is no longer needed; let it be collected
+	if err != nil {
+		j.status = StatusFailed
+		j.errMsg = err.Error()
+	} else {
+		j.status = StatusDone
+		j.res = res
+	}
+	j.mu.Unlock()
+	close(j.done)
+	if err != nil {
+		s.met.jobsFailed.Add(1)
+	} else {
+		s.met.jobsCompleted.Add(1)
+	}
+	s.retire(j)
+}
+
+// cacheable reports whether the finished job should publish its result; a
+// job created directly from a cache hit must not re-insert (put would just
+// refresh recency, which get already did).
+func (j *job) cacheable() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cache != "hit"
+}
+
+// retire moves the job into the bounded completed-job history, evicting the
+// oldest finished jobs beyond the retention cap so the store cannot grow
+// without bound under sustained traffic.
+func (s *Server) retire(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.inflight, j.key)
+	s.doneOrder = append(s.doneOrder, j.id)
+	for len(s.doneOrder) > s.cfg.RetainJobs {
+		delete(s.jobs, s.doneOrder[0])
+		s.doneOrder = s.doneOrder[1:]
+	}
+}
+
+// newJobID derives a short, unique, content-flavored id: a sequence number
+// plus the head of the content key.
+func (s *Server) newJobID(key string) string {
+	seq := s.seq.Add(1)
+	tail := key
+	if len(tail) > 8 {
+		tail = tail[:8]
+	}
+	return fmt.Sprintf("j%d-%s", seq, tail)
+}

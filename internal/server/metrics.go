@@ -1,0 +1,59 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the daemon's counters. All fields are atomics so the hot
+// paths never take a lock; gauges derived from other subsystems (queue
+// depth, cache size) are sampled at scrape time.
+type metrics struct {
+	httpRequests   atomic.Int64
+	jobsSubmitted  atomic.Int64
+	jobsCompleted  atomic.Int64
+	jobsFailed     atomic.Int64
+	jobsRejected   atomic.Int64 // 429s from a saturated queue
+	jobsCoalesced  atomic.Int64 // submissions attached to an identical in-flight job
+	jobsRunning    atomic.Int64
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheEvictions atomic.Int64
+	solveNanos     atomic.Int64 // cumulative wall time inside the partitioner
+	ingestNanos    atomic.Int64 // cumulative wall time parsing + hashing request bodies
+}
+
+// handleMetrics serves the Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	m := &s.met
+	counter("mdbgpd_http_requests_total", "HTTP requests received.", m.httpRequests.Load())
+	counter("mdbgpd_jobs_submitted_total", "Partition jobs accepted (cache hits included).", m.jobsSubmitted.Load())
+	counter("mdbgpd_jobs_completed_total", "Partition jobs solved successfully.", m.jobsCompleted.Load())
+	counter("mdbgpd_jobs_failed_total", "Partition jobs that errored.", m.jobsFailed.Load())
+	counter("mdbgpd_jobs_rejected_total", "Submissions rejected with 429 (queue saturated).", m.jobsRejected.Load())
+	counter("mdbgpd_jobs_coalesced_total", "Submissions coalesced onto an identical in-flight job.", m.jobsCoalesced.Load())
+	counter("mdbgpd_cache_hits_total", "Result-cache hits.", m.cacheHits.Load())
+	counter("mdbgpd_cache_misses_total", "Result-cache misses.", m.cacheMisses.Load())
+	counter("mdbgpd_cache_evictions_total", "Results evicted from the LRU cache.", m.cacheEvictions.Load())
+	fmt.Fprintf(w, "# HELP mdbgpd_solve_seconds_total Cumulative wall time inside the partitioner.\n# TYPE mdbgpd_solve_seconds_total counter\nmdbgpd_solve_seconds_total %g\n",
+		time.Duration(m.solveNanos.Load()).Seconds())
+	fmt.Fprintf(w, "# HELP mdbgpd_ingest_seconds_total Cumulative wall time parsing and hashing request bodies.\n# TYPE mdbgpd_ingest_seconds_total counter\nmdbgpd_ingest_seconds_total %g\n",
+		time.Duration(m.ingestNanos.Load()).Seconds())
+	gauge("mdbgpd_jobs_running", "Jobs currently being solved.", m.jobsRunning.Load())
+	gauge("mdbgpd_queue_depth", "Jobs waiting in the bounded queue.", int64(len(s.queue)))
+	gauge("mdbgpd_queue_capacity", "Capacity of the bounded queue.", int64(cap(s.queue)))
+	gauge("mdbgpd_workers", "Worker goroutines draining the queue.", int64(s.cfg.Workers))
+	entries, bytes := s.cache.stats()
+	gauge("mdbgpd_cache_entries", "Results held in the LRU cache.", int64(entries))
+	gauge("mdbgpd_cache_bytes", "Approximate bytes held by cached results.", bytes)
+	gauge("mdbgpd_uptime_seconds", "Seconds since the server started.", int64(time.Since(s.start).Seconds()))
+}

@@ -1,0 +1,534 @@
+// Package server implements partitioning-as-a-service: a long-running HTTP
+// daemon (cmd/mdbgpd) wrapping the mdbgp engine with a bounded asynchronous
+// job queue, a configurable worker pool, and a content-addressed LRU result
+// cache.
+//
+// The API is deliberately small:
+//
+//	POST /v1/partition            submit an edge list (text body) + options
+//	                              (query params); returns a job id. 200 on a
+//	                              cache hit, 202 when queued, 429 when the
+//	                              queue is saturated.
+//	GET  /v1/jobs/{id}            poll a job: status, quality metrics, timings
+//	GET  /v1/jobs/{id}/assignment the partition as "vertex part" text lines
+//	GET  /healthz                 liveness + queue summary
+//	GET  /metrics                 Prometheus text exposition
+//
+// Requests are content-addressed: the edge-list body is streamed into the
+// canonical CSR builder and hashed, options are canonicalized and
+// fingerprinted (mdbgp.Options.Fingerprint), and the pair keys the result
+// cache. Repeat and near-duplicate traffic — reordered edge lists, duplicate
+// edges, explicitly spelled-out defaults, any Parallelism — is served from
+// the cache without re-solving; identical requests already in flight are
+// coalesced onto the same job. Results are deterministic for a fixed seed
+// at any worker count, so cached and freshly solved responses are
+// byte-identical.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mdbgp"
+)
+
+// Config tunes the daemon. The zero value serves with sensible defaults.
+type Config struct {
+	// Workers is the number of goroutines draining the job queue, i.e. how
+	// many partitions are solved concurrently (0 = 2).
+	Workers int
+	// QueueDepth bounds the pending-job queue; submissions beyond it get
+	// 429 (0 = 64).
+	QueueDepth int
+	// CacheEntries is the LRU result-cache capacity in entries (0 = 256,
+	// negative disables caching).
+	CacheEntries int
+	// MaxBodyBytes caps the request body (0 = 256 MiB).
+	MaxBodyBytes int64
+	// MaxVertexID rejects edge lists mentioning ids above this. The graph
+	// is allocated densely over [0, max id], so a single line naming a huge
+	// id costs memory proportional to the id regardless of body size; the
+	// default (0) is 16M ids to keep one request's allocation bounded.
+	// Negative lifts the bound to the representation limit (int32 ids).
+	MaxVertexID int
+	// Parallelism is the solver worker count per job (0 = GOMAXPROCS).
+	// Results are bit-identical at any value, so it is a pure throughput
+	// knob and is excluded from cache keys.
+	Parallelism int
+	// RetainJobs bounds the completed-job history kept for polling (0 =
+	// 1024).
+	RetainJobs int
+	// MaxWait caps how long a ?wait=true submission blocks before falling
+	// back to the async response (0 = 30s).
+	MaxWait time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 256 << 20
+	}
+	if c.MaxVertexID == 0 {
+		c.MaxVertexID = 1 << 24
+	}
+	// Negative means "representation limit": pass 0 through to the reader,
+	// which clamps to graph.MaxVertexID.
+	if c.MaxVertexID < 0 {
+		c.MaxVertexID = 0
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 1024
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 30 * time.Second
+	}
+	return c
+}
+
+// Server is the partitioning service. Create with New, serve via ServeHTTP
+// (it implements http.Handler), stop with Close.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	queue chan *job
+	quit  chan struct{}
+	wg    sync.WaitGroup
+	down  atomic.Bool
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	doneOrder []string
+	inflight  map[string]*job // content key -> queued/running job, for coalescing
+
+	cache *resultCache
+	met   metrics
+	seq   atomic.Int64
+	start time.Time
+
+	// solve replaces defaultSolve when non-nil — a test seam for
+	// deterministic backpressure/coalescing tests. Set before startWorkers.
+	solve func(g *mdbgp.Graph, dims []mdbgp.Weight, opts mdbgp.Options) (*mdbgp.Result, error)
+}
+
+// New starts a server with cfg's worker pool running.
+func New(cfg Config) *Server {
+	s := newServer(cfg)
+	s.startWorkers()
+	return s
+}
+
+func newServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		queue:    make(chan *job, cfg.QueueDepth),
+		quit:     make(chan struct{}),
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*job),
+		cache:    newResultCache(cfg.CacheEntries),
+		start:    time.Now(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/partition", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/assignment", s.handleAssignment)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+func (s *Server) startWorkers() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Config returns the effective configuration (defaults applied).
+func (s *Server) Config() Config { return s.cfg }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.met.httpRequests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops the worker pool (in-flight solves complete) and fails any
+// still-queued jobs so their waiters are released. Subsequent submissions
+// get 503.
+func (s *Server) Close() {
+	if s.down.Swap(true) {
+		return
+	}
+	// Barrier: every enqueue happens under s.mu with a down re-check, so
+	// once this lock is acquired no further job can enter the queue — the
+	// drain below cannot race with a late submission.
+	s.mu.Lock()
+	s.mu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	close(s.quit)
+	s.wg.Wait()
+	for {
+		select {
+		case j := <-s.queue:
+			s.finishJob(j, nil, errors.New("server shutting down"))
+		default:
+			return
+		}
+	}
+}
+
+// submitRequest is the parsed form of POST /v1/partition.
+type submitRequest struct {
+	opts     mdbgp.Options
+	dims     []mdbgp.Weight
+	dimNames string
+	wait     bool
+}
+
+var allowedParams = map[string]bool{
+	"k": true, "eps": true, "dims": true, "iters": true, "step": true,
+	"projection": true, "seed": true, "multilevel": true, "coarsento": true,
+	"clustersize": true, "refineiters": true, "wait": true,
+}
+
+func parseSubmit(r *http.Request) (submitRequest, error) {
+	q := r.URL.Query()
+	for k := range q {
+		if !allowedParams[k] {
+			return submitRequest{}, fmt.Errorf("unknown query parameter %q", k)
+		}
+	}
+	var req submitRequest
+	intParam := func(name string, dst *int) error {
+		if v := q.Get(name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("bad %s=%q: %v", name, v, err)
+			}
+			*dst = n
+		}
+		return nil
+	}
+	if err := intParam("k", &req.opts.K); err != nil {
+		return req, err
+	}
+	if req.opts.K < 0 || req.opts.K > 1<<20 {
+		return req, fmt.Errorf("k=%d out of range", req.opts.K)
+	}
+	if v := q.Get("eps"); v != "" {
+		// eps=0 is rejected rather than accepted-and-ignored: the engine
+		// treats Epsilon<=0 as "use the 5% default", which is not what a
+		// client asking for exact balance means.
+		eps, err := strconv.ParseFloat(v, 64)
+		if err != nil || eps <= 0 || eps >= 1 {
+			return req, fmt.Errorf("bad eps=%q (want a float in (0,1))", v)
+		}
+		req.opts.Epsilon = eps
+	}
+	if err := intParam("iters", &req.opts.Iterations); err != nil {
+		return req, err
+	}
+	if v := q.Get("step"); v != "" {
+		st, err := strconv.ParseFloat(v, 64)
+		if err != nil || st <= 0 {
+			return req, fmt.Errorf("bad step=%q", v)
+		}
+		req.opts.StepLength = st
+	}
+	req.opts.Projection = q.Get("projection")
+	if v := q.Get("seed"); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return req, fmt.Errorf("bad seed=%q: %v", v, err)
+		}
+		req.opts.Seed = seed
+	}
+	boolParam := func(name string, dst *bool) error {
+		if v := q.Get(name); v != "" {
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				return fmt.Errorf("bad %s=%q: %v", name, v, err)
+			}
+			*dst = b
+		}
+		return nil
+	}
+	if err := boolParam("multilevel", &req.opts.Multilevel); err != nil {
+		return req, err
+	}
+	if err := intParam("coarsento", &req.opts.CoarsenTo); err != nil {
+		return req, err
+	}
+	if err := intParam("clustersize", &req.opts.ClusterSize); err != nil {
+		return req, err
+	}
+	if err := intParam("refineiters", &req.opts.RefineIterations); err != nil {
+		return req, err
+	}
+	if err := boolParam("wait", &req.wait); err != nil {
+		return req, err
+	}
+	dims, names, err := mdbgp.ParseWeightDims(q.Get("dims"))
+	if err != nil {
+		return req, err
+	}
+	req.dims, req.dimNames = dims, names
+	// Validate the projection name at submit time so typos fail fast with a
+	// 400 instead of a failed job.
+	if err := mdbgp.ValidateProjection(req.opts.Projection); err != nil {
+		return req, err
+	}
+	return req, nil
+}
+
+// cacheKey is the content address of a request: canonical graph hash, the
+// balance dimensions (order matters — projections visit them in order), and
+// the canonicalized options fingerprint.
+func cacheKey(g *mdbgp.Graph, dimNames string, opts mdbgp.Options) string {
+	return g.HashString() + ":" + dimNames + ":" + opts.Fingerprint()
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.down.Load() {
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	req, err := parseSubmit(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	ingestStart := time.Now()
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	b := mdbgp.NewBuilder(0)
+	if err := mdbgp.ReadEdgeListInto(b, body, s.cfg.MaxVertexID); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", s.cfg.MaxBodyBytes))
+			return
+		}
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	g := b.Build()
+	if g.N() == 0 || g.M() == 0 {
+		httpError(w, http.StatusBadRequest, "empty graph: body must contain at least one 'u v' edge line")
+		return
+	}
+	opts := req.opts.Canonical()
+	key := cacheKey(g, req.dimNames, opts)
+	s.met.ingestNanos.Add(int64(time.Since(ingestStart)))
+
+	// Cache hit: materialize a completed job so the polling endpoints work
+	// uniformly, and answer immediately.
+	if res, ok := s.cache.get(key); ok {
+		s.met.jobsSubmitted.Add(1)
+		s.met.cacheHits.Add(1)
+		j := &job{
+			id: s.newJobID(key), key: key, opts: opts, dims: req.dims,
+			done: make(chan struct{}), status: StatusDone, cache: "hit",
+			n: g.N(), m: g.M(), submitted: time.Now(), started: time.Now(),
+			finished: time.Now(), res: res,
+		}
+		close(j.done)
+		s.mu.Lock()
+		s.jobs[j.id] = j
+		s.mu.Unlock()
+		s.met.jobsCompleted.Add(1)
+		s.retire(j)
+		s.respondSubmit(w, j, http.StatusOK)
+		return
+	}
+
+	// Coalesce-or-enqueue must be atomic with respect to the inflight map:
+	// the enqueue happens under the same lock as the coalesce check, so a
+	// rejected submission can never have been observed (and attached to) by
+	// a concurrent identical request, and Close's drain barrier (which takes
+	// this lock after setting down) can never miss a late enqueue.
+	s.mu.Lock()
+	if s.down.Load() {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	if prior, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		s.met.jobsSubmitted.Add(1)
+		s.met.cacheMisses.Add(1)
+		s.met.jobsCoalesced.Add(1)
+		s.waitIfRequested(req, r, prior)
+		s.respondSubmit(w, prior, http.StatusAccepted)
+		return
+	}
+	j := &job{
+		id: s.newJobID(key), key: key, opts: opts, dims: req.dims,
+		done: make(chan struct{}), status: StatusQueued, cache: "miss",
+		n: g.N(), m: g.M(), submitted: time.Now(), g: g,
+	}
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		s.inflight[key] = j
+	default:
+		// Saturated: the job was never published anywhere, so rejection
+		// leaves no trace beyond its counter.
+		s.mu.Unlock()
+		s.met.jobsRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "job queue is full; retry later")
+		return
+	}
+	s.mu.Unlock()
+	s.met.jobsSubmitted.Add(1)
+	s.met.cacheMisses.Add(1)
+	s.waitIfRequested(req, r, j)
+	s.respondSubmit(w, j, http.StatusAccepted)
+}
+
+// waitIfRequested blocks a ?wait=true submission until the job finishes,
+// bounded by MaxWait and the client disconnecting.
+func (s *Server) waitIfRequested(req submitRequest, r *http.Request, j *job) {
+	if !req.wait {
+		return
+	}
+	select {
+	case <-j.done:
+	case <-time.After(s.cfg.MaxWait):
+	case <-r.Context().Done():
+	}
+}
+
+// respondSubmit writes the submit response: the job id plus enough state to
+// decide whether to poll.
+func (s *Server) respondSubmit(w http.ResponseWriter, j *job, code int) {
+	v := j.view()
+	if v.Status == StatusDone || v.Status == StatusFailed {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, map[string]any{
+		"job_id":      v.ID,
+		"status":      v.Status,
+		"cache":       v.Cache,
+		"key":         v.Key,
+		"queue_depth": len(s.queue),
+	})
+}
+
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) *job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q (completed jobs are retained for the last %d)", id, s.cfg.RetainJobs))
+	}
+	return j
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	v := j.view()
+	resp := map[string]any{
+		"id":           v.ID,
+		"status":       v.Status,
+		"cache":        v.Cache,
+		"key":          v.Key,
+		"graph":        map[string]any{"n": v.N, "m": v.M},
+		"submitted_at": v.Submitted.UTC().Format(time.RFC3339Nano),
+	}
+	if v.ErrMsg != "" {
+		resp["error"] = v.ErrMsg
+	}
+	if !v.Finished.IsZero() {
+		resp["total_ms"] = v.Finished.Sub(v.Submitted).Seconds() * 1e3
+		if !v.Started.IsZero() {
+			resp["solve_ms"] = v.Finished.Sub(v.Started).Seconds() * 1e3
+		}
+	}
+	if v.Res != nil {
+		resp["result"] = map[string]any{
+			"k":             v.Res.Assignment.K,
+			"edge_locality": v.Res.EdgeLocality,
+			"cut_edges":     v.Res.CutEdges,
+			"imbalances":    v.Res.Imbalances,
+			"assignment":    fmt.Sprintf("/v1/jobs/%s/assignment", v.ID),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAssignment streams the partition as "vertex part" lines — the same
+// format cmd/mdbgp writes — so clients (and the golden determinism tests)
+// can compare results byte for byte.
+func (s *Server) handleAssignment(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	v := j.view()
+	switch v.Status {
+	case StatusDone:
+	case StatusFailed:
+		httpError(w, http.StatusConflict, "job failed: "+v.ErrMsg)
+		return
+	default:
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusConflict, "job not finished; poll /v1/jobs/"+v.ID)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for vertex, part := range v.Res.Assignment.Parts {
+		fmt.Fprintf(bw, "%d %d\n", vertex, part)
+	}
+	bw.Flush()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.down.Load() {
+		status, code = "shutting down", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":         status,
+		"uptime_s":       time.Since(s.start).Seconds(),
+		"workers":        s.cfg.Workers,
+		"queue_depth":    len(s.queue),
+		"queue_capacity": cap(s.queue),
+		"jobs_running":   s.met.jobsRunning.Load(),
+		"gomaxprocs":     runtime.GOMAXPROCS(0),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]any{"error": msg})
+}

@@ -54,8 +54,13 @@
 package mdbgp
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"io"
+	"math"
+	"strings"
 
 	"mdbgp/internal/core"
 	"mdbgp/internal/gen"
@@ -89,6 +94,14 @@ func FromEdges(n int, edges []Edge) *Graph { return graph.FromEdges(n, edges) }
 // comment lines allowed).
 func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
 
+// ReadEdgeListInto streams an edge list into an existing builder, allowing
+// callers to accumulate several sources, bound the accepted vertex-id range
+// (maxVertexID; 0 means the representation limit), or interleave programmatic
+// AddEdge calls before Build. This is the serving ingest entry point.
+func ReadEdgeListInto(b *Builder, r io.Reader, maxVertexID int) error {
+	return graph.ReadEdgeListInto(b, r, maxVertexID)
+}
+
 // WriteEdgeList writes the graph as an edge list.
 func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
 
@@ -107,6 +120,64 @@ const (
 	// WeightPageRank balances PageRank mass, a proxy for vertex activity.
 	WeightPageRank
 )
+
+// String returns the dimension name accepted by ParseWeightDims.
+func (w Weight) String() string {
+	switch w {
+	case WeightVertices:
+		return "vertices"
+	case WeightEdges:
+		return "edges"
+	case WeightNeighborDegrees:
+		return "neighbor-degrees"
+	case WeightPageRank:
+		return "pagerank"
+	}
+	return fmt.Sprintf("weight(%d)", int(w))
+}
+
+// ParseWeightDims parses a comma-separated list of balance-dimension names
+// — "vertices", "edges", "neighbor-degrees", "pagerank" — as accepted by
+// the CLIs and the serving API. Empty entries are dropped; an empty list
+// defaults to vertices,edges (the paper's vertex-edge partitioning). The
+// second return is the canonical comma-joined form, suitable as a cache-key
+// component.
+func ParseWeightDims(csv string) ([]Weight, string, error) {
+	var dims []Weight
+	for _, d := range strings.Split(csv, ",") {
+		switch strings.TrimSpace(d) {
+		case "vertices":
+			dims = append(dims, WeightVertices)
+		case "edges":
+			dims = append(dims, WeightEdges)
+		case "neighbor-degrees":
+			dims = append(dims, WeightNeighborDegrees)
+		case "pagerank":
+			dims = append(dims, WeightPageRank)
+		case "":
+		default:
+			return nil, "", fmt.Errorf("mdbgp: unknown balance dimension %q (want vertices, edges, neighbor-degrees, pagerank)", strings.TrimSpace(d))
+		}
+	}
+	if len(dims) == 0 {
+		dims = []Weight{WeightVertices, WeightEdges}
+	}
+	names := make([]string, len(dims))
+	for i, d := range dims {
+		names[i] = d.String()
+	}
+	return dims, strings.Join(names, ","), nil
+}
+
+// ValidateProjection reports whether name is an accepted Options.Projection
+// value ("" selects the default). Used by front ends to fail fast on typos.
+func ValidateProjection(name string) error {
+	if name == "" {
+		return nil
+	}
+	_, err := project.ParseMethod(name)
+	return err
+}
 
 // StandardWeights materializes weight vectors for the requested dimensions.
 func StandardWeights(g *Graph, dims ...Weight) ([][]float64, error) {
@@ -182,6 +253,70 @@ type Options struct {
 	// RefineIterations is the finest-level refinement budget of the V-cycle
 	// (0 = default 16). Only used when Multilevel is set.
 	RefineIterations int
+}
+
+// Canonical returns the options with every defaulted field made explicit:
+// K, Epsilon, Iterations, StepLength and Projection take their documented
+// defaults, and the multilevel knobs are normalized — filled in when
+// Multilevel is set, zeroed when it is not (they have no effect then).
+// Partition(g, o) and Partition(g, o.Canonical()) produce identical results.
+// Weights and Parallelism are passed through untouched.
+func (o Options) Canonical() Options {
+	if o.K == 0 {
+		o.K = 2
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = 0.05
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 100
+	}
+	if o.StepLength <= 0 {
+		o.StepLength = 2
+	}
+	if o.Projection == "" {
+		o.Projection = project.AlternatingOneShot.String()
+	}
+	if o.Multilevel {
+		if o.CoarsenTo <= 0 {
+			o.CoarsenTo = 8000
+		}
+		if o.ClusterSize <= 0 {
+			o.ClusterSize = 32
+		}
+		if o.RefineIterations <= 0 {
+			o.RefineIterations = 16
+		}
+	} else {
+		o.CoarsenTo, o.ClusterSize, o.RefineIterations = 0, 0, 0
+	}
+	return o
+}
+
+// Fingerprint returns a stable hex digest of the canonicalized options —
+// the options half of a content-addressed cache key (pair it with
+// Graph.HashString for the graph half). Two option values that lead to the
+// same partition fingerprint identically: defaults are made explicit via
+// Canonical, and Parallelism is excluded because results are bit-identical
+// at any worker count. Weights vectors, when set, contribute their exact
+// float64 bit patterns.
+func (o Options) Fingerprint() string {
+	c := o.Canonical()
+	h := sha256.New()
+	fmt.Fprintf(h, "k=%d|eps=%g|iters=%d|step=%g|proj=%s|seed=%d|noadapt=%t|nofix=%t|ml=%t|coarsen=%d|cluster=%d|refine=%d|dims=%d",
+		c.K, c.Epsilon, c.Iterations, c.StepLength, c.Projection, c.Seed,
+		c.DisableAdaptiveStep, c.DisableVertexFixing,
+		c.Multilevel, c.CoarsenTo, c.ClusterSize, c.RefineIterations, len(c.Weights))
+	var buf [8]byte
+	for _, w := range c.Weights {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(w)))
+		h.Write(buf[:])
+		for _, x := range w {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+			h.Write(buf[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Result reports a partition and its quality.
