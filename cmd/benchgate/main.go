@@ -1,0 +1,168 @@
+// Command benchgate turns the repo's BENCH_*.json performance-trajectory
+// files into a CI gate: it fails the build when a benchmark metric falls
+// below an absolute floor or regresses past a tolerance against a committed
+// baseline. The bench jobs have always published these files; benchgate is
+// what makes them binding.
+//
+// Usage:
+//
+//	# absolute floors on a fresh candidate file
+//	benchgate -candidate BENCH_incremental.json \
+//	  -min BenchmarkIncrementalE2E.speedup=2 \
+//	  -min BenchmarkIncrementalE2E.locality_delta=0
+//
+//	# regression tolerance against the committed baseline
+//	benchgate -baseline BENCH_multilevel.json -candidate BENCH_multilevel.new.json \
+//	  -drop BenchmarkMultilevelVsDirect.locality_multilevel=0.02
+//
+// -min requires candidate >= value. -drop requires candidate >=
+// baseline − tolerance for the same benchmark/metric in the baseline file
+// (both specs address higher-is-better metrics such as locality or speedup;
+// wall-clock metrics jitter across CI hosts and should not be gated). Specs
+// are repeatable. A spec whose benchmark or metric is absent from the file
+// it addresses fails the gate — a silently skipped check is how gates rot.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// record mirrors cmd/benchjson's output schema.
+type record struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// spec is one "Benchmark.metric=value" gate from the command line.
+type spec struct {
+	bench, metric string
+	value         float64
+}
+
+// specList collects repeatable -min/-drop flags.
+type specList []spec
+
+func (s *specList) String() string {
+	parts := make([]string, len(*s))
+	for i, sp := range *s {
+		parts[i] = fmt.Sprintf("%s.%s=%g", sp.bench, sp.metric, sp.value)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (s *specList) Set(v string) error {
+	name, valStr, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want Benchmark.metric=value, got %q", v)
+	}
+	bench, metric, ok := strings.Cut(name, ".")
+	if !ok || bench == "" || metric == "" {
+		return fmt.Errorf("want Benchmark.metric=value, got %q", v)
+	}
+	val, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return fmt.Errorf("bad value in %q: %v", v, err)
+	}
+	*s = append(*s, spec{bench: bench, metric: metric, value: val})
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	baselinePath := fs.String("baseline", "", "committed baseline BENCH_*.json (required by -drop)")
+	candidatePath := fs.String("candidate", "", "fresh BENCH_*.json to gate")
+	var mins, drops specList
+	fs.Var(&mins, "min", "absolute floor: Benchmark.metric=value (candidate must be >= value); repeatable")
+	fs.Var(&drops, "drop", "regression tolerance: Benchmark.metric=tol (candidate must be >= baseline-tol); repeatable")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *candidatePath == "" {
+		return fmt.Errorf("-candidate is required")
+	}
+	if len(mins)+len(drops) == 0 {
+		return fmt.Errorf("no gates given: pass at least one -min or -drop")
+	}
+	if len(drops) > 0 && *baselinePath == "" {
+		return fmt.Errorf("-drop requires -baseline")
+	}
+
+	candidate, err := load(*candidatePath)
+	if err != nil {
+		return err
+	}
+	var baseline map[string]record
+	if *baselinePath != "" {
+		if baseline, err = load(*baselinePath); err != nil {
+			return err
+		}
+	}
+
+	var failures []string
+	check := func(kind string, sp spec, floor float64) {
+		rec, ok := candidate[sp.bench]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s %s.%s: benchmark missing from %s", kind, sp.bench, sp.metric, *candidatePath))
+			return
+		}
+		got, ok := rec.Metrics[sp.metric]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s %s.%s: metric missing from %s", kind, sp.bench, sp.metric, *candidatePath))
+			return
+		}
+		if got < floor {
+			failures = append(failures, fmt.Sprintf("%s %s.%s: %g < required %g", kind, sp.bench, sp.metric, got, floor))
+			return
+		}
+		fmt.Fprintf(out, "PASS %s %s.%s: %g >= %g\n", kind, sp.bench, sp.metric, got, floor)
+	}
+	for _, sp := range mins {
+		check("min", sp, sp.value)
+	}
+	for _, sp := range drops {
+		rec, ok := baseline[sp.bench]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("drop %s.%s: benchmark missing from baseline %s", sp.bench, sp.metric, *baselinePath))
+			continue
+		}
+		base, ok := rec.Metrics[sp.metric]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("drop %s.%s: metric missing from baseline %s", sp.bench, sp.metric, *baselinePath))
+			continue
+		}
+		check("drop", sp, base-sp.value)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d gate(s) failed:\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+func load(path string) (map[string]record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	byName := make(map[string]record, len(recs))
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	return byName, nil
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeJSON(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const candidateJSON = `[
+  {"name": "BenchmarkIncrementalE2E", "runs": 1,
+   "metrics": {"speedup": 3.5, "locality_delta": 0.01, "ns/op": 1e9}},
+  {"name": "BenchmarkOther", "runs": 1, "metrics": {"locality": 0.85}}
+]`
+
+const baselineJSON = `[
+  {"name": "BenchmarkOther", "runs": 1, "metrics": {"locality": 0.86}}
+]`
+
+func TestGatePasses(t *testing.T) {
+	dir := t.TempDir()
+	cand := writeJSON(t, dir, "cand.json", candidateJSON)
+	base := writeJSON(t, dir, "base.json", baselineJSON)
+
+	err := run([]string{
+		"-candidate", cand,
+		"-min", "BenchmarkIncrementalE2E.speedup=2",
+		"-min", "BenchmarkIncrementalE2E.locality_delta=0",
+		"-baseline", base,
+		"-drop", "BenchmarkOther.locality=0.02", // 0.85 >= 0.86-0.02
+	}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGateFailures(t *testing.T) {
+	dir := t.TempDir()
+	cand := writeJSON(t, dir, "cand.json", candidateJSON)
+	base := writeJSON(t, dir, "base.json", baselineJSON)
+
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"below absolute floor",
+			[]string{"-candidate", cand, "-min", "BenchmarkIncrementalE2E.speedup=5"},
+			"5"},
+		{"regression past tolerance",
+			[]string{"-candidate", cand, "-baseline", base, "-drop", "BenchmarkOther.locality=0.005"},
+			"0.855"},
+		{"missing benchmark fails closed",
+			[]string{"-candidate", cand, "-min", "BenchmarkNope.speedup=1"},
+			"missing"},
+		{"missing metric fails closed",
+			[]string{"-candidate", cand, "-min", "BenchmarkOther.speedup=1"},
+			"missing"},
+		{"missing baseline benchmark fails closed",
+			[]string{"-candidate", cand, "-baseline", base, "-drop", "BenchmarkIncrementalE2E.speedup=1"},
+			"baseline"},
+	}
+	for _, tc := range cases {
+		err := run(tc.args, os.Stdout)
+		if err == nil {
+			t.Errorf("%s: gate passed, want failure", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestGateUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	cand := writeJSON(t, dir, "cand.json", candidateJSON)
+	cases := [][]string{
+		{},                   // no candidate
+		{"-candidate", cand}, // no gates
+		{"-candidate", cand, "-drop", "BenchmarkOther.locality=0.1"},     // -drop without -baseline
+		{"-candidate", cand, "-min", "garbage"},                          // malformed spec
+		{"-candidate", cand, "-min", "NoMetric=1"},                       // no metric part
+		{"-candidate", cand, "-min", "Bench.metric=notanumber"},          // bad value
+		{"-candidate", filepath.Join(dir, "nope.json"), "-min", "A.b=1"}, // unreadable file
+	}
+	for _, args := range cases {
+		if err := run(args, os.Stdout); err == nil {
+			t.Errorf("args %v: gate passed, want usage error", args)
+		}
+	}
+	bad := writeJSON(t, dir, "bad.json", "{not json")
+	if err := run([]string{"-candidate", bad, "-min", "A.b=1"}, os.Stdout); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}

@@ -5,6 +5,10 @@
 //
 //	mdbgp -in graph.txt -out parts.txt -k 8 -eps 0.05 -dims vertices,edges
 //
+//	# incremental repartitioning: apply an edge delta ("+u v"/"-u v" lines)
+//	# to the input graph and warm-start from a previous assignment
+//	mdbgp -in graph.txt -delta delta.txt -base parts.txt -out parts2.txt -k 8
+//
 // The input is a whitespace-separated "u v" edge list ('#' comments allowed;
 // "-" reads stdin). The output has one "vertex part" line per vertex.
 // Quality metrics are printed to stderr.
@@ -14,6 +18,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -21,40 +26,67 @@ import (
 	"mdbgp"
 )
 
+// config collects the CLI's knobs; flags map onto it 1:1.
+type config struct {
+	in, out    string
+	k          int
+	eps        float64
+	dims       string
+	iters      int
+	projection string
+	seed       int64
+	par        int
+	multilevel bool
+	coarsenTo  int
+	refineIter int
+	deltaPath  string // edge delta applied to the input graph before solving
+	basePath   string // prior assignment to warm-start from
+	warmIters  int
+}
+
 func main() {
-	var (
-		in         = flag.String("in", "-", "input edge list file, or - for stdin")
-		out        = flag.String("out", "-", "output assignment file, or - for stdout")
-		k          = flag.Int("k", 2, "number of parts")
-		eps        = flag.Float64("eps", 0.05, "balance tolerance per dimension")
-		dims       = flag.String("dims", "vertices,edges", "comma-separated balance dimensions: vertices, edges, neighbor-degrees, pagerank")
-		iters      = flag.Int("iters", 100, "gradient iterations per bisection")
-		projection = flag.String("projection", "", "projection method: alternating-oneshot (default), alternating, dykstra, exact, nested")
-		seed       = flag.Int64("seed", 42, "random seed")
-		par        = flag.Int("p", 0, "worker parallelism: 0 = all cores, 1 = serial (results are seed-deterministic either way)")
-		multilevel = flag.Bool("multilevel", false, "use the V-cycle multilevel GD path (coarsen, solve coarse, warm-started refinement)")
-		coarsenTo  = flag.Int("coarsento", 0, "multilevel: stop coarsening at this many vertices (0 = default)")
-		refineIter = flag.Int("refineiters", 0, "multilevel: finest-level refinement iterations (0 = default)")
-	)
+	var cfg config
+	flag.StringVar(&cfg.in, "in", "-", "input edge list file, or - for stdin")
+	flag.StringVar(&cfg.out, "out", "-", "output assignment file, or - for stdout")
+	flag.IntVar(&cfg.k, "k", 2, "number of parts")
+	flag.Float64Var(&cfg.eps, "eps", 0.05, "balance tolerance per dimension")
+	flag.StringVar(&cfg.dims, "dims", "vertices,edges", "comma-separated balance dimensions: vertices, edges, neighbor-degrees, pagerank")
+	flag.IntVar(&cfg.iters, "iters", 100, "gradient iterations per bisection")
+	flag.StringVar(&cfg.projection, "projection", "", "projection method: alternating-oneshot (default), alternating, dykstra, exact, nested")
+	flag.Int64Var(&cfg.seed, "seed", 42, "random seed")
+	flag.IntVar(&cfg.par, "p", 0, "worker parallelism: 0 = all cores, 1 = serial (results are seed-deterministic either way)")
+	flag.BoolVar(&cfg.multilevel, "multilevel", false, "use the V-cycle multilevel GD path (coarsen, solve coarse, warm-started refinement)")
+	flag.IntVar(&cfg.coarsenTo, "coarsento", 0, "multilevel: stop coarsening at this many vertices (0 = default)")
+	flag.IntVar(&cfg.refineIter, "refineiters", 0, "multilevel: finest-level refinement iterations (0 = default)")
+	flag.StringVar(&cfg.deltaPath, "delta", "", "edge delta file ('+u v'/'-u v' lines) applied to the input graph before solving")
+	flag.StringVar(&cfg.basePath, "base", "", "prior assignment file ('vertex part' lines) to warm-start from")
+	flag.IntVar(&cfg.warmIters, "warmiters", 0, "warm-started gradient iterations per bisection (0 = a quarter of -iters)")
 	flag.Parse()
-	if err := run(*in, *out, *k, *eps, *dims, *iters, *projection, *seed, *par, *multilevel, *coarsenTo, *refineIter); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "mdbgp: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out string, k int, eps float64, dims string, iters int, projection string, seed int64, par int, multilevel bool, coarsenTo, refineIter int) error {
-	var reader *os.File
-	if in == "-" {
-		reader = os.Stdin
-	} else {
-		f, err := os.Open(in)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		reader = f
+// open maps "-" to stdin and anything else to the named file; the returned
+// closer is a no-op for stdin.
+func open(path string) (io.Reader, func() error, error) {
+	if path == "-" {
+		return os.Stdin, func() error { return nil }, nil
 	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+func run(cfg config) error {
+	reader, closeIn, err := open(cfg.in)
+	if err != nil {
+		return err
+	}
+	defer closeIn()
 	start := time.Now()
 	g, err := mdbgp.ReadEdgeList(reader)
 	if err != nil {
@@ -62,7 +94,41 @@ func run(in, out string, k int, eps float64, dims string, iters int, projection 
 	}
 	fmt.Fprintf(os.Stderr, "loaded graph: n=%d m=%d (%.1fs)\n", g.N(), g.M(), time.Since(start).Seconds())
 
-	dimList, dimNames, err := mdbgp.ParseWeightDims(dims)
+	if cfg.deltaPath != "" {
+		dr, closeDelta, err := open(cfg.deltaPath)
+		if err != nil {
+			return err
+		}
+		d, err := mdbgp.ParseEdgeDelta(dr, 0)
+		closeDelta()
+		if err != nil {
+			return fmt.Errorf("reading delta: %w", err)
+		}
+		var stats mdbgp.DeltaStats
+		baseEdges := g.M()
+		g, stats = mdbgp.ApplyEdgeDelta(g, d)
+		fmt.Fprintf(os.Stderr, "applied delta: +%d -%d edges, %d new vertices (churn %.2f%%) -> n=%d m=%d\n",
+			stats.AddedNew, stats.RemovedExisting, stats.NewVertices,
+			100*stats.Churn(baseEdges), g.N(), g.M())
+	}
+
+	var warm []int32
+	if cfg.basePath != "" {
+		br, closeBase, err := open(cfg.basePath)
+		if err != nil {
+			return err
+		}
+		warm, err = mdbgp.ReadAssignment(br, 0)
+		closeBase()
+		if err != nil {
+			return fmt.Errorf("reading base assignment: %w", err)
+		}
+		if len(warm) > g.N() {
+			return fmt.Errorf("base assignment has %d entries, graph has %d vertices", len(warm), g.N())
+		}
+	}
+
+	dimList, dimNames, err := mdbgp.ParseWeightDims(cfg.dims)
 	if err != nil {
 		return err
 	}
@@ -73,24 +139,29 @@ func run(in, out string, k int, eps float64, dims string, iters int, projection 
 
 	start = time.Now()
 	res, err := mdbgp.Partition(g, mdbgp.Options{
-		K: k, Epsilon: eps, Weights: ws, Iterations: iters,
-		Projection: projection, Seed: seed, Parallelism: par,
-		Multilevel: multilevel, CoarsenTo: coarsenTo, RefineIterations: refineIter,
+		K: cfg.k, Epsilon: cfg.eps, Weights: ws, Iterations: cfg.iters,
+		Projection: cfg.projection, Seed: cfg.seed, Parallelism: cfg.par,
+		Multilevel: cfg.multilevel, CoarsenTo: cfg.coarsenTo, RefineIterations: cfg.refineIter,
+		WarmAssignment: warm, WarmIterations: cfg.warmIters,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "partitioned into k=%d in %.1fs\n", k, time.Since(start).Seconds())
+	mode := "cold"
+	if warm != nil {
+		mode = "warm"
+	}
+	fmt.Fprintf(os.Stderr, "partitioned into k=%d in %.1fs (%s)\n", cfg.k, time.Since(start).Seconds(), mode)
 	fmt.Fprintf(os.Stderr, "edge locality: %.2f%%  cut edges: %d\n", 100*res.EdgeLocality, res.CutEdges)
 	for j, im := range res.Imbalances {
 		fmt.Fprintf(os.Stderr, "imbalance dim %d (%s): %.3f%%\n", j, strings.Split(dimNames, ",")[j], 100*im)
 	}
 
 	var writer *os.File
-	if out == "-" {
+	if cfg.out == "-" {
 		writer = os.Stdout
 	} else {
-		f, err := os.Create(out)
+		f, err := os.Create(cfg.out)
 		if err != nil {
 			return err
 		}

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"mdbgp"
+	"mdbgp/internal/gen"
 )
 
 func writeTestGraph(t *testing.T, dir string) (string, *mdbgp.Graph) {
@@ -28,19 +29,15 @@ func writeTestGraph(t *testing.T, dir string) (string, *mdbgp.Graph) {
 	return path, g
 }
 
-func TestRunEndToEnd(t *testing.T) {
-	dir := t.TempDir()
-	in, g := writeTestGraph(t, dir)
-	out := filepath.Join(dir, "parts.txt")
-	if err := run(in, out, 4, 0.05, "vertices,edges", 60, "", 42, 2, false, 0, 0); err != nil {
-		t.Fatal(err)
-	}
-	f, err := os.Open(out)
+// readParts loads a "vertex part" output file.
+func readParts(t *testing.T, path string, n, k int) *mdbgp.Assignment {
+	t.Helper()
+	f, err := os.Open(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	asgn := &mdbgp.Assignment{Parts: make([]int32, g.N()), K: 4}
+	asgn := &mdbgp.Assignment{Parts: make([]int32, n), K: k}
 	sc := bufio.NewScanner(f)
 	lines := 0
 	for sc.Scan() {
@@ -53,9 +50,20 @@ func TestRunEndToEnd(t *testing.T) {
 		asgn.Parts[v] = int32(p)
 		lines++
 	}
-	if lines != g.N() {
-		t.Fatalf("output has %d lines, want %d", lines, g.N())
+	if lines != n {
+		t.Fatalf("output has %d lines, want %d", lines, n)
 	}
+	return asgn
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	in, g := writeTestGraph(t, dir)
+	out := filepath.Join(dir, "parts.txt")
+	if err := run(config{in: in, out: out, k: 4, eps: 0.05, dims: "vertices,edges", iters: 60, seed: 42, par: 2}); err != nil {
+		t.Fatal(err)
+	}
+	asgn := readParts(t, out, g.N(), 4)
 	if err := asgn.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +80,7 @@ func TestRunAllDimensions(t *testing.T) {
 	dir := t.TempDir()
 	in, _ := writeTestGraph(t, dir)
 	out := filepath.Join(dir, "parts.txt")
-	err := run(in, out, 2, 0.05, "vertices,edges,neighbor-degrees,pagerank", 30, "dykstra", 1, 0, false, 0, 0)
+	err := run(config{in: in, out: out, k: 2, eps: 0.05, dims: "vertices,edges,neighbor-degrees,pagerank", iters: 30, projection: "dykstra", seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,14 +90,41 @@ func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	in, _ := writeTestGraph(t, dir)
 	out := filepath.Join(dir, "parts.txt")
-	if err := run(filepath.Join(dir, "missing.txt"), out, 2, 0.05, "vertices", 10, "", 1, 1, false, 0, 0); err == nil {
+	base := config{in: in, out: out, k: 2, eps: 0.05, dims: "vertices", iters: 10, seed: 1, par: 1}
+
+	c := base
+	c.in = filepath.Join(dir, "missing.txt")
+	if err := run(c); err == nil {
 		t.Fatal("missing input should error")
 	}
-	if err := run(in, out, 2, 0.05, "bogus-dim", 10, "", 1, 1, false, 0, 0); err == nil {
+	c = base
+	c.dims = "bogus-dim"
+	if err := run(c); err == nil {
 		t.Fatal("unknown dimension should error")
 	}
-	if err := run(in, out, 2, 0.05, "vertices", 10, "bogus-projection", 1, 1, false, 0, 0); err == nil {
+	c = base
+	c.projection = "bogus-projection"
+	if err := run(c); err == nil {
 		t.Fatal("unknown projection should error")
+	}
+	c = base
+	c.deltaPath = filepath.Join(dir, "missing-delta.txt")
+	if err := run(c); err == nil {
+		t.Fatal("missing delta file should error")
+	}
+	c = base
+	c.basePath = filepath.Join(dir, "missing-base.txt")
+	if err := run(c); err == nil {
+		t.Fatal("missing base file should error")
+	}
+	badDelta := filepath.Join(dir, "bad-delta.txt")
+	if err := os.WriteFile(badDelta, []byte("1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c = base
+	c.deltaPath = badDelta
+	if err := run(c); err == nil {
+		t.Fatal("unsigned delta line should error")
 	}
 }
 
@@ -99,20 +134,58 @@ func TestRunMultilevel(t *testing.T) {
 	out := filepath.Join(dir, "parts.txt")
 	// Small graphs fall back to direct GD inside the V-cycle; force a real
 	// hierarchy with a low coarsening threshold.
-	if err := run(in, out, 2, 0.05, "vertices,edges", 60, "", 42, 1, true, 150, 8); err != nil {
+	if err := run(config{in: in, out: out, k: 2, eps: 0.05, dims: "vertices,edges", iters: 60, seed: 42, par: 1, multilevel: true, coarsenTo: 150, refineIter: 8}); err != nil {
 		t.Fatal(err)
 	}
-	f, err := os.Open(out)
+	readParts(t, out, g.N(), 2)
+}
+
+// TestRunIncremental drives the full offline incremental flow: cold solve,
+// write a delta, warm-start the updated graph from the previous assignment.
+func TestRunIncremental(t *testing.T) {
+	dir := t.TempDir()
+	in, g := writeTestGraph(t, dir)
+	parts1 := filepath.Join(dir, "parts1.txt")
+	cold := config{in: in, out: parts1, k: 4, eps: 0.05, dims: "vertices,edges", iters: 60, seed: 42}
+	if err := run(cold); err != nil {
+		t.Fatal(err)
+	}
+
+	// A small delta: remove one edge per 100, add a fresh one per removal.
+	deltaPath := filepath.Join(dir, "delta.txt")
+	df, err := os.Create(deltaPath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer f.Close()
-	lines := 0
-	sc := bufio.NewScanner(f)
-	for sc.Scan() {
-		lines++
+	if err := mdbgp.WriteEdgeDelta(df, gen.PerturbDelta(g, 100, 7, 13)); err != nil {
+		t.Fatal(err)
 	}
-	if lines != g.N() {
-		t.Fatalf("output has %d lines, want %d", lines, g.N())
+	if err := df.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	parts2 := filepath.Join(dir, "parts2.txt")
+	warm := cold
+	warm.out = parts2
+	warm.deltaPath = deltaPath
+	warm.basePath = parts1
+	if err := run(warm); err != nil {
+		t.Fatal(err)
+	}
+	prior := readParts(t, parts1, g.N(), 4)
+	next := readParts(t, parts2, g.N(), 4)
+	if err := next.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The warm solve must track the prior assignment, not re-derive an
+	// arbitrary relabeled one.
+	same := 0
+	for v := range prior.Parts {
+		if prior.Parts[v] == next.Parts[v] {
+			same++
+		}
+	}
+	if frac := float64(same) / float64(g.N()); frac < 0.8 {
+		t.Fatalf("warm CLI solve kept only %.1f%% of the base assignment", 100*frac)
 	}
 }

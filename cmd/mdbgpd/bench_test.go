@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"mdbgp"
+	"mdbgp/internal/gen"
 	"mdbgp/internal/server"
 )
 
@@ -115,6 +116,119 @@ func BenchmarkServingE2E(b *testing.B) {
 		b.ReportMetric(hits/(hits+misses), "cache_hit_rate")
 	}
 	b.ReportMetric(float64(len(latencies)), "requests")
+
+	stopDaemon(b, errc)
+}
+
+// BenchmarkIncrementalE2E measures the incremental-repartitioning payoff on
+// a ≥100k-edge graph with ≤1% edge churn, through the daemon's real HTTP
+// surface: a cold solve of the delta-materialized target graph versus the
+// same target submitted as an edge delta (?base=) warm-started from the
+// cached base solution. It reports the warm/cold speedup and the uncut
+// (edge-locality) delta; CI publishes the output as BENCH_incremental.json
+// and gates on speedup >= 2 at locality_delta >= 0 via cmd/benchgate:
+//
+//	go test -run '^$' -bench BenchmarkIncrementalE2E -benchtime 1x ./cmd/mdbgpd \
+//	  | go run ./cmd/benchjson -out BENCH_incremental.json
+func BenchmarkIncrementalE2E(b *testing.B) {
+	base, _ := mdbgp.GenerateSocialGraph(mdbgp.SocialGraphConfig{
+		N: 25000, Communities: 8, AvgDegree: 10, InFraction: 0.85, Seed: 7,
+	})
+	var baseBody bytes.Buffer
+	if err := mdbgp.WriteEdgeList(&baseBody, base); err != nil {
+		b.Fatal(err)
+	}
+
+	// ~1% churn: remove one existing edge and add one fresh edge per ~200
+	// base edges.
+	d := gen.PerturbDelta(base, int(base.M())/600, 17, 31)
+	var deltaBody bytes.Buffer
+	if err := mdbgp.WriteEdgeDelta(&deltaBody, d); err != nil {
+		b.Fatal(err)
+	}
+	target, stats := mdbgp.ApplyEdgeDelta(base, d)
+	var targetBody bytes.Buffer
+	if err := mdbgp.WriteEdgeList(&targetBody, target); err != nil {
+		b.Fatal(err)
+	}
+
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- run(server.Config{Workers: 1, QueueDepth: 16}, "127.0.0.1:0", ready) }()
+	var baseURL string
+	select {
+	case addr := <-ready:
+		baseURL = "http://" + addr
+	case err := <-errc:
+		b.Fatalf("daemon failed to boot: %v", err)
+	}
+
+	post := func(query string, body []byte) (map[string]any, time.Duration) {
+		start := time.Now()
+		resp, err := http.Post(baseURL+"/v1/partition?"+query, "text/plain", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		var m map[string]any
+		json.NewDecoder(resp.Body).Decode(&m)
+		resp.Body.Close()
+		if m["status"] != "done" {
+			b.Fatalf("request did not finish synchronously: %v", m)
+		}
+		return m, elapsed
+	}
+	locality := func(m map[string]any) float64 {
+		resp, err := http.Get(baseURL + "/v1/jobs/" + m["job_id"].(string))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var j map[string]any
+		json.NewDecoder(resp.Body).Decode(&j)
+		resp.Body.Close()
+		res, _ := j["result"].(map[string]any)
+		if res == nil {
+			b.Fatalf("job has no result: %v", j)
+		}
+		return res["edge_locality"].(float64)
+	}
+
+	var coldMs, warmMs, coldLoc, warmLoc float64
+	b.ResetTimer()
+	for iter := 0; iter < b.N; iter++ {
+		// The seed varies per iteration so repeat iterations (b.N > 1) are
+		// distinct requests instead of result-cache hits.
+		params := fmt.Sprintf("k=8&seed=%d&wait=true", 42+iter)
+		// Base cold solve seeds the graph and result caches (not timed).
+		mBase, _ := post(params, baseBody.Bytes())
+		baseID := mBase["job_id"].(string)
+
+		// Cold solve of the full target graph.
+		mCold, coldDur := post(params, targetBody.Bytes())
+		if mCold["cache"] != "miss" {
+			b.Fatalf("cold solve unexpectedly cached: %v", mCold)
+		}
+		// The same target as a delta, warm-started from the base solution.
+		mWarm, warmDur := post(params+"&base="+baseID, deltaBody.Bytes())
+		dv, _ := mWarm["delta"].(map[string]any)
+		if dv == nil || dv["mode"] != "warm" {
+			b.Fatalf("delta solve was not warm: %v", mWarm)
+		}
+		coldMs = coldDur.Seconds() * 1e3
+		warmMs = warmDur.Seconds() * 1e3
+		coldLoc = locality(mCold)
+		warmLoc = locality(mWarm)
+	}
+	b.StopTimer()
+
+	b.ReportMetric(float64(target.M()), "edges")
+	b.ReportMetric(stats.Churn(base.M()), "churn")
+	b.ReportMetric(coldMs, "cold_ms")
+	b.ReportMetric(warmMs, "warm_ms")
+	b.ReportMetric(coldMs/warmMs, "speedup")
+	b.ReportMetric(coldLoc, "locality_cold")
+	b.ReportMetric(warmLoc, "locality_warm")
+	b.ReportMetric(warmLoc-coldLoc, "locality_delta")
 
 	stopDaemon(b, errc)
 }

@@ -14,6 +14,10 @@
 //	curl -s localhost:8080/v1/jobs/j1-ab12cd34/assignment
 //	# or block until solved (bounded by -maxwait)
 //	curl -s --data-binary @graph.txt 'localhost:8080/v1/partition?k=8&wait=true'
+//	# incremental: submit an edge delta against a previous job; the solve
+//	# warm-starts from the cached base solution
+//	printf '+12 99\n-4 7\n' | curl -s --data-binary @- \
+//	  'localhost:8080/v1/partition?k=8&seed=42&base=j1-ab12cd34&wait=true'
 package main
 
 import (
@@ -60,6 +64,8 @@ func parseFlags(args []string) (server.Config, string, error) {
 		par         = fs.Int("p", 0, "solver parallelism per job: 0 = all cores (results are seed-deterministic either way)")
 		retain      = fs.Int("retain", 1024, "completed jobs kept for polling")
 		maxWait     = fs.Duration("maxwait", 30*time.Second, "cap on ?wait=true blocking")
+		graphCache  = fs.Int("graph-cache", 64, "base graphs kept for delta (?base=) submissions (negative disables)")
+		maxChurn    = fs.Float64("max-churn", 0.25, "edge-churn fraction above which delta solves go cold instead of warm-starting (0 never warm-starts)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return server.Config{}, "", err
@@ -68,14 +74,22 @@ func parseFlags(args []string) (server.Config, string, error) {
 		return server.Config{}, "", fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 	cfg := server.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheEntries: *cache,
-		MaxBodyBytes: *maxBodyMB << 20,
-		MaxVertexID:  *maxVertexID,
-		Parallelism:  *par,
-		RetainJobs:   *retain,
-		MaxWait:      *maxWait,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		CacheEntries:      *cache,
+		MaxBodyBytes:      *maxBodyMB << 20,
+		MaxVertexID:       *maxVertexID,
+		Parallelism:       *par,
+		RetainJobs:        *retain,
+		MaxWait:           *maxWait,
+		GraphCacheEntries: *graphCache,
+		MaxChurn:          *maxChurn,
+	}
+	if *maxChurn == 0 {
+		// The Config zero value means "use the 25% default"; an operator
+		// passing an explicit 0 means "never warm-start", which the config
+		// spells as negative.
+		cfg.MaxChurn = -1
 	}
 	return cfg, *addr, nil
 }

@@ -27,6 +27,7 @@ func TestParseFlagsDefaults(t *testing.T) {
 	want := server.Config{
 		Workers: 2, QueueDepth: 64, CacheEntries: 256,
 		MaxBodyBytes: 256 << 20, RetainJobs: 1024, MaxWait: 30 * time.Second,
+		GraphCacheEntries: 64, MaxChurn: 0.25,
 	}
 	if cfg != want {
 		t.Fatalf("cfg = %+v, want %+v", cfg, want)
@@ -38,6 +39,7 @@ func TestParseFlagsOverrides(t *testing.T) {
 		"-addr", "127.0.0.1:9999", "-workers", "8", "-queue", "16",
 		"-cache", "-1", "-max-body-mb", "1", "-max-vertex-id", "1000",
 		"-p", "4", "-retain", "10", "-maxwait", "5s",
+		"-graph-cache", "7", "-max-churn", "0.1",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -48,9 +50,23 @@ func TestParseFlagsOverrides(t *testing.T) {
 	want := server.Config{
 		Workers: 8, QueueDepth: 16, CacheEntries: -1, MaxBodyBytes: 1 << 20,
 		MaxVertexID: 1000, Parallelism: 4, RetainJobs: 10, MaxWait: 5 * time.Second,
+		GraphCacheEntries: 7, MaxChurn: 0.1,
 	}
 	if cfg != want {
 		t.Fatalf("cfg = %+v, want %+v", cfg, want)
+	}
+}
+
+func TestParseFlagsZeroChurnMeansNeverWarm(t *testing.T) {
+	// An explicit -max-churn 0 means "never warm-start"; the Config zero
+	// value would silently become the 25% default, so parseFlags maps it to
+	// the config's negative spelling.
+	cfg, _, err := parseFlags([]string{"-max-churn", "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MaxChurn >= 0 {
+		t.Fatalf("MaxChurn = %g, want negative (force cold)", cfg.MaxChurn)
 	}
 }
 

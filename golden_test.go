@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"mdbgp/internal/gen"
 )
 
 // Golden-file regression tests: fixture graphs plus expected partition
@@ -151,6 +153,59 @@ func TestGoldenMultilevel(t *testing.T) {
 	}
 	sanity(t, g, res, 2, 0.05)
 	checkGolden(t, "multilevel-k2-seed42.parts", res.Assignment)
+}
+
+// goldenDelta loads the committed ~1%-churn delta fixture against the
+// social-400 graph, regenerating it deterministically under -update.
+func goldenDelta(t *testing.T, g *Graph) *EdgeDelta {
+	t.Helper()
+	path := filepath.Join(goldenDir, "delta-400.txt")
+	if *update {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteEdgeDelta(f, gen.PerturbDelta(g, 100, 7, 13)); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("missing delta fixture (run with -update to create): %v", err)
+	}
+	defer f.Close()
+	d, err := ParseEdgeDelta(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestGoldenIncremental pins the full incremental scenario: cold base solve,
+// committed edge delta, warm-started re-solve — the delta parser, the
+// application semantics and the warm trajectory are all locked by one file.
+func TestGoldenIncremental(t *testing.T) {
+	g := goldenGraph(t)
+	base, err := Partition(g, Options{K: 4, Seed: 42, Iterations: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, stats := ApplyEdgeDelta(g, goldenDelta(t, g))
+	if stats.AddedNew == 0 || stats.RemovedExisting == 0 {
+		t.Fatalf("degenerate delta fixture: %+v", stats)
+	}
+	if churn := stats.Churn(g.M()); churn > 0.05 {
+		t.Fatalf("delta fixture churn %.3f is no longer small", churn)
+	}
+	res, err := PartitionWarm(target, base.Assignment.Parts, Options{K: 4, Seed: 42, Iterations: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sanity(t, target, res, 4, 0.05)
+	checkGolden(t, "incremental-k4-seed42.parts", res.Assignment)
 }
 
 // TestGoldenParallelismInvariance re-runs a golden configuration at several

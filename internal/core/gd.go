@@ -73,6 +73,18 @@ type Options struct {
 	// t = 0 Gaussian noise — the multilevel V-cycle prolongates each coarse
 	// solution through this field. Must have length n when set.
 	WarmStart []float64
+	// WarmParts, when non-nil, carries a prior k-way assignment into
+	// PartitionK's recursive bisection: before each 2-way split, vertices
+	// whose prior part falls in the split's left (right) part range seed the
+	// fractional solution at +WarmPartDamp (−WarmPartDamp) via WarmStart,
+	// and the slice is restricted alongside the weights for the child
+	// recursions. Values outside the subtree's part range (including -1 for
+	// vertices unknown to the prior solution) start neutral at 0. Must have
+	// one entry per vertex when set. This is the incremental-repartitioning
+	// entry point: the warm solve runs the same projection constraints,
+	// rounding and balance repair as a cold one, so ε-balance guarantees are
+	// unchanged.
+	WarmParts []int32
 	// Trace, when set, receives per-iteration statistics (costs one extra
 	// SpMV per iteration).
 	Trace func(IterStats)

@@ -42,6 +42,9 @@ func PartitionKWith(g *graph.Graph, ws [][]float64, k int, opt Options, bisect B
 	if err := checkWeights(n, ws); err != nil {
 		return nil, err
 	}
+	if opt.WarmParts != nil && len(opt.WarmParts) != n {
+		return nil, fmt.Errorf("core: warm parts length %d, graph has %d vertices", len(opt.WarmParts), n)
+	}
 	asgn := partition.NewAssignment(n, k)
 	if k == 1 || n == 0 {
 		return asgn, nil
@@ -86,6 +89,12 @@ func recurse(sub *graph.Graph, ws [][]float64, ids []int32, k, base int, opt Opt
 	k1 := (k + 1) / 2
 	o := opt
 	o.TargetFraction = float64(k1) / float64(k)
+	if opt.WarmParts != nil {
+		// The bisection consumes the prior assignment in fractional form;
+		// children receive the restricted integral slice below.
+		o.WarmStart = warmFromParts(opt.WarmParts, base, k1, k)
+		o.WarmParts = nil
+	}
 	res, err := bisect(sub, ws, o)
 	if err != nil {
 		return err
@@ -120,6 +129,10 @@ func recurse(sub *graph.Graph, ws [][]float64, ids []int32, k, base int, opt Opt
 	oLeft.Seed = opt.Seed*1000003 + 1
 	oRight := opt
 	oRight.Seed = opt.Seed*1000003 + 2
+	if opt.WarmParts != nil {
+		oLeft.WarmParts = restrictParts(opt.WarmParts, leftLocal)
+		oRight.WarmParts = restrictParts(opt.WarmParts, rightLocal)
+	}
 
 	// The two branches touch disjoint vertices (and disjoint asgn entries)
 	// and carry independently derived seeds, so running them concurrently
@@ -154,6 +167,39 @@ func recurse(sub *graph.Graph, ws [][]float64, ids []int32, k, base int, opt Opt
 		return err
 	}
 	return recurse(rightG, rightWs, rightIDs, k-k1, base+k1, oRight, asgn, sem, bisect)
+}
+
+// WarmPartDamp scales the ±1 encoding of a prior assignment before it seeds
+// a warm-started bisection. The rationale mirrors the multilevel V-cycle's
+// prolongation damping: an undamped ±1 coordinate would re-fix on the first
+// iteration, freezing the prior decision before the new graph's gradient
+// ever votes; 0.98 stays below the 0.99 fix threshold, so one agreeing step
+// re-saturates it and one disagreeing step pulls it free.
+const WarmPartDamp = 0.98
+
+// warmFromParts encodes a prior k-way assignment as a fractional warm start
+// for the split of parts [base, base+k) into [base, base+k1) (side +1) and
+// [base+k1, base+k) (side −1). Parts outside the range — vertices the prior
+// solution assigned elsewhere, or -1 for vertices it never saw — stay 0.
+func warmFromParts(parts []int32, base, k1, k int) []float64 {
+	x := make([]float64, len(parts))
+	for i, p := range parts {
+		switch {
+		case int(p) >= base && int(p) < base+k1:
+			x[i] = WarmPartDamp
+		case int(p) >= base+k1 && int(p) < base+k:
+			x[i] = -WarmPartDamp
+		}
+	}
+	return x
+}
+
+func restrictParts(parts []int32, local []int32) []int32 {
+	sub := make([]int32, len(local))
+	for i, v := range local {
+		sub[i] = parts[v]
+	}
+	return sub
 }
 
 func restrictWeights(ws [][]float64, local []int32) [][]float64 {

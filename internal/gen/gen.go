@@ -336,3 +336,24 @@ func CliqueChain(cliques, size int) *graph.Graph {
 	}
 	return b.Build()
 }
+
+// PerturbDelta builds a small deterministic edge delta against g — the
+// canonical incremental-repartitioning workload used by tests, goldens and
+// benchmarks: every `every`-th edge (in canonical EachEdge order) is removed
+// and a fresh shifted edge {(u+uShift) mod n, (v+vShift) mod n} inserted in
+// its place, so the edge count stays roughly constant while ~2/every of the
+// edge set churns.
+func PerturbDelta(g *graph.Graph, every, uShift, vShift int) *graph.Delta {
+	d := &graph.Delta{}
+	n := g.N()
+	i := 0
+	g.EachEdge(func(u, v int) bool {
+		if i%every == 0 {
+			d.Remove = append(d.Remove, graph.Edge{U: int32(u), V: int32(v)})
+			d.Add = append(d.Add, graph.Edge{U: int32((u + uShift) % n), V: int32((v + vShift) % n)})
+		}
+		i++
+		return true
+	})
+	return d
+}

@@ -1,0 +1,193 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Delta is a batch of edge insertions and deletions against a base graph —
+// the wire unit of incremental repartitioning. Endpoint order within an
+// edge is irrelevant (the graph is undirected) and duplicates are tolerated:
+// applying a delta is a set operation, base ∪ Add \ (Remove \ Add).
+type Delta struct {
+	Add    []Edge
+	Remove []Edge
+}
+
+// Len returns the raw number of operations in the delta.
+func (d *Delta) Len() int { return len(d.Add) + len(d.Remove) }
+
+// DeltaStats reports what applying a delta actually changed. Operations that
+// were already true of the base (adding a present edge, removing an absent
+// one) do not count: AddedNew + RemovedExisting is exactly the size of the
+// symmetric difference between the base and the materialized edge sets, the
+// quantity edge-churn thresholds are defined over.
+type DeltaStats struct {
+	// AddedNew counts added edges the base did not have.
+	AddedNew int64
+	// RemovedExisting counts removed base edges (not re-added by the same
+	// delta).
+	RemovedExisting int64
+	// NewVertices counts vertex ids introduced beyond the base's range.
+	NewVertices int
+}
+
+// Churn returns the fraction of the base edge set the delta effectively
+// changed: |symmetric difference| / max(1, base edges).
+func (s DeltaStats) Churn(baseEdges int64) float64 {
+	if baseEdges < 1 {
+		baseEdges = 1
+	}
+	return float64(s.AddedNew+s.RemovedExisting) / float64(baseEdges)
+}
+
+// ParseDelta reads an edge delta: one operation per line, "+u v" to insert
+// the undirected edge {u,v} and "-u v" to delete it. The sign may be its own
+// token ("+ u v") or attached to the first id ("+u v"); an optional trailing
+// weight field is accepted for forward compatibility and ignored (graphs are
+// unweighted). '#'/'%' comment lines and blank lines are skipped. The same
+// hardening as ReadEdgeListInto applies: malformed lines, negative ids and
+// ids above maxVertexID (0 means MaxVertexID) fail with the offending line,
+// so a single hostile line cannot force a huge allocation downstream.
+func ParseDelta(r io.Reader, maxVertexID int) (*Delta, error) {
+	if maxVertexID <= 0 || maxVertexID > MaxVertexID {
+		maxVertexID = MaxVertexID
+	}
+	d := &Delta{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		sign := line[0]
+		if sign != '+' && sign != '-' {
+			return nil, fmt.Errorf("graph: delta line %d: want '+u v' or '-u v', got %q", lineNo, line)
+		}
+		fields := strings.Fields(line[1:])
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("graph: delta line %d: want '%cu v', got %q", lineNo, sign, line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: delta line %d: bad vertex %q: %v", lineNo, fields[0], err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: delta line %d: bad vertex %q: %v", lineNo, fields[1], err)
+		}
+		if len(fields) == 3 {
+			// The optional weight is validated but unused: rejecting garbage
+			// here beats surprising the sender later.
+			if _, err := strconv.ParseFloat(fields[2], 64); err != nil {
+				return nil, fmt.Errorf("graph: delta line %d: bad weight %q: %v", lineNo, fields[2], err)
+			}
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: delta line %d: negative vertex id", lineNo)
+		}
+		if u > maxVertexID || v > maxVertexID {
+			return nil, fmt.Errorf("graph: delta line %d: vertex id %d exceeds limit %d", lineNo, max(u, v), maxVertexID)
+		}
+		e := Edge{U: int32(u), V: int32(v)}
+		if sign == '+' {
+			d.Add = append(d.Add, e)
+		} else {
+			d.Remove = append(d.Remove, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// WriteDelta writes the delta in the format ParseDelta reads: one "-u v"
+// line per removal, then one "+u v" line per insertion. (ParseDelta and
+// ApplyDelta are order-insensitive, so the grouping is purely cosmetic.)
+func WriteDelta(w io.Writer, d *Delta) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	for _, e := range d.Remove {
+		if _, err := fmt.Fprintf(bw, "-%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	for _, e := range d.Add {
+		if _, err := fmt.Fprintf(bw, "+%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// packEdge canonicalizes an undirected edge into one comparable key.
+func packEdge(u, v int32) int64 {
+	if u > v {
+		u, v = v, u
+	}
+	return int64(u)<<32 | int64(v)
+}
+
+// ApplyDelta materializes base with the delta applied: every Remove edge
+// dropped, every Add edge inserted, an edge listed in both ends up present.
+// Self loops and duplicate operations are ignored, and operations that were
+// already true of the base are no-ops (counted separately in the stats, so
+// churn reflects real change). The base is not modified; vertex ids beyond
+// the base's range grow the vertex set, and removing all edges of a vertex
+// keeps the vertex (assignments stay index-aligned with the base).
+func ApplyDelta(base *Graph, d *Delta) (*Graph, DeltaStats) {
+	removeSet := make(map[int64]struct{}, len(d.Remove))
+	for _, e := range d.Remove {
+		if e.U == e.V {
+			continue
+		}
+		removeSet[packEdge(e.U, e.V)] = struct{}{}
+	}
+	addSet := make(map[int64]struct{}, len(d.Add))
+	maxID := int32(base.N() - 1)
+	for _, e := range d.Add {
+		if e.U == e.V {
+			continue
+		}
+		addSet[packEdge(e.U, e.V)] = struct{}{}
+		if e.U > maxID {
+			maxID = e.U
+		}
+		if e.V > maxID {
+			maxID = e.V
+		}
+	}
+
+	var stats DeltaStats
+	if n := int(maxID) + 1; n > base.N() {
+		stats.NewVertices = n - base.N()
+	}
+	b := NewBuilder(int(maxID) + 1)
+	base.EachEdge(func(u, v int) bool {
+		key := packEdge(int32(u), int32(v))
+		if _, added := addSet[key]; added {
+			// Present in base and re-asserted by the delta: keep it, and do
+			// not add it again below (delete marks it consumed).
+			delete(addSet, key)
+			b.AddEdge(u, v)
+			return true
+		}
+		if _, removed := removeSet[key]; removed {
+			stats.RemovedExisting++
+			return true
+		}
+		b.AddEdge(u, v)
+		return true
+	})
+	for key := range addSet {
+		stats.AddedNew++
+		b.AddEdge(int(key>>32), int(key&0xffffffff))
+	}
+	return b.Build(), stats
+}

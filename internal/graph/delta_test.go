@@ -1,0 +1,214 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseDelta(t *testing.T) {
+	in := `# a comment
+% another
++0 1
++ 2 3 1.5
+-4 5
+- 6 7
++8 9 2
+
+`
+	d, err := ParseDelta(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAdd := []Edge{{0, 1}, {2, 3}, {8, 9}}
+	wantRemove := []Edge{{4, 5}, {6, 7}}
+	if len(d.Add) != len(wantAdd) || len(d.Remove) != len(wantRemove) {
+		t.Fatalf("parsed %d adds / %d removes, want %d / %d", len(d.Add), len(d.Remove), len(wantAdd), len(wantRemove))
+	}
+	for i, e := range wantAdd {
+		if d.Add[i] != e {
+			t.Fatalf("Add[%d] = %v, want %v", i, d.Add[i], e)
+		}
+	}
+	for i, e := range wantRemove {
+		if d.Remove[i] != e {
+			t.Fatalf("Remove[%d] = %v, want %v", i, d.Remove[i], e)
+		}
+	}
+	if d.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", d.Len())
+	}
+}
+
+func TestParseDeltaErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		max  int
+	}{
+		{"no sign", "0 1\n", 0},
+		{"missing endpoint", "+0\n", 0},
+		{"too many fields", "+0 1 2 3\n", 0},
+		{"bad id", "+a 1\n", 0},
+		{"bad second id", "+1 b\n", 0},
+		{"bad weight", "+1 2 heavy\n", 0},
+		{"negative id", "+-1 2\n", 0},
+		{"id above bound", "+0 100\n", 50},
+		{"id above representation limit", "+0 4294967296\n", 0},
+	}
+	for _, tc := range cases {
+		if _, err := ParseDelta(strings.NewReader(tc.in), tc.max); err == nil {
+			t.Errorf("%s: ParseDelta(%q) succeeded, want error", tc.name, tc.in)
+		}
+	}
+}
+
+// pathGraph returns the n-vertex path graph 0-1-2-...-(n-1).
+func pathGraph(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+func TestApplyDelta(t *testing.T) {
+	base := pathGraph(5) // edges 01 12 23 34
+	d := &Delta{
+		Add:    []Edge{{0, 2}, {0, 1}, {3, 4}}, // 02 new; 01, 34 already present
+		Remove: []Edge{{1, 2}, {3, 4}, {0, 4}}, // 12 removed; 34 re-added above; 04 absent
+	}
+	g, stats := ApplyDelta(base, d)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5 {
+		t.Fatalf("n = %d, want 5", g.N())
+	}
+	type pair struct{ u, v int }
+	want := map[pair]bool{{0, 1}: true, {0, 2}: true, {2, 3}: true, {3, 4}: true}
+	got := map[pair]bool{}
+	g.EachEdge(func(u, v int) bool { got[pair{u, v}] = true; return true })
+	if len(got) != len(want) {
+		t.Fatalf("edges %v, want %v", got, want)
+	}
+	for e := range want {
+		if !got[e] {
+			t.Fatalf("missing edge %v (got %v)", e, got)
+		}
+	}
+	// Churn counts only real change: +02 (new) and -12 (existing); the
+	// re-asserted 01, the remove+add 34 and the absent 04 are no-ops.
+	if stats.AddedNew != 1 || stats.RemovedExisting != 1 || stats.NewVertices != 0 {
+		t.Fatalf("stats = %+v, want AddedNew=1 RemovedExisting=1 NewVertices=0", stats)
+	}
+	if c := stats.Churn(base.M()); c != 0.5 {
+		t.Fatalf("churn = %g, want 2/4", c)
+	}
+	// The base is untouched.
+	if base.HasEdge(0, 2) || !base.HasEdge(1, 2) {
+		t.Fatal("ApplyDelta mutated the base graph")
+	}
+}
+
+func TestApplyDeltaGrowsVertexSet(t *testing.T) {
+	base := pathGraph(3)
+	g, stats := ApplyDelta(base, &Delta{Add: []Edge{{2, 6}}})
+	if g.N() != 7 {
+		t.Fatalf("n = %d, want 7 (ids up to 6)", g.N())
+	}
+	if stats.NewVertices != 4 {
+		t.Fatalf("NewVertices = %d, want 4", stats.NewVertices)
+	}
+	if !g.HasEdge(2, 6) {
+		t.Fatal("added edge missing")
+	}
+}
+
+func TestApplyDeltaIgnoresNoise(t *testing.T) {
+	base := pathGraph(4)
+	g, stats := ApplyDelta(base, &Delta{
+		Add:    []Edge{{1, 1}, {0, 2}, {2, 0}}, // self loop + duplicate pair (both orders)
+		Remove: []Edge{{3, 3}},
+	})
+	if !g.HasEdge(0, 2) || g.M() != base.M()+1 {
+		t.Fatalf("m = %d, want %d", g.M(), base.M()+1)
+	}
+	if stats.AddedNew != 1 || stats.RemovedExisting != 0 {
+		t.Fatalf("stats = %+v, want AddedNew=1", stats)
+	}
+}
+
+func TestApplyDeltaEmpty(t *testing.T) {
+	base := pathGraph(6)
+	g, stats := ApplyDelta(base, &Delta{})
+	if g.N() != base.N() || g.M() != base.M() {
+		t.Fatalf("empty delta changed the graph: %v vs %v", g, base)
+	}
+	if stats != (DeltaStats{}) {
+		t.Fatalf("empty delta has stats %+v", stats)
+	}
+	// Same canonical CSR, same hash: an empty delta addresses the base's
+	// cache entry.
+	if g.HashString() != base.HashString() {
+		t.Fatal("empty delta changed the canonical hash")
+	}
+}
+
+// TestApplyDeltaMatchesRebuild cross-checks ApplyDelta against rebuilding
+// from scratch on randomized graphs and deltas.
+func TestApplyDeltaMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 20 + rng.Intn(40)
+		b := NewBuilder(n)
+		edges := map[int64][2]int{}
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			b.AddEdge(u, v)
+			edges[packEdge(int32(u), int32(v))] = [2]int{u, v}
+		}
+		base := b.Build()
+
+		d := &Delta{}
+		want := map[int64][2]int{}
+		for k, e := range edges {
+			want[k] = e
+		}
+		for i := 0; i < n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			key := packEdge(int32(u), int32(v))
+			if rng.Intn(2) == 0 {
+				d.Add = append(d.Add, Edge{int32(u), int32(v)})
+				want[key] = [2]int{u, v}
+			} else {
+				d.Remove = append(d.Remove, Edge{int32(u), int32(v)})
+				delete(want, key)
+			}
+		}
+		// An edge both removed and added ends present: replay the delta on
+		// the reference model with the same semantics.
+		for _, e := range d.Add {
+			want[packEdge(e.U, e.V)] = [2]int{int(e.U), int(e.V)}
+		}
+
+		got, _ := ApplyDelta(base, d)
+		if err := got.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		rb := NewBuilder(n)
+		for _, e := range want {
+			rb.AddEdge(e[0], e[1])
+		}
+		ref := rb.Build()
+		if got.HashString() != ref.HashString() {
+			t.Fatalf("trial %d: ApplyDelta diverged from rebuild (n=%d, ops=%d)", trial, n, d.Len())
+		}
+	}
+}

@@ -66,6 +66,58 @@ func FuzzParseEdgeList(f *testing.F) {
 	})
 }
 
+// FuzzParseDelta feeds arbitrary bytes through the delta ingestion format.
+// The invariant mirrors FuzzParseEdgeList: ParseDelta either returns a clean
+// error or yields a delta that ApplyDelta turns into a valid graph whose
+// edge churn matches the reported stats — never a panic, whatever the input.
+func FuzzParseDelta(f *testing.F) {
+	f.Add([]byte("+0 1\n-1 2\n"))
+	f.Add([]byte("+ 0 1\n- 1 2\n"))     // detached signs
+	f.Add([]byte("+0 1 2.5\n"))         // optional weight, ignored
+	f.Add([]byte("+5 5\n-3 3\n"))       // self loops
+	f.Add([]byte("+0 1\n+1 0\n-0 1\n")) // duplicate ops both orders
+	f.Add([]byte("+0 1048577\n"))       // beyond the fuzz id bound
+	f.Add([]byte("+-1 2\n"))            // negative id
+	f.Add([]byte("-0 99999999999999999999\n"))
+	f.Add([]byte("# comment\n% other\n\n"))
+	f.Add([]byte("0 1\n")) // unsigned line
+	f.Add([]byte("\x00\xff\xfe"))
+	f.Add([]byte(strings.Repeat("+1 2\n", 1000)))
+
+	// A small fixed base so application semantics get exercised too.
+	baseBuilder := NewBuilder(8)
+	for i := 0; i < 7; i++ {
+		baseBuilder.AddEdge(i, i+1)
+	}
+	base := baseBuilder.Build()
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ParseDelta(bytes.NewReader(data), fuzzMaxID)
+		if err != nil {
+			return
+		}
+		g, stats := ApplyDelta(base, d)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted delta built invalid graph: %v", err)
+		}
+		if g.N() > fuzzMaxID+1 {
+			t.Fatalf("accepted graph has %d vertices, limit %d", g.N(), fuzzMaxID+1)
+		}
+		// Stats must equal the symmetric difference the application produced.
+		if got := g.M() - base.M(); got != stats.AddedNew-stats.RemovedExisting {
+			t.Fatalf("edge count delta %d inconsistent with stats %+v", got, stats)
+		}
+		if stats.AddedNew < 0 || stats.RemovedExisting < 0 || stats.Churn(base.M()) < 0 {
+			t.Fatalf("negative stats: %+v", stats)
+		}
+		// Applying the same delta twice is idempotent (set semantics).
+		g2, _ := ApplyDelta(g, d)
+		if g2.HashString() != g.HashString() {
+			t.Fatal("delta application is not idempotent")
+		}
+	})
+}
+
 func TestReadEdgeListIntoErrors(t *testing.T) {
 	cases := map[string]string{
 		"short line":     "0 1\n7\n",

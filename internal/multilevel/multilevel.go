@@ -121,6 +121,15 @@ func Prolongate(coarseX []float64, cmap []int32) []float64 {
 func Bisect(g *graph.Graph, ws [][]float64, opt Options) (*core.Result, error) {
 	opt.normalize()
 	wg0 := coarsen.Wrap(g, ws)
+	// A caller-supplied warm start (incremental repartitioning: the k-way
+	// recursion dampens a prior assignment into GD.WarmStart) means we are
+	// refining a known-good solution — the hierarchy would only spend a
+	// coarsening pass rediscovering structure the warm start already
+	// encodes. Refine directly at the finest level; rounding and balance
+	// repair run as usual, so the guarantees are those of a cold solve.
+	if opt.GD.WarmStart != nil {
+		return core.BisectWeighted(wg0, opt.GD)
+	}
 	pool := vecmath.NewPool(opt.GD.Workers)
 	// The coarsening stream is independent of the GD streams so hierarchy
 	// shape never shifts the solver's randomness.

@@ -1,0 +1,72 @@
+package partition
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ReadParts parses "vertex part" lines — the format written by cmd/mdbgp and
+// the daemon's /assignment endpoint — into a parts slice indexed by vertex
+// id. '#'/'%' comment lines and blanks are skipped; vertices may appear in
+// any order, later lines win, and ids never mentioned are left at -1 (no
+// prior opinion — exactly what warm starts expect for unseen vertices).
+// Negative ids, ids above maxVertexID (0 means the int32 representation
+// limit) and negative or overflowing parts are rejected with the offending
+// line, so a single hostile line cannot force a huge allocation.
+func ReadParts(r io.Reader, maxVertexID int) ([]int32, error) {
+	const absMax = math.MaxInt32 - 1
+	if maxVertexID <= 0 || maxVertexID > absMax {
+		maxVertexID = absMax
+	}
+	var parts []int32
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("partition: line %d: want 'vertex part', got %q", lineNo, line)
+		}
+		v, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("partition: line %d: bad vertex %q: %v", lineNo, fields[0], err)
+		}
+		p, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("partition: line %d: bad part %q: %v", lineNo, fields[1], err)
+		}
+		if v < 0 || p < 0 {
+			return nil, fmt.Errorf("partition: line %d: negative vertex or part", lineNo)
+		}
+		if v > maxVertexID {
+			return nil, fmt.Errorf("partition: line %d: vertex id %d exceeds limit %d", lineNo, v, maxVertexID)
+		}
+		for v >= len(parts) {
+			grown := make([]int32, max(v+1, 2*len(parts)))
+			for i := range grown {
+				grown[i] = -1
+			}
+			copy(grown, parts)
+			parts = grown
+		}
+		parts[v] = int32(p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Trim the growth slack: the result length is the highest vertex id + 1.
+	last := len(parts) - 1
+	for last >= 0 && parts[last] == -1 {
+		last--
+	}
+	return parts[:last+1], nil
+}

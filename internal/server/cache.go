@@ -88,3 +88,79 @@ func resultBytes(res *mdbgp.Result) int64 {
 	b += int64(len(res.Imbalances)) * 8
 	return b
 }
+
+// graphCache is a content-addressed LRU over solved base graphs, keyed by
+// canonical CSR hash. Delta submissions (?base=...) materialize their target
+// graph by applying the delta to an entry here; evicting an entry therefore
+// degrades the affected deltas to "resubmit the full graph", which is why
+// the cache is bounded separately from (and typically smaller than) the
+// result cache. Stored graphs are immutable and shared across requests.
+type graphCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List
+	items    map[string]*list.Element
+	bytes    int64
+}
+
+type graphEntry struct {
+	key   string
+	g     *mdbgp.Graph
+	bytes int64
+}
+
+func newGraphCache(capacity int) *graphCache {
+	return &graphCache{capacity: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached graph for the hash, promoting it to most recent.
+func (c *graphCache) get(hash string) (*mdbgp.Graph, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[hash]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*graphEntry).g, true
+}
+
+// put inserts or refreshes the graph under its hash and returns how many
+// entries were evicted.
+func (c *graphCache) put(hash string, g *mdbgp.Graph) int {
+	if c.capacity <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[hash]; ok {
+		// Same hash means the same canonical CSR; just refresh recency.
+		c.ll.MoveToFront(el)
+		return 0
+	}
+	e := &graphEntry{key: hash, g: g, bytes: graphBytes(g)}
+	c.items[hash] = c.ll.PushFront(e)
+	c.bytes += e.bytes
+	evicted := 0
+	for c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		old := back.Value.(*graphEntry)
+		c.ll.Remove(back)
+		delete(c.items, old.key)
+		c.bytes -= old.bytes
+		evicted++
+	}
+	return evicted
+}
+
+func (c *graphCache) stats() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.bytes
+}
+
+// graphBytes approximates a CSR graph's retained size: 8 bytes per offset,
+// 4 per directed adjacency entry.
+func graphBytes(g *mdbgp.Graph) int64 {
+	return 8*int64(g.N()+1) + 4*g.DirectedSize() + 64
+}

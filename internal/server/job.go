@@ -19,13 +19,15 @@ const (
 )
 
 // job is one partition request flowing through the queue. The graph is
-// retained only until the job finishes; results are shared with the cache
-// and must not be mutated.
+// retained only until the job finishes (it lives on in the base-graph
+// cache); results are shared with the result cache and must not be mutated.
 type job struct {
-	id   string
-	key  string // content address: graph hash + dims + options fingerprint
-	opts mdbgp.Options
-	dims []mdbgp.Weight
+	id        string
+	key       string // content address: engine + graph hash + dims + options fingerprint
+	graphHash string // canonical CSR hash alone — what ?base= resolves to
+	opts      mdbgp.Options
+	dims      []mdbgp.Weight
+	delta     *deltaView // non-nil for delta submissions; immutable
 
 	done chan struct{} // closed exactly once, when status becomes done/failed
 
@@ -42,10 +44,31 @@ type job struct {
 	g         *mdbgp.Graph
 }
 
+// deltaView describes how a delta submission was resolved. It is fixed at
+// submit time and shared read-only by the JSON renderers.
+type deltaView struct {
+	// Base is the canonical hash of the base graph the delta applied to.
+	Base string `json:"base"`
+	// Churn is the effective change fraction: symmetric-difference edges
+	// over base edges.
+	Churn float64 `json:"churn"`
+	// Added and Removed count the effective edge insertions/deletions.
+	Added   int64 `json:"added_edges"`
+	Removed int64 `json:"removed_edges"`
+	// NewVertices counts vertex ids introduced beyond the base's range.
+	NewVertices int `json:"new_vertices"`
+	// Mode is "warm" (GD started from the base's cached solution) or "cold".
+	Mode string `json:"mode"`
+	// ColdReason explains a cold solve: "churn above threshold" or "base
+	// solution not cached".
+	ColdReason string `json:"cold_reason,omitempty"`
+}
+
 // snapshot copies the mutable fields under the job lock for rendering.
 type jobView struct {
 	ID        string
 	Key       string
+	GraphHash string
 	Status    Status
 	Cache     string
 	ErrMsg    string
@@ -55,15 +78,17 @@ type jobView struct {
 	Started   time.Time
 	Finished  time.Time
 	Res       *mdbgp.Result
+	Delta     *deltaView
 }
 
 func (j *job) view() jobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return jobView{
-		ID: j.id, Key: j.key, Status: j.status, Cache: j.cache, ErrMsg: j.errMsg,
+		ID: j.id, Key: j.key, GraphHash: j.graphHash,
+		Status: j.status, Cache: j.cache, ErrMsg: j.errMsg,
 		N: j.n, M: j.m, Submitted: j.submitted, Started: j.started, Finished: j.finished,
-		Res: j.res,
+		Res: j.res, Delta: j.delta,
 	}
 }
 
@@ -121,7 +146,11 @@ func (s *Server) finishJob(j *job, res *mdbgp.Result, err error) {
 	}
 	j.mu.Lock()
 	j.finished = time.Now()
-	j.g = nil // the graph is no longer needed; let it be collected
+	j.g = nil // the graph is no longer needed here; the graph cache owns it
+	// Release the warm assignment: it can be as large as the graph's vertex
+	// set and the retained job history would otherwise pin RetainJobs of
+	// them. It has already been folded into the content key.
+	j.opts.WarmAssignment = nil
 	if err != nil {
 		j.status = StatusFailed
 		j.errMsg = err.Error()

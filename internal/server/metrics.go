@@ -21,6 +21,11 @@ type metrics struct {
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
 	cacheEvictions atomic.Int64
+	deltaSubmitted atomic.Int64 // delta (?base=) submissions received
+	deltaWarm      atomic.Int64 // delta jobs dispatched with a warm start
+	deltaCold      atomic.Int64 // delta jobs dispatched cold (churn or evicted solution)
+	baseMisses     atomic.Int64 // delta submissions whose base graph was unknown/evicted
+	graphEvictions atomic.Int64 // base graphs evicted from the graph cache
 	solveNanos     atomic.Int64 // cumulative wall time inside the partitioner
 	ingestNanos    atomic.Int64 // cumulative wall time parsing + hashing request bodies
 }
@@ -44,6 +49,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("mdbgpd_cache_hits_total", "Result-cache hits.", m.cacheHits.Load())
 	counter("mdbgpd_cache_misses_total", "Result-cache misses.", m.cacheMisses.Load())
 	counter("mdbgpd_cache_evictions_total", "Results evicted from the LRU cache.", m.cacheEvictions.Load())
+	counter("mdbgpd_delta_submitted_total", "Delta (?base=) submissions received.", m.deltaSubmitted.Load())
+	counter("mdbgpd_delta_warm_total", "Delta jobs dispatched with a warm start.", m.deltaWarm.Load())
+	counter("mdbgpd_delta_cold_total", "Delta jobs dispatched cold (churn above threshold or base solution evicted).", m.deltaCold.Load())
+	counter("mdbgpd_delta_base_misses_total", "Delta submissions rejected because the base graph was unknown or evicted.", m.baseMisses.Load())
+	counter("mdbgpd_graph_cache_evictions_total", "Base graphs evicted from the graph cache.", m.graphEvictions.Load())
 	fmt.Fprintf(w, "# HELP mdbgpd_solve_seconds_total Cumulative wall time inside the partitioner.\n# TYPE mdbgpd_solve_seconds_total counter\nmdbgpd_solve_seconds_total %g\n",
 		time.Duration(m.solveNanos.Load()).Seconds())
 	fmt.Fprintf(w, "# HELP mdbgpd_ingest_seconds_total Cumulative wall time parsing and hashing request bodies.\n# TYPE mdbgpd_ingest_seconds_total counter\nmdbgpd_ingest_seconds_total %g\n",
@@ -55,5 +65,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	entries, bytes := s.cache.stats()
 	gauge("mdbgpd_cache_entries", "Results held in the LRU cache.", int64(entries))
 	gauge("mdbgpd_cache_bytes", "Approximate bytes held by cached results.", bytes)
+	gentries, gbytes := s.graphs.stats()
+	gauge("mdbgpd_graph_cache_entries", "Base graphs held for delta submissions.", int64(gentries))
+	gauge("mdbgpd_graph_cache_bytes", "Approximate bytes held by cached base graphs.", gbytes)
 	gauge("mdbgpd_uptime_seconds", "Seconds since the server started.", int64(time.Since(s.start).Seconds()))
 }

@@ -9,6 +9,13 @@
 //	                              (query params); returns a job id. 200 on a
 //	                              cache hit, 202 when queued, 429 when the
 //	                              queue is saturated.
+//	POST /v1/partition?base=...   submit an edge DELTA ("+u v"/"-u v" lines)
+//	                              against a previous job id or graph hash;
+//	                              the server materializes the updated graph
+//	                              from its base-graph cache and warm-starts
+//	                              GD from the base's cached solution (cold
+//	                              solve when the solution was evicted or the
+//	                              churn exceeds Config.MaxChurn).
 //	GET  /v1/jobs/{id}            poll a job: status, quality metrics, timings
 //	GET  /v1/jobs/{id}/assignment the partition as "vertex part" text lines
 //	GET  /healthz                 liveness + queue summary
@@ -33,6 +40,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,6 +77,17 @@ type Config struct {
 	// MaxWait caps how long a ?wait=true submission blocks before falling
 	// back to the async response (0 = 30s).
 	MaxWait time.Duration
+	// GraphCacheEntries bounds the base-graph cache delta submissions
+	// (?base=...) resolve against (0 = 64, negative disables — every delta
+	// then fails with "resubmit the full graph"). Graphs are much larger
+	// than results, hence the separate, smaller bound.
+	GraphCacheEntries int
+	// MaxChurn is the effective edge-churn fraction (symmetric difference /
+	// base edges) above which a delta submission is solved cold even when a
+	// warm base solution is available: past it, the prior solution stops
+	// being a useful prior and warm-starting only biases the solve (0 =
+	// 0.25, negative forces every delta cold).
+	MaxChurn float64
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +117,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxWait <= 0 {
 		c.MaxWait = 30 * time.Second
 	}
+	if c.GraphCacheEntries == 0 {
+		c.GraphCacheEntries = 64
+	}
+	if c.MaxChurn == 0 {
+		c.MaxChurn = 0.25
+	}
 	return c
 }
 
@@ -116,10 +141,11 @@ type Server struct {
 	doneOrder []string
 	inflight  map[string]*job // content key -> queued/running job, for coalescing
 
-	cache *resultCache
-	met   metrics
-	seq   atomic.Int64
-	start time.Time
+	cache  *resultCache
+	graphs *graphCache
+	met    metrics
+	seq    atomic.Int64
+	start  time.Time
 
 	// solve replaces defaultSolve when non-nil — a test seam for
 	// deterministic backpressure/coalescing tests. Set before startWorkers.
@@ -142,6 +168,7 @@ func newServer(cfg Config) *Server {
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
 		cache:    newResultCache(cfg.CacheEntries),
+		graphs:   newGraphCache(cfg.GraphCacheEntries),
 		start:    time.Now(),
 	}
 	s.mux = http.NewServeMux()
@@ -199,12 +226,13 @@ type submitRequest struct {
 	dims     []mdbgp.Weight
 	dimNames string
 	wait     bool
+	base     string // job id or graph hash; non-empty marks a delta submission
 }
 
 var allowedParams = map[string]bool{
 	"k": true, "eps": true, "dims": true, "iters": true, "step": true,
 	"projection": true, "seed": true, "multilevel": true, "coarsento": true,
-	"clustersize": true, "refineiters": true, "wait": true,
+	"clustersize": true, "refineiters": true, "wait": true, "base": true,
 }
 
 func parseSubmit(r *http.Request) (submitRequest, error) {
@@ -284,6 +312,7 @@ func parseSubmit(r *http.Request) (submitRequest, error) {
 	if err := boolParam("wait", &req.wait); err != nil {
 		return req, err
 	}
+	req.base = q.Get("base")
 	dims, names, err := mdbgp.ParseWeightDims(q.Get("dims"))
 	if err != nil {
 		return req, err
@@ -297,11 +326,15 @@ func parseSubmit(r *http.Request) (submitRequest, error) {
 	return req, nil
 }
 
-// cacheKey is the content address of a request: canonical graph hash, the
-// balance dimensions (order matters — projections visit them in order), and
-// the canonicalized options fingerprint.
-func cacheKey(g *mdbgp.Graph, dimNames string, opts mdbgp.Options) string {
-	return g.HashString() + ":" + dimNames + ":" + opts.Fingerprint()
+// cacheKey is the content address of a request: the engine generation (so a
+// persistent or shared cache can never serve results across algorithm
+// changes), the canonical graph hash, the balance dimensions (order matters
+// — projections visit them in order), and the canonicalized options
+// fingerprint. The fingerprint covers the warm assignment when one is set:
+// a warm-started solve follows a different trajectory than a cold one, so
+// the two must never share an entry.
+func cacheKey(graphHash, dimNames string, opts mdbgp.Options) string {
+	return mdbgp.EngineVersion + ":" + graphHash + ":" + dimNames + ":" + opts.Fingerprint()
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -312,6 +345,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	req, err := parseSubmit(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.base != "" {
+		s.handleDeltaSubmit(w, r, req)
 		return
 	}
 
@@ -332,20 +369,140 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "empty graph: body must contain at least one 'u v' edge line")
 		return
 	}
-	opts := req.opts.Canonical()
-	key := cacheKey(g, req.dimNames, opts)
+	hash := g.HashString() // hashing is part of the ingest cost
 	s.met.ingestNanos.Add(int64(time.Since(ingestStart)))
+	s.dispatch(w, r, req, g, hash, req.opts.Canonical(), nil)
+}
+
+// handleDeltaSubmit is the incremental path: the body is an edge delta
+// against ?base= (a retained job id or a canonical graph hash), the target
+// graph is materialized from the base-graph cache, and the solve warm-starts
+// from the base's cached solution when one is available and the churn is
+// within bounds — otherwise it degrades to a cold solve of the materialized
+// graph. Only a missing base GRAPH is an error (there is nothing to apply
+// the delta to); a missing base SOLUTION never is.
+func (s *Server) handleDeltaSubmit(w http.ResponseWriter, r *http.Request, req submitRequest) {
+	ingestStart := time.Now()
+	s.met.deltaSubmitted.Add(1)
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	d, err := mdbgp.ParseEdgeDelta(body, s.cfg.MaxVertexID)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", s.cfg.MaxBodyBytes))
+			return
+		}
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	baseHash, baseJob := s.resolveBase(req.base)
+	if baseHash == "" {
+		s.met.baseMisses.Add(1)
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown base %q: not a retained job id or a known graph hash; resubmit the full graph", req.base))
+		return
+	}
+	baseG, ok := s.graphs.get(baseHash)
+	if !ok {
+		s.met.baseMisses.Add(1)
+		httpError(w, http.StatusGone, fmt.Sprintf("base graph %s is no longer cached; resubmit the full graph", baseHash[:8]))
+		return
+	}
+	g, stats := mdbgp.ApplyEdgeDelta(baseG, d)
+	if g.N() == 0 || g.M() == 0 {
+		httpError(w, http.StatusBadRequest, "delta leaves the graph empty")
+		return
+	}
+
+	opts := req.opts
+	dv := &deltaView{
+		Base: baseHash, Churn: stats.Churn(baseG.M()),
+		Added: stats.AddedNew, Removed: stats.RemovedExisting,
+		NewVertices: stats.NewVertices, Mode: "cold",
+	}
+	if dv.Churn > s.cfg.MaxChurn {
+		dv.ColdReason = "churn above threshold"
+	} else if warm := s.resolveWarm(baseHash, baseJob, req); warm != nil {
+		opts.WarmAssignment = warm
+		dv.Mode = "warm"
+	} else {
+		dv.ColdReason = "base solution not cached"
+	}
+	hash := g.HashString() // hashing is part of the ingest cost
+	s.met.ingestNanos.Add(int64(time.Since(ingestStart)))
+	s.dispatch(w, r, req, g, hash, opts.Canonical(), dv)
+}
+
+// resolveBase maps ?base= to a canonical graph hash: a retained job id
+// (preferred — it survives graph-hash ignorance on the client) or a literal
+// hash string.
+func (s *Server) resolveBase(base string) (string, *job) {
+	s.mu.Lock()
+	j := s.jobs[base]
+	s.mu.Unlock()
+	if j != nil {
+		return j.graphHash, j
+	}
+	if len(base) == 64 && strings.Trim(base, "0123456789abcdef") == "" {
+		return base, nil
+	}
+	return "", nil
+}
+
+// resolveWarm finds a prior solution of the base graph to warm-start from:
+// first the result cache under the delta request's own options (a base
+// solved cold with the same configuration), then — for chained deltas,
+// whose base result is keyed with its own warm fingerprint — the base job's
+// retained result, provided its K matches.
+func (s *Server) resolveWarm(baseHash string, baseJob *job, req submitRequest) []int32 {
+	if res, ok := s.cache.get(cacheKey(baseHash, req.dimNames, req.opts.Canonical())); ok {
+		return res.Assignment.Parts
+	}
+	if baseJob != nil {
+		if v := baseJob.view(); v.Status == StatusDone && v.Res != nil &&
+			v.Res.Assignment.K == req.opts.Canonical().K {
+			return v.Res.Assignment.Parts
+		}
+	}
+	return nil
+}
+
+// countDelta records a delta submission's warm/cold outcome. It runs only
+// on the dispatch paths that actually serve the request (cache hit,
+// coalesce, enqueue) — a 429 rejection must not move the warm-rate needle.
+func (s *Server) countDelta(dv *deltaView) {
+	if dv == nil {
+		return
+	}
+	if dv.Mode == "warm" {
+		s.met.deltaWarm.Add(1)
+	} else {
+		s.met.deltaCold.Add(1)
+	}
+}
+
+// dispatch runs the shared submit tail for full and delta submissions:
+// content addressing, the base-graph cache, the result-cache fast path,
+// coalescing, and the bounded enqueue.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, req submitRequest, g *mdbgp.Graph, hash string, opts mdbgp.Options, dv *deltaView) {
+	key := cacheKey(hash, req.dimNames, opts)
+	// Every materialized graph becomes a warm-start base for future deltas
+	// (including delta-produced graphs — that is what makes chains work).
+	if ev := s.graphs.put(hash, g); ev > 0 {
+		s.met.graphEvictions.Add(int64(ev))
+	}
 
 	// Cache hit: materialize a completed job so the polling endpoints work
 	// uniformly, and answer immediately.
 	if res, ok := s.cache.get(key); ok {
 		s.met.jobsSubmitted.Add(1)
 		s.met.cacheHits.Add(1)
+		s.countDelta(dv)
 		j := &job{
-			id: s.newJobID(key), key: key, opts: opts, dims: req.dims,
+			id: s.newJobID(key), key: key, graphHash: hash, dims: req.dims,
 			done: make(chan struct{}), status: StatusDone, cache: "hit",
-			n: g.N(), m: g.M(), submitted: time.Now(), started: time.Now(),
-			finished: time.Now(), res: res,
+			n: g.N(), m: g.M(), delta: dv, submitted: time.Now(),
+			started: time.Now(), finished: time.Now(), res: res,
 		}
 		close(j.done)
 		s.mu.Lock()
@@ -353,7 +510,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		s.met.jobsCompleted.Add(1)
 		s.retire(j)
-		s.respondSubmit(w, j, http.StatusOK)
+		s.respondSubmit(w, j, http.StatusOK, nil)
 		return
 	}
 
@@ -373,14 +530,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.met.jobsSubmitted.Add(1)
 		s.met.cacheMisses.Add(1)
 		s.met.jobsCoalesced.Add(1)
+		s.countDelta(dv)
 		s.waitIfRequested(req, r, prior)
-		s.respondSubmit(w, prior, http.StatusAccepted)
+		s.respondSubmit(w, prior, http.StatusAccepted, dv)
 		return
 	}
 	j := &job{
-		id: s.newJobID(key), key: key, opts: opts, dims: req.dims,
+		id: s.newJobID(key), key: key, graphHash: hash, opts: opts, dims: req.dims,
 		done: make(chan struct{}), status: StatusQueued, cache: "miss",
-		n: g.N(), m: g.M(), submitted: time.Now(), g: g,
+		n: g.N(), m: g.M(), delta: dv, submitted: time.Now(), g: g,
 	}
 	select {
 	case s.queue <- j:
@@ -398,8 +556,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	s.met.jobsSubmitted.Add(1)
 	s.met.cacheMisses.Add(1)
+	s.countDelta(dv)
 	s.waitIfRequested(req, r, j)
-	s.respondSubmit(w, j, http.StatusAccepted)
+	s.respondSubmit(w, j, http.StatusAccepted, nil)
 }
 
 // waitIfRequested blocks a ?wait=true submission until the job finishes,
@@ -416,19 +575,30 @@ func (s *Server) waitIfRequested(req submitRequest, r *http.Request, j *job) {
 }
 
 // respondSubmit writes the submit response: the job id plus enough state to
-// decide whether to poll.
-func (s *Server) respondSubmit(w http.ResponseWriter, j *job, code int) {
+// decide whether to poll. dv carries the submission's own delta resolution
+// when it differs from the job's — a delta submission coalesced onto an
+// in-flight job (whose view has no delta) must still report its documented
+// delta.mode/churn metadata.
+func (s *Server) respondSubmit(w http.ResponseWriter, j *job, code int, dv *deltaView) {
 	v := j.view()
 	if v.Status == StatusDone || v.Status == StatusFailed {
 		code = http.StatusOK
 	}
-	writeJSON(w, code, map[string]any{
+	resp := map[string]any{
 		"job_id":      v.ID,
 		"status":      v.Status,
 		"cache":       v.Cache,
 		"key":         v.Key,
+		"graph_hash":  v.GraphHash,
 		"queue_depth": len(s.queue),
-	})
+	}
+	if dv == nil {
+		dv = v.Delta
+	}
+	if dv != nil {
+		resp["delta"] = dv
+	}
+	writeJSON(w, code, resp)
 }
 
 func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) *job {
@@ -453,8 +623,12 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		"status":       v.Status,
 		"cache":        v.Cache,
 		"key":          v.Key,
+		"graph_hash":   v.GraphHash,
 		"graph":        map[string]any{"n": v.N, "m": v.M},
 		"submitted_at": v.Submitted.UTC().Format(time.RFC3339Nano),
+	}
+	if v.Delta != nil {
+		resp["delta"] = v.Delta
 	}
 	if v.ErrMsg != "" {
 		resp["error"] = v.ErrMsg

@@ -18,6 +18,22 @@
 //	res, err := mdbgp.Partition(g, mdbgp.Options{K: 4, Epsilon: 0.05})
 //	// res.Assignment.Parts[v] is the part of vertex v.
 //
+// # Incremental repartitioning
+//
+// Because GD refines a fractional solution, it is uniquely warm-startable:
+// when a graph changes by a small edge delta, the previous partition is a
+// near-feasible, near-optimal starting point, and re-solving from it costs a
+// fraction of a cold solve. ParseEdgeDelta/ApplyEdgeDelta materialize the
+// updated graph from "+u v"/"-u v" lines, and PartitionWarm (equivalently,
+// Options.WarmAssignment) seeds the solver with the prior assignment: each
+// recursive bisection starts from the damped ±1 encoding of the prior parts
+// instead of the origin, skips the cold-start noise and spends a reduced
+// iteration budget (Options.WarmIterations). The warm solve runs the same
+// projection constraints, rounding and balance repair as a cold one, so the
+// ε-balance guarantee is identical; only the trajectory — and therefore the
+// time to reach it — changes. cmd/mdbgpd serves this as delta jobs
+// (POST /v1/partition?base=...) and cmd/mdbgp as the -base/-delta flags.
+//
 // The packages under internal/ contain the full system: the GD core, exact
 // and iterative projection algorithms, baseline partitioners (Hash, Spinner,
 // BLP, SHP), a METIS-style multilevel multi-constraint comparator, a
@@ -100,6 +116,49 @@ func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
 // AddEdge calls before Build. This is the serving ingest entry point.
 func ReadEdgeListInto(b *Builder, r io.Reader, maxVertexID int) error {
 	return graph.ReadEdgeListInto(b, r, maxVertexID)
+}
+
+// EngineVersion identifies the generation of the solver algorithms. Results
+// are deterministic for a fixed seed within a generation, so caches keyed on
+// (EngineVersion, graph hash, options fingerprint) never go stale; bump this
+// whenever an intentional algorithm change regenerates the golden outputs so
+// persistent or shared caches stop serving the previous generation's
+// results.
+const EngineVersion = "gd2"
+
+// EdgeDelta is a batch of edge insertions and deletions against a base
+// graph — the unit of incremental repartitioning.
+type EdgeDelta = graph.Delta
+
+// DeltaStats reports the effective change a delta application made; its
+// Churn method is the edge-churn fraction thresholds are defined over.
+type DeltaStats = graph.DeltaStats
+
+// ParseEdgeDelta reads "+u v" / "-u v" lines (optional ignored trailing
+// weight, '#'/'%' comments) with the same vertex-id hardening as
+// ReadEdgeListInto: maxVertexID bounds accepted ids, 0 meaning the
+// representation limit.
+func ParseEdgeDelta(r io.Reader, maxVertexID int) (*EdgeDelta, error) {
+	return graph.ParseDelta(r, maxVertexID)
+}
+
+// ApplyEdgeDelta materializes base with the delta applied, leaving base
+// untouched. New vertex ids grow the vertex set; removing all edges of a
+// vertex keeps it, so assignments stay index-aligned with the base.
+func ApplyEdgeDelta(base *Graph, d *EdgeDelta) (*Graph, DeltaStats) {
+	return graph.ApplyDelta(base, d)
+}
+
+// WriteEdgeDelta writes d in the format ParseEdgeDelta reads.
+func WriteEdgeDelta(w io.Writer, d *EdgeDelta) error { return graph.WriteDelta(w, d) }
+
+// ReadAssignment parses "vertex part" lines (the format written by cmd/mdbgp
+// and the daemon's /assignment endpoint) into a parts slice indexed by
+// vertex id, suitable for Options.WarmAssignment. Vertices never mentioned
+// are -1 (no prior opinion); maxVertexID bounds accepted ids (0 means the
+// representation limit).
+func ReadAssignment(r io.Reader, maxVertexID int) ([]int32, error) {
+	return partition.ReadParts(r, maxVertexID)
 }
 
 // WriteEdgeList writes the graph as an edge list.
@@ -253,6 +312,25 @@ type Options struct {
 	// RefineIterations is the finest-level refinement budget of the V-cycle
 	// (0 = default 16). Only used when Multilevel is set.
 	RefineIterations int
+	// WarmAssignment, when non-nil, warm-starts the solve from a prior
+	// partition of the same or a similar graph (incremental repartitioning):
+	// each recursive bisection seeds its fractional solution with the damped
+	// ±1 encoding of the prior parts instead of the origin, skips the
+	// cold-start noise, and spends the reduced WarmIterations budget. Entries
+	// are prior part ids in [0, K); negative values — conventionally -1 —
+	// mean "no prior opinion" and start neutral, while ids >= K are rejected
+	// (a prior assignment from a different K is not a usable warm start).
+	// The slice may be shorter than g.N() (vertices the base never saw are
+	// padded with -1) but not longer.
+	// Warm solves run the same projection constraints, rounding and balance
+	// repair as cold ones, so the ε-balance guarantee is unchanged. Ignored
+	// by PartitionDirect.
+	WarmAssignment []int32
+	// WarmIterations is the per-bisection gradient budget of warm-started
+	// solves (0 = a quarter of Iterations, rounded up): a warm start lands
+	// near a good solution, so most of the cold budget would be spent
+	// confirming it. Only used when WarmAssignment is set.
+	WarmIterations int
 }
 
 // Canonical returns the options with every defaulted field made explicit:
@@ -290,6 +368,13 @@ func (o Options) Canonical() Options {
 	} else {
 		o.CoarsenTo, o.ClusterSize, o.RefineIterations = 0, 0, 0
 	}
+	if o.WarmAssignment != nil {
+		if o.WarmIterations <= 0 {
+			o.WarmIterations = (o.Iterations + 3) / 4
+		}
+	} else {
+		o.WarmIterations = 0 // inert without a warm assignment
+	}
 	return o
 }
 
@@ -298,15 +383,17 @@ func (o Options) Canonical() Options {
 // Graph.HashString for the graph half). Two option values that lead to the
 // same partition fingerprint identically: defaults are made explicit via
 // Canonical, and Parallelism is excluded because results are bit-identical
-// at any worker count. Weights vectors, when set, contribute their exact
-// float64 bit patterns.
+// at any worker count. Weights vectors and the WarmAssignment, when set,
+// contribute their exact contents: a warm-started solve follows a different
+// trajectory than a cold one, so the two must never share a cache entry.
 func (o Options) Fingerprint() string {
 	c := o.Canonical()
 	h := sha256.New()
-	fmt.Fprintf(h, "k=%d|eps=%g|iters=%d|step=%g|proj=%s|seed=%d|noadapt=%t|nofix=%t|ml=%t|coarsen=%d|cluster=%d|refine=%d|dims=%d",
+	fmt.Fprintf(h, "k=%d|eps=%g|iters=%d|step=%g|proj=%s|seed=%d|noadapt=%t|nofix=%t|ml=%t|coarsen=%d|cluster=%d|refine=%d|warmiters=%d|dims=%d",
 		c.K, c.Epsilon, c.Iterations, c.StepLength, c.Projection, c.Seed,
 		c.DisableAdaptiveStep, c.DisableVertexFixing,
-		c.Multilevel, c.CoarsenTo, c.ClusterSize, c.RefineIterations, len(c.Weights))
+		c.Multilevel, c.CoarsenTo, c.ClusterSize, c.RefineIterations,
+		c.WarmIterations, len(c.Weights))
 	var buf [8]byte
 	for _, w := range c.Weights {
 		binary.LittleEndian.PutUint64(buf[:], uint64(len(w)))
@@ -314,6 +401,14 @@ func (o Options) Fingerprint() string {
 		for _, x := range w {
 			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
 			h.Write(buf[:])
+		}
+	}
+	if c.WarmAssignment != nil {
+		fmt.Fprintf(h, "|warm=%d|", len(c.WarmAssignment))
+		var b4 [4]byte
+		for _, p := range c.WarmAssignment {
+			binary.LittleEndian.PutUint32(b4[:], uint32(p))
+			h.Write(b4[:])
 		}
 	}
 	return hex.EncodeToString(h.Sum(nil))
@@ -363,6 +458,33 @@ func Partition(g *Graph, opts Options) (*Result, error) {
 		}
 		opt.Projection = project.Options{Method: m, Center: m == project.AlternatingOneShot}
 	}
+	if opts.WarmAssignment != nil {
+		warm, err := padWarm(opts.WarmAssignment, g.N(), opts.K)
+		if err != nil {
+			return nil, err
+		}
+		opt.WarmParts = warm
+		// A warm start needs only a refinement budget, and — as in the
+		// multilevel V-cycle's refinement — projects onto the slab itself
+		// rather than its center: the prior solution is already feasible,
+		// and re-centering every iteration would drag its near-integral
+		// coordinates back toward the origin instead of polishing them.
+		iters := opts.Iterations
+		if iters <= 0 {
+			iters = 100
+		}
+		wi := opts.WarmIterations
+		if wi <= 0 {
+			wi = (iters + 3) / 4
+		}
+		sl := opts.StepLength
+		if sl <= 0 {
+			sl = 2
+		}
+		opt.Iterations = wi
+		opt.StepLength = sl * float64(wi) / float64(iters)
+		opt.Projection.Center = false
+	}
 	var asgn *partition.Assignment
 	var err error
 	if opts.Multilevel {
@@ -387,6 +509,43 @@ func Partition(g *Graph, opts Options) (*Result, error) {
 		res.Imbalances = append(res.Imbalances, partition.Imbalance(asgn, w))
 	}
 	return res, nil
+}
+
+// PartitionWarm partitions g starting from a prior assignment of the same
+// or a similar graph — the incremental-repartitioning entry point. It is
+// Partition with Options.WarmAssignment set to warm: typically the cached
+// assignment of a base graph, applied to ApplyEdgeDelta's materialization of
+// the updated graph. warm may be shorter than g.N() (new vertices start
+// neutral) but not longer; see Options.WarmAssignment for the semantics.
+func PartitionWarm(g *Graph, warm []int32, opts Options) (*Result, error) {
+	opts.WarmAssignment = warm
+	return Partition(g, opts)
+}
+
+// padWarm validates a warm assignment against the graph size and part count
+// and pads missing tail entries with -1 (no prior opinion). Part ids >= k
+// are rejected rather than treated as neutral: they mean the prior solve
+// used a different K, and silently degrading most of the graph to a
+// no-opinion warm start at the reduced warm budget produces a drastically
+// worse partition than a cold solve would.
+func padWarm(warm []int32, n, k int) ([]int32, error) {
+	if len(warm) > n {
+		return nil, fmt.Errorf("mdbgp: warm assignment has %d entries, graph has %d vertices", len(warm), n)
+	}
+	for v, p := range warm {
+		if int(p) >= k {
+			return nil, fmt.Errorf("mdbgp: warm assignment part %d at vertex %d is outside [0, K=%d) — was the base solved with a different K?", p, v, k)
+		}
+	}
+	if len(warm) == n {
+		return warm, nil
+	}
+	padded := make([]int32, n)
+	copy(padded, warm)
+	for i := len(warm); i < n; i++ {
+		padded[i] = -1
+	}
+	return padded, nil
 }
 
 // PartitionDirect partitions with the non-recursive k-way relaxation of
