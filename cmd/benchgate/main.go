@@ -15,12 +15,17 @@
 //	benchgate -baseline BENCH_multilevel.json -candidate BENCH_multilevel.new.json \
 //	  -drop BenchmarkMultilevelVsDirect.locality_multilevel=0.02
 //
-// -min requires candidate >= value. -drop requires candidate >=
+//	# absolute ceiling (lower-is-better metrics such as latency)
+//	benchgate -candidate BENCH_engines.json -max BenchmarkEnginesE2E.p50_ms_fennel=15000
+//
+// -min requires candidate >= value and -drop requires candidate >=
 // baseline − tolerance for the same benchmark/metric in the baseline file
-// (both specs address higher-is-better metrics such as locality or speedup;
-// wall-clock metrics jitter across CI hosts and should not be gated). Specs
-// are repeatable. A spec whose benchmark or metric is absent from the file
-// it addresses fails the gate — a silently skipped check is how gates rot.
+// (both address higher-is-better metrics such as locality or speedup).
+// -max requires candidate <= value, for lower-is-better metrics — use it
+// only as a generous completion ceiling: tight wall-clock gates jitter
+// across CI hosts. Specs are repeatable. A spec whose benchmark or metric is
+// absent from the file it addresses fails the gate — a silently skipped
+// check is how gates rot.
 package main
 
 import (
@@ -84,17 +89,18 @@ func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
 	baselinePath := fs.String("baseline", "", "committed baseline BENCH_*.json (required by -drop)")
 	candidatePath := fs.String("candidate", "", "fresh BENCH_*.json to gate")
-	var mins, drops specList
+	var mins, drops, maxes specList
 	fs.Var(&mins, "min", "absolute floor: Benchmark.metric=value (candidate must be >= value); repeatable")
 	fs.Var(&drops, "drop", "regression tolerance: Benchmark.metric=tol (candidate must be >= baseline-tol); repeatable")
+	fs.Var(&maxes, "max", "absolute ceiling: Benchmark.metric=value (candidate must be <= value); repeatable")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *candidatePath == "" {
 		return fmt.Errorf("-candidate is required")
 	}
-	if len(mins)+len(drops) == 0 {
-		return fmt.Errorf("no gates given: pass at least one -min or -drop")
+	if len(mins)+len(drops)+len(maxes) == 0 {
+		return fmt.Errorf("no gates given: pass at least one -min, -max or -drop")
 	}
 	if len(drops) > 0 && *baselinePath == "" {
 		return fmt.Errorf("-drop requires -baseline")
@@ -112,15 +118,24 @@ func run(args []string, out *os.File) error {
 	}
 
 	var failures []string
-	check := func(kind string, sp spec, floor float64) {
+	// lookup fails closed: a spec addressing an absent benchmark or metric
+	// is a gate failure, never a skip.
+	lookup := func(kind string, sp spec) (float64, bool) {
 		rec, ok := candidate[sp.bench]
 		if !ok {
 			failures = append(failures, fmt.Sprintf("%s %s.%s: benchmark missing from %s", kind, sp.bench, sp.metric, *candidatePath))
-			return
+			return 0, false
 		}
 		got, ok := rec.Metrics[sp.metric]
 		if !ok {
 			failures = append(failures, fmt.Sprintf("%s %s.%s: metric missing from %s", kind, sp.bench, sp.metric, *candidatePath))
+			return 0, false
+		}
+		return got, true
+	}
+	check := func(kind string, sp spec, floor float64) {
+		got, ok := lookup(kind, sp)
+		if !ok {
 			return
 		}
 		if got < floor {
@@ -131,6 +146,17 @@ func run(args []string, out *os.File) error {
 	}
 	for _, sp := range mins {
 		check("min", sp, sp.value)
+	}
+	for _, sp := range maxes {
+		got, ok := lookup("max", sp)
+		if !ok {
+			continue
+		}
+		if got > sp.value {
+			failures = append(failures, fmt.Sprintf("max %s.%s: %g > allowed %g", sp.bench, sp.metric, got, sp.value))
+			continue
+		}
+		fmt.Fprintf(out, "PASS max %s.%s: %g <= %g\n", sp.bench, sp.metric, got, sp.value)
 	}
 	for _, sp := range drops {
 		rec, ok := baseline[sp.bench]

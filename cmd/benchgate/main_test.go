@@ -35,6 +35,7 @@ func TestGatePasses(t *testing.T) {
 		"-candidate", cand,
 		"-min", "BenchmarkIncrementalE2E.speedup=2",
 		"-min", "BenchmarkIncrementalE2E.locality_delta=0",
+		"-max", "BenchmarkIncrementalE2E.ns/op=2e9", // 1e9 <= 2e9
 		"-baseline", base,
 		"-drop", "BenchmarkOther.locality=0.02", // 0.85 >= 0.86-0.02
 	}, os.Stdout)
@@ -59,6 +60,12 @@ func TestGateFailures(t *testing.T) {
 		{"regression past tolerance",
 			[]string{"-candidate", cand, "-baseline", base, "-drop", "BenchmarkOther.locality=0.005"},
 			"0.855"},
+		{"above absolute ceiling",
+			[]string{"-candidate", cand, "-max", "BenchmarkIncrementalE2E.ns/op=1e8"},
+			"allowed"},
+		{"max on missing metric fails closed",
+			[]string{"-candidate", cand, "-max", "BenchmarkOther.ns/op=1"},
+			"missing"},
 		{"missing benchmark fails closed",
 			[]string{"-candidate", cand, "-min", "BenchmarkNope.speedup=1"},
 			"missing"},

@@ -5,6 +5,9 @@
 //
 //	mdbgp -in graph.txt -out parts.txt -k 8 -eps 0.05 -dims vertices,edges
 //
+//	# any registered engine: gd (default), multilevel, fennel, blp, shp, metis
+//	mdbgp -in graph.txt -out parts.txt -k 8 -engine shp
+//
 //	# incremental repartitioning: apply an edge delta ("+u v"/"-u v" lines)
 //	# to the input graph and warm-start from a previous assignment
 //	mdbgp -in graph.txt -delta delta.txt -base parts.txt -out parts2.txt -k 8
@@ -36,6 +39,7 @@ type config struct {
 	projection string
 	seed       int64
 	par        int
+	engine     string
 	multilevel bool
 	coarsenTo  int
 	refineIter int
@@ -55,7 +59,8 @@ func main() {
 	flag.StringVar(&cfg.projection, "projection", "", "projection method: alternating-oneshot (default), alternating, dykstra, exact, nested")
 	flag.Int64Var(&cfg.seed, "seed", 42, "random seed")
 	flag.IntVar(&cfg.par, "p", 0, "worker parallelism: 0 = all cores, 1 = serial (results are seed-deterministic either way)")
-	flag.BoolVar(&cfg.multilevel, "multilevel", false, "use the V-cycle multilevel GD path (coarsen, solve coarse, warm-started refinement)")
+	flag.StringVar(&cfg.engine, "engine", "", "solver engine: "+strings.Join(mdbgp.EngineNames(), ", ")+" (default gd)")
+	flag.BoolVar(&cfg.multilevel, "multilevel", false, "deprecated alias for -engine multilevel (the V-cycle GD path)")
 	flag.IntVar(&cfg.coarsenTo, "coarsento", 0, "multilevel: stop coarsening at this many vertices (0 = default)")
 	flag.IntVar(&cfg.refineIter, "refineiters", 0, "multilevel: finest-level refinement iterations (0 = default)")
 	flag.StringVar(&cfg.deltaPath, "delta", "", "edge delta file ('+u v'/'-u v' lines) applied to the input graph before solving")
@@ -82,6 +87,12 @@ func open(path string) (io.Reader, func() error, error) {
 }
 
 func run(cfg config) error {
+	if cfg.multilevel && cfg.engine != "" && cfg.engine != "multilevel" {
+		return fmt.Errorf("conflicting -engine %s and -multilevel (the latter is an alias for -engine multilevel)", cfg.engine)
+	}
+	if _, err := mdbgp.LookupEngine(cfg.engine); err != nil {
+		return err
+	}
 	reader, closeIn, err := open(cfg.in)
 	if err != nil {
 		return err
@@ -138,12 +149,14 @@ func run(cfg config) error {
 	}
 
 	start = time.Now()
-	res, err := mdbgp.Partition(g, mdbgp.Options{
-		K: cfg.k, Epsilon: cfg.eps, Weights: ws, Iterations: cfg.iters,
+	opts := mdbgp.Options{
+		Engine: cfg.engine,
+		K:      cfg.k, Epsilon: cfg.eps, Weights: ws, Iterations: cfg.iters,
 		Projection: cfg.projection, Seed: cfg.seed, Parallelism: cfg.par,
 		Multilevel: cfg.multilevel, CoarsenTo: cfg.coarsenTo, RefineIterations: cfg.refineIter,
 		WarmAssignment: warm, WarmIterations: cfg.warmIters,
-	})
+	}
+	res, err := mdbgp.Partition(g, opts)
 	if err != nil {
 		return err
 	}
@@ -151,7 +164,8 @@ func run(cfg config) error {
 	if warm != nil {
 		mode = "warm"
 	}
-	fmt.Fprintf(os.Stderr, "partitioned into k=%d in %.1fs (%s)\n", cfg.k, time.Since(start).Seconds(), mode)
+	fmt.Fprintf(os.Stderr, "partitioned into k=%d in %.1fs (engine=%s, %s)\n",
+		cfg.k, time.Since(start).Seconds(), opts.Canonical().Engine, mode)
 	fmt.Fprintf(os.Stderr, "edge locality: %.2f%%  cut edges: %d\n", 100*res.EdgeLocality, res.CutEdges)
 	for j, im := range res.Imbalances {
 		fmt.Fprintf(os.Stderr, "imbalance dim %d (%s): %.3f%%\n", j, strings.Split(dimNames, ",")[j], 100*im)

@@ -140,6 +140,57 @@ func TestRunMultilevel(t *testing.T) {
 	readParts(t, out, g.N(), 2)
 }
 
+// TestRunEngines drives every registered engine through the CLI and checks
+// each writes a valid full assignment (the `mdbgp -engine shp` acceptance
+// path).
+func TestRunEngines(t *testing.T) {
+	dir := t.TempDir()
+	in, g := writeTestGraph(t, dir)
+	for _, name := range mdbgp.EngineNames() {
+		out := filepath.Join(dir, "parts-"+name+".txt")
+		if err := run(config{in: in, out: out, k: 4, eps: 0.05, dims: "vertices,edges", iters: 40, seed: 42, engine: name}); err != nil {
+			t.Fatalf("engine %s: %v", name, err)
+		}
+		asgn := readParts(t, out, g.N(), 4)
+		if err := asgn.Validate(); err != nil {
+			t.Fatalf("engine %s: %v", name, err)
+		}
+		if loc := mdbgp.EdgeLocality(g, asgn); loc < 0.3 {
+			t.Fatalf("engine %s: locality %.3f", name, loc)
+		}
+	}
+}
+
+func TestRunEngineErrors(t *testing.T) {
+	dir := t.TempDir()
+	in, _ := writeTestGraph(t, dir)
+	out := filepath.Join(dir, "parts.txt")
+	base := config{in: in, out: out, k: 2, eps: 0.05, dims: "vertices", iters: 10, seed: 1}
+
+	c := base
+	c.engine = "bogus-engine"
+	if err := run(c); err == nil || !strings.Contains(err.Error(), "unknown engine") {
+		t.Fatalf("unknown engine error = %v", err)
+	}
+	c = base
+	c.engine = "fennel"
+	c.multilevel = true
+	if err := run(c); err == nil || !strings.Contains(err.Error(), "conflicting") {
+		t.Fatalf("conflicting -engine/-multilevel error = %v", err)
+	}
+	// A cold-only engine cannot warm-start from -base.
+	parts1 := filepath.Join(dir, "parts1.txt")
+	if err := run(config{in: in, out: parts1, k: 2, eps: 0.05, dims: "vertices", iters: 10, seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	c = base
+	c.engine = "shp"
+	c.basePath = parts1
+	if err := run(c); err == nil || !strings.Contains(err.Error(), "warm starts") {
+		t.Fatalf("cold-only engine with -base error = %v", err)
+	}
+}
+
 // TestRunIncremental drives the full offline incremental flow: cold solve,
 // write a delta, warm-start the updated graph from the previous assignment.
 func TestRunIncremental(t *testing.T) {

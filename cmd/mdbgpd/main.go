@@ -8,6 +8,8 @@
 //
 //	# submit a job (body = edge list, options = query params)
 //	curl -s --data-binary @graph.txt 'localhost:8080/v1/partition?k=8&seed=42'
+//	# pick a solver engine per request (gd, multilevel, fennel, blp, shp, metis)
+//	curl -s --data-binary @graph.txt 'localhost:8080/v1/partition?k=8&engine=fennel'
 //	# poll it
 //	curl -s localhost:8080/v1/jobs/j1-ab12cd34
 //	# fetch the assignment ("vertex part" lines)
@@ -66,6 +68,7 @@ func parseFlags(args []string) (server.Config, string, error) {
 		maxWait     = fs.Duration("maxwait", 30*time.Second, "cap on ?wait=true blocking")
 		graphCache  = fs.Int("graph-cache", 64, "base graphs kept for delta (?base=) submissions (negative disables)")
 		maxChurn    = fs.Float64("max-churn", 0.25, "edge-churn fraction above which delta solves go cold instead of warm-starting (0 never warm-starts)")
+		maxChain    = fs.Int("max-chain-depth", 8, "warm delta-of-delta hops allowed before forcing a cold re-solve (<=0 lifts the limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return server.Config{}, "", err
@@ -84,12 +87,18 @@ func parseFlags(args []string) (server.Config, string, error) {
 		MaxWait:           *maxWait,
 		GraphCacheEntries: *graphCache,
 		MaxChurn:          *maxChurn,
+		MaxChainDepth:     *maxChain,
 	}
 	if *maxChurn == 0 {
 		// The Config zero value means "use the 25% default"; an operator
 		// passing an explicit 0 means "never warm-start", which the config
 		// spells as negative.
 		cfg.MaxChurn = -1
+	}
+	if *maxChain <= 0 {
+		// Same zero-value dance: an explicit 0 (or below) lifts the depth
+		// limit, which the config spells as negative.
+		cfg.MaxChainDepth = -1
 	}
 	return cfg, *addr, nil
 }

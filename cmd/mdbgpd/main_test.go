@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"flag"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -27,7 +28,7 @@ func TestParseFlagsDefaults(t *testing.T) {
 	want := server.Config{
 		Workers: 2, QueueDepth: 64, CacheEntries: 256,
 		MaxBodyBytes: 256 << 20, RetainJobs: 1024, MaxWait: 30 * time.Second,
-		GraphCacheEntries: 64, MaxChurn: 0.25,
+		GraphCacheEntries: 64, MaxChurn: 0.25, MaxChainDepth: 8,
 	}
 	if cfg != want {
 		t.Fatalf("cfg = %+v, want %+v", cfg, want)
@@ -39,7 +40,7 @@ func TestParseFlagsOverrides(t *testing.T) {
 		"-addr", "127.0.0.1:9999", "-workers", "8", "-queue", "16",
 		"-cache", "-1", "-max-body-mb", "1", "-max-vertex-id", "1000",
 		"-p", "4", "-retain", "10", "-maxwait", "5s",
-		"-graph-cache", "7", "-max-churn", "0.1",
+		"-graph-cache", "7", "-max-churn", "0.1", "-max-chain-depth", "3",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -50,7 +51,7 @@ func TestParseFlagsOverrides(t *testing.T) {
 	want := server.Config{
 		Workers: 8, QueueDepth: 16, CacheEntries: -1, MaxBodyBytes: 1 << 20,
 		MaxVertexID: 1000, Parallelism: 4, RetainJobs: 10, MaxWait: 5 * time.Second,
-		GraphCacheEntries: 7, MaxChurn: 0.1,
+		GraphCacheEntries: 7, MaxChurn: 0.1, MaxChainDepth: 3,
 	}
 	if cfg != want {
 		t.Fatalf("cfg = %+v, want %+v", cfg, want)
@@ -67,6 +68,19 @@ func TestParseFlagsZeroChurnMeansNeverWarm(t *testing.T) {
 	}
 	if cfg.MaxChurn >= 0 {
 		t.Fatalf("MaxChurn = %g, want negative (force cold)", cfg.MaxChurn)
+	}
+}
+
+func TestParseFlagsZeroChainDepthLiftsLimit(t *testing.T) {
+	// An explicit -max-chain-depth 0 lifts the warm-chain depth limit; the
+	// Config zero value would silently become the default of 8, so
+	// parseFlags maps it to the config's negative spelling.
+	cfg, _, err := parseFlags([]string{"-max-chain-depth", "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MaxChainDepth >= 0 {
+		t.Fatalf("MaxChainDepth = %d, want negative (unlimited)", cfg.MaxChainDepth)
 	}
 }
 
@@ -189,6 +203,64 @@ func TestDaemonEndToEnd(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("daemon did not shut down on SIGTERM")
+	}
+}
+
+// TestDaemonEngineGoldenDeterminism is the baseline engines' counterpart of
+// the gd/multilevel golden suites: the committed social-400 fixture is
+// submitted with ?engine=fennel / ?engine=shp to daemons running 1, 2 and 8
+// workers, and every response must be byte-identical to the committed golden
+// partition (testdata/golden/<engine>-k4-seed42.parts) — worker-count
+// invariance and fixture agreement in one check.
+func TestDaemonEngineGoldenDeterminism(t *testing.T) {
+	fixture, err := os.ReadFile("../../testdata/golden/social-400.txt")
+	if err != nil {
+		t.Fatalf("missing golden fixture: %v", err)
+	}
+	goldens := map[string][]byte{}
+	for _, engine := range []string{"fennel", "shp"} {
+		g, err := os.ReadFile("../../testdata/golden/" + engine + "-k4-seed42.parts")
+		if err != nil {
+			t.Fatalf("missing golden partition (generate with go test -run TestGolden -update .): %v", err)
+		}
+		goldens[engine] = g
+	}
+	for _, w := range []int{1, 2, 8} {
+		base, errc := bootDaemon(t, server.Config{Workers: w, Parallelism: w})
+		for engine, want := range goldens {
+			resp, err := http.Post(
+				fmt.Sprintf("%s/v1/partition?k=4&seed=42&engine=%s&wait=true", base, engine),
+				"text/plain", bytes.NewReader(fixture))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var m map[string]any
+			if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if m["status"] != "done" {
+				t.Fatalf("workers=%d engine=%s: %v", w, engine, m)
+			}
+			if m["engine"] != engine {
+				t.Fatalf("workers=%d: submit response reports engine %v, want %s", w, m["engine"], engine)
+			}
+			ar, err := http.Get(base + "/v1/jobs/" + m["job_id"].(string) + "/assignment")
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, _ := io.ReadAll(ar.Body)
+			ar.Body.Close()
+			if !bytes.Equal(a, want) {
+				t.Fatalf("workers=%d engine=%s: daemon assignment diverged from the committed golden", w, engine)
+			}
+		}
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-errc; err != nil {
+			t.Fatalf("workers=%d shutdown: %v", w, err)
+		}
 	}
 }
 

@@ -155,6 +155,51 @@ func TestGoldenMultilevel(t *testing.T) {
 	checkGolden(t, "multilevel-k2-seed42.parts", res.Assignment)
 }
 
+// baselineSanity guards the baseline-engine goldens: these engines promise
+// weaker balance than GD (Fennel caps only vertex count, SHP only a fixed
+// combined dimension), so the check is validity, non-trivial locality and a
+// sane vertex balance rather than the full ε guarantee.
+func baselineSanity(t *testing.T, g *Graph, res *Result, k int) {
+	t.Helper()
+	if err := res.Assignment.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment.K != k {
+		t.Fatalf("K = %d, want %d", res.Assignment.K, k)
+	}
+	if res.EdgeLocality < 0.3 {
+		t.Fatalf("golden partition locality %.3f is implausibly poor", res.EdgeLocality)
+	}
+	if res.Imbalances[0] > 0.25 {
+		t.Fatalf("golden partition vertex imbalance %.3f is implausibly lopsided", res.Imbalances[0])
+	}
+}
+
+// TestGoldenFennel and TestGoldenSHP pin the baseline engines' exact output
+// at seed 42 — the same anchors the daemon determinism suite compares its
+// HTTP responses against (cmd/mdbgpd). Default iterations are used so the
+// library options canonicalize identically to a bare
+// ?k=4&seed=42&engine=... daemon request.
+func TestGoldenFennel(t *testing.T) {
+	g := goldenGraph(t)
+	res, err := Partition(g, Options{Engine: "fennel", K: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baselineSanity(t, g, res, 4)
+	checkGolden(t, "fennel-k4-seed42.parts", res.Assignment)
+}
+
+func TestGoldenSHP(t *testing.T) {
+	g := goldenGraph(t)
+	res, err := Partition(g, Options{Engine: "shp", K: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baselineSanity(t, g, res, 4)
+	checkGolden(t, "shp-k4-seed42.parts", res.Assignment)
+}
+
 // goldenDelta loads the committed ~1%-churn delta fixture against the
 // social-400 graph, regenerating it deterministically under -update.
 func goldenDelta(t *testing.T, g *Graph) *EdgeDelta {

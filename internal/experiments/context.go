@@ -32,6 +32,16 @@ type Context struct {
 	// Multilevel routes every GD partition through the V-cycle multilevel
 	// path (multilevel.PartitionK) instead of direct recursive GD.
 	Multilevel bool
+	// Engine, when set to a registered engine name other than "gd" or
+	// "multilevel", routes the partitions GDPartition would compute through
+	// that engine instead — the tables then report the named engine in the
+	// role the paper gives GD, for cross-engine comparisons. EngineSolve
+	// must be wired alongside it.
+	Engine string
+	// EngineSolve performs the dispatch for Engine. It is injected by
+	// cmd/experiments (wired to the public mdbgp engine registry): this
+	// package cannot import the root package, whose benchmarks import it.
+	EngineSolve func(g *graph.Graph, ws [][]float64, k int) (*partition.Assignment, error)
 
 	graphs map[string]*graph.Graph
 	parts  map[string]*partition.Assignment
@@ -124,12 +134,16 @@ func (c *Context) GDOptions() core.Options {
 	return opt
 }
 
-// GDPartition runs (and caches) GD with the given balance mode and k,
-// routed through the multilevel V-cycle when c.Multilevel is set.
+// GDPartition runs (and caches) the context's solver with the given balance
+// mode and k: direct GD by default, the multilevel V-cycle when c.Multilevel
+// is set, or any registered engine when c.Engine names one.
 func (c *Context) GDPartition(name, mode string, k int) (*partition.Assignment, error) {
-	engine := "gd"
-	if c.Multilevel {
-		engine = "gdml"
+	engine := c.Engine
+	if engine == "" || engine == "gd" {
+		engine = "gd"
+		if c.Multilevel {
+			engine = "gdml"
+		}
 	}
 	key := fmt.Sprintf("%s:%s:%s:k=%d", engine, name, mode, k)
 	if a, ok := c.parts[key]; ok {
@@ -143,13 +157,21 @@ func (c *Context) GDPartition(name, mode string, k int) (*partition.Assignment, 
 	if err != nil {
 		return nil, err
 	}
-	opt := c.GDOptions()
 	start := time.Now()
 	var a *partition.Assignment
-	if c.Multilevel {
-		a, err = multilevel.PartitionK(g, ws, k, multilevel.Options{GD: opt})
-	} else {
-		a, err = core.PartitionK(g, ws, k, opt)
+	switch engine {
+	case "gd":
+		a, err = core.PartitionK(g, ws, k, c.GDOptions())
+	case "gdml", "multilevel":
+		a, err = multilevel.PartitionK(g, ws, k, multilevel.Options{GD: c.GDOptions()})
+	default:
+		// Every other engine dispatches through the injected registry hook;
+		// the gd/multilevel fast paths above stay on the historical option
+		// mapping so cached experiment outputs remain comparable.
+		if c.EngineSolve == nil {
+			return nil, fmt.Errorf("experiments: engine %q requested but no EngineSolve dispatch wired", engine)
+		}
+		a, err = c.EngineSolve(g, ws, k)
 	}
 	if err != nil {
 		return nil, err

@@ -23,9 +23,10 @@ const (
 // cache); results are shared with the result cache and must not be mutated.
 type job struct {
 	id        string
-	key       string // content address: engine + graph hash + dims + options fingerprint
+	key       string // content address: version + graph hash + dims + options fingerprint
 	graphHash string // canonical CSR hash alone — what ?base= resolves to
 	opts      mdbgp.Options
+	engine    string // canonical engine name solving (or having solved) this job
 	dims      []mdbgp.Weight
 	delta     *deltaView // non-nil for delta submissions; immutable
 
@@ -57,11 +58,17 @@ type deltaView struct {
 	Removed int64 `json:"removed_edges"`
 	// NewVertices counts vertex ids introduced beyond the base's range.
 	NewVertices int `json:"new_vertices"`
-	// Mode is "warm" (GD started from the base's cached solution) or "cold".
+	// Mode is "warm" (the solve started from the base's cached solution) or
+	// "cold".
 	Mode string `json:"mode"`
-	// ColdReason explains a cold solve: "churn above threshold" or "base
-	// solution not cached".
+	// ColdReason explains a cold solve: "churn above threshold", "base
+	// solution not cached", "chain depth limit" or "engine lacks warm-start
+	// capability".
 	ColdReason string `json:"cold_reason,omitempty"`
+	// ChainDepth counts warm hops since the last cold solve of this lineage:
+	// 0 for cold solves, base depth + 1 for warm ones. Past
+	// Config.MaxChainDepth the server forces a cold solve, resetting it.
+	ChainDepth int `json:"chain_depth"`
 }
 
 // snapshot copies the mutable fields under the job lock for rendering.
@@ -69,6 +76,7 @@ type jobView struct {
 	ID        string
 	Key       string
 	GraphHash string
+	Engine    string
 	Status    Status
 	Cache     string
 	ErrMsg    string
@@ -85,7 +93,7 @@ func (j *job) view() jobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return jobView{
-		ID: j.id, Key: j.key, GraphHash: j.graphHash,
+		ID: j.id, Key: j.key, GraphHash: j.graphHash, Engine: j.engine,
 		Status: j.status, Cache: j.cache, ErrMsg: j.errMsg,
 		N: j.n, M: j.m, Submitted: j.submitted, Started: j.started, Finished: j.finished,
 		Res: j.res, Delta: j.delta,
@@ -120,7 +128,9 @@ func (s *Server) runJob(j *job) {
 	}
 	start := time.Now()
 	res, err := solve(g, dims, opts)
-	s.met.solveNanos.Add(int64(time.Since(start)))
+	elapsed := time.Since(start)
+	s.met.solveNanos.Add(int64(elapsed))
+	s.met.recordEngineSolve(j.engine, elapsed)
 	s.finishJob(j, res, err)
 }
 

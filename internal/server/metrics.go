@@ -3,31 +3,91 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
 
 // metrics holds the daemon's counters. All fields are atomics so the hot
 // paths never take a lock; gauges derived from other subsystems (queue
-// depth, cache size) are sampled at scrape time.
+// depth, cache size) are sampled at scrape time. The per-engine maps are the
+// one exception: engine labels are few and a solve takes milliseconds, so a
+// mutex per completed solve is noise.
 type metrics struct {
-	httpRequests   atomic.Int64
-	jobsSubmitted  atomic.Int64
-	jobsCompleted  atomic.Int64
-	jobsFailed     atomic.Int64
-	jobsRejected   atomic.Int64 // 429s from a saturated queue
-	jobsCoalesced  atomic.Int64 // submissions attached to an identical in-flight job
-	jobsRunning    atomic.Int64
-	cacheHits      atomic.Int64
-	cacheMisses    atomic.Int64
-	cacheEvictions atomic.Int64
-	deltaSubmitted atomic.Int64 // delta (?base=) submissions received
-	deltaWarm      atomic.Int64 // delta jobs dispatched with a warm start
-	deltaCold      atomic.Int64 // delta jobs dispatched cold (churn or evicted solution)
-	baseMisses     atomic.Int64 // delta submissions whose base graph was unknown/evicted
-	graphEvictions atomic.Int64 // base graphs evicted from the graph cache
-	solveNanos     atomic.Int64 // cumulative wall time inside the partitioner
-	ingestNanos    atomic.Int64 // cumulative wall time parsing + hashing request bodies
+	httpRequests    atomic.Int64
+	jobsSubmitted   atomic.Int64
+	jobsCompleted   atomic.Int64
+	jobsFailed      atomic.Int64
+	jobsRejected    atomic.Int64 // 429s from a saturated queue
+	jobsCoalesced   atomic.Int64 // submissions attached to an identical in-flight job
+	jobsRunning     atomic.Int64
+	cacheHits       atomic.Int64
+	cacheMisses     atomic.Int64
+	cacheEvictions  atomic.Int64
+	deltaSubmitted  atomic.Int64 // delta (?base=) submissions received
+	deltaWarm       atomic.Int64 // delta jobs dispatched with a warm start
+	deltaCold       atomic.Int64 // delta jobs dispatched cold (churn, depth, capability or evicted solution)
+	deltaChainReset atomic.Int64 // delta solves forced cold by the chain-depth limit
+	baseMisses      atomic.Int64 // delta submissions whose base graph was unknown/evicted
+	graphEvictions  atomic.Int64 // base graphs evicted from the graph cache
+	solveNanos      atomic.Int64 // cumulative wall time inside the partitioner
+	ingestNanos     atomic.Int64 // cumulative wall time parsing + hashing request bodies
+
+	engineMu         sync.Mutex
+	engineSubmitted  map[string]int64 // submissions accepted, by engine label
+	engineSolves     map[string]int64 // solves executed (cache hits excluded), by engine
+	engineSolveNanos map[string]int64 // cumulative solver wall time, by engine
+}
+
+// recordEngineSubmit counts an accepted submission under its engine label.
+func (m *metrics) recordEngineSubmit(engine string) {
+	m.engineMu.Lock()
+	if m.engineSubmitted == nil {
+		m.engineSubmitted = map[string]int64{}
+	}
+	m.engineSubmitted[engine]++
+	m.engineMu.Unlock()
+}
+
+// recordEngineSolve counts one executed solve and its wall time under the
+// engine label.
+func (m *metrics) recordEngineSolve(engine string, d time.Duration) {
+	m.engineMu.Lock()
+	if m.engineSolves == nil {
+		m.engineSolves = map[string]int64{}
+		m.engineSolveNanos = map[string]int64{}
+	}
+	m.engineSolves[engine]++
+	m.engineSolveNanos[engine] += int64(d)
+	m.engineMu.Unlock()
+}
+
+// engineSnapshot copies the per-engine maps for rendering, with labels
+// sorted so the exposition is stable across scrapes.
+func (m *metrics) engineSnapshot() (labels []string, submitted, solves, nanos map[string]int64) {
+	m.engineMu.Lock()
+	defer m.engineMu.Unlock()
+	submitted = make(map[string]int64, len(m.engineSubmitted))
+	solves = make(map[string]int64, len(m.engineSolves))
+	nanos = make(map[string]int64, len(m.engineSolveNanos))
+	seen := map[string]bool{}
+	for e, v := range m.engineSubmitted {
+		submitted[e] = v
+		seen[e] = true
+	}
+	for e, v := range m.engineSolves {
+		solves[e] = v
+		seen[e] = true
+	}
+	for e, v := range m.engineSolveNanos {
+		nanos[e] = v
+	}
+	for e := range seen {
+		labels = append(labels, e)
+	}
+	sort.Strings(labels)
+	return labels, submitted, solves, nanos
 }
 
 // handleMetrics serves the Prometheus text exposition format.
@@ -51,13 +111,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("mdbgpd_cache_evictions_total", "Results evicted from the LRU cache.", m.cacheEvictions.Load())
 	counter("mdbgpd_delta_submitted_total", "Delta (?base=) submissions received.", m.deltaSubmitted.Load())
 	counter("mdbgpd_delta_warm_total", "Delta jobs dispatched with a warm start.", m.deltaWarm.Load())
-	counter("mdbgpd_delta_cold_total", "Delta jobs dispatched cold (churn above threshold or base solution evicted).", m.deltaCold.Load())
+	counter("mdbgpd_delta_cold_total", "Delta jobs dispatched cold (churn, chain depth, engine capability or evicted solution).", m.deltaCold.Load())
+	counter("mdbgpd_delta_chain_resets_total", "Delta solves forced cold by the warm-chain depth limit.", m.deltaChainReset.Load())
 	counter("mdbgpd_delta_base_misses_total", "Delta submissions rejected because the base graph was unknown or evicted.", m.baseMisses.Load())
 	counter("mdbgpd_graph_cache_evictions_total", "Base graphs evicted from the graph cache.", m.graphEvictions.Load())
 	fmt.Fprintf(w, "# HELP mdbgpd_solve_seconds_total Cumulative wall time inside the partitioner.\n# TYPE mdbgpd_solve_seconds_total counter\nmdbgpd_solve_seconds_total %g\n",
 		time.Duration(m.solveNanos.Load()).Seconds())
 	fmt.Fprintf(w, "# HELP mdbgpd_ingest_seconds_total Cumulative wall time parsing and hashing request bodies.\n# TYPE mdbgpd_ingest_seconds_total counter\nmdbgpd_ingest_seconds_total %g\n",
 		time.Duration(m.ingestNanos.Load()).Seconds())
+	labels, submitted, solves, nanos := m.engineSnapshot()
+	fmt.Fprintf(w, "# HELP mdbgpd_jobs_by_engine_total Submissions accepted, by solver engine.\n# TYPE mdbgpd_jobs_by_engine_total counter\n")
+	for _, e := range labels {
+		fmt.Fprintf(w, "mdbgpd_jobs_by_engine_total{engine=%q} %d\n", e, submitted[e])
+	}
+	fmt.Fprintf(w, "# HELP mdbgpd_solves_by_engine_total Solves executed (cache hits excluded), by solver engine.\n# TYPE mdbgpd_solves_by_engine_total counter\n")
+	for _, e := range labels {
+		fmt.Fprintf(w, "mdbgpd_solves_by_engine_total{engine=%q} %d\n", e, solves[e])
+	}
+	fmt.Fprintf(w, "# HELP mdbgpd_solve_seconds_by_engine_total Cumulative solver wall time, by engine.\n# TYPE mdbgpd_solve_seconds_by_engine_total counter\n")
+	for _, e := range labels {
+		fmt.Fprintf(w, "mdbgpd_solve_seconds_by_engine_total{engine=%q} %g\n", e, time.Duration(nanos[e]).Seconds())
+	}
 	gauge("mdbgpd_jobs_running", "Jobs currently being solved.", m.jobsRunning.Load())
 	gauge("mdbgpd_queue_depth", "Jobs waiting in the bounded queue.", int64(len(s.queue)))
 	gauge("mdbgpd_queue_capacity", "Capacity of the bounded queue.", int64(cap(s.queue)))

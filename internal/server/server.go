@@ -6,9 +6,12 @@
 // The API is deliberately small:
 //
 //	POST /v1/partition            submit an edge list (text body) + options
-//	                              (query params); returns a job id. 200 on a
-//	                              cache hit, 202 when queued, 429 when the
-//	                              queue is saturated.
+//	                              (query params, including ?engine= to pick
+//	                              any registered solver); returns a job id.
+//	                              200 on a cache hit, 202 when queued, 429
+//	                              when the queue is saturated, 400 on an
+//	                              unknown engine, 422 when the named engine
+//	                              cannot balance an explicit dims= request.
 //	POST /v1/partition?base=...   submit an edge DELTA ("+u v"/"-u v" lines)
 //	                              against a previous job id or graph hash;
 //	                              the server materializes the updated graph
@@ -88,6 +91,13 @@ type Config struct {
 	// being a useful prior and warm-starting only biases the solve (0 =
 	// 0.25, negative forces every delta cold).
 	MaxChurn float64
+	// MaxChainDepth bounds how many warm hops a delta-of-a-delta chain may
+	// accumulate before the server forces a cold re-solve: each warm start
+	// re-polishes the previous solution, and past a depth the accumulated
+	// drift deserves a fresh solve more than it deserves another polish.
+	// A cold solve (forced or otherwise) resets the chain to depth zero
+	// (0 = 8, negative disables the limit).
+	MaxChainDepth int
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +132,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxChurn == 0 {
 		c.MaxChurn = 0.25
+	}
+	if c.MaxChainDepth == 0 {
+		c.MaxChainDepth = 8
 	}
 	return c
 }
@@ -222,17 +235,20 @@ func (s *Server) Close() {
 
 // submitRequest is the parsed form of POST /v1/partition.
 type submitRequest struct {
-	opts     mdbgp.Options
-	dims     []mdbgp.Weight
-	dimNames string
-	wait     bool
-	base     string // job id or graph hash; non-empty marks a delta submission
+	opts         mdbgp.Options
+	engine       mdbgp.EngineInfo // resolved capabilities of opts.Engine
+	dims         []mdbgp.Weight
+	dimNames     string
+	dimsExplicit bool // the client passed dims= rather than taking the default
+	wait         bool
+	base         string // job id or graph hash; non-empty marks a delta submission
 }
 
 var allowedParams = map[string]bool{
 	"k": true, "eps": true, "dims": true, "iters": true, "step": true,
-	"projection": true, "seed": true, "multilevel": true, "coarsento": true,
-	"clustersize": true, "refineiters": true, "wait": true, "base": true,
+	"projection": true, "seed": true, "engine": true, "multilevel": true,
+	"coarsento": true, "clustersize": true, "refineiters": true,
+	"wait": true, "base": true,
 }
 
 func parseSubmit(r *http.Request) (submitRequest, error) {
@@ -297,9 +313,21 @@ func parseSubmit(r *http.Request) (submitRequest, error) {
 		}
 		return nil
 	}
+	req.opts.Engine = q.Get("engine")
 	if err := boolParam("multilevel", &req.opts.Multilevel); err != nil {
 		return req, err
 	}
+	// multilevel= is the deprecated alias for engine=multilevel; a request
+	// naming both with different meanings is contradictory, and silently
+	// letting one win would surprise whichever client loses.
+	if req.opts.Multilevel && req.opts.Engine != "" && req.opts.Engine != "multilevel" {
+		return req, fmt.Errorf("conflicting engine=%s and multilevel=true (multilevel is an alias for engine=multilevel)", req.opts.Engine)
+	}
+	eng, err := mdbgp.LookupEngine(req.opts.Canonical().Engine)
+	if err != nil {
+		return req, err // unknown engine: the error lists the known names
+	}
+	req.engine = eng.Info()
 	if err := intParam("coarsento", &req.opts.CoarsenTo); err != nil {
 		return req, err
 	}
@@ -313,6 +341,7 @@ func parseSubmit(r *http.Request) (submitRequest, error) {
 		return req, err
 	}
 	req.base = q.Get("base")
+	req.dimsExplicit = q.Get("dims") != ""
 	dims, names, err := mdbgp.ParseWeightDims(q.Get("dims"))
 	if err != nil {
 		return req, err
@@ -345,6 +374,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	req, err := parseSubmit(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Capability gate: an engine without weighted support balances a fixed
+	// built-in dimension and cannot honor an explicit dims= request — that
+	// is a semantic mismatch (422), not a syntax error. Requests that merely
+	// take the default dims still work: the engine solves on its own terms
+	// and the job reports how the default dimensions came out.
+	if req.dimsExplicit && !req.engine.Weighted {
+		httpError(w, http.StatusUnprocessableEntity, fmt.Sprintf(
+			"engine %q cannot balance requested dims=%s (it balances a fixed built-in dimension); drop dims or pick a weighted engine",
+			req.engine.Name, req.dimNames))
 		return
 	}
 	if req.base != "" {
@@ -420,13 +460,33 @@ func (s *Server) handleDeltaSubmit(w http.ResponseWriter, r *http.Request, req s
 		Added: stats.AddedNew, Removed: stats.RemovedExisting,
 		NewVertices: stats.NewVertices, Mode: "cold",
 	}
-	if dv.Churn > s.cfg.MaxChurn {
+	// Chain depth: warm hops accumulated since the last cold solve of this
+	// lineage. A base resolved by bare graph hash has no job metadata and
+	// counts as depth 0.
+	baseDepth := 0
+	if baseJob != nil && baseJob.delta != nil {
+		baseDepth = baseJob.delta.ChainDepth
+	}
+	switch {
+	case !req.engine.WarmStart:
+		// Capability-degraded, not an error: the delta still names a valid
+		// target graph, the engine just cannot use the prior solution.
+		dv.ColdReason = "engine lacks warm-start capability"
+	case dv.Churn > s.cfg.MaxChurn:
 		dv.ColdReason = "churn above threshold"
-	} else if warm := s.resolveWarm(baseHash, baseJob, req); warm != nil {
-		opts.WarmAssignment = warm
-		dv.Mode = "warm"
-	} else {
-		dv.ColdReason = "base solution not cached"
+	case s.cfg.MaxChainDepth > 0 && baseDepth+1 > s.cfg.MaxChainDepth:
+		// Past the depth limit the accumulated warm-start drift deserves a
+		// fresh solve; going cold also resets the chain to depth 0, so the
+		// NEXT delta of this lineage warm-starts again.
+		dv.ColdReason = coldReasonChainDepth
+	default:
+		if warm := s.resolveWarm(baseHash, baseJob, req); warm != nil {
+			opts.WarmAssignment = warm
+			dv.Mode = "warm"
+			dv.ChainDepth = baseDepth + 1
+		} else {
+			dv.ColdReason = "base solution not cached"
+		}
 	}
 	hash := g.HashString() // hashing is part of the ingest cost
 	s.met.ingestNanos.Add(int64(time.Since(ingestStart)))
@@ -467,17 +527,25 @@ func (s *Server) resolveWarm(baseHash string, baseJob *job, req submitRequest) [
 	return nil
 }
 
+// coldReasonChainDepth marks a delta solve forced cold by the warm-chain
+// depth limit — the reason countDelta's reset counter keys on.
+const coldReasonChainDepth = "chain depth limit"
+
 // countDelta records a delta submission's warm/cold outcome. It runs only
 // on the dispatch paths that actually serve the request (cache hit,
-// coalesce, enqueue) — a 429 rejection must not move the warm-rate needle.
+// coalesce, enqueue) — a 429 rejection must not move the warm-rate needle,
+// nor the chain-reset counter.
 func (s *Server) countDelta(dv *deltaView) {
 	if dv == nil {
 		return
 	}
 	if dv.Mode == "warm" {
 		s.met.deltaWarm.Add(1)
-	} else {
-		s.met.deltaCold.Add(1)
+		return
+	}
+	s.met.deltaCold.Add(1)
+	if dv.ColdReason == coldReasonChainDepth {
+		s.met.deltaChainReset.Add(1)
 	}
 }
 
@@ -496,10 +564,11 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, req submitRequ
 	// uniformly, and answer immediately.
 	if res, ok := s.cache.get(key); ok {
 		s.met.jobsSubmitted.Add(1)
+		s.met.recordEngineSubmit(opts.Engine)
 		s.met.cacheHits.Add(1)
 		s.countDelta(dv)
 		j := &job{
-			id: s.newJobID(key), key: key, graphHash: hash, dims: req.dims,
+			id: s.newJobID(key), key: key, graphHash: hash, engine: opts.Engine, dims: req.dims,
 			done: make(chan struct{}), status: StatusDone, cache: "hit",
 			n: g.N(), m: g.M(), delta: dv, submitted: time.Now(),
 			started: time.Now(), finished: time.Now(), res: res,
@@ -528,6 +597,7 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, req submitRequ
 	if prior, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
 		s.met.jobsSubmitted.Add(1)
+		s.met.recordEngineSubmit(opts.Engine)
 		s.met.cacheMisses.Add(1)
 		s.met.jobsCoalesced.Add(1)
 		s.countDelta(dv)
@@ -536,7 +606,7 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, req submitRequ
 		return
 	}
 	j := &job{
-		id: s.newJobID(key), key: key, graphHash: hash, opts: opts, dims: req.dims,
+		id: s.newJobID(key), key: key, graphHash: hash, opts: opts, engine: opts.Engine, dims: req.dims,
 		done: make(chan struct{}), status: StatusQueued, cache: "miss",
 		n: g.N(), m: g.M(), delta: dv, submitted: time.Now(), g: g,
 	}
@@ -555,6 +625,7 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, req submitRequ
 	}
 	s.mu.Unlock()
 	s.met.jobsSubmitted.Add(1)
+	s.met.recordEngineSubmit(opts.Engine)
 	s.met.cacheMisses.Add(1)
 	s.countDelta(dv)
 	s.waitIfRequested(req, r, j)
@@ -590,6 +661,7 @@ func (s *Server) respondSubmit(w http.ResponseWriter, j *job, code int, dv *delt
 		"cache":       v.Cache,
 		"key":         v.Key,
 		"graph_hash":  v.GraphHash,
+		"engine":      v.Engine,
 		"queue_depth": len(s.queue),
 	}
 	if dv == nil {
@@ -624,6 +696,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		"cache":        v.Cache,
 		"key":          v.Key,
 		"graph_hash":   v.GraphHash,
+		"engine":       v.Engine,
 		"graph":        map[string]any{"n": v.N, "m": v.M},
 		"submitted_at": v.Submitted.UTC().Format(time.RFC3339Nano),
 	}

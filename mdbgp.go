@@ -34,6 +34,16 @@
 // time to reach it — changes. cmd/mdbgpd serves this as delta jobs
 // (POST /v1/partition?base=...) and cmd/mdbgp as the -base/-delta flags.
 //
+// # Engines
+//
+// Every solver dispatches through one registry (Engine, RegisterEngine,
+// Engines): Options.Engine selects "gd" (the default), the "multilevel"
+// V-cycle, the "fennel"/"blp"/"shp" baselines or the "metis" comparator,
+// each with declared capabilities (warm-start and multi-dimensional weight
+// support). Options.Fingerprint covers the engine name, so distinct engines
+// never share a content-addressed cache entry; Options.Multilevel remains as
+// a deprecated alias canonicalizing to Engine = "multilevel".
+//
 // The packages under internal/ contain the full system: the GD core, exact
 // and iterative projection algorithms, baseline partitioners (Hash, Spinner,
 // BLP, SHP), a METIS-style multilevel multi-constraint comparator, a
@@ -78,10 +88,8 @@ import (
 	"math"
 	"strings"
 
-	"mdbgp/internal/core"
 	"mdbgp/internal/gen"
 	"mdbgp/internal/graph"
-	"mdbgp/internal/multilevel"
 	"mdbgp/internal/partition"
 	"mdbgp/internal/project"
 	"mdbgp/internal/weights"
@@ -265,6 +273,13 @@ func StandardWeights(g *Graph, dims ...Weight) ([][]float64, error) {
 // defaults: k = 2, ε = 5%, vertex+edge balance, 100 iterations of adaptive
 // gradient ascent with vertex fixing and one-shot alternating projection.
 type Options struct {
+	// Engine selects the solver by registry name: "gd" (default), a
+	// "multilevel" V-cycle, the streaming/label-propagation baselines
+	// "fennel", "blp" and "shp", or the "metis" multilevel comparator — see
+	// Engines() for the capability matrix. All engines dispatch through the
+	// same API and cache machinery; distinct engines never share a cache key
+	// (Fingerprint covers the engine name). Unknown names fail Partition.
+	Engine string
 	// K is the number of parts (default 2). Non-powers of two are handled
 	// with asymmetric recursive splits.
 	K int
@@ -296,12 +311,14 @@ type Options struct {
 	DisableAdaptiveStep bool
 	// DisableVertexFixing turns off snapping of near-integral coordinates.
 	DisableVertexFixing bool
-	// Multilevel enables the V-cycle multilevel path: coarsen the graph by
-	// size-capped greedy clustering, run GD on the coarsest level,
-	// prolongate the fractional solution as a warm start, and spend a small
-	// refinement budget per level. On large graphs with community structure
-	// it reaches direct GD's locality severalfold faster; results remain
-	// bit-identical for a fixed Seed at any Parallelism.
+	// Multilevel is a deprecated alias for Engine = "multilevel" (the
+	// V-cycle: coarsen the graph by size-capped greedy clustering, run GD on
+	// the coarsest level, prolongate the fractional solution as a warm
+	// start, and spend a small refinement budget per level). Canonical
+	// resolves the alias, so Options{Multilevel: true} and
+	// Options{Engine: "multilevel"} fingerprint — and solve — identically.
+	// When Engine explicitly names a different engine, Multilevel is
+	// ignored. Prefer Engine in new code.
 	Multilevel bool
 	// CoarsenTo stops multilevel coarsening once a level has at most this
 	// many vertices (0 = default 8000). Only used when Multilevel is set.
@@ -334,12 +351,23 @@ type Options struct {
 }
 
 // Canonical returns the options with every defaulted field made explicit:
-// K, Epsilon, Iterations, StepLength and Projection take their documented
-// defaults, and the multilevel knobs are normalized — filled in when
-// Multilevel is set, zeroed when it is not (they have no effect then).
+// Engine resolves to its registry name (the deprecated Multilevel flag
+// canonicalizes to Engine = "multilevel", so both spellings fingerprint
+// identically), K, Epsilon, Iterations, StepLength and Projection take their
+// documented defaults, and the multilevel knobs are normalized — filled in
+// for the multilevel engine, zeroed otherwise (they have no effect then).
 // Partition(g, o) and Partition(g, o.Canonical()) produce identical results.
 // Weights and Parallelism are passed through untouched.
 func (o Options) Canonical() Options {
+	if o.Engine == "" {
+		o.Engine = DefaultEngine
+		if o.Multilevel {
+			o.Engine = "multilevel"
+		}
+	}
+	// Multilevel is only the alias: recompute it from the resolved engine so
+	// an explicit Engine plus a stale Multilevel flag cannot disagree.
+	o.Multilevel = o.Engine == "multilevel"
 	if o.K == 0 {
 		o.K = 2
 	}
@@ -382,17 +410,20 @@ func (o Options) Canonical() Options {
 // the options half of a content-addressed cache key (pair it with
 // Graph.HashString for the graph half). Two option values that lead to the
 // same partition fingerprint identically: defaults are made explicit via
-// Canonical, and Parallelism is excluded because results are bit-identical
-// at any worker count. Weights vectors and the WarmAssignment, when set,
-// contribute their exact contents: a warm-started solve follows a different
-// trajectory than a cold one, so the two must never share a cache entry.
+// Canonical (so the deprecated Multilevel alias fingerprints the same as
+// Engine = "multilevel"), and Parallelism is excluded because results are
+// bit-identical at any worker count. The engine name is always covered, so
+// distinct engines can never share a cache entry for the same graph.
+// Weights vectors and the WarmAssignment, when set, contribute their exact
+// contents: a warm-started solve follows a different trajectory than a cold
+// one, so the two must never share a cache entry.
 func (o Options) Fingerprint() string {
 	c := o.Canonical()
 	h := sha256.New()
-	fmt.Fprintf(h, "k=%d|eps=%g|iters=%d|step=%g|proj=%s|seed=%d|noadapt=%t|nofix=%t|ml=%t|coarsen=%d|cluster=%d|refine=%d|warmiters=%d|dims=%d",
-		c.K, c.Epsilon, c.Iterations, c.StepLength, c.Projection, c.Seed,
+	fmt.Fprintf(h, "engine=%s|k=%d|eps=%g|iters=%d|step=%g|proj=%s|seed=%d|noadapt=%t|nofix=%t|coarsen=%d|cluster=%d|refine=%d|warmiters=%d|dims=%d",
+		c.Engine, c.K, c.Epsilon, c.Iterations, c.StepLength, c.Projection, c.Seed,
 		c.DisableAdaptiveStep, c.DisableVertexFixing,
-		c.Multilevel, c.CoarsenTo, c.ClusterSize, c.RefineIterations,
+		c.CoarsenTo, c.ClusterSize, c.RefineIterations,
 		c.WarmIterations, len(c.Weights))
 	var buf [8]byte
 	for _, w := range c.Weights {
@@ -427,88 +458,24 @@ type Result struct {
 }
 
 // Partition splits g into Options.K balanced parts maximizing edge
-// locality.
+// locality, dispatching to the engine Options.Engine names (default "gd").
+// Unknown engines are an error, as is a warm-started request
+// (Options.WarmAssignment) naming an engine without warm-start capability —
+// front ends that prefer degradation over failure (the daemon's delta path)
+// should check Engines() and drop the warm start themselves.
 func Partition(g *Graph, opts Options) (*Result, error) {
-	if opts.K == 0 {
-		opts.K = 2
+	c := opts.Canonical()
+	if c.K < 1 {
+		return nil, fmt.Errorf("mdbgp: K = %d, want >= 1", c.K)
 	}
-	if opts.K < 1 {
-		return nil, fmt.Errorf("mdbgp: K = %d, want >= 1", opts.K)
-	}
-	ws := opts.Weights
-	if ws == nil {
-		var err error
-		ws, err = StandardWeights(g, WeightVertices, WeightEdges)
-		if err != nil {
-			return nil, err
-		}
-	}
-	opt := core.DefaultOptions()
-	opt.Epsilon = opts.Epsilon
-	opt.Iterations = opts.Iterations
-	opt.StepLength = opts.StepLength
-	opt.Seed = opts.Seed
-	opt.Workers = opts.Parallelism
-	opt.Adaptive = !opts.DisableAdaptiveStep
-	opt.VertexFixing = !opts.DisableVertexFixing
-	if opts.Projection != "" {
-		m, err := project.ParseMethod(opts.Projection)
-		if err != nil {
-			return nil, err
-		}
-		opt.Projection = project.Options{Method: m, Center: m == project.AlternatingOneShot}
-	}
-	if opts.WarmAssignment != nil {
-		warm, err := padWarm(opts.WarmAssignment, g.N(), opts.K)
-		if err != nil {
-			return nil, err
-		}
-		opt.WarmParts = warm
-		// A warm start needs only a refinement budget, and — as in the
-		// multilevel V-cycle's refinement — projects onto the slab itself
-		// rather than its center: the prior solution is already feasible,
-		// and re-centering every iteration would drag its near-integral
-		// coordinates back toward the origin instead of polishing them.
-		iters := opts.Iterations
-		if iters <= 0 {
-			iters = 100
-		}
-		wi := opts.WarmIterations
-		if wi <= 0 {
-			wi = (iters + 3) / 4
-		}
-		sl := opts.StepLength
-		if sl <= 0 {
-			sl = 2
-		}
-		opt.Iterations = wi
-		opt.StepLength = sl * float64(wi) / float64(iters)
-		opt.Projection.Center = false
-	}
-	var asgn *partition.Assignment
-	var err error
-	if opts.Multilevel {
-		asgn, err = multilevel.PartitionK(g, ws, opts.K, multilevel.Options{
-			GD:               opt,
-			CoarsenTo:        opts.CoarsenTo,
-			ClusterSize:      opts.ClusterSize,
-			RefineIterations: opts.RefineIterations,
-		})
-	} else {
-		asgn, err = core.PartitionK(g, ws, opts.K, opt)
-	}
+	eng, err := LookupEngine(c.Engine)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{
-		Assignment:   asgn,
-		EdgeLocality: partition.EdgeLocality(g, asgn),
-		CutEdges:     partition.CutEdges(g, asgn),
+	if c.WarmAssignment != nil && !eng.Info().WarmStart {
+		return nil, fmt.Errorf("mdbgp: engine %q does not support warm starts; solve cold or use a warm-capable engine", c.Engine)
 	}
-	for _, w := range ws {
-		res.Imbalances = append(res.Imbalances, partition.Imbalance(asgn, w))
-	}
-	return res, nil
+	return eng.Solve(g, c)
 }
 
 // PartitionWarm partitions g starting from a prior assignment of the same
@@ -546,57 +513,6 @@ func padWarm(warm []int32, n, k int) ([]int32, error) {
 		padded[i] = -1
 	}
 	return padded, nil
-}
-
-// PartitionDirect partitions with the non-recursive k-way relaxation of
-// §3.3 of the paper: every vertex carries a probability vector over the k
-// buckets and projected gradient ascent runs on the joint objective. Each
-// iteration costs O(k·|E|) time and O(k·|V|) memory — the communication
-// blowup that makes the paper prefer recursive bisection at scale — but it
-// avoids the greedy top-level cut, which can help for moderate k. Options
-// are interpreted as in Partition (Projection and the Disable* flags are
-// ignored; the method has its own fixed projection scheme).
-func PartitionDirect(g *Graph, opts Options) (*Result, error) {
-	if opts.K == 0 {
-		opts.K = 2
-	}
-	if opts.K < 1 {
-		return nil, fmt.Errorf("mdbgp: K = %d, want >= 1", opts.K)
-	}
-	ws := opts.Weights
-	if ws == nil {
-		var err error
-		ws, err = StandardWeights(g, WeightVertices, WeightEdges)
-		if err != nil {
-			return nil, err
-		}
-	}
-	opt := core.DefaultDirectKOptions()
-	opt.Epsilon = opts.Epsilon
-	if opt.Epsilon <= 0 {
-		opt.Epsilon = 0.05
-	}
-	if opts.Iterations > 0 {
-		opt.Iterations = opts.Iterations
-	}
-	if opts.StepLength > 0 {
-		opt.StepLength = opts.StepLength
-	}
-	opt.Seed = opts.Seed
-	opt.Workers = opts.Parallelism
-	asgn, err := core.DirectKWay(g, ws, opts.K, opt)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{
-		Assignment:   asgn,
-		EdgeLocality: partition.EdgeLocality(g, asgn),
-		CutEdges:     partition.CutEdges(g, asgn),
-	}
-	for _, w := range ws {
-		res.Imbalances = append(res.Imbalances, partition.Imbalance(asgn, w))
-	}
-	return res, nil
 }
 
 // EdgeLocality returns the fraction of uncut edges of an assignment.

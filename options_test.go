@@ -8,13 +8,35 @@ import (
 
 func TestCanonicalFillsDefaults(t *testing.T) {
 	c := Options{}.Canonical()
-	want := Options{K: 2, Epsilon: 0.05, Iterations: 100, StepLength: 2, Projection: "alternating-oneshot"}
+	want := Options{Engine: "gd", K: 2, Epsilon: 0.05, Iterations: 100, StepLength: 2, Projection: "alternating-oneshot"}
 	if !reflect.DeepEqual(c, want) {
 		t.Fatalf("Canonical() = %+v, want %+v", c, want)
 	}
 	// Canonical is idempotent.
 	if !reflect.DeepEqual(c.Canonical(), c) {
 		t.Fatalf("Canonical not idempotent: %+v", c.Canonical())
+	}
+}
+
+func TestCanonicalEngineAlias(t *testing.T) {
+	// The deprecated Multilevel flag is an alias for Engine = "multilevel":
+	// both spellings canonicalize — and therefore fingerprint — identically.
+	alias := Options{Multilevel: true}.Canonical()
+	explicit := Options{Engine: "multilevel"}.Canonical()
+	if !reflect.DeepEqual(alias, explicit) {
+		t.Fatalf("alias %+v != explicit %+v", alias, explicit)
+	}
+	if alias.Engine != "multilevel" || !alias.Multilevel {
+		t.Fatalf("alias did not resolve: %+v", alias)
+	}
+	// An explicit engine wins over a stale Multilevel flag: the flag is
+	// recomputed from the engine so the two can never disagree.
+	c := Options{Engine: "fennel", Multilevel: true}.Canonical()
+	if c.Engine != "fennel" || c.Multilevel {
+		t.Fatalf("explicit engine lost to the deprecated alias: %+v", c)
+	}
+	if c.CoarsenTo != 0 || c.ClusterSize != 0 || c.RefineIterations != 0 {
+		t.Fatalf("multilevel knobs survived on a non-multilevel engine: %+v", c)
 	}
 }
 
@@ -72,6 +94,45 @@ func TestFingerprintStability(t *testing.T) {
 			t.Errorf("options %d and %d collide on fingerprint %s", i, j, got)
 		}
 		seen[got] = i
+	}
+}
+
+// TestFingerprintEngineCollisionAudit is the cache-safety audit of the
+// engine registry: for one graph-shaped option set, every registered engine
+// — cold and warm (for warm-capable engines), deprecated alias and explicit
+// spelling — must yield a distinct fingerprint. A collision here would let
+// the content-addressed result cache serve one engine's assignment for
+// another.
+func TestFingerprintEngineCollisionAudit(t *testing.T) {
+	warm := []int32{0, 1, 0, 1}
+	seen := map[string]string{}
+	record := func(label, fp string) {
+		t.Helper()
+		if prior, dup := seen[fp]; dup {
+			t.Errorf("fingerprint collision: %q and %q both map to %s", prior, label, fp)
+		}
+		seen[fp] = label
+	}
+	builtins := 0
+	for _, info := range Engines() {
+		if strings.HasPrefix(info.Name, "test-") {
+			continue // engines registered by other tests; audited by their own suite
+		}
+		builtins++
+		record("cold "+info.Name, Options{Engine: info.Name, K: 4, Seed: 42}.Fingerprint())
+		if info.WarmStart {
+			record("warm "+info.Name, Options{Engine: info.Name, K: 4, Seed: 42, WarmAssignment: warm}.Fingerprint())
+		}
+	}
+	// The deprecated alias must NOT add a distinct fingerprint: it is the
+	// same solve as the explicit multilevel engine.
+	alias := Options{Multilevel: true, K: 4, Seed: 42}.Fingerprint()
+	explicit := Options{Engine: "multilevel", K: 4, Seed: 42}.Fingerprint()
+	if alias != explicit {
+		t.Fatalf("Multilevel alias fingerprints differently from engine=multilevel:\n%s\n%s", alias, explicit)
+	}
+	if len(seen) != builtins+2 { // 6 cold + warm gd + warm multilevel
+		t.Fatalf("audit covered %d fingerprints, want %d", len(seen), builtins+2)
 	}
 }
 
