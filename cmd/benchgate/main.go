@@ -32,16 +32,40 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
 )
 
-// record mirrors cmd/benchjson's output schema.
+// record mirrors cmd/benchjson's output schema. Metrics values are pointers
+// so a JSON null stays distinguishable from a real zero: with a plain
+// float64 map, {"locality_delta": null} decodes to 0 and silently passes a
+// `-min locality_delta=0` gate — the exact silent-skip failure mode gates
+// exist to prevent. metricValue is the one place that converts an entry to a
+// usable number, failing closed on null/NaN/Inf.
 type record struct {
-	Name    string             `json:"name"`
-	Runs    int64              `json:"runs"`
-	Metrics map[string]float64 `json:"metrics"`
+	Name    string              `json:"name"`
+	Runs    int64               `json:"runs"`
+	Metrics map[string]*float64 `json:"metrics"`
+}
+
+// metricValue extracts a gated metric, failing closed: a missing key, a JSON
+// null, or a non-finite value each return a distinct reason instead of a
+// defaulted number. (A string or other non-numeric JSON type already fails
+// the whole file at decode time.)
+func metricValue(rec record, metric string) (float64, string) {
+	p, ok := rec.Metrics[metric]
+	if !ok {
+		return 0, "metric missing"
+	}
+	if p == nil {
+		return 0, "metric is null"
+	}
+	if math.IsNaN(*p) || math.IsInf(*p, 0) {
+		return 0, fmt.Sprintf("metric is non-finite (%g)", *p)
+	}
+	return *p, ""
 }
 
 // spec is one "Benchmark.metric=value" gate from the command line.
@@ -118,17 +142,18 @@ func run(args []string, out *os.File) error {
 	}
 
 	var failures []string
-	// lookup fails closed: a spec addressing an absent benchmark or metric
-	// is a gate failure, never a skip.
+	// lookup fails closed: a spec addressing an absent benchmark, an absent
+	// metric, or a present-but-non-numeric metric (null, NaN, ±Inf) is a
+	// gate failure, never a skip.
 	lookup := func(kind string, sp spec) (float64, bool) {
 		rec, ok := candidate[sp.bench]
 		if !ok {
 			failures = append(failures, fmt.Sprintf("%s %s.%s: benchmark missing from %s", kind, sp.bench, sp.metric, *candidatePath))
 			return 0, false
 		}
-		got, ok := rec.Metrics[sp.metric]
-		if !ok {
-			failures = append(failures, fmt.Sprintf("%s %s.%s: metric missing from %s", kind, sp.bench, sp.metric, *candidatePath))
+		got, reason := metricValue(rec, sp.metric)
+		if reason != "" {
+			failures = append(failures, fmt.Sprintf("%s %s.%s: %s in %s", kind, sp.bench, sp.metric, reason, *candidatePath))
 			return 0, false
 		}
 		return got, true
@@ -164,9 +189,9 @@ func run(args []string, out *os.File) error {
 			failures = append(failures, fmt.Sprintf("drop %s.%s: benchmark missing from baseline %s", sp.bench, sp.metric, *baselinePath))
 			continue
 		}
-		base, ok := rec.Metrics[sp.metric]
-		if !ok {
-			failures = append(failures, fmt.Sprintf("drop %s.%s: metric missing from baseline %s", sp.bench, sp.metric, *baselinePath))
+		base, reason := metricValue(rec, sp.metric)
+		if reason != "" {
+			failures = append(failures, fmt.Sprintf("drop %s.%s: %s in baseline %s", sp.bench, sp.metric, reason, *baselinePath))
 			continue
 		}
 		check("drop", sp, base-sp.value)

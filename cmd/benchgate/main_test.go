@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -84,6 +85,98 @@ func TestGateFailures(t *testing.T) {
 		}
 		if !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestGateNonNumericFailsClosed: a gated metric that is present but not a
+// usable number — JSON null, or a value that only parses as NaN/Inf — must
+// fail the gate, not silently satisfy it. Before records held
+// map[string]float64, {"locality_delta": null} decoded to 0 and passed
+// `-min locality_delta=0`.
+func TestGateNonNumericFailsClosed(t *testing.T) {
+	dir := t.TempDir()
+	nullCand := writeJSON(t, dir, "null.json", `[
+	  {"name": "BenchmarkIncrementalE2E", "runs": 1,
+	   "metrics": {"speedup": 3.5, "locality_delta": null}}
+	]`)
+	nullBase := writeJSON(t, dir, "nullbase.json", `[
+	  {"name": "BenchmarkOther", "runs": 1, "metrics": {"locality": null}}
+	]`)
+	okCand := writeJSON(t, dir, "ok.json", candidateJSON)
+
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"null metric under -min",
+			[]string{"-candidate", nullCand, "-min", "BenchmarkIncrementalE2E.locality_delta=0"},
+			"null"},
+		{"null metric under -max",
+			[]string{"-candidate", nullCand, "-max", "BenchmarkIncrementalE2E.locality_delta=1"},
+			"null"},
+		{"null metric in baseline under -drop",
+			[]string{"-candidate", okCand, "-baseline", nullBase, "-drop", "BenchmarkOther.locality=0.02"},
+			"null"},
+	}
+	for _, tc := range cases {
+		err := run(tc.args, os.Stdout)
+		if err == nil {
+			t.Errorf("%s: gate passed, want failure", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+
+	// An ungated null is fine — only metrics a spec addresses are checked.
+	if err := run([]string{"-candidate", nullCand, "-min", "BenchmarkIncrementalE2E.speedup=2"}, os.Stdout); err != nil {
+		t.Errorf("null in an ungated metric failed the gate: %v", err)
+	}
+
+	// NaN and string values are not valid JSON numbers: the whole file is
+	// rejected at decode time, which is also fail-closed.
+	for _, body := range []string{
+		`[{"name": "B", "runs": 1, "metrics": {"m": NaN}}]`,
+		`[{"name": "B", "runs": 1, "metrics": {"m": "fast"}}]`,
+	} {
+		bad := writeJSON(t, dir, "bad.json", body)
+		if err := run([]string{"-candidate", bad, "-min", "B.m=1"}, os.Stdout); err == nil {
+			t.Errorf("non-numeric metric value %q accepted", body)
+		}
+	}
+}
+
+// TestMetricValue pins the fail-closed extraction rules at the unit level,
+// including non-finite values that can't be written in a JSON file but could
+// arrive through future producers.
+func TestMetricValue(t *testing.T) {
+	v := 1.5
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name   string
+		rec    record
+		want   float64
+		reason string
+	}{
+		{"present", record{Metrics: map[string]*float64{"m": &v}}, 1.5, ""},
+		{"missing", record{Metrics: map[string]*float64{}}, 0, "missing"},
+		{"null", record{Metrics: map[string]*float64{"m": nil}}, 0, "null"},
+		{"nan", record{Metrics: map[string]*float64{"m": &nan}}, 0, "non-finite"},
+		{"inf", record{Metrics: map[string]*float64{"m": &inf}}, 0, "non-finite"},
+	}
+	for _, tc := range cases {
+		got, reason := metricValue(tc.rec, "m")
+		if tc.reason == "" {
+			if reason != "" || got != tc.want {
+				t.Errorf("%s: got (%g, %q), want (%g, ok)", tc.name, got, reason, tc.want)
+			}
+			continue
+		}
+		if !strings.Contains(reason, tc.reason) {
+			t.Errorf("%s: reason %q does not mention %q", tc.name, reason, tc.reason)
 		}
 	}
 }

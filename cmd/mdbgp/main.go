@@ -46,6 +46,9 @@ type config struct {
 	deltaPath  string // edge delta applied to the input graph before solving
 	basePath   string // prior assignment to warm-start from
 	warmIters  int
+	reorder    string
+	incGrad    bool
+	resync     int
 }
 
 func main() {
@@ -66,6 +69,9 @@ func main() {
 	flag.StringVar(&cfg.deltaPath, "delta", "", "edge delta file ('+u v'/'-u v' lines) applied to the input graph before solving")
 	flag.StringVar(&cfg.basePath, "base", "", "prior assignment file ('vertex part' lines) to warm-start from")
 	flag.IntVar(&cfg.warmIters, "warmiters", 0, "warm-started gradient iterations per bisection (0 = a quarter of -iters)")
+	flag.StringVar(&cfg.reorder, "reorder", "", "vertex reordering for the gradient kernels: "+strings.Join(mdbgp.ReorderNames(), ", ")+" (results are byte-identical either way)")
+	flag.BoolVar(&cfg.incGrad, "incgrad", false, "incremental gradient updates: scatter only moved-coordinate deltas between exact resyncs")
+	flag.IntVar(&cfg.resync, "resync", 0, "incremental-gradient exact-recompute period (0 = default 16; only with -incgrad)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "mdbgp: %v\n", err)
@@ -91,6 +97,9 @@ func run(cfg config) error {
 		return fmt.Errorf("conflicting -engine %s and -multilevel (the latter is an alias for -engine multilevel)", cfg.engine)
 	}
 	if _, err := mdbgp.LookupEngine(cfg.engine); err != nil {
+		return err
+	}
+	if err := mdbgp.ValidateReorder(cfg.reorder); err != nil {
 		return err
 	}
 	reader, closeIn, err := open(cfg.in)
@@ -155,6 +164,7 @@ func run(cfg config) error {
 		Projection: cfg.projection, Seed: cfg.seed, Parallelism: cfg.par,
 		Multilevel: cfg.multilevel, CoarsenTo: cfg.coarsenTo, RefineIterations: cfg.refineIter,
 		WarmAssignment: warm, WarmIterations: cfg.warmIters,
+		Reorder: cfg.reorder, IncrementalGradient: cfg.incGrad, ResyncEvery: cfg.resync,
 	}
 	res, err := mdbgp.Partition(g, opts)
 	if err != nil {

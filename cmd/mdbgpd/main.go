@@ -32,9 +32,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"mdbgp"
 	"mdbgp/internal/server"
 )
 
@@ -69,12 +71,16 @@ func parseFlags(args []string) (server.Config, string, error) {
 		graphCache  = fs.Int("graph-cache", 64, "base graphs kept for delta (?base=) submissions (negative disables)")
 		maxChurn    = fs.Float64("max-churn", 0.25, "edge-churn fraction above which delta solves go cold instead of warm-starting (0 never warm-starts)")
 		maxChain    = fs.Int("max-chain-depth", 8, "warm delta-of-delta hops allowed before forcing a cold re-solve (<=0 lifts the limit)")
+		reorderDef  = fs.String("reorder", "", "default vertex reordering for the gradient kernels ("+strings.Join(mdbgp.ReorderNames(), ", ")+"); per-request ?reorder= overrides")
 	)
 	if err := fs.Parse(args); err != nil {
 		return server.Config{}, "", err
 	}
 	if fs.NArg() > 0 {
 		return server.Config{}, "", fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if err := mdbgp.ValidateReorder(*reorderDef); err != nil {
+		return server.Config{}, "", err
 	}
 	cfg := server.Config{
 		Workers:           *workers,
@@ -88,6 +94,7 @@ func parseFlags(args []string) (server.Config, string, error) {
 		GraphCacheEntries: *graphCache,
 		MaxChurn:          *maxChurn,
 		MaxChainDepth:     *maxChain,
+		Reorder:           *reorderDef,
 	}
 	if *maxChurn == 0 {
 		// The Config zero value means "use the 25% default"; an operator

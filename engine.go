@@ -11,6 +11,7 @@ import (
 	"mdbgp/internal/multilevel"
 	"mdbgp/internal/partition"
 	"mdbgp/internal/project"
+	"mdbgp/internal/reorder"
 )
 
 // EngineInfo describes a registered solver: its registry name and the
@@ -150,6 +151,13 @@ func gdCoreOptions(g *Graph, opts Options) (core.Options, error) {
 	opt.Workers = opts.Parallelism
 	opt.Adaptive = !opts.DisableAdaptiveStep
 	opt.VertexFixing = !opts.DisableVertexFixing
+	m, err := reorder.Parse(opts.Reorder)
+	if err != nil {
+		return opt, err
+	}
+	opt.Reorder = m
+	opt.IncrementalGradient = opts.IncrementalGradient
+	opt.ResyncEvery = opts.ResyncEvery
 	if opts.Projection != "" {
 		m, err := project.ParseMethod(opts.Projection)
 		if err != nil {

@@ -22,6 +22,7 @@ import (
 	"mdbgp/internal/graph"
 	"mdbgp/internal/partition"
 	"mdbgp/internal/project"
+	"mdbgp/internal/reorder"
 	"mdbgp/internal/vecmath"
 )
 
@@ -88,6 +89,28 @@ type Options struct {
 	// Trace, when set, receives per-iteration statistics (costs one extra
 	// SpMV per iteration).
 	Trace func(IterStats)
+	// Reorder selects a locality-improving vertex ordering for the gradient
+	// SpMV (internal/reorder): degree-sorted, BFS, or reverse Cuthill–McKee.
+	// The ordering is strictly a kernel-layout detail — per-row sums keep
+	// their original floating-point order and results are written back
+	// through the inverse permutation — so for a fixed Seed the run is
+	// byte-identical to an unreordered one; only the SpMV gets faster.
+	Reorder reorder.Method
+	// IncrementalGradient maintains the gradient across iterations by
+	// scattering only the deltas of coordinates that actually moved
+	// (snippet idiom of the reference GD implementations): once warmed up,
+	// each iteration updates grad[v] += w_uv·(z_u − prev_u) for moved
+	// neighbors u instead of recomputing the full SpMV, with an exact
+	// recompute every ResyncEvery iterations to stop float drift. The
+	// delta scatter is serial and ordered, so results remain bit-identical
+	// at any worker count — but the trajectory differs in the last ulps
+	// from a full-recompute run, so the option is part of the cache
+	// fingerprint and has its own goldens.
+	IncrementalGradient bool
+	// ResyncEvery is the exact-recompute period of IncrementalGradient
+	// (default 16): at most ResyncEvery−1 consecutive incremental updates
+	// run between full SpMVs. 1 disables incremental updates entirely.
+	ResyncEvery int
 }
 
 // DefaultOptions returns the configuration used for the paper's headline
@@ -126,7 +149,15 @@ func (o *Options) normalize() {
 	if o.NoiseScale <= 0 {
 		o.NoiseScale = o.StepLength / float64(o.Iterations)
 	}
+	if o.ResyncEvery <= 0 {
+		o.ResyncEvery = 16
+	}
 }
+
+// incrementalWarmup is the number of leading iterations that always run the
+// full SpMV before incremental updates may engage: early iterations move
+// every coordinate, so a delta scatter would touch the whole edge set anyway.
+const incrementalWarmup = 3
 
 // IterStats reports the state of GD after one iteration, feeding the
 // convergence plots of Figures 8–10.
@@ -274,6 +305,39 @@ func optimize(wg *coarsen.Graph, opt Options, rng *rand.Rand) (xOut []float64, f
 	gammaFrozen := opt.FixedGamma
 	var st project.State
 
+	// Reordering is a kernel-layout detail: the layout runs the register-
+	// blocked gather over a bandwidth-reduced row order but accumulates each
+	// row in its original arc order and scatters through the inverse
+	// permutation, so spmvFull stays bit-identical either way.
+	var lay *reorder.Layout
+	if opt.Reorder != reorder.None {
+		lay = reorder.NewLayout(wg.Offsets, wg.Adj, wg.EW, opt.Reorder)
+	}
+	spmvFull := func() {
+		if lay != nil {
+			lay.SpMVMasked(z, grad, fixed, pool)
+		} else {
+			vecmath.SpMVWeightedMaskedPool(wg.Offsets, wg.Adj, wg.EW, z, grad, fixed, pool)
+		}
+	}
+
+	// Incremental-gradient state: prevZ is the input the current grad was
+	// computed from; gradValid goes false whenever grad stops being A_w·z
+	// (random-direction fallback); sinceFull counts incremental updates
+	// since the last exact recompute.
+	var prevZ []float64
+	if opt.IncrementalGradient {
+		prevZ = make([]float64, n)
+	}
+	gradValid := false
+	sinceFull := 0
+	// Failed gate checks back off geometrically (capped): early iterations
+	// move every coordinate, so rescanning z against prevZ — and keeping
+	// prevZ fresh — every iteration is pure overhead until the moved set
+	// shrinks. The schedule depends only on the iteration number and the
+	// scan results, so it is identical at every worker count.
+	checkBackoff, skipUntil := 1, 0
+
 	for t := 0; t < opt.Iterations; t++ {
 		if fixedCount == n {
 			break
@@ -289,7 +353,75 @@ func optimize(wg *coarsen.Graph, opt Options, rng *rand.Rand) (xOut []float64, f
 			}
 		}
 
-		vecmath.SpMVWeightedMaskedPool(wg.Offsets, wg.Adj, wg.EW, z, grad, fixed, pool)
+		incremental := false
+		if opt.IncrementalGradient && gradValid && t >= incrementalWarmup && sinceFull+1 < opt.ResyncEvery {
+			// Delta pass: grad currently equals A_w·prevZ on free rows. Count
+			// the arc work of the moved coordinates first — the serial scatter
+			// must beat the full SpMV, and the full SpMV is masked, so the
+			// fair comparison is against the arcs of the FREE rows (with
+			// vertex fixing on, the masked kernel already skips most of the
+			// graph late in the run). The scatter's random writes cost ~2x a
+			// streaming gather per arc, hence the factor. Both the decision
+			// and the scatter depend only on z/prevZ/fixed, never on the
+			// worker count.
+			movedArcs, freeArcs := int64(0), int64(0)
+			for i := 0; i < n; i++ {
+				deg := wg.Offsets[i+1] - wg.Offsets[i]
+				if !fixed[i] {
+					freeArcs += deg
+				}
+				if z[i] != prevZ[i] {
+					movedArcs += deg
+				}
+			}
+			if 2*movedArcs > freeArcs {
+				// Too much moved: pause the checks and let prevZ go stale
+				// (gradValid=false below skips its maintenance cost too).
+				skipUntil = t + checkBackoff
+				if checkBackoff < 8 {
+					checkBackoff *= 2
+				}
+				gradValid = false
+			} else {
+				for u := 0; u < n; u++ {
+					if z[u] == prevZ[u] {
+						continue
+					}
+					d := z[u] - prevZ[u]
+					row := wg.Adj[wg.Offsets[u]:wg.Offsets[u+1]]
+					if wg.EW == nil {
+						for _, v := range row {
+							if !fixed[v] {
+								grad[v] += d
+							}
+						}
+					} else {
+						wrow := wg.EW[wg.Offsets[u]:wg.Offsets[u+1]]
+						for i, v := range row {
+							if !fixed[v] {
+								grad[v] += wrow[i] * d
+							}
+						}
+					}
+					prevZ[u] = z[u]
+				}
+				sinceFull++
+				checkBackoff = 1
+				incremental = true
+			}
+		}
+		if !incremental {
+			spmvFull()
+			sinceFull = 0
+			// Keeping prevZ fresh costs a full vector copy; pay it only if
+			// the next iteration is actually allowed to use it.
+			if opt.IncrementalGradient && t+1 >= skipUntil {
+				copy(prevZ, z)
+				gradValid = true
+			} else {
+				gradValid = false
+			}
+		}
 		maskedNormSq := func() float64 {
 			return pool.ReduceSum(n, func(lo, hi int) float64 {
 				s := 0.0
@@ -305,6 +437,9 @@ func optimize(wg *coarsen.Graph, opt Options, rng *rand.Rand) (xOut []float64, f
 		if gnorm < 1e-12 {
 			// Saddle/flat region: fall back to a random direction so the
 			// iteration still makes progress (noise escape, §2.1 Step 1).
+			// grad is no longer A_w·z after this, so the incremental path
+			// must recompute from scratch next iteration.
+			gradValid = false
 			for i := 0; i < n; i++ {
 				if !fixed[i] {
 					grad[i] = rng.NormFloat64()

@@ -18,13 +18,35 @@ type resultCache struct {
 	capacity int        // max entries; <= 0 disables the cache
 	ll       *list.List // front = most recently used
 	items    map[string]*list.Element
-	bytes    int64 // approximate retained payload size, for the metrics gauge
+	bytes    int64 // approximate retained size (payload + key + bookkeeping)
+	clamps   int64 // times the gauge went negative and was clamped (accounting bug)
 }
 
 type cacheEntry struct {
 	key   string
 	res   *mdbgp.Result
 	bytes int64
+}
+
+// entryOverhead approximates the per-entry bookkeeping retained alongside a
+// payload: the entry struct, its list element, and the map bucket share.
+// The key string's bytes are counted separately — cache keys here are
+// engine-version + graph-hash + fingerprint strings of ~140 bytes, which at
+// small payloads (tiny graphs, delta metadata) rivals the payload itself, so
+// ignoring them made the mdbgpd_*cache_bytes gauges drift far below the real
+// footprint.
+const entryOverhead = 128
+
+// clampBytes resets a negative byte gauge to zero, counting the event: the
+// gauge is a sum of per-entry deltas, so a negative value means an
+// accounting bug (an entry charged less than it was later credited), and a
+// silently negative gauge would render as a huge unsigned value in dashboards
+// and hide the bug. Callers hold mu.
+func clampBytes(bytes, clamps *int64) {
+	if *bytes < 0 {
+		*bytes = 0
+		*clamps++
+	}
 }
 
 func newResultCache(capacity int) *resultCache {
@@ -53,11 +75,13 @@ func (c *resultCache) put(key string, res *mdbgp.Result) int {
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		e := el.Value.(*cacheEntry)
-		c.bytes += resultBytes(res) - e.bytes
-		e.res, e.bytes = res, resultBytes(res)
+		nb := resultEntryBytes(key, res)
+		c.bytes += nb - e.bytes
+		clampBytes(&c.bytes, &c.clamps)
+		e.res, e.bytes = res, nb
 		return 0
 	}
-	e := &cacheEntry{key: key, res: res, bytes: resultBytes(res)}
+	e := &cacheEntry{key: key, res: res, bytes: resultEntryBytes(key, res)}
 	c.items[key] = c.ll.PushFront(e)
 	c.bytes += e.bytes
 	evicted := 0
@@ -69,6 +93,7 @@ func (c *resultCache) put(key string, res *mdbgp.Result) int {
 		c.bytes -= old.bytes
 		evicted++
 	}
+	clampBytes(&c.bytes, &c.clamps)
 	return evicted
 }
 
@@ -78,8 +103,22 @@ func (c *resultCache) stats() (entries int, bytes int64) {
 	return c.ll.Len(), c.bytes
 }
 
-// resultBytes approximates the retained size of a result: the assignment
-// dominates (4 bytes per vertex), plus the fixed-size quality fields.
+// clampCount reports how often the byte gauge had to be clamped at zero.
+func (c *resultCache) clampCount() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.clamps
+}
+
+// resultEntryBytes is the full accounted size of one cache entry: the result
+// payload plus the key string and the per-entry bookkeeping.
+func resultEntryBytes(key string, res *mdbgp.Result) int64 {
+	return int64(len(key)) + entryOverhead + resultBytes(res)
+}
+
+// resultBytes approximates the retained size of a result payload: the
+// assignment dominates (4 bytes per vertex), plus the fixed-size quality
+// fields.
 func resultBytes(res *mdbgp.Result) int64 {
 	b := int64(64)
 	if res.Assignment != nil {
@@ -101,6 +140,7 @@ type graphCache struct {
 	ll       *list.List
 	items    map[string]*list.Element
 	bytes    int64
+	clamps   int64
 }
 
 type graphEntry struct {
@@ -138,7 +178,7 @@ func (c *graphCache) put(hash string, g *mdbgp.Graph) int {
 		c.ll.MoveToFront(el)
 		return 0
 	}
-	e := &graphEntry{key: hash, g: g, bytes: graphBytes(g)}
+	e := &graphEntry{key: hash, g: g, bytes: graphEntryBytes(hash, g)}
 	c.items[hash] = c.ll.PushFront(e)
 	c.bytes += e.bytes
 	evicted := 0
@@ -150,6 +190,7 @@ func (c *graphCache) put(hash string, g *mdbgp.Graph) int {
 		c.bytes -= old.bytes
 		evicted++
 	}
+	clampBytes(&c.bytes, &c.clamps)
 	return evicted
 }
 
@@ -157,6 +198,19 @@ func (c *graphCache) stats() (entries int, bytes int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len(), c.bytes
+}
+
+// clampCount reports how often the byte gauge had to be clamped at zero.
+func (c *graphCache) clampCount() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.clamps
+}
+
+// graphEntryBytes is the full accounted size of one graph-cache entry: the
+// CSR payload plus the hash key and the per-entry bookkeeping.
+func graphEntryBytes(hash string, g *mdbgp.Graph) int64 {
+	return int64(len(hash)) + entryOverhead + graphBytes(g)
 }
 
 // graphBytes approximates a CSR graph's retained size: 8 bytes per offset,

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"mdbgp"
@@ -61,7 +62,7 @@ func TestCachePutRefreshes(t *testing.T) {
 	if entries != 1 {
 		t.Fatalf("entries = %d, want 1", entries)
 	}
-	if want := resultBytes(bigger); bytes != want {
+	if want := resultEntryBytes("a", bigger); bytes != want {
 		t.Fatalf("bytes = %d, want %d", bytes, want)
 	}
 }
@@ -82,17 +83,87 @@ func TestCacheBytesAccounting(t *testing.T) {
 	var want int64
 	for i := 0; i < 5; i++ {
 		r := fakeResult(10 * (i + 1))
-		want += resultBytes(r)
-		c.put(fmt.Sprintf("k%d", i), r)
+		key := fmt.Sprintf("k%d", i)
+		want += resultEntryBytes(key, r)
+		c.put(key, r)
 	}
 	if _, bytes := c.stats(); bytes != want {
 		t.Fatalf("bytes = %d, want %d", bytes, want)
 	}
-	// Eviction releases the accounted bytes.
+	// Eviction releases the accounted bytes — key and overhead included.
 	c2 := newResultCache(1)
 	c2.put("a", fakeResult(1000))
 	c2.put("b", fakeResult(10))
-	if _, bytes := c2.stats(); bytes != resultBytes(fakeResult(10)) {
+	if _, bytes := c2.stats(); bytes != resultEntryBytes("b", fakeResult(10)) {
 		t.Fatalf("post-eviction bytes = %d", bytes)
+	}
+}
+
+// recomputeResultBytes walks the live entries and recomputes the ground-truth
+// byte total from scratch — what the incremental gauge must always equal.
+func recomputeResultBytes(c *resultCache) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total int64
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		total += resultEntryBytes(e.key, e.res)
+	}
+	return total
+}
+
+// TestCacheBytesHammer churns the cache with interleaved inserts, updates of
+// varying payload sizes, and evictions, asserting after every operation that
+// the incrementally-maintained byte gauge matches a recomputed ground truth
+// and never needs the negative clamp.
+func TestCacheBytesHammer(t *testing.T) {
+	c := newResultCache(16)
+	rng := rand.New(rand.NewSource(1))
+	for op := 0; op < 5000; op++ {
+		key := fmt.Sprintf("key-%d", rng.Intn(48)) // collisions force the update path
+		c.put(key, fakeResult(rng.Intn(2000)))
+		if rng.Intn(3) == 0 {
+			c.get(fmt.Sprintf("key-%d", rng.Intn(48))) // promotions reshuffle eviction order
+		}
+		if got, want := func() int64 { _, b := c.stats(); return b }(), recomputeResultBytes(c); got != want {
+			t.Fatalf("op %d: bytes gauge = %d, ground truth = %d (drift %d)", op, got, want, got-want)
+		}
+	}
+	if entries, _ := c.stats(); entries != 16 {
+		t.Fatalf("entries = %d, want capacity 16", entries)
+	}
+	if c.clampCount() != 0 {
+		t.Fatalf("correct accounting still clamped %d times", c.clampCount())
+	}
+}
+
+// TestCacheBytesClamp corrupts an entry's accounted size to force the gauge
+// negative and asserts the clamp fires: the gauge floors at zero and the
+// error counter records the event instead of the gauge silently underflowing.
+func TestCacheBytesClamp(t *testing.T) {
+	c := newResultCache(4)
+	c.put("a", fakeResult(10))
+	c.mu.Lock()
+	c.items["a"].Value.(*cacheEntry).bytes += 1 << 40 // simulate a mischarge
+	c.mu.Unlock()
+	c.put("a", fakeResult(10)) // update path credits the inflated size
+	if _, bytes := c.stats(); bytes != 0 {
+		t.Fatalf("bytes = %d, want clamp at 0", bytes)
+	}
+	if c.clampCount() != 1 {
+		t.Fatalf("clamps = %d, want 1", c.clampCount())
+	}
+
+	g := newGraphCache(1)
+	g.put("h1", mdbgp.FromEdges(2, []mdbgp.Edge{{U: 0, V: 1}}))
+	g.mu.Lock()
+	g.items["h1"].Value.(*graphEntry).bytes += 1 << 40
+	g.mu.Unlock()
+	g.put("h2", mdbgp.FromEdges(2, []mdbgp.Edge{{U: 0, V: 1}})) // evicts the mischarged entry
+	if _, bytes := g.stats(); bytes != 0 {
+		t.Fatalf("graph bytes = %d, want clamp at 0", bytes)
+	}
+	if g.clampCount() != 1 {
+		t.Fatalf("graph clamps = %d, want 1", g.clampCount())
 	}
 }

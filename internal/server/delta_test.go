@@ -400,3 +400,36 @@ func TestGraphCache(t *testing.T) {
 		t.Fatal("disabled graph cache retained an entry")
 	}
 }
+
+// TestDeltaPoisonedWarmBase400: a resolved warm assignment carrying a part
+// id outside [0, K) — a corrupted retained result, or a prior from a
+// different K — must be rejected with a 400 at submit time, not dispatched
+// into a failed job (or surfaced as a 500).
+func TestDeltaPoisonedWarmBase400(t *testing.T) {
+	g, body := testGraph(t, 23)
+	srv, ts := startServer(t, Config{Workers: 2})
+
+	code, m := submit(t, ts, "k=4&seed=1&iters=30&wait=true", body)
+	if code != http.StatusOK || m["status"] != "done" {
+		t.Fatalf("base submit: %d %v", code, m)
+	}
+	baseID := m["job_id"].(string)
+
+	// Poison the retained result in place (the result cache and the job
+	// share the same *Result, so both warm-resolution paths see it).
+	srv.mu.Lock()
+	j := srv.jobs[baseID]
+	srv.mu.Unlock()
+	j.mu.Lock()
+	j.res.Assignment.Parts[0] = 99 // >= K: not a usable prior
+	j.mu.Unlock()
+
+	code, m2, _ := submitDelta(t, ts, "k=4&seed=1&iters=30&wait=true&base="+baseID, smallDelta(t, g))
+	if code != http.StatusBadRequest {
+		t.Fatalf("poisoned warm base: status %d (%v), want 400", code, m2)
+	}
+	msg, _ := m2["error"].(string)
+	if !strings.Contains(msg, "warm") || !strings.Contains(msg, "99") {
+		t.Fatalf("error %q should name the warm assignment and the bad part id", msg)
+	}
+}

@@ -138,9 +138,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("mdbgpd_workers", "Worker goroutines draining the queue.", int64(s.cfg.Workers))
 	entries, bytes := s.cache.stats()
 	gauge("mdbgpd_cache_entries", "Results held in the LRU cache.", int64(entries))
-	gauge("mdbgpd_cache_bytes", "Approximate bytes held by cached results.", bytes)
+	gauge("mdbgpd_cache_bytes", "Approximate bytes held by cached results (payloads + keys + bookkeeping).", bytes)
+	counter("mdbgpd_cache_accounting_clamps_total", "Times the result-cache byte gauge went negative and was clamped (accounting bug).", s.cache.clampCount())
 	gentries, gbytes := s.graphs.stats()
 	gauge("mdbgpd_graph_cache_entries", "Base graphs held for delta submissions.", int64(gentries))
-	gauge("mdbgpd_graph_cache_bytes", "Approximate bytes held by cached base graphs.", gbytes)
+	gauge("mdbgpd_graph_cache_bytes", "Approximate bytes held by cached base graphs (payloads + keys + bookkeeping).", gbytes)
+	counter("mdbgpd_graph_cache_accounting_clamps_total", "Times the graph-cache byte gauge went negative and was clamped (accounting bug).", s.graphs.clampCount())
 	gauge("mdbgpd_uptime_seconds", "Seconds since the server started.", int64(time.Since(s.start).Seconds()))
 }

@@ -98,6 +98,13 @@ type Config struct {
 	// A cold solve (forced or otherwise) resets the chain to depth zero
 	// (0 = 8, negative disables the limit).
 	MaxChainDepth int
+	// Reorder is the vertex-reordering pass applied to the gradient kernels
+	// of submissions that do not pass ?reorder= themselves ("" = none; see
+	// mdbgp.ReorderNames). Reordering never changes results — it is a
+	// throughput default the operator picks for the fleet — but it is part
+	// of the options fingerprint, so flipping it starts a fresh cache
+	// generation.
+	Reorder string
 }
 
 func (c Config) withDefaults() Config {
@@ -248,6 +255,7 @@ var allowedParams = map[string]bool{
 	"k": true, "eps": true, "dims": true, "iters": true, "step": true,
 	"projection": true, "seed": true, "engine": true, "multilevel": true,
 	"coarsento": true, "clustersize": true, "refineiters": true,
+	"reorder": true, "incgrad": true, "resync": true,
 	"wait": true, "base": true,
 }
 
@@ -340,6 +348,19 @@ func parseSubmit(r *http.Request) (submitRequest, error) {
 	if err := boolParam("wait", &req.wait); err != nil {
 		return req, err
 	}
+	req.opts.Reorder = q.Get("reorder")
+	if err := mdbgp.ValidateReorder(req.opts.Reorder); err != nil {
+		return req, err
+	}
+	if err := boolParam("incgrad", &req.opts.IncrementalGradient); err != nil {
+		return req, err
+	}
+	if err := intParam("resync", &req.opts.ResyncEvery); err != nil {
+		return req, err
+	}
+	if req.opts.ResyncEvery < 0 {
+		return req, fmt.Errorf("resync=%d out of range (want >= 0; 0 selects the default)", req.opts.ResyncEvery)
+	}
 	req.base = q.Get("base")
 	req.dimsExplicit = q.Get("dims") != ""
 	dims, names, err := mdbgp.ParseWeightDims(q.Get("dims"))
@@ -375,6 +396,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
+	}
+	// The operator's fleet-wide reordering default applies only when the
+	// client has no opinion; an explicit ?reorder= (including "none") wins.
+	if req.opts.Reorder == "" {
+		req.opts.Reorder = s.cfg.Reorder
 	}
 	// Capability gate: an engine without weighted support balances a fixed
 	// built-in dimension and cannot honor an explicit dims= request — that
@@ -481,6 +507,14 @@ func (s *Server) handleDeltaSubmit(w http.ResponseWriter, r *http.Request, req s
 		dv.ColdReason = coldReasonChainDepth
 	default:
 		if warm := s.resolveWarm(baseHash, baseJob, req); warm != nil {
+			// Validate the prior assignment BEFORE dispatch: a part id
+			// outside [0, K) (a base solved under a different K, or a
+			// corrupted retained result) is a client-visible 400 here, not a
+			// failed job — and certainly not a 500.
+			if err := mdbgp.ValidateWarmAssignment(warm, g.N(), req.opts.Canonical().K); err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Sprintf("base %q is not a usable warm start: %v", req.base, err))
+				return
+			}
 			opts.WarmAssignment = warm
 			dv.Mode = "warm"
 			dv.ChainDepth = baseDepth + 1

@@ -92,6 +92,7 @@ import (
 	"mdbgp/internal/graph"
 	"mdbgp/internal/partition"
 	"mdbgp/internal/project"
+	"mdbgp/internal/reorder"
 	"mdbgp/internal/weights"
 )
 
@@ -348,6 +349,42 @@ type Options struct {
 	// near a good solution, so most of the cold budget would be spent
 	// confirming it. Only used when WarmAssignment is set.
 	WarmIterations int
+	// Reorder selects a vertex-reordering pass applied to the gradient
+	// kernel's memory layout at solve time: "none" (or "", the default),
+	// "degree", "bfs" or "rcm" — see ReorderNames. Reordering is purely a
+	// kernel-layout detail: the permuted CSR keeps every row's arc-summation
+	// order, results are scattered back through the inverse permutation, and
+	// the partition is byte-identical to an unreordered solve at any
+	// Parallelism. Engines that do not run gradient kernels ignore it.
+	// Reorder is still folded into Fingerprint: the layout build has a real
+	// ingest cost, so two requests that differ only in ordering are distinct
+	// requests and never collide on a cache key.
+	Reorder string
+	// IncrementalGradient switches the GD core to delta gradient updates:
+	// once the trajectory settles, each iteration scatters only the moved
+	// coordinates' contributions instead of recomputing the full SpMV, with
+	// an exact recompute every ResyncEvery iterations. The trajectory between
+	// resyncs differs from the full recompute in final ulps, so this is a
+	// distinct solver configuration: it is covered by Fingerprint (its own
+	// cache entries, its own goldens) and remains bit-identical for a fixed
+	// Seed at any Parallelism. Only the gradient-descent engines honor it.
+	IncrementalGradient bool
+	// ResyncEvery is the incremental-gradient resync period: every this many
+	// iterations the gradient is recomputed exactly, bounding floating-point
+	// drift (0 = default 16; 1 recomputes every iteration, making the run
+	// byte-identical to IncrementalGradient=false). Only used when
+	// IncrementalGradient is set.
+	ResyncEvery int
+}
+
+// ReorderNames lists the accepted Options.Reorder values, "none" first.
+func ReorderNames() []string { return reorder.Names() }
+
+// ValidateReorder reports whether name is an accepted Options.Reorder value
+// ("" selects none). Used by front ends to fail fast on typos.
+func ValidateReorder(name string) error {
+	_, err := reorder.Parse(name)
+	return err
 }
 
 // Canonical returns the options with every defaulted field made explicit:
@@ -403,6 +440,16 @@ func (o Options) Canonical() Options {
 	} else {
 		o.WarmIterations = 0 // inert without a warm assignment
 	}
+	if o.Reorder == "" {
+		o.Reorder = reorder.None.String()
+	}
+	if o.IncrementalGradient {
+		if o.ResyncEvery <= 0 {
+			o.ResyncEvery = 16
+		}
+	} else {
+		o.ResyncEvery = 0 // inert without the incremental path
+	}
 	return o
 }
 
@@ -420,11 +467,11 @@ func (o Options) Canonical() Options {
 func (o Options) Fingerprint() string {
 	c := o.Canonical()
 	h := sha256.New()
-	fmt.Fprintf(h, "engine=%s|k=%d|eps=%g|iters=%d|step=%g|proj=%s|seed=%d|noadapt=%t|nofix=%t|coarsen=%d|cluster=%d|refine=%d|warmiters=%d|dims=%d",
+	fmt.Fprintf(h, "engine=%s|k=%d|eps=%g|iters=%d|step=%g|proj=%s|seed=%d|noadapt=%t|nofix=%t|coarsen=%d|cluster=%d|refine=%d|warmiters=%d|reorder=%s|incgrad=%t|resync=%d|dims=%d",
 		c.Engine, c.K, c.Epsilon, c.Iterations, c.StepLength, c.Projection, c.Seed,
 		c.DisableAdaptiveStep, c.DisableVertexFixing,
 		c.CoarsenTo, c.ClusterSize, c.RefineIterations,
-		c.WarmIterations, len(c.Weights))
+		c.WarmIterations, c.Reorder, c.IncrementalGradient, c.ResyncEvery, len(c.Weights))
 	var buf [8]byte
 	for _, w := range c.Weights {
 		binary.LittleEndian.PutUint64(buf[:], uint64(len(w)))
@@ -472,6 +519,11 @@ func Partition(g *Graph, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Reorder is validated centrally so engines that ignore it (no gradient
+	// kernels) still reject typos instead of silently solving.
+	if err := ValidateReorder(c.Reorder); err != nil {
+		return nil, err
+	}
 	if c.WarmAssignment != nil && !eng.Info().WarmStart {
 		return nil, fmt.Errorf("mdbgp: engine %q does not support warm starts; solve cold or use a warm-capable engine", c.Engine)
 	}
@@ -489,20 +541,58 @@ func PartitionWarm(g *Graph, warm []int32, opts Options) (*Result, error) {
 	return Partition(g, opts)
 }
 
-// padWarm validates a warm assignment against the graph size and part count
-// and pads missing tail entries with -1 (no prior opinion). Part ids >= k
-// are rejected rather than treated as neutral: they mean the prior solve
-// used a different K, and silently degrading most of the graph to a
-// no-opinion warm start at the reduced warm budget produces a drastically
-// worse partition than a cold solve would.
-func padWarm(warm []int32, n, k int) ([]int32, error) {
+// WarmAssignmentError reports an invalid Options.WarmAssignment: a part id
+// outside [0, K) that is not the -1 no-opinion marker, or a slice longer
+// than the graph. It is a client-input error, not a solver fault — front
+// ends match it with errors.As to answer 400 instead of 500.
+type WarmAssignmentError struct {
+	// Vertex and Part identify the offending entry; Vertex is -1 for
+	// slice-length errors.
+	Vertex int
+	Part   int32
+	// K is the requested part count the entry was validated against.
+	K int
+	// Len and N describe a slice-length error (warm longer than the graph).
+	Len, N int
+}
+
+func (e *WarmAssignmentError) Error() string {
+	if e.Vertex < 0 {
+		return fmt.Sprintf("mdbgp: warm assignment has %d entries, graph has %d vertices", e.Len, e.N)
+	}
+	if e.Part < -1 {
+		return fmt.Sprintf("mdbgp: warm assignment part %d at vertex %d is negative (only -1 means \"no prior opinion\")", e.Part, e.Vertex)
+	}
+	return fmt.Sprintf("mdbgp: warm assignment part %d at vertex %d is outside [0, K=%d) — was the base solved with a different K?", e.Part, e.Vertex, e.K)
+}
+
+// ValidateWarmAssignment checks a prospective Options.WarmAssignment against
+// a graph of n vertices and a part count of k, returning a
+// *WarmAssignmentError describing the first violation. Entries must be prior
+// part ids in [0, k) or the -1 no-opinion marker: ids >= k mean the prior
+// solve used a different K, ids below -1 are corrupt, and either would feed
+// garbage into the damped warm start rather than a usable prior. The slice
+// may be shorter than n (missing vertices start neutral) but not longer.
+func ValidateWarmAssignment(warm []int32, n, k int) error {
 	if len(warm) > n {
-		return nil, fmt.Errorf("mdbgp: warm assignment has %d entries, graph has %d vertices", len(warm), n)
+		return &WarmAssignmentError{Vertex: -1, K: k, Len: len(warm), N: n}
 	}
 	for v, p := range warm {
-		if int(p) >= k {
-			return nil, fmt.Errorf("mdbgp: warm assignment part %d at vertex %d is outside [0, K=%d) — was the base solved with a different K?", p, v, k)
+		if int(p) >= k || p < -1 {
+			return &WarmAssignmentError{Vertex: v, Part: p, K: k}
 		}
+	}
+	return nil
+}
+
+// padWarm validates a warm assignment (see ValidateWarmAssignment — ids
+// outside [0, k) are rejected rather than treated as neutral, because
+// silently degrading most of the graph to a no-opinion warm start at the
+// reduced warm budget produces a drastically worse partition than a cold
+// solve would) and pads missing tail entries with -1 (no prior opinion).
+func padWarm(warm []int32, n, k int) ([]int32, error) {
+	if err := ValidateWarmAssignment(warm, n, k); err != nil {
+		return nil, err
 	}
 	if len(warm) == n {
 		return warm, nil

@@ -8,7 +8,7 @@ import (
 
 func TestCanonicalFillsDefaults(t *testing.T) {
 	c := Options{}.Canonical()
-	want := Options{Engine: "gd", K: 2, Epsilon: 0.05, Iterations: 100, StepLength: 2, Projection: "alternating-oneshot"}
+	want := Options{Engine: "gd", K: 2, Epsilon: 0.05, Iterations: 100, StepLength: 2, Projection: "alternating-oneshot", Reorder: "none"}
 	if !reflect.DeepEqual(c, want) {
 		t.Fatalf("Canonical() = %+v, want %+v", c, want)
 	}
@@ -71,6 +71,19 @@ func TestFingerprintStability(t *testing.T) {
 		t.Fatal("Parallelism leaked into the fingerprint")
 	}
 
+	// Spelled-out inert kernel knobs fingerprint like the zero value:
+	// reorder=none is the default, and a resync period without the
+	// incremental path (like a warm budget without a warm start) is inert.
+	if (Options{Reorder: "none"}).Fingerprint() != fp {
+		t.Fatal("explicit Reorder=none should fingerprint identically to zero options")
+	}
+	if (Options{ResyncEvery: 5}).Fingerprint() != fp {
+		t.Fatal("ResyncEvery without IncrementalGradient leaked into the fingerprint")
+	}
+	if (Options{IncrementalGradient: true, ResyncEvery: 16}).Fingerprint() != (Options{IncrementalGradient: true}).Fingerprint() {
+		t.Fatal("explicit default ResyncEvery=16 should fingerprint like the implicit default")
+	}
+
 	// Every solver-relevant field must perturb the fingerprint.
 	perturbed := []Options{
 		{K: 4},
@@ -86,6 +99,11 @@ func TestFingerprintStability(t *testing.T) {
 		{Multilevel: true, ClusterSize: 4},
 		{Multilevel: true, RefineIterations: 2},
 		{Weights: [][]float64{{1, 2, 3}}},
+		{Reorder: "degree"},
+		{Reorder: "bfs"},
+		{Reorder: "rcm"},
+		{IncrementalGradient: true},
+		{IncrementalGradient: true, ResyncEvery: 4},
 	}
 	seen := map[string]int{fp: -1}
 	for i, o := range perturbed {

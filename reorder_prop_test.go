@@ -1,0 +1,128 @@
+package mdbgp
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Property tests for the vertex-reordering and incremental-gradient knobs.
+//
+// Reorder is a kernel-layout detail with a hard contract: for any engine,
+// any ordering and any worker count, the partition is byte-identical to the
+// unreordered run (the layout keeps per-row arc order, so per-coordinate
+// floating-point sums associate exactly as before, and results scatter back
+// through the inverse permutation). IncrementalGradient is the opposite kind
+// of knob — a genuinely different trajectory in the last ulps — so it gets
+// its own golden rather than an identity claim; what it shares with Reorder
+// is worker-count invariance.
+
+// TestReorderByteIdentityAcrossEngines: every registered engine × every
+// ordering × workers {1, 2, 8} produces the exact partition of the
+// unreordered single-worker run. Engines that never consult Reorder pass
+// trivially; the gd-core engines are the ones under test.
+func TestReorderByteIdentityAcrossEngines(t *testing.T) {
+	g := goldenGraph(t)
+	for _, engine := range EngineNames() {
+		opts := Options{Engine: engine, K: 4, Seed: 42, Iterations: 30}
+		base, err := Partition(g, opts)
+		if err != nil {
+			t.Fatalf("engine %s: %v", engine, err)
+		}
+		for _, ord := range ReorderNames() {
+			for _, p := range []int{1, 2, 8} {
+				o := opts
+				o.Reorder = ord
+				o.Parallelism = p
+				res, err := Partition(g, o)
+				if err != nil {
+					t.Fatalf("engine %s reorder %s workers %d: %v", engine, ord, p, err)
+				}
+				for v := range base.Assignment.Parts {
+					if res.Assignment.Parts[v] != base.Assignment.Parts[v] {
+						t.Fatalf("engine %s reorder %s workers %d: partition diverged at vertex %d — reordering must be invisible in the output",
+							engine, ord, p, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReorderRejectsUnknownOrdering: the validation path fails fast at every
+// entry point rather than silently running unreordered.
+func TestReorderRejectsUnknownOrdering(t *testing.T) {
+	g, _ := testGraph()
+	if _, err := Partition(g, Options{K: 2, Reorder: "hilbert"}); err == nil {
+		t.Fatal("unknown ordering accepted")
+	}
+	if err := ValidateReorder("hilbert"); err == nil {
+		t.Fatal("ValidateReorder accepted an unknown ordering")
+	}
+	for _, ord := range ReorderNames() {
+		if err := ValidateReorder(ord); err != nil {
+			t.Fatalf("listed ordering %q rejected: %v", ord, err)
+		}
+	}
+}
+
+// TestFingerprintReorderPairwiseDistinct: orderings are part of the request
+// fingerprint, so no two orderings (or incremental-gradient configurations)
+// may collide on a cache key — a collision would serve one ordering's cached
+// result for another's request.
+func TestFingerprintReorderPairwiseDistinct(t *testing.T) {
+	base := Options{K: 4, Seed: 42}
+	var fps []string
+	var labels []string
+	for _, ord := range ReorderNames() {
+		o := base
+		o.Reorder = ord
+		fps = append(fps, o.Fingerprint())
+		labels = append(labels, "reorder="+ord)
+	}
+	for _, inc := range []Options{
+		{K: 4, Seed: 42, IncrementalGradient: true},
+		{K: 4, Seed: 42, IncrementalGradient: true, ResyncEvery: 4},
+		{K: 4, Seed: 42, IncrementalGradient: true, Reorder: "degree"},
+	} {
+		fps = append(fps, inc.Fingerprint())
+		labels = append(labels, fmt.Sprintf("incgrad resync=%d reorder=%q", inc.ResyncEvery, inc.Reorder))
+	}
+	for i := range fps {
+		for j := i + 1; j < len(fps); j++ {
+			if fps[i] == fps[j] {
+				t.Fatalf("fingerprint collision between %s and %s", labels[i], labels[j])
+			}
+		}
+	}
+}
+
+// TestGoldenIncrementalGradient pins the incremental-gradient trajectory
+// (with the reordered kernel layered on top — the combination the daemon's
+// speed-of-light configuration runs) and doubles as its cross-worker
+// determinism anchor: the delta scatter is serial and ordered, so workers
+// 1, 2 and 8 must all reproduce the committed bytes.
+func TestGoldenIncrementalGradient(t *testing.T) {
+	g := goldenGraph(t)
+	opts := Options{
+		K: 2, Seed: 42, Iterations: 60,
+		IncrementalGradient: true, Reorder: "degree",
+	}
+	res, err := Partition(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sanity(t, g, res, 2, 0.05)
+	checkGolden(t, "incgrad-k2-seed42.parts", res.Assignment)
+	for _, p := range []int{1, 2, 8} {
+		o := opts
+		o.Parallelism = p
+		wres, err := Partition(g, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *update {
+			continue
+		}
+		checkGolden(t, "incgrad-k2-seed42.parts", wres.Assignment)
+	}
+}

@@ -2,6 +2,7 @@ package mdbgp
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -124,6 +125,44 @@ func TestWarmAssignmentValidation(t *testing.T) {
 	}
 	if _, err := PartitionWarm(g, mismatched, Options{K: 2, Iterations: 20}); err == nil {
 		t.Fatal("warm assignment from a larger K should error")
+	}
+	// Part ids below -1 are corrupt, not "no opinion": only -1 carries that
+	// meaning, and anything further negative would silently flow into the
+	// damped ±1 encoding.
+	corrupt := make([]int32, g.N())
+	corrupt[3] = -5
+	if _, err := PartitionWarm(g, corrupt, Options{K: 2, Iterations: 20}); err == nil {
+		t.Fatal("warm assignment with part id < -1 should error")
+	}
+}
+
+// TestValidateWarmAssignmentTyped: validation failures carry the typed
+// *WarmAssignmentError so front ends can classify them as client input
+// errors (HTTP 400) rather than solver faults.
+func TestValidateWarmAssignmentTyped(t *testing.T) {
+	var wae *WarmAssignmentError
+	if err := ValidateWarmAssignment([]int32{0, 1, 7}, 10, 4); !errors.As(err, &wae) {
+		t.Fatalf("out-of-range part: got %T (%v), want *WarmAssignmentError", err, err)
+	} else if wae.Vertex != 2 || wae.Part != 7 || wae.K != 4 {
+		t.Fatalf("error fields %+v do not locate the violation", wae)
+	}
+	if err := ValidateWarmAssignment([]int32{-2}, 10, 4); !errors.As(err, &wae) {
+		t.Fatalf("sub--1 part: got %T, want *WarmAssignmentError", err)
+	}
+	if err := ValidateWarmAssignment(make([]int32, 11), 10, 4); !errors.As(err, &wae) {
+		t.Fatalf("oversized slice: got %T, want *WarmAssignmentError", err)
+	} else if wae.Vertex != -1 || wae.Len != 11 || wae.N != 10 {
+		t.Fatalf("length-error fields %+v", wae)
+	}
+	if err := ValidateWarmAssignment([]int32{-1, 0, 3}, 10, 4); err != nil {
+		t.Fatalf("valid assignment rejected: %v", err)
+	}
+	// The library entry points surface the same typed error.
+	g, _ := testGraph()
+	bad := make([]int32, g.N())
+	bad[0] = 99
+	if _, err := PartitionWarm(g, bad, Options{K: 2, Iterations: 20}); !errors.As(err, &wae) {
+		t.Fatalf("PartitionWarm: got %T (%v), want *WarmAssignmentError", err, err)
 	}
 }
 
