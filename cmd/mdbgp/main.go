@@ -19,6 +19,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -49,6 +50,7 @@ type config struct {
 	reorder    string
 	incGrad    bool
 	resync     int
+	tracePath  string // span-tree JSON destination ("" = tracing off, "-" = stderr)
 }
 
 func main() {
@@ -72,11 +74,49 @@ func main() {
 	flag.StringVar(&cfg.reorder, "reorder", "", "vertex reordering for the gradient kernels: "+strings.Join(mdbgp.ReorderNames(), ", ")+" (results are byte-identical either way)")
 	flag.BoolVar(&cfg.incGrad, "incgrad", false, "incremental gradient updates: scatter only moved-coordinate deltas between exact resyncs")
 	flag.IntVar(&cfg.resync, "resync", 0, "incremental-gradient exact-recompute period (0 = default 16; only with -incgrad)")
+	flag.StringVar(&cfg.tracePath, "trace", "", "write the solve's span tree (JSON) to this file, or - for stderr; also prints convergence telemetry")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "mdbgp: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// writeTrace prints the solve's convergence telemetry to stderr and writes
+// the full span tree as indented JSON to path ("-" = stderr).
+func writeTrace(path string, v *mdbgp.SpanView) error {
+	gdRuns, maxTo90 := 0, 0.0
+	minLoc := -1.0
+	v.Walk(func(sp *mdbgp.SpanView) {
+		if sp.Name != "gd" {
+			return
+		}
+		final, ok := sp.Float("final_locality")
+		if !ok {
+			return
+		}
+		gdRuns++
+		if to90, _ := sp.Float("iters_to_90"); to90 > maxTo90 {
+			maxTo90 = to90
+		}
+		if minLoc < 0 || final < minLoc {
+			minLoc = final
+		}
+	})
+	if gdRuns > 0 {
+		fmt.Fprintf(os.Stderr, "convergence: %d gd runs, worst iters-to-90%%: %d, weakest final locality: %.4f\n",
+			gdRuns, int(maxTo90), minLoc)
+	}
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err = os.Stderr.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
 }
 
 // open maps "-" to stdin and anything else to the named file; the returned
@@ -166,6 +206,11 @@ func run(cfg config) error {
 		WarmAssignment: warm, WarmIterations: cfg.warmIters,
 		Reorder: cfg.reorder, IncrementalGradient: cfg.incGrad, ResyncEvery: cfg.resync,
 	}
+	var trace *mdbgp.Span
+	if cfg.tracePath != "" {
+		trace = mdbgp.NewTrace("solve")
+		opts.Observer = trace
+	}
 	res, err := mdbgp.Partition(g, opts)
 	if err != nil {
 		return err
@@ -179,6 +224,12 @@ func run(cfg config) error {
 	fmt.Fprintf(os.Stderr, "edge locality: %.2f%%  cut edges: %d\n", 100*res.EdgeLocality, res.CutEdges)
 	for j, im := range res.Imbalances {
 		fmt.Fprintf(os.Stderr, "imbalance dim %d (%s): %.3f%%\n", j, strings.Split(dimNames, ",")[j], 100*im)
+	}
+	if trace != nil {
+		trace.End()
+		if err := writeTrace(cfg.tracePath, trace.Snapshot()); err != nil {
+			return err
+		}
 	}
 
 	var writer *os.File

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -73,6 +74,41 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if mdbgp.EdgeLocality(g, asgn) < 0.3 {
 		t.Fatalf("CLI output locality %.3f", mdbgp.EdgeLocality(g, asgn))
+	}
+}
+
+// TestRunTrace: -trace writes the solve's span tree as JSON, populated down
+// to the per-bisection gd spans with convergence attributes.
+func TestRunTrace(t *testing.T) {
+	dir := t.TempDir()
+	in, _ := writeTestGraph(t, dir)
+	out := filepath.Join(dir, "parts.txt")
+	tracePath := filepath.Join(dir, "trace.json")
+	if err := run(config{in: in, out: out, k: 4, eps: 0.05, dims: "vertices,edges", iters: 40, seed: 42, tracePath: tracePath}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v mdbgp.SpanView
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if v.Name != "solve" || v.CountSpans() < 4 {
+		t.Fatalf("trace is not a populated span tree: %s", v.Structure())
+	}
+	gd := 0
+	v.Walk(func(sp *mdbgp.SpanView) {
+		if sp.Name == "gd" {
+			gd++
+			if _, ok := sp.Float("final_locality"); !ok {
+				t.Fatal("gd span lacks final_locality")
+			}
+		}
+	})
+	if gd < 3 {
+		t.Fatalf("k=4 trace has %d gd spans, want >= 3", gd)
 	}
 }
 

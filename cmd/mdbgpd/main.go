@@ -14,12 +14,23 @@
 //	curl -s localhost:8080/v1/jobs/j1-ab12cd34
 //	# fetch the assignment ("vertex part" lines)
 //	curl -s localhost:8080/v1/jobs/j1-ab12cd34/assignment
+//	# fetch the request's span tree: ingest, queue wait, and the solve's
+//	# internal phases with per-bisection convergence telemetry
+//	curl -s localhost:8080/v1/jobs/j1-ab12cd34/trace
 //	# or block until solved (bounded by -maxwait)
 //	curl -s --data-binary @graph.txt 'localhost:8080/v1/partition?k=8&wait=true'
 //	# incremental: submit an edge delta against a previous job; the solve
 //	# warm-starts from the cached base solution
 //	printf '+12 99\n-4 7\n' | curl -s --data-binary @- \
 //	  'localhost:8080/v1/partition?k=8&seed=42&base=j1-ab12cd34&wait=true'
+//
+// Observability: structured logs go to stderr (-log-format json for
+// machine-readable records, -slow to tune the slow-solve warning threshold),
+// GET /metrics serves Prometheus counters, gauges and latency histograms,
+// GET /readyz flips to 503 during the -drain-grace window after SIGTERM so
+// load balancers stop routing before the listener closes, and -pprof-addr
+// exposes net/http/pprof on a separate listener (off by default — profiling
+// endpoints do not belong on the serving port).
 package main
 
 import (
@@ -27,9 +38,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -41,7 +53,7 @@ import (
 )
 
 func main() {
-	cfg, addr, err := parseFlags(os.Args[1:])
+	d, err := parseFlags(os.Args[1:])
 	if errors.Is(err, flag.ErrHelp) {
 		return // usage already printed
 	}
@@ -49,14 +61,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mdbgpd: %v\n", err)
 		os.Exit(2)
 	}
-	if err := run(cfg, addr, nil); err != nil {
+	if err := run(d, nil); err != nil {
 		fmt.Fprintf(os.Stderr, "mdbgpd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-// parseFlags maps the command line onto a server.Config plus listen address.
-func parseFlags(args []string) (server.Config, string, error) {
+// daemonOptions is the parsed command line: the server configuration plus
+// the process-level knobs (listeners, logging, drain behavior) that live
+// outside server.Config.
+type daemonOptions struct {
+	cfg        server.Config
+	addr       string
+	pprofAddr  string        // "" = pprof off
+	logFormat  string        // "text" or "json"
+	drainGrace time.Duration // how long /readyz says 503 before Shutdown starts
+}
+
+// parseFlags maps the command line onto daemonOptions.
+func parseFlags(args []string) (daemonOptions, error) {
 	fs := flag.NewFlagSet("mdbgpd", flag.ContinueOnError)
 	var (
 		addr        = fs.String("addr", ":8080", "listen address")
@@ -72,68 +95,121 @@ func parseFlags(args []string) (server.Config, string, error) {
 		maxChurn    = fs.Float64("max-churn", 0.25, "edge-churn fraction above which delta solves go cold instead of warm-starting (0 never warm-starts)")
 		maxChain    = fs.Int("max-chain-depth", 8, "warm delta-of-delta hops allowed before forcing a cold re-solve (<=0 lifts the limit)")
 		reorderDef  = fs.String("reorder", "", "default vertex reordering for the gradient kernels ("+strings.Join(mdbgp.ReorderNames(), ", ")+"); per-request ?reorder= overrides")
+		pprofAddr   = fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off)")
+		logFormat   = fs.String("log-format", "text", "structured log encoding: text or json")
+		slow        = fs.Duration("slow", 0, "solve duration above which a job is logged at Warn (0 = 2s default, negative disables)")
+		noTrace     = fs.Bool("no-trace", false, "disable per-request span traces (and GET /v1/jobs/{id}/trace)")
+		drainGrace  = fs.Duration("drain-grace", 0, "after SIGTERM, keep serving with /readyz=503 this long before closing the listener")
 	)
 	if err := fs.Parse(args); err != nil {
-		return server.Config{}, "", err
+		return daemonOptions{}, err
 	}
 	if fs.NArg() > 0 {
-		return server.Config{}, "", fmt.Errorf("unexpected arguments: %v", fs.Args())
+		return daemonOptions{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 	if err := mdbgp.ValidateReorder(*reorderDef); err != nil {
-		return server.Config{}, "", err
+		return daemonOptions{}, err
 	}
-	cfg := server.Config{
-		Workers:           *workers,
-		QueueDepth:        *queue,
-		CacheEntries:      *cache,
-		MaxBodyBytes:      *maxBodyMB << 20,
-		MaxVertexID:       *maxVertexID,
-		Parallelism:       *par,
-		RetainJobs:        *retain,
-		MaxWait:           *maxWait,
-		GraphCacheEntries: *graphCache,
-		MaxChurn:          *maxChurn,
-		MaxChainDepth:     *maxChain,
-		Reorder:           *reorderDef,
+	if *logFormat != "text" && *logFormat != "json" {
+		return daemonOptions{}, fmt.Errorf("bad -log-format %q (want text or json)", *logFormat)
+	}
+	d := daemonOptions{
+		cfg: server.Config{
+			Workers:           *workers,
+			QueueDepth:        *queue,
+			CacheEntries:      *cache,
+			MaxBodyBytes:      *maxBodyMB << 20,
+			MaxVertexID:       *maxVertexID,
+			Parallelism:       *par,
+			RetainJobs:        *retain,
+			MaxWait:           *maxWait,
+			GraphCacheEntries: *graphCache,
+			MaxChurn:          *maxChurn,
+			MaxChainDepth:     *maxChain,
+			Reorder:           *reorderDef,
+			SlowRequest:       *slow,
+			DisableTracing:    *noTrace,
+		},
+		addr:       *addr,
+		pprofAddr:  *pprofAddr,
+		logFormat:  *logFormat,
+		drainGrace: *drainGrace,
 	}
 	if *maxChurn == 0 {
 		// The Config zero value means "use the 25% default"; an operator
 		// passing an explicit 0 means "never warm-start", which the config
 		// spells as negative.
-		cfg.MaxChurn = -1
+		d.cfg.MaxChurn = -1
 	}
 	if *maxChain <= 0 {
 		// Same zero-value dance: an explicit 0 (or below) lifts the depth
 		// limit, which the config spells as negative.
-		cfg.MaxChainDepth = -1
+		d.cfg.MaxChainDepth = -1
 	}
-	return cfg, *addr, nil
+	return d, nil
+}
+
+// newLogger builds the daemon's structured logger on stderr.
+func newLogger(format string) *slog.Logger {
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
 }
 
 // run boots the service and blocks until SIGINT/SIGTERM or a serve error.
 // ready, when non-nil, receives the bound address once listening — the e2e
 // harness uses it to drive a daemon bound to port 0.
-func run(cfg server.Config, addr string, ready chan<- string) error {
-	svc := server.New(cfg)
+func run(d daemonOptions, ready chan<- string) error {
+	logger := newLogger(d.logFormat)
+	d.cfg.Logger = logger
+	svc := server.New(d.cfg)
 	defer svc.Close()
-	httpSrv := &http.Server{Addr: addr, Handler: svc}
+	httpSrv := &http.Server{Addr: d.addr, Handler: svc}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", d.addr)
 	if err != nil {
 		return err
 	}
+	if d.pprofAddr != "" {
+		// pprof gets its own mux and listener: the serving mux must never
+		// grow profiling endpoints, and an operator can firewall the two
+		// ports independently.
+		pln, err := net.Listen("tcp", d.pprofAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		defer pln.Close()
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go http.Serve(pln, pmux)
+		logger.Info("pprof serving", slog.String("addr", pln.Addr().String()))
+	}
+	// The signal handler must be registered before readiness is announced:
+	// a supervisor (or the e2e harness) may react to "ready" with an
+	// immediate SIGTERM, and an unhandled one kills the process outright.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
 	eff := svc.Config()
-	log.Printf("mdbgpd: serving on %s (workers=%d queue=%d cache=%d)", ln.Addr(), eff.Workers, eff.QueueDepth, eff.CacheEntries)
+	logger.Info("serving",
+		slog.String("addr", ln.Addr().String()),
+		slog.Int("workers", eff.Workers),
+		slog.Int("queue", eff.QueueDepth),
+		slog.Int("cache", eff.CacheEntries),
+		slog.Bool("tracing", !eff.DisableTracing))
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
-
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	defer signal.Stop(sig)
 	select {
 	case err := <-errc:
 		if errors.Is(err, http.ErrServerClosed) {
@@ -141,7 +217,14 @@ func run(cfg server.Config, addr string, ready chan<- string) error {
 		}
 		return err
 	case s := <-sig:
-		log.Printf("mdbgpd: %v, shutting down", s)
+		// Graceful drain: readiness flips first so load balancers stop
+		// routing, the grace window lets them act on it, then Shutdown stops
+		// accepting and waits for active handlers.
+		logger.Info("shutting down", slog.String("signal", s.String()), slog.Duration("drain_grace", d.drainGrace))
+		svc.SetDraining(true)
+		if d.drainGrace > 0 {
+			time.Sleep(d.drainGrace)
+		}
 		// The drain must outlast the longest a handler can legitimately
 		// block: a ?wait=true submission waits up to MaxWait.
 		ctx, cancel := context.WithTimeout(context.Background(), svc.Config().MaxWait+5*time.Second)

@@ -7,6 +7,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"syscall"
@@ -14,47 +15,57 @@ import (
 	"time"
 
 	"mdbgp"
+	"mdbgp/internal/obs"
 	"mdbgp/internal/server"
 )
 
 func TestParseFlagsDefaults(t *testing.T) {
-	cfg, addr, err := parseFlags(nil)
+	d, err := parseFlags(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if addr != ":8080" {
-		t.Fatalf("addr = %q, want :8080", addr)
+	if d.addr != ":8080" {
+		t.Fatalf("addr = %q, want :8080", d.addr)
 	}
 	want := server.Config{
 		Workers: 2, QueueDepth: 64, CacheEntries: 256,
 		MaxBodyBytes: 256 << 20, RetainJobs: 1024, MaxWait: 30 * time.Second,
 		GraphCacheEntries: 64, MaxChurn: 0.25, MaxChainDepth: 8,
 	}
-	if cfg != want {
-		t.Fatalf("cfg = %+v, want %+v", cfg, want)
+	if d.cfg != want {
+		t.Fatalf("cfg = %+v, want %+v", d.cfg, want)
+	}
+	if d.pprofAddr != "" || d.logFormat != "text" || d.drainGrace != 0 {
+		t.Fatalf("daemon defaults = %+v, want pprof off, text logs, no drain grace", d)
 	}
 }
 
 func TestParseFlagsOverrides(t *testing.T) {
-	cfg, addr, err := parseFlags([]string{
+	d, err := parseFlags([]string{
 		"-addr", "127.0.0.1:9999", "-workers", "8", "-queue", "16",
 		"-cache", "-1", "-max-body-mb", "1", "-max-vertex-id", "1000",
 		"-p", "4", "-retain", "10", "-maxwait", "5s",
 		"-graph-cache", "7", "-max-churn", "0.1", "-max-chain-depth", "3",
+		"-pprof-addr", "127.0.0.1:6060", "-log-format", "json",
+		"-slow", "1s", "-no-trace", "-drain-grace", "250ms",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if addr != "127.0.0.1:9999" {
-		t.Fatalf("addr = %q", addr)
+	if d.addr != "127.0.0.1:9999" {
+		t.Fatalf("addr = %q", d.addr)
 	}
 	want := server.Config{
 		Workers: 8, QueueDepth: 16, CacheEntries: -1, MaxBodyBytes: 1 << 20,
 		MaxVertexID: 1000, Parallelism: 4, RetainJobs: 10, MaxWait: 5 * time.Second,
 		GraphCacheEntries: 7, MaxChurn: 0.1, MaxChainDepth: 3,
+		SlowRequest: time.Second, DisableTracing: true,
 	}
-	if cfg != want {
-		t.Fatalf("cfg = %+v, want %+v", cfg, want)
+	if d.cfg != want {
+		t.Fatalf("cfg = %+v, want %+v", d.cfg, want)
+	}
+	if d.pprofAddr != "127.0.0.1:6060" || d.logFormat != "json" || d.drainGrace != 250*time.Millisecond {
+		t.Fatalf("daemon options = %+v", d)
 	}
 }
 
@@ -62,12 +73,12 @@ func TestParseFlagsZeroChurnMeansNeverWarm(t *testing.T) {
 	// An explicit -max-churn 0 means "never warm-start"; the Config zero
 	// value would silently become the 25% default, so parseFlags maps it to
 	// the config's negative spelling.
-	cfg, _, err := parseFlags([]string{"-max-churn", "0"})
+	d, err := parseFlags([]string{"-max-churn", "0"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.MaxChurn >= 0 {
-		t.Fatalf("MaxChurn = %g, want negative (force cold)", cfg.MaxChurn)
+	if d.cfg.MaxChurn >= 0 {
+		t.Fatalf("MaxChurn = %g, want negative (force cold)", d.cfg.MaxChurn)
 	}
 }
 
@@ -75,27 +86,30 @@ func TestParseFlagsZeroChainDepthLiftsLimit(t *testing.T) {
 	// An explicit -max-chain-depth 0 lifts the warm-chain depth limit; the
 	// Config zero value would silently become the default of 8, so
 	// parseFlags maps it to the config's negative spelling.
-	cfg, _, err := parseFlags([]string{"-max-chain-depth", "0"})
+	d, err := parseFlags([]string{"-max-chain-depth", "0"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.MaxChainDepth >= 0 {
-		t.Fatalf("MaxChainDepth = %d, want negative (unlimited)", cfg.MaxChainDepth)
+	if d.cfg.MaxChainDepth >= 0 {
+		t.Fatalf("MaxChainDepth = %d, want negative (unlimited)", d.cfg.MaxChainDepth)
 	}
 }
 
 func TestParseFlagsErrors(t *testing.T) {
-	if _, _, err := parseFlags([]string{"-bogus"}); err == nil {
+	if _, err := parseFlags([]string{"-bogus"}); err == nil {
 		t.Fatal("unknown flag accepted")
 	}
-	if _, _, err := parseFlags([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+	if _, err := parseFlags([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
 		t.Fatalf("-h: err = %v, want flag.ErrHelp (main exits 0 on it)", err)
 	}
-	if _, _, err := parseFlags([]string{"stray-positional"}); err == nil {
+	if _, err := parseFlags([]string{"stray-positional"}); err == nil {
 		t.Fatal("positional argument accepted")
 	}
-	if _, _, err := parseFlags([]string{"-workers", "x"}); err == nil {
+	if _, err := parseFlags([]string{"-workers", "x"}); err == nil {
 		t.Fatal("non-integer flag value accepted")
+	}
+	if _, err := parseFlags([]string{"-log-format", "xml"}); err == nil {
+		t.Fatal("bad log format accepted")
 	}
 }
 
@@ -106,7 +120,7 @@ func bootDaemon(t *testing.T, cfg server.Config) (string, chan error) {
 	t.Helper()
 	ready := make(chan string, 1)
 	errc := make(chan error, 1)
-	go func() { errc <- run(cfg, "127.0.0.1:0", ready) }()
+	go func() { errc <- runDaemon(cfg, "127.0.0.1:0", ready) }()
 	select {
 	case addr := <-ready:
 		return "http://" + addr, errc
@@ -116,6 +130,12 @@ func bootDaemon(t *testing.T, cfg server.Config) (string, chan error) {
 		t.Fatal("daemon did not become ready")
 	}
 	return "", nil
+}
+
+// runDaemon adapts the test and benchmark harness's (cfg, addr) convention
+// onto run's daemonOptions.
+func runDaemon(cfg server.Config, addr string, ready chan<- string) error {
+	return run(daemonOptions{cfg: cfg, addr: addr, logFormat: "text"}, ready)
 }
 
 // selfTerm delivers SIGTERM to the test process; the daemon's signal
@@ -188,8 +208,41 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Fatal("daemon cache hit returned different bytes")
 	}
 
-	if code, b := fetch("/metrics"); code != http.StatusOK || !bytes.Contains(b, []byte("mdbgpd_cache_hits_total 1")) {
-		t.Fatalf("metrics after hit: %d\n%s", code, b)
+	code, page := fetch("/metrics")
+	if code != http.StatusOK || !bytes.Contains(page, []byte("mdbgpd_cache_hits_total 1")) {
+		t.Fatalf("metrics after hit: %d\n%s", code, page)
+	}
+	// The live scrape must pass the exposition linter and carry the latency
+	// histograms — this is the serving-e2e CI gate's in-process half.
+	if errs := obs.LintExposition(string(page)); len(errs) > 0 {
+		t.Fatalf("live /metrics page fails exposition lint: %v", errs)
+	}
+	for _, series := range []string{
+		`mdbgpd_solve_duration_seconds_bucket{engine="gd",le="+Inf"}`,
+		"mdbgpd_queue_wait_seconds_count",
+		"mdbgpd_ingest_duration_seconds_count",
+	} {
+		if !bytes.Contains(page, []byte(series)) {
+			t.Fatalf("metrics page lacks %q", series)
+		}
+	}
+
+	// The solved job's trace must be a non-empty span tree rooted at the
+	// request span.
+	code, traceBody := fetch("/v1/jobs/" + id + "/trace")
+	if code != http.StatusOK {
+		t.Fatalf("trace: %d %s", code, traceBody)
+	}
+	var span obs.SpanView
+	if err := json.Unmarshal(traceBody, &span); err != nil {
+		t.Fatalf("decoding trace: %v", err)
+	}
+	if span.Name != "request" || span.CountSpans() < 4 {
+		t.Fatalf("trace is not a populated span tree: %s", span.Structure())
+	}
+
+	if code, b := fetch("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz: %d %s", code, b)
 	}
 
 	// Graceful shutdown on SIGTERM.
@@ -203,6 +256,118 @@ func TestDaemonEndToEnd(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("daemon did not shut down on SIGTERM")
+	}
+}
+
+// TestDaemonPprofEndpoint: -pprof-addr serves net/http/pprof on its own
+// listener, and the profiling endpoints never leak onto the serving mux.
+func TestDaemonPprofEndpoint(t *testing.T) {
+	// Reserve an ephemeral port for pprof; the tiny close-then-rebind window
+	// is the standard test trade-off for a listener the daemon must open
+	// itself.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pprofAddr := ln.Addr().String()
+	ln.Close()
+
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(daemonOptions{
+			cfg: server.Config{Workers: 1}, addr: "127.0.0.1:0",
+			pprofAddr: pprofAddr, logFormat: "text",
+		}, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("daemon failed to boot: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not become ready")
+	}
+
+	resp, err := http.Get("http://" + pprofAddr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("pprof endpoint unreachable: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline: %d", resp.StatusCode)
+	}
+	// The serving port must NOT expose pprof.
+	resp, err = http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof leaked onto the serving mux")
+	}
+
+	if err := selfTerm(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestDaemonDrainGrace: after SIGTERM the daemon keeps serving during the
+// drain-grace window with /readyz at 503 (so load balancers pull it) while
+// /healthz stays 200 (so supervisors do not kill it mid-drain).
+func TestDaemonDrainGrace(t *testing.T) {
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(daemonOptions{
+			cfg: server.Config{Workers: 1}, addr: "127.0.0.1:0",
+			logFormat: "text", drainGrace: 600 * time.Millisecond,
+		}, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("daemon failed to boot: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not become ready")
+	}
+
+	if err := selfTerm(); err != nil {
+		t.Fatal(err)
+	}
+	// Inside the grace window the listener is still up; readiness must say
+	// 503 and liveness 200.
+	time.Sleep(150 * time.Millisecond)
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatalf("readyz during drain grace: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain = %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz during drain grace: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz during drain = %d, want 200", resp.StatusCode)
+	}
+
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down after the drain grace")
 	}
 }
 

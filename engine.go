@@ -158,6 +158,7 @@ func gdCoreOptions(g *Graph, opts Options) (core.Options, error) {
 	opt.Reorder = m
 	opt.IncrementalGradient = opts.IncrementalGradient
 	opt.ResyncEvery = opts.ResyncEvery
+	opt.Span = opts.Observer
 	if opts.Projection != "" {
 		m, err := project.ParseMethod(opts.Projection)
 		if err != nil {

@@ -20,6 +20,7 @@ import (
 
 	"mdbgp/internal/coarsen"
 	"mdbgp/internal/graph"
+	"mdbgp/internal/obs"
 	"mdbgp/internal/partition"
 	"mdbgp/internal/project"
 	"mdbgp/internal/reorder"
@@ -87,8 +88,18 @@ type Options struct {
 	// unchanged.
 	WarmParts []int32
 	// Trace, when set, receives per-iteration statistics (costs one extra
-	// SpMV per iteration).
+	// SpMV per iteration). PartitionK multiplexes the hook across the
+	// recursive bisection tree — calls are serialized, and IterStats.Path
+	// identifies the bisection reporting.
 	Trace func(IterStats)
+	// Span, when set, is the parent observability span: the run records a
+	// "gd" child span with convergence telemetry (sampled locality
+	// trajectory, iterations to 90% of final locality) and BisectWeighted a
+	// "round" span for rounding + repair. Unlike Trace, span telemetry is
+	// sampled at a fixed iteration stride and adds O(n) per sample, cheap
+	// enough to leave on for every served request. Span structure and
+	// attributes are deterministic for a fixed Seed at any Workers.
+	Span *obs.Span
 	// Reorder selects a locality-improving vertex ordering for the gradient
 	// SpMV (internal/reorder): degree-sorted, BFS, or reverse Cuthill–McKee.
 	// The ordering is strictly a kernel-layout detail — per-row sums keep
@@ -162,6 +173,11 @@ const incrementalWarmup = 3
 // IterStats reports the state of GD after one iteration, feeding the
 // convergence plots of Figures 8–10.
 type IterStats struct {
+	// Path locates the reporting bisection inside a recursive k-way solve:
+	// "" for the root (or a direct 2-way run), then one digit per level —
+	// "0" for the left child, "1" for the right, "01" for the left child's
+	// right child, and so on.
+	Path string
 	Iter int
 	// ExpectedLocality is the expected fraction of uncut edges under
 	// randomized rounding of the current fractional x.
@@ -218,11 +234,14 @@ func BisectWeighted(wg *coarsen.Graph, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	roundSpan := opt.Span.Start("round")
 	side := roundSides(x, fixed, rng)
 	moves := 0
 	if opt.RepairBalance {
 		moves = repairBalance(wg, side, x, targets, halves, totals, rng)
 	}
+	roundSpan.SetAttr("repair_moves", moves)
+	roundSpan.End()
 	asgn := partition.NewAssignment(n, 2)
 	for i, sd := range side {
 		if sd < 0 {
@@ -256,6 +275,15 @@ func optimize(wg *coarsen.Graph, opt Options, rng *rand.Rand) (xOut []float64, f
 	pool := vecmath.NewPool(opt.Workers)
 	if opt.Projection.Workers == 0 {
 		opt.Projection.Workers = opt.Workers
+	}
+
+	gdSpan := opt.Span.Start("gd")
+	defer gdSpan.End()
+	var conv *convSampler
+	if gdSpan != nil {
+		gdSpan.SetAttr("n", n)
+		gdSpan.SetAttr("arcs", len(wg.Adj))
+		conv = newConvSampler(wg, opt.Iterations, pool)
 	}
 
 	d := len(ws)
@@ -422,6 +450,7 @@ func optimize(wg *coarsen.Graph, opt Options, rng *rand.Rand) (xOut []float64, f
 				gradValid = false
 			}
 		}
+		gradIsNoise := false
 		maskedNormSq := func() float64 {
 			return pool.ReduceSum(n, func(lo, hi int) float64 {
 				s := 0.0
@@ -433,13 +462,36 @@ func optimize(wg *coarsen.Graph, opt Options, rng *rand.Rand) (xOut []float64, f
 				return s
 			})
 		}
-		gnorm := math.Sqrt(maskedNormSq())
+		var gnorm float64
+		if conv != nil && conv.wantSample(t) {
+			// Sampling iteration: fold the trajectory's Σ z·grad into the
+			// norm reduction so the sample costs one extra vector read, and
+			// take it before the saddle fallback below can overwrite grad.
+			// The norm partials accumulate in the same order as the unfused
+			// reduction, so gnorm is bit-identical with tracing off.
+			normSq, freeQuad := pool.ReduceSum2(n, func(lo, hi int) (float64, float64) {
+				s, q := 0.0, 0.0
+				for i := lo; i < hi; i++ {
+					if !fixed[i] {
+						g := grad[i]
+						s += g * g
+						q += z[i] * g
+					}
+				}
+				return s, q
+			})
+			conv.record(t, freeQuad)
+			gnorm = math.Sqrt(normSq)
+		} else {
+			gnorm = math.Sqrt(maskedNormSq())
+		}
 		if gnorm < 1e-12 {
 			// Saddle/flat region: fall back to a random direction so the
 			// iteration still makes progress (noise escape, §2.1 Step 1).
 			// grad is no longer A_w·z after this, so the incremental path
 			// must recompute from scratch next iteration.
 			gradValid = false
+			gradIsNoise = true
 			for i := 0; i < n; i++ {
 				if !fixed[i] {
 					grad[i] = rng.NormFloat64()
@@ -545,6 +597,16 @@ func optimize(wg *coarsen.Graph, opt Options, rng *rand.Rand) (xOut []float64, f
 						fixedWeight[j] += ws[j][i] * snapped
 						freeWeight[j] -= ws[j][i]
 					}
+					if conv != nil {
+						// After the saddle fallback grad holds noise, not row
+						// sums; freezing 0 is the honest stand-in (the true
+						// sum is ~0 in that flat region anyway).
+						gi := grad[i]
+						if gradIsNoise {
+							gi = 0
+						}
+						conv.onFix(gi, snapped)
+					}
 				}
 			}
 		}
@@ -561,6 +623,11 @@ func optimize(wg *coarsen.Graph, opt Options, rng *rand.Rand) (xOut []float64, f
 		}
 	}
 
+	if gdSpan != nil {
+		gdSpan.SetAttr("iters", itersRun)
+		gdSpan.SetAttr("fixed", fixedCount)
+		conv.annotate(gdSpan, x)
+	}
 	return x, fixed, itersRun, targets, halves, totals, nil
 }
 

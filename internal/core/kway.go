@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"mdbgp/internal/graph"
+	"mdbgp/internal/obs"
 	"mdbgp/internal/partition"
 )
 
@@ -51,7 +52,23 @@ func PartitionKWith(g *graph.Graph, ws [][]float64, k int, opt Options, bisect B
 	}
 	levels := int(math.Ceil(math.Log2(float64(k))))
 	opt.Epsilon /= float64(levels)
-	opt.Trace = nil // traces are only meaningful for a single bisection
+	// Multiplex a caller's per-iteration Trace across the bisection tree
+	// instead of dropping it: concurrent sibling bisections share the hook,
+	// so calls are serialized here, and each bisection tags its IterStats
+	// with its recursion path (recurse installs the tagging wrapper).
+	if tr := opt.Trace; tr != nil {
+		var mu sync.Mutex
+		opt.Trace = func(st IterStats) {
+			mu.Lock()
+			defer mu.Unlock()
+			tr(st)
+		}
+	}
+	// The root bisection span is created here; recurse creates each child's
+	// span before forking the branch, so the span tree's structure depends
+	// only on the recursion shape, never on the goroutine schedule.
+	rootSpan := opt.Span.Start("bisect")
+	opt.Span = nil
 
 	ids := make([]int32, n)
 	for i := range ids {
@@ -71,24 +88,40 @@ func PartitionKWith(g *graph.Graph, ws [][]float64, k int, opt Options, bisect B
 		// at most `workers` concurrent branches.
 		sem = make(chan struct{}, opt.Workers-1)
 	}
-	if err := recurse(g, ws, ids, k, 0, opt, asgn, sem, bisect); err != nil {
+	if err := recurse(g, ws, ids, k, 0, opt, asgn, sem, bisect, rootSpan, ""); err != nil {
 		return nil, err
 	}
 	return asgn, nil
 }
 
 // recurse bisects sub (whose local vertex i is global ids[i]) into k parts
-// labeled base..base+k−1 in asgn.
-func recurse(sub *graph.Graph, ws [][]float64, ids []int32, k, base int, opt Options, asgn *partition.Assignment, sem chan struct{}, bisect BisectFunc) error {
+// labeled base..base+k−1 in asgn. sp is this subtree's span (created by the
+// caller, nil when untraced) and path its position in the bisection tree
+// ("" root, then "0"/"1" appended per level).
+func recurse(sub *graph.Graph, ws [][]float64, ids []int32, k, base int, opt Options, asgn *partition.Assignment, sem chan struct{}, bisect BisectFunc, sp *obs.Span, path string) error {
 	if k == 1 {
 		for _, id := range ids {
 			asgn.Parts[id] = int32(base)
 		}
 		return nil
 	}
+	defer sp.End()
 	k1 := (k + 1) / 2
 	o := opt
 	o.TargetFraction = float64(k1) / float64(k)
+	o.Span = sp
+	if sp != nil {
+		sp.SetAttr("path", path)
+		sp.SetAttr("k", k)
+		sp.SetAttr("n", sub.N())
+	}
+	if tr := opt.Trace; tr != nil {
+		p := path
+		o.Trace = func(st IterStats) {
+			st.Path = p
+			tr(st)
+		}
+	}
 	if opt.WarmParts != nil {
 		// The bisection consumes the prior assignment in fractional form;
 		// children receive the restricted integral slice below.
@@ -133,6 +166,17 @@ func recurse(sub *graph.Graph, ws [][]float64, ids []int32, k, base int, opt Opt
 		oLeft.WarmParts = restrictParts(opt.WarmParts, leftLocal)
 		oRight.WarmParts = restrictParts(opt.WarmParts, rightLocal)
 	}
+	// Child spans are created here, in the parent's goroutine and in fixed
+	// left-then-right order, BEFORE the left branch may fork: sibling order
+	// in the trace is part of the determinism contract. A k==1 child runs no
+	// bisection and gets no span.
+	var spLeft, spRight *obs.Span
+	if k1 > 1 {
+		spLeft = sp.Start("bisect")
+	}
+	if k-k1 > 1 {
+		spRight = sp.Start("bisect")
+	}
 
 	// The two branches touch disjoint vertices (and disjoint asgn entries)
 	// and carry independently derived seeds, so running them concurrently
@@ -152,9 +196,9 @@ func recurse(sub *graph.Graph, ws [][]float64, ids []int32, k, base int, opt Opt
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
-				errLeft = recurse(leftG, leftWs, leftIDs, k1, base, oLeft, asgn, sem, bisect)
+				errLeft = recurse(leftG, leftWs, leftIDs, k1, base, oLeft, asgn, sem, bisect, spLeft, path+"0")
 			}()
-			errRight := recurse(rightG, rightWs, rightIDs, k-k1, base+k1, oRight, asgn, sem, bisect)
+			errRight := recurse(rightG, rightWs, rightIDs, k-k1, base+k1, oRight, asgn, sem, bisect, spRight, path+"1")
 			wg.Wait()
 			if errLeft != nil {
 				return errLeft
@@ -163,10 +207,10 @@ func recurse(sub *graph.Graph, ws [][]float64, ids []int32, k, base int, opt Opt
 		default:
 		}
 	}
-	if err := recurse(leftG, leftWs, leftIDs, k1, base, oLeft, asgn, sem, bisect); err != nil {
+	if err := recurse(leftG, leftWs, leftIDs, k1, base, oLeft, asgn, sem, bisect, spLeft, path+"0"); err != nil {
 		return err
 	}
-	return recurse(rightG, rightWs, rightIDs, k-k1, base+k1, oRight, asgn, sem, bisect)
+	return recurse(rightG, rightWs, rightIDs, k-k1, base+k1, oRight, asgn, sem, bisect, spRight, path+"1")
 }
 
 // WarmPartDamp scales the ±1 encoding of a prior assignment before it seeds

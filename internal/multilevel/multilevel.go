@@ -31,6 +31,7 @@ import (
 	"mdbgp/internal/coarsen"
 	"mdbgp/internal/core"
 	"mdbgp/internal/graph"
+	"mdbgp/internal/obs"
 	"mdbgp/internal/partition"
 	"mdbgp/internal/vecmath"
 )
@@ -134,6 +135,7 @@ func Bisect(g *graph.Graph, ws [][]float64, opt Options) (*core.Result, error) {
 	// The coarsening stream is independent of the GD streams so hierarchy
 	// shape never shifts the solver's randomness.
 	rng := rand.New(rand.NewSource(opt.GD.Seed*1000003 + 77))
+	coarsenSpan := opt.GD.Span.Start("coarsen")
 	levels, cmaps := coarsen.Hierarchy(wg0, coarsen.HierarchyOptions{
 		CoarsenTo: opt.CoarsenTo,
 		MaxLevels: opt.MaxLevels,
@@ -145,6 +147,11 @@ func Bisect(g *graph.Graph, ws [][]float64, opt Options) (*core.Result, error) {
 		// throw it away.
 		EdgeStallRatio: 0.9,
 	}, rng, pool)
+	if coarsenSpan != nil {
+		coarsenSpan.SetAttr("levels", len(levels))
+		coarsenSpan.SetAttr("coarse_n", levels[len(levels)-1].N())
+		coarsenSpan.End()
+	}
 
 	// Coarsening only helps when contraction absorbs edge weight (clusters
 	// internalize their edges, which both shrinks the levels and hands the
@@ -161,7 +168,9 @@ func Bisect(g *graph.Graph, ws [][]float64, opt Options) (*core.Result, error) {
 	copt := opt.GD
 	copt.Iterations = opt.CoarsestIterations
 	copt.Seed = levelSeed(opt.GD.Seed, len(levels)-1)
+	copt.Span = levelSpan(opt.GD.Span, "coarse-solve", len(levels)-1, levels[len(levels)-1].N())
 	x, _, err := core.OptimizeWeighted(levels[len(levels)-1], copt)
+	copt.Span.End()
 	if err != nil {
 		return nil, err
 	}
@@ -170,7 +179,9 @@ func Bisect(g *graph.Graph, ws [][]float64, opt Options) (*core.Result, error) {
 	for li := len(levels) - 2; li >= 1; li-- {
 		ropt := refineOptions(opt, li)
 		ropt.WarmStart = dampInPlace(Prolongate(x, cmaps[li]))
+		ropt.Span = levelSpan(opt.GD.Span, "refine", li, levels[li].N())
 		x, _, err = core.OptimizeWeighted(levels[li], ropt)
+		ropt.Span.End()
 		if err != nil {
 			return nil, err
 		}
@@ -179,7 +190,20 @@ func Bisect(g *graph.Graph, ws [][]float64, opt Options) (*core.Result, error) {
 	// Finest level: refinement plus the usual rounding and balance repair.
 	ropt := refineOptions(opt, 0)
 	ropt.WarmStart = dampInPlace(Prolongate(x, cmaps[0]))
-	return core.BisectWeighted(wg0, ropt)
+	ropt.Span = levelSpan(opt.GD.Span, "refine", 0, wg0.N())
+	res, err := core.BisectWeighted(wg0, ropt)
+	ropt.Span.End()
+	return res, err
+}
+
+// levelSpan opens the span of one hierarchy level's solve (nil-safe).
+func levelSpan(parent *obs.Span, name string, level, n int) *obs.Span {
+	sp := parent.Start(name)
+	if sp != nil {
+		sp.SetAttr("level", level)
+		sp.SetAttr("n", n)
+	}
+	return sp
 }
 
 // refineOptions derives the GD options for refinement at level li (level 0

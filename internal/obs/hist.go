@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets are the default latency bucket upper bounds in seconds,
+// exponential from 1ms to 60s — wide enough to cover ingest of a 573k-edge
+// graph and a cold multilevel solve on the same scale.
+var DefBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram is a fixed-bucket latency histogram with lock-free observation:
+// per-bucket atomic counters plus an atomic nanosecond sum. Buckets are set
+// at construction and never change, matching Prometheus' fixed-bucket model.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds in seconds; implicit +Inf after
+	counts []atomic.Int64 // len(bounds)+1, last is the +Inf bucket
+	sumNS  atomic.Int64
+	total  atomic.Int64
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds (in
+// seconds). Pass nil for DefBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && s > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNS.Add(int64(d))
+	h.total.Add(1)
+}
+
+// HistSnapshot is a point-in-time copy of a histogram: per-bucket
+// (non-cumulative) counts aligned with Bounds, plus the +Inf bucket last.
+type HistSnapshot struct {
+	Bounds []float64
+	Counts []int64 // len(Bounds)+1
+	SumSec float64
+	Count  int64
+}
+
+// Snapshot copies the current counters. Individual loads are atomic; the
+// snapshot as a whole is only as consistent as concurrent Observe calls
+// allow, which is the standard Prometheus client behavior.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		SumSec: float64(h.sumNS.Load()) / 1e9,
+		Count:  h.total.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// WritePromHistogram renders one snapshot in Prometheus text exposition
+// format: cumulative `_bucket{...,le=...}` series, `_sum` and `_count`.
+// labels is a pre-rendered, sorted label list without braces (e.g.
+// `engine="gd"`), or "" for an unlabeled histogram; the `le` label is
+// appended last, which keeps the label set sorted for every label name that
+// precedes "le" alphabetically (the daemon only uses "engine").
+func WritePromHistogram(b *strings.Builder, name, labels string, s HistSnapshot) {
+	cum := int64(0)
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		writeBucket(b, name, labels, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+	}
+	cum += s.Counts[len(s.Bounds)]
+	writeBucket(b, name, labels, "+Inf", cum)
+	brace := ""
+	if labels != "" {
+		brace = "{" + labels + "}"
+	}
+	fmt.Fprintf(b, "%s_sum%s %g\n", name, brace, s.SumSec)
+	fmt.Fprintf(b, "%s_count%s %d\n", name, brace, s.Count)
+}
+
+func writeBucket(b *strings.Builder, name, labels, le string, cum int64) {
+	if labels != "" {
+		fmt.Fprintf(b, "%s_bucket{%s,le=%q} %d\n", name, labels, le, cum)
+	} else {
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, le, cum)
+	}
+}

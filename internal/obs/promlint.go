@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintExposition validates a Prometheus text-format exposition the way a
+// strict scraper would, without importing one: metric and label names match
+// the spec grammar, every sample's metric has # HELP and # TYPE lines that
+// precede it, TYPE values are legal, labels are sorted and well-quoted,
+// sample values parse as floats, no series appears twice, and histogram
+// bucket counts are cumulative in `le` order. Returns one error per problem
+// found (nil-length slice for a clean page).
+func LintExposition(text string) []error {
+	var errs []error
+	helpSeen := map[string]bool{}
+	typeSeen := map[string]string{}
+	series := map[string]int{}
+	// bucketCum tracks the last cumulative count per histogram series
+	// (label set minus `le`) to check monotonicity.
+	bucketCum := map[string]int64{}
+
+	for i, line := range strings.Split(text, "\n") {
+		ln := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			name, kind, err := parseComment(line)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("line %d: %v", ln, err))
+				continue
+			}
+			switch kind {
+			case "HELP":
+				helpSeen[name] = true
+			case "TYPE":
+				typeSeen[name] = typeValue(line)
+				switch typeSeen[name] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					errs = append(errs, fmt.Errorf("line %d: invalid TYPE %q for %s", ln, typeSeen[name], name))
+				}
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("line %d: %v", ln, err))
+			continue
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			errs = append(errs, fmt.Errorf("line %d: value %q is not a float", ln, value))
+		}
+		base := baseName(name, typeSeen)
+		if !helpSeen[base] {
+			errs = append(errs, fmt.Errorf("line %d: sample %s has no preceding # HELP %s", ln, name, base))
+		}
+		if _, ok := typeSeen[base]; !ok {
+			errs = append(errs, fmt.Errorf("line %d: sample %s has no preceding # TYPE %s", ln, name, base))
+		}
+		if !sort.SliceIsSorted(labels, func(a, b int) bool { return labels[a].name < labels[b].name }) {
+			errs = append(errs, fmt.Errorf("line %d: labels of %s are not sorted", ln, name))
+		}
+		key := seriesKey(name, labels)
+		if prev, dup := series[key]; dup {
+			errs = append(errs, fmt.Errorf("line %d: duplicate series %s (first at line %d)", ln, key, prev))
+		}
+		series[key] = ln
+		if typeSeen[base] == "histogram" && strings.HasSuffix(name, "_bucket") {
+			cumKey := seriesKey(name, dropLabel(labels, "le"))
+			cum, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("line %d: bucket count %q is not an integer", ln, value))
+				continue
+			}
+			if cum < bucketCum[cumKey] {
+				errs = append(errs, fmt.Errorf("line %d: histogram %s buckets are not cumulative", ln, name))
+			}
+			bucketCum[cumKey] = cum
+		}
+	}
+	return errs
+}
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+type label struct{ name, value string }
+
+// parseComment validates a `# HELP name text` / `# TYPE name type` line and
+// returns the metric name and comment kind ("" for a plain comment).
+func parseComment(line string) (name, kind string, err error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return "", "", nil // plain comment, allowed
+	}
+	if len(fields) < 3 {
+		return "", "", fmt.Errorf("malformed %s line: %q", fields[1], line)
+	}
+	if !metricNameRE.MatchString(fields[2]) {
+		return "", "", fmt.Errorf("invalid metric name %q in %s line", fields[2], fields[1])
+	}
+	if fields[1] == "TYPE" && len(fields) != 4 {
+		return "", "", fmt.Errorf("malformed TYPE line: %q", line)
+	}
+	return fields[2], fields[1], nil
+}
+
+func typeValue(line string) string {
+	fields := strings.Fields(line)
+	if len(fields) >= 4 {
+		return fields[3]
+	}
+	return ""
+}
+
+// parseSample splits `name{l1="v1",l2="v2"} value` (labels optional) into
+// its parts, validating names and quoting.
+func parseSample(line string) (name string, labels []label, value string, err error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		name = rest[:brace]
+		end := strings.LastIndexByte(rest, '}')
+		if end < brace {
+			return "", nil, "", fmt.Errorf("unbalanced braces in %q", line)
+		}
+		labels, err = parseLabels(rest[brace+1 : end])
+		if err != nil {
+			return "", nil, "", err
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return "", nil, "", fmt.Errorf("sample line %q has no value", line)
+		}
+		name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp+1:])
+	}
+	if !metricNameRE.MatchString(name) {
+		return "", nil, "", fmt.Errorf("invalid metric name %q", name)
+	}
+	// Value is the first field of the remainder; an optional timestamp may follow.
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, "", fmt.Errorf("sample line %q has malformed value section", line)
+	}
+	return name, labels, fields[0], nil
+}
+
+func parseLabels(s string) ([]label, error) {
+	var out []label
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label pair %q has no '='", s)
+		}
+		lname := s[:eq]
+		if !labelNameRE.MatchString(lname) {
+			return nil, fmt.Errorf("invalid label name %q", lname)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %s value is not quoted", lname)
+		}
+		// Scan the quoted value honoring backslash escapes.
+		j := 1
+		for j < len(s) {
+			if s[j] == '\\' {
+				j += 2
+				continue
+			}
+			if s[j] == '"' {
+				break
+			}
+			j++
+		}
+		if j >= len(s) {
+			return nil, fmt.Errorf("label %s value has no closing quote", lname)
+		}
+		out = append(out, label{lname, s[1:j]})
+		s = s[j+1:]
+		if s != "" {
+			if s[0] != ',' {
+				return nil, fmt.Errorf("labels not comma-separated near %q", s)
+			}
+			s = s[1:]
+		}
+	}
+	return out, nil
+}
+
+// baseName maps a sample name to the metric name its HELP/TYPE lines use:
+// histogram and summary samples append _bucket/_sum/_count to the base.
+func baseName(name string, typeSeen map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if b, ok := strings.CutSuffix(name, suf); ok {
+			if t := typeSeen[b]; t == "histogram" || t == "summary" {
+				return b
+			}
+		}
+	}
+	return name
+}
+
+func dropLabel(labels []label, name string) []label {
+	out := make([]label, 0, len(labels))
+	for _, l := range labels {
+		if l.name != name {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func seriesKey(name string, labels []label) string {
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.name, l.value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintOne(t *testing.T, text string) []error {
+	t.Helper()
+	return LintExposition(text)
+}
+
+func TestLintCleanPage(t *testing.T) {
+	page := strings.Join([]string{
+		"# HELP up daemon liveness",
+		"# TYPE up gauge",
+		"up 1",
+		"# HELP reqs_total requests served",
+		"# TYPE reqs_total counter",
+		`reqs_total{code="200",engine="gd"} 7`,
+		`reqs_total{code="200",engine="metis"} 3`,
+		"# HELP lat_seconds request latency",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 0.42",
+		"lat_seconds_count 3",
+		"",
+	}, "\n")
+	if errs := lintOne(t, page); len(errs) > 0 {
+		t.Fatalf("clean page produced errors: %v", errs)
+	}
+}
+
+func TestLintMissingHelpAndType(t *testing.T) {
+	errs := lintOne(t, "orphan_total 1\n")
+	if len(errs) != 2 {
+		t.Fatalf("want 2 errors (no HELP, no TYPE), got %v", errs)
+	}
+}
+
+func TestLintHelpAfterSample(t *testing.T) {
+	page := "late_total 1\n# HELP late_total too late\n# TYPE late_total counter\n"
+	if errs := lintOne(t, page); len(errs) == 0 {
+		t.Fatal("HELP/TYPE after sample not flagged")
+	}
+}
+
+func TestLintUnsortedLabels(t *testing.T) {
+	page := "# HELP m_total m\n# TYPE m_total counter\n" +
+		`m_total{engine="gd",code="200"} 1` + "\n"
+	errs := lintOne(t, page)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "not sorted") {
+		t.Fatalf("unsorted labels not flagged: %v", errs)
+	}
+}
+
+func TestLintBadValue(t *testing.T) {
+	page := "# HELP m m\n# TYPE m gauge\nm nope\n"
+	errs := lintOne(t, page)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "not a float") {
+		t.Fatalf("bad value not flagged: %v", errs)
+	}
+}
+
+func TestLintBadMetricName(t *testing.T) {
+	page := "# HELP m m\n# TYPE m gauge\n1bad_name 2\n"
+	if errs := lintOne(t, page); len(errs) == 0 {
+		t.Fatal("invalid metric name not flagged")
+	}
+}
+
+func TestLintBadTypeValue(t *testing.T) {
+	page := "# HELP m m\n# TYPE m enum\nm 1\n"
+	if errs := lintOne(t, page); len(errs) == 0 {
+		t.Fatal("invalid TYPE value not flagged")
+	}
+}
+
+func TestLintDuplicateSeries(t *testing.T) {
+	page := "# HELP m m\n# TYPE m gauge\nm 1\nm 2\n"
+	errs := lintOne(t, page)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "duplicate") {
+		t.Fatalf("duplicate series not flagged: %v", errs)
+	}
+}
+
+func TestLintUnquotedLabelValue(t *testing.T) {
+	page := "# HELP m m\n# TYPE m gauge\nm{engine=gd} 1\n"
+	if errs := lintOne(t, page); len(errs) == 0 {
+		t.Fatal("unquoted label value not flagged")
+	}
+}
+
+func TestLintNonCumulativeHistogram(t *testing.T) {
+	page := strings.Join([]string{
+		"# HELP h h",
+		"# TYPE h histogram",
+		`h_bucket{le="0.1"} 5`,
+		`h_bucket{le="+Inf"} 3`,
+		"h_sum 1",
+		"h_count 3",
+		"",
+	}, "\n")
+	errs := lintOne(t, page)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "cumulative") {
+		t.Fatalf("non-cumulative buckets not flagged: %v", errs)
+	}
+}
+
+func TestLintHistogramSuffixesUseBaseMeta(t *testing.T) {
+	// _bucket/_sum/_count of a declared histogram must not be reported as
+	// missing their own HELP/TYPE.
+	page := strings.Join([]string{
+		"# HELP h h",
+		"# TYPE h histogram",
+		`h_bucket{engine="gd",le="+Inf"} 1`,
+		`h_sum{engine="gd"} 0.5`,
+		`h_count{engine="gd"} 1`,
+		"",
+	}, "\n")
+	if errs := lintOne(t, page); len(errs) > 0 {
+		t.Fatalf("histogram family flagged spuriously: %v", errs)
+	}
+}
+
+func TestLintEscapedLabelValue(t *testing.T) {
+	page := "# HELP m m\n# TYPE m gauge\n" +
+		`m{path="a\"b,c"} 1` + "\n"
+	if errs := lintOne(t, page); len(errs) > 0 {
+		t.Fatalf("escaped label value flagged: %v", errs)
+	}
+}

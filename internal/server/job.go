@@ -2,10 +2,12 @@ package server
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"mdbgp"
+	"mdbgp/internal/obs"
 )
 
 // Status is the lifecycle state of a partition job.
@@ -30,6 +32,13 @@ type job struct {
 	dims      []mdbgp.Weight
 	delta     *deltaView // non-nil for delta submissions; immutable
 
+	// trace is the request's root span (nil when tracing is disabled) and
+	// queueSpan its open queue-wait child. Both are set before the job is
+	// published and never reassigned; Span itself is safe for concurrent
+	// snapshot-while-recording.
+	trace     *obs.Span
+	queueSpan *obs.Span
+
 	done chan struct{} // closed exactly once, when status becomes done/failed
 
 	mu        sync.Mutex
@@ -43,6 +52,55 @@ type job struct {
 	finished  time.Time
 	res       *mdbgp.Result
 	g         *mdbgp.Graph
+	conv      *convergenceView
+}
+
+// convergenceView summarizes the solver's convergence telemetry for the job
+// JSON, aggregated over every GD run the solve performed (one per bisection
+// of the recursive k-way split, plus the coarse and refinement solves of a
+// multilevel V-cycle).
+type convergenceView struct {
+	// GDRuns is how many gradient-descent runs the solve performed.
+	GDRuns int `json:"gd_runs"`
+	// ItersTo90 is the worst (maximum) iterations-to-90%-of-final-locality
+	// across all runs — how long the slowest bisection took to do 90% of its
+	// useful work, in sampled iterations.
+	ItersTo90 int `json:"iters_to_90"`
+	// FinalLocality is the weakest (minimum) final sampled locality across
+	// runs.
+	FinalLocality float64 `json:"final_locality"`
+}
+
+// convergenceFromTrace walks a finished request trace and aggregates the gd
+// spans' convergence attributes. Returns nil when there is nothing to report
+// (tracing off, cache hit, or a non-GD engine).
+func convergenceFromTrace(root *obs.Span) *convergenceView {
+	if root == nil {
+		return nil
+	}
+	var cv *convergenceView
+	root.Snapshot().Walk(func(sp *obs.SpanView) {
+		if sp.Name != "gd" {
+			return
+		}
+		final, ok := sp.Float("final_locality")
+		if !ok {
+			return
+		}
+		to90, _ := sp.Float("iters_to_90")
+		if cv == nil {
+			cv = &convergenceView{GDRuns: 1, ItersTo90: int(to90), FinalLocality: final}
+			return
+		}
+		cv.GDRuns++
+		if int(to90) > cv.ItersTo90 {
+			cv.ItersTo90 = int(to90)
+		}
+		if final < cv.FinalLocality {
+			cv.FinalLocality = final
+		}
+	})
+	return cv
 }
 
 // deltaView describes how a delta submission was resolved. It is fixed at
@@ -87,6 +145,7 @@ type jobView struct {
 	Finished  time.Time
 	Res       *mdbgp.Result
 	Delta     *deltaView
+	Conv      *convergenceView
 }
 
 func (j *job) view() jobView {
@@ -96,7 +155,7 @@ func (j *job) view() jobView {
 		ID: j.id, Key: j.key, GraphHash: j.graphHash, Engine: j.engine,
 		Status: j.status, Cache: j.cache, ErrMsg: j.errMsg,
 		N: j.n, M: j.m, Submitted: j.submitted, Started: j.started, Finished: j.finished,
-		Res: j.res, Delta: j.delta,
+		Res: j.res, Delta: j.delta, Conv: j.conv,
 	}
 }
 
@@ -117,8 +176,11 @@ func (s *Server) runJob(j *job) {
 	j.mu.Lock()
 	j.status = StatusRunning
 	j.started = time.Now()
+	queueWait := j.started.Sub(j.submitted)
 	g, opts, dims := j.g, j.opts, j.dims
 	j.mu.Unlock()
+	j.queueSpan.End()
+	s.met.recordQueueWait(queueWait)
 	s.met.jobsRunning.Add(1)
 	defer s.met.jobsRunning.Add(-1)
 
@@ -126,12 +188,43 @@ func (s *Server) runJob(j *job) {
 	if solve == nil {
 		solve = s.defaultSolve
 	}
+	solveSpan := j.trace.Start("solve")
+	if solveSpan != nil {
+		solveSpan.SetAttr("engine", j.engine)
+	}
+	// The solver publishes its span tree under the solve span. Observer is
+	// excluded from option fingerprints, so attaching it here cannot fork the
+	// cache key the job was dispatched under.
+	opts.Observer = solveSpan
 	start := time.Now()
 	res, err := solve(g, dims, opts)
 	elapsed := time.Since(start)
-	s.met.solveNanos.Add(int64(elapsed))
+	solveSpan.End()
 	s.met.recordEngineSolve(j.engine, elapsed)
 	s.finishJob(j, res, err)
+	s.logJob(j, queueWait, elapsed, err)
+}
+
+// logJob emits the structured per-job completion record, escalating to Warn
+// when the solve blew the slow-request threshold.
+func (s *Server) logJob(j *job, queueWait, elapsed time.Duration, err error) {
+	attrs := []any{
+		slog.String("job_id", j.id),
+		slog.String("engine", j.engine),
+		slog.Int("n", j.n),
+		slog.Int64("m", j.m),
+		slog.Duration("queue_wait", queueWait),
+		slog.Duration("solve", elapsed),
+	}
+	if err != nil {
+		s.log.Error("job failed", append(attrs, slog.String("error", err.Error()))...)
+		return
+	}
+	if s.cfg.SlowRequest > 0 && elapsed >= s.cfg.SlowRequest {
+		s.log.Warn("slow solve", append(attrs, slog.Duration("threshold", s.cfg.SlowRequest))...)
+		return
+	}
+	s.log.Info("job done", attrs...)
 }
 
 // defaultSolve materializes the balance dimensions and runs the engine.
@@ -154,7 +247,13 @@ func (s *Server) finishJob(j *job, res *mdbgp.Result, err error) {
 			s.met.cacheEvictions.Add(int64(ev))
 		}
 	}
+	// End is idempotent, so the shutdown path (which skips runJob) closes the
+	// queue-wait span here and the normal path is unaffected.
+	j.queueSpan.End()
+	j.trace.End()
+	conv := convergenceFromTrace(j.trace)
 	j.mu.Lock()
+	j.conv = conv
 	j.finished = time.Now()
 	j.g = nil // the graph is no longer needed here; the graph cache owns it
 	// Release the warm assignment: it can be as large as the graph's vertex

@@ -4,16 +4,22 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mdbgp/internal/obs"
 )
 
-// metrics holds the daemon's counters. All fields are atomics so the hot
-// paths never take a lock; gauges derived from other subsystems (queue
-// depth, cache size) are sampled at scrape time. The per-engine maps are the
-// one exception: engine labels are few and a solve takes milliseconds, so a
-// mutex per completed solve is noise.
+// metrics holds the daemon's counters and latency histograms. Counter fields
+// are atomics so the hot paths never take a lock; the per-engine maps are the
+// one exception — engine labels are few and a solve takes milliseconds, so a
+// mutex per completed solve is noise. Scrapes go through snapshot(), which
+// gathers every subsystem once before any rendering happens, so a single
+// exposition page is internally consistent (the per-engine series, the queue
+// gauges and the cache gauges all describe the same instant instead of
+// drifting apart while the page is written).
 type metrics struct {
 	httpRequests    atomic.Int64
 	jobsSubmitted   atomic.Int64
@@ -31,13 +37,40 @@ type metrics struct {
 	deltaChainReset atomic.Int64 // delta solves forced cold by the chain-depth limit
 	baseMisses      atomic.Int64 // delta submissions whose base graph was unknown/evicted
 	graphEvictions  atomic.Int64 // base graphs evicted from the graph cache
-	solveNanos      atomic.Int64 // cumulative wall time inside the partitioner
-	ingestNanos     atomic.Int64 // cumulative wall time parsing + hashing request bodies
+
+	// Latency histograms. ingestHist and queueWaitHist are unlabeled;
+	// solveHist is per-engine and lives under engineMu with the other
+	// per-engine state. All are created by init (or lazily for new engine
+	// labels), never replaced, so Observe never races with construction.
+	ingestHist    *obs.Histogram
+	queueWaitHist *obs.Histogram
 
 	engineMu         sync.Mutex
 	engineSubmitted  map[string]int64 // submissions accepted, by engine label
 	engineSolves     map[string]int64 // solves executed (cache hits excluded), by engine
 	engineSolveNanos map[string]int64 // cumulative solver wall time, by engine
+	engineSolveHist  map[string]*obs.Histogram
+}
+
+// init creates the histograms. Must run before the server starts observing.
+func (m *metrics) init() {
+	m.ingestHist = obs.NewHistogram(nil)
+	m.queueWaitHist = obs.NewHistogram(nil)
+}
+
+// recordIngest records one request-body parse+hash duration.
+func (m *metrics) recordIngest(d time.Duration) {
+	if m.ingestHist != nil {
+		m.ingestHist.Observe(d)
+	}
+}
+
+// recordQueueWait records how long a job sat in the queue before a worker
+// picked it up.
+func (m *metrics) recordQueueWait(d time.Duration) {
+	if m.queueWaitHist != nil {
+		m.queueWaitHist.Observe(d)
+	}
 }
 
 // recordEngineSubmit counts an accepted submission under its engine label.
@@ -51,7 +84,7 @@ func (m *metrics) recordEngineSubmit(engine string) {
 }
 
 // recordEngineSolve counts one executed solve and its wall time under the
-// engine label.
+// engine label, and feeds the per-engine latency histogram.
 func (m *metrics) recordEngineSolve(engine string, d time.Duration) {
 	m.engineMu.Lock()
 	if m.engineSolves == nil {
@@ -60,17 +93,28 @@ func (m *metrics) recordEngineSolve(engine string, d time.Duration) {
 	}
 	m.engineSolves[engine]++
 	m.engineSolveNanos[engine] += int64(d)
+	if m.engineSolveHist == nil {
+		m.engineSolveHist = map[string]*obs.Histogram{}
+	}
+	h := m.engineSolveHist[engine]
+	if h == nil {
+		h = obs.NewHistogram(nil)
+		m.engineSolveHist[engine] = h
+	}
 	m.engineMu.Unlock()
+	h.Observe(d)
 }
 
-// engineSnapshot copies the per-engine maps for rendering, with labels
-// sorted so the exposition is stable across scrapes.
-func (m *metrics) engineSnapshot() (labels []string, submitted, solves, nanos map[string]int64) {
+// engineSnapshot copies the per-engine state for rendering, with labels
+// sorted so the exposition is stable across scrapes. Every returned map is
+// keyed by the same sorted label set.
+func (m *metrics) engineSnapshot() (labels []string, submitted, solves, nanos map[string]int64, hists map[string]obs.HistSnapshot) {
 	m.engineMu.Lock()
 	defer m.engineMu.Unlock()
 	submitted = make(map[string]int64, len(m.engineSubmitted))
 	solves = make(map[string]int64, len(m.engineSolves))
 	nanos = make(map[string]int64, len(m.engineSolveNanos))
+	hists = make(map[string]obs.HistSnapshot, len(m.engineSolveHist))
 	seen := map[string]bool{}
 	for e, v := range m.engineSubmitted {
 		submitted[e] = v
@@ -83,66 +127,131 @@ func (m *metrics) engineSnapshot() (labels []string, submitted, solves, nanos ma
 	for e, v := range m.engineSolveNanos {
 		nanos[e] = v
 	}
+	for e, h := range m.engineSolveHist {
+		hists[e] = h.Snapshot()
+		seen[e] = true
+	}
 	for e := range seen {
 		labels = append(labels, e)
 	}
 	sort.Strings(labels)
-	return labels, submitted, solves, nanos
+	return labels, submitted, solves, nanos, hists
 }
 
-// handleMetrics serves the Prometheus text exposition format.
+// metricsSnapshot is one consistent view of every exported series, gathered
+// before rendering starts.
+type metricsSnapshot struct {
+	httpRequests, jobsSubmitted, jobsCompleted, jobsFailed int64
+	jobsRejected, jobsCoalesced, jobsRunning               int64
+	cacheHits, cacheMisses, cacheEvictions                 int64
+	deltaSubmitted, deltaWarm, deltaCold                   int64
+	deltaChainReset, baseMisses, graphEvictions            int64
+	engineLabels                                           []string
+	engineSubmitted, engineSolves, engineSolveNanos        map[string]int64
+	engineSolveHist                                        map[string]obs.HistSnapshot
+	ingest, queueWait                                      obs.HistSnapshot
+	queueDepth, queueCap, workers                          int64
+	cacheEntries, graphEntries                             int
+	cacheBytes, cacheClamps, graphBytes, graphClamps       int64
+	uptimeSec                                              int64
+}
+
+// snapshotMetrics gathers every subsystem's state once. The engine maps, the
+// queue gauges and the cache gauges are all read here, before any byte of the
+// exposition is written.
+func (s *Server) snapshotMetrics() metricsSnapshot {
+	m := &s.met
+	snap := metricsSnapshot{
+		httpRequests:    m.httpRequests.Load(),
+		jobsSubmitted:   m.jobsSubmitted.Load(),
+		jobsCompleted:   m.jobsCompleted.Load(),
+		jobsFailed:      m.jobsFailed.Load(),
+		jobsRejected:    m.jobsRejected.Load(),
+		jobsCoalesced:   m.jobsCoalesced.Load(),
+		jobsRunning:     m.jobsRunning.Load(),
+		cacheHits:       m.cacheHits.Load(),
+		cacheMisses:     m.cacheMisses.Load(),
+		cacheEvictions:  m.cacheEvictions.Load(),
+		deltaSubmitted:  m.deltaSubmitted.Load(),
+		deltaWarm:       m.deltaWarm.Load(),
+		deltaCold:       m.deltaCold.Load(),
+		deltaChainReset: m.deltaChainReset.Load(),
+		baseMisses:      m.baseMisses.Load(),
+		graphEvictions:  m.graphEvictions.Load(),
+		ingest:          m.ingestHist.Snapshot(),
+		queueWait:       m.queueWaitHist.Snapshot(),
+		queueDepth:      int64(len(s.queue)),
+		queueCap:        int64(cap(s.queue)),
+		workers:         int64(s.cfg.Workers),
+		uptimeSec:       int64(time.Since(s.start).Seconds()),
+	}
+	snap.engineLabels, snap.engineSubmitted, snap.engineSolves, snap.engineSolveNanos, snap.engineSolveHist = m.engineSnapshot()
+	snap.cacheEntries, snap.cacheBytes = s.cache.stats()
+	snap.cacheClamps = s.cache.clampCount()
+	snap.graphEntries, snap.graphBytes = s.graphs.stats()
+	snap.graphClamps = s.graphs.clampCount()
+	return snap
+}
+
+// handleMetrics serves the Prometheus text exposition format from one
+// consistent snapshot (see snapshotMetrics).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap := s.snapshotMetrics()
+	var b strings.Builder
 	counter := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
 	gauge := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
-	m := &s.met
-	counter("mdbgpd_http_requests_total", "HTTP requests received.", m.httpRequests.Load())
-	counter("mdbgpd_jobs_submitted_total", "Partition jobs accepted (cache hits included).", m.jobsSubmitted.Load())
-	counter("mdbgpd_jobs_completed_total", "Partition jobs solved successfully.", m.jobsCompleted.Load())
-	counter("mdbgpd_jobs_failed_total", "Partition jobs that errored.", m.jobsFailed.Load())
-	counter("mdbgpd_jobs_rejected_total", "Submissions rejected with 429 (queue saturated).", m.jobsRejected.Load())
-	counter("mdbgpd_jobs_coalesced_total", "Submissions coalesced onto an identical in-flight job.", m.jobsCoalesced.Load())
-	counter("mdbgpd_cache_hits_total", "Result-cache hits.", m.cacheHits.Load())
-	counter("mdbgpd_cache_misses_total", "Result-cache misses.", m.cacheMisses.Load())
-	counter("mdbgpd_cache_evictions_total", "Results evicted from the LRU cache.", m.cacheEvictions.Load())
-	counter("mdbgpd_delta_submitted_total", "Delta (?base=) submissions received.", m.deltaSubmitted.Load())
-	counter("mdbgpd_delta_warm_total", "Delta jobs dispatched with a warm start.", m.deltaWarm.Load())
-	counter("mdbgpd_delta_cold_total", "Delta jobs dispatched cold (churn, chain depth, engine capability or evicted solution).", m.deltaCold.Load())
-	counter("mdbgpd_delta_chain_resets_total", "Delta solves forced cold by the warm-chain depth limit.", m.deltaChainReset.Load())
-	counter("mdbgpd_delta_base_misses_total", "Delta submissions rejected because the base graph was unknown or evicted.", m.baseMisses.Load())
-	counter("mdbgpd_graph_cache_evictions_total", "Base graphs evicted from the graph cache.", m.graphEvictions.Load())
-	fmt.Fprintf(w, "# HELP mdbgpd_solve_seconds_total Cumulative wall time inside the partitioner.\n# TYPE mdbgpd_solve_seconds_total counter\nmdbgpd_solve_seconds_total %g\n",
-		time.Duration(m.solveNanos.Load()).Seconds())
-	fmt.Fprintf(w, "# HELP mdbgpd_ingest_seconds_total Cumulative wall time parsing and hashing request bodies.\n# TYPE mdbgpd_ingest_seconds_total counter\nmdbgpd_ingest_seconds_total %g\n",
-		time.Duration(m.ingestNanos.Load()).Seconds())
-	labels, submitted, solves, nanos := m.engineSnapshot()
-	fmt.Fprintf(w, "# HELP mdbgpd_jobs_by_engine_total Submissions accepted, by solver engine.\n# TYPE mdbgpd_jobs_by_engine_total counter\n")
-	for _, e := range labels {
-		fmt.Fprintf(w, "mdbgpd_jobs_by_engine_total{engine=%q} %d\n", e, submitted[e])
+	counter("mdbgpd_http_requests_total", "HTTP requests received.", snap.httpRequests)
+	counter("mdbgpd_jobs_submitted_total", "Partition jobs accepted (cache hits included).", snap.jobsSubmitted)
+	counter("mdbgpd_jobs_completed_total", "Partition jobs solved successfully.", snap.jobsCompleted)
+	counter("mdbgpd_jobs_failed_total", "Partition jobs that errored.", snap.jobsFailed)
+	counter("mdbgpd_jobs_rejected_total", "Submissions rejected with 429 (queue saturated).", snap.jobsRejected)
+	counter("mdbgpd_jobs_coalesced_total", "Submissions coalesced onto an identical in-flight job.", snap.jobsCoalesced)
+	counter("mdbgpd_cache_hits_total", "Result-cache hits.", snap.cacheHits)
+	counter("mdbgpd_cache_misses_total", "Result-cache misses.", snap.cacheMisses)
+	counter("mdbgpd_cache_evictions_total", "Results evicted from the LRU cache.", snap.cacheEvictions)
+	counter("mdbgpd_delta_submitted_total", "Delta (?base=) submissions received.", snap.deltaSubmitted)
+	counter("mdbgpd_delta_warm_total", "Delta jobs dispatched with a warm start.", snap.deltaWarm)
+	counter("mdbgpd_delta_cold_total", "Delta jobs dispatched cold (churn, chain depth, engine capability or evicted solution).", snap.deltaCold)
+	counter("mdbgpd_delta_chain_resets_total", "Delta solves forced cold by the warm-chain depth limit.", snap.deltaChainReset)
+	counter("mdbgpd_delta_base_misses_total", "Delta submissions rejected because the base graph was unknown or evicted.", snap.baseMisses)
+	counter("mdbgpd_graph_cache_evictions_total", "Base graphs evicted from the graph cache.", snap.graphEvictions)
+	fmt.Fprintf(&b, "# HELP mdbgpd_jobs_by_engine_total Submissions accepted, by solver engine.\n# TYPE mdbgpd_jobs_by_engine_total counter\n")
+	for _, e := range snap.engineLabels {
+		fmt.Fprintf(&b, "mdbgpd_jobs_by_engine_total{engine=%q} %d\n", e, snap.engineSubmitted[e])
 	}
-	fmt.Fprintf(w, "# HELP mdbgpd_solves_by_engine_total Solves executed (cache hits excluded), by solver engine.\n# TYPE mdbgpd_solves_by_engine_total counter\n")
-	for _, e := range labels {
-		fmt.Fprintf(w, "mdbgpd_solves_by_engine_total{engine=%q} %d\n", e, solves[e])
+	fmt.Fprintf(&b, "# HELP mdbgpd_solves_by_engine_total Solves executed (cache hits excluded), by solver engine.\n# TYPE mdbgpd_solves_by_engine_total counter\n")
+	for _, e := range snap.engineLabels {
+		fmt.Fprintf(&b, "mdbgpd_solves_by_engine_total{engine=%q} %d\n", e, snap.engineSolves[e])
 	}
-	fmt.Fprintf(w, "# HELP mdbgpd_solve_seconds_by_engine_total Cumulative solver wall time, by engine.\n# TYPE mdbgpd_solve_seconds_by_engine_total counter\n")
-	for _, e := range labels {
-		fmt.Fprintf(w, "mdbgpd_solve_seconds_by_engine_total{engine=%q} %g\n", e, time.Duration(nanos[e]).Seconds())
+	fmt.Fprintf(&b, "# HELP mdbgpd_solve_seconds_by_engine_total Cumulative solver wall time, by engine.\n# TYPE mdbgpd_solve_seconds_by_engine_total counter\n")
+	for _, e := range snap.engineLabels {
+		fmt.Fprintf(&b, "mdbgpd_solve_seconds_by_engine_total{engine=%q} %g\n", e, time.Duration(snap.engineSolveNanos[e]).Seconds())
 	}
-	gauge("mdbgpd_jobs_running", "Jobs currently being solved.", m.jobsRunning.Load())
-	gauge("mdbgpd_queue_depth", "Jobs waiting in the bounded queue.", int64(len(s.queue)))
-	gauge("mdbgpd_queue_capacity", "Capacity of the bounded queue.", int64(cap(s.queue)))
-	gauge("mdbgpd_workers", "Worker goroutines draining the queue.", int64(s.cfg.Workers))
-	entries, bytes := s.cache.stats()
-	gauge("mdbgpd_cache_entries", "Results held in the LRU cache.", int64(entries))
-	gauge("mdbgpd_cache_bytes", "Approximate bytes held by cached results (payloads + keys + bookkeeping).", bytes)
-	counter("mdbgpd_cache_accounting_clamps_total", "Times the result-cache byte gauge went negative and was clamped (accounting bug).", s.cache.clampCount())
-	gentries, gbytes := s.graphs.stats()
-	gauge("mdbgpd_graph_cache_entries", "Base graphs held for delta submissions.", int64(gentries))
-	gauge("mdbgpd_graph_cache_bytes", "Approximate bytes held by cached base graphs (payloads + keys + bookkeeping).", gbytes)
-	counter("mdbgpd_graph_cache_accounting_clamps_total", "Times the graph-cache byte gauge went negative and was clamped (accounting bug).", s.graphs.clampCount())
-	gauge("mdbgpd_uptime_seconds", "Seconds since the server started.", int64(time.Since(s.start).Seconds()))
+	fmt.Fprintf(&b, "# HELP mdbgpd_solve_duration_seconds Wall time of one executed solve (cache hits excluded), by solver engine.\n# TYPE mdbgpd_solve_duration_seconds histogram\n")
+	for _, e := range snap.engineLabels {
+		if h, ok := snap.engineSolveHist[e]; ok {
+			obs.WritePromHistogram(&b, "mdbgpd_solve_duration_seconds", fmt.Sprintf("engine=%q", e), h)
+		}
+	}
+	fmt.Fprintf(&b, "# HELP mdbgpd_queue_wait_seconds Time a job waited in the bounded queue before a worker picked it up.\n# TYPE mdbgpd_queue_wait_seconds histogram\n")
+	obs.WritePromHistogram(&b, "mdbgpd_queue_wait_seconds", "", snap.queueWait)
+	fmt.Fprintf(&b, "# HELP mdbgpd_ingest_duration_seconds Wall time parsing and hashing one request body.\n# TYPE mdbgpd_ingest_duration_seconds histogram\n")
+	obs.WritePromHistogram(&b, "mdbgpd_ingest_duration_seconds", "", snap.ingest)
+	gauge("mdbgpd_jobs_running", "Jobs currently being solved.", snap.jobsRunning)
+	gauge("mdbgpd_queue_depth", "Jobs waiting in the bounded queue.", snap.queueDepth)
+	gauge("mdbgpd_queue_capacity", "Capacity of the bounded queue.", snap.queueCap)
+	gauge("mdbgpd_workers", "Worker goroutines draining the queue.", snap.workers)
+	gauge("mdbgpd_cache_entries", "Results held in the LRU cache.", int64(snap.cacheEntries))
+	gauge("mdbgpd_cache_bytes", "Approximate bytes held by cached results (payloads + keys + bookkeeping).", snap.cacheBytes)
+	counter("mdbgpd_cache_accounting_clamps_total", "Times the result-cache byte gauge went negative and was clamped (accounting bug).", snap.cacheClamps)
+	gauge("mdbgpd_graph_cache_entries", "Base graphs held for delta submissions.", int64(snap.graphEntries))
+	gauge("mdbgpd_graph_cache_bytes", "Approximate bytes held by cached base graphs (payloads + keys + bookkeeping).", snap.graphBytes)
+	counter("mdbgpd_graph_cache_accounting_clamps_total", "Times the graph-cache byte gauge went negative and was clamped (accounting bug).", snap.graphClamps)
+	gauge("mdbgpd_uptime_seconds", "Seconds since the server started.", snap.uptimeSec)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
 }

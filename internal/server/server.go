@@ -21,7 +21,16 @@
 //	                              churn exceeds Config.MaxChurn).
 //	GET  /v1/jobs/{id}            poll a job: status, quality metrics, timings
 //	GET  /v1/jobs/{id}/assignment the partition as "vertex part" text lines
-//	GET  /healthz                 liveness + queue summary
+//	GET  /v1/jobs/{id}/trace      the request's span tree as JSON: ingest,
+//	                              cache lookup, queue wait, and the solve's
+//	                              internal phases (coarsening levels, per-
+//	                              bisection GD with convergence telemetry,
+//	                              rounding)
+//	GET  /healthz                 liveness + queue summary (503 only once the
+//	                              server is closed)
+//	GET  /readyz                  readiness: 503 while draining for shutdown,
+//	                              so load balancers stop routing before the
+//	                              listener goes away
 //	GET  /metrics                 Prometheus text exposition
 //
 // Requests are content-addressed: the edge-list body is streamed into the
@@ -40,6 +49,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -49,6 +59,7 @@ import (
 	"time"
 
 	"mdbgp"
+	"mdbgp/internal/obs"
 )
 
 // Config tunes the daemon. The zero value serves with sensible defaults.
@@ -105,6 +116,20 @@ type Config struct {
 	// of the options fingerprint, so flipping it starts a fresh cache
 	// generation.
 	Reorder string
+	// Logger receives structured request/job logs (nil = discard). Every
+	// record carries the job id, so a log line joins against the polling API
+	// and the trace endpoint.
+	Logger *slog.Logger
+	// SlowRequest is the solve-duration threshold above which a completed job
+	// is logged at Warn instead of Info (0 = 2s, negative disables slow-solve
+	// warnings).
+	SlowRequest time.Duration
+	// DisableTracing turns off the per-request span trees (and with them
+	// GET /v1/jobs/{id}/trace). Tracing is cheap by construction — the solver
+	// samples convergence in O(n) on a fixed stride — so it defaults to on;
+	// the traced and untraced configurations share cache entries either way
+	// because the observer is excluded from option fingerprints.
+	DisableTracing bool
 }
 
 func (c Config) withDefaults() Config {
@@ -143,18 +168,23 @@ func (c Config) withDefaults() Config {
 	if c.MaxChainDepth == 0 {
 		c.MaxChainDepth = 8
 	}
+	if c.SlowRequest == 0 {
+		c.SlowRequest = 2 * time.Second
+	}
 	return c
 }
 
 // Server is the partitioning service. Create with New, serve via ServeHTTP
 // (it implements http.Handler), stop with Close.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	queue chan *job
-	quit  chan struct{}
-	wg    sync.WaitGroup
-	down  atomic.Bool
+	cfg      Config
+	mux      *http.ServeMux
+	queue    chan *job
+	quit     chan struct{}
+	wg       sync.WaitGroup
+	down     atomic.Bool
+	draining atomic.Bool // readiness only: /readyz says 503, everything still serves
+	log      *slog.Logger
 
 	mu        sync.Mutex
 	jobs      map[string]*job
@@ -190,15 +220,28 @@ func newServer(cfg Config) *Server {
 		cache:    newResultCache(cfg.CacheEntries),
 		graphs:   newGraphCache(cfg.GraphCacheEntries),
 		start:    time.Now(),
+		log:      cfg.Logger,
 	}
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
+	}
+	s.met.init()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/partition", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/assignment", s.handleAssignment)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
+
+// SetDraining flips the readiness signal: while draining, GET /readyz
+// answers 503 so load balancers pull the instance, but submissions, polls and
+// scrapes keep working — the daemon uses it to bleed traffic before the
+// listener shuts down.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 func (s *Server) startWorkers() {
 	for i := 0; i < s.cfg.Workers; i++ {
@@ -418,6 +461,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	root := s.newRequestTrace()
+	ingSpan := root.Start("ingest")
 	ingestStart := time.Now()
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	b := mdbgp.NewBuilder(0)
@@ -436,8 +481,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	hash := g.HashString() // hashing is part of the ingest cost
-	s.met.ingestNanos.Add(int64(time.Since(ingestStart)))
-	s.dispatch(w, r, req, g, hash, req.opts.Canonical(), nil)
+	s.met.recordIngest(time.Since(ingestStart))
+	if ingSpan != nil {
+		ingSpan.SetAttr("n", g.N())
+		ingSpan.SetAttr("m", g.M())
+		ingSpan.End()
+	}
+	s.dispatch(w, r, req, g, hash, req.opts.Canonical(), nil, root)
+}
+
+// newRequestTrace opens the root span of one submission, or nil (a no-op
+// observer all the way down) when tracing is off.
+func (s *Server) newRequestTrace() *obs.Span {
+	if s.cfg.DisableTracing {
+		return nil
+	}
+	return obs.NewTrace("request")
 }
 
 // handleDeltaSubmit is the incremental path: the body is an edge delta
@@ -448,6 +507,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // graph. Only a missing base GRAPH is an error (there is nothing to apply
 // the delta to); a missing base SOLUTION never is.
 func (s *Server) handleDeltaSubmit(w http.ResponseWriter, r *http.Request, req submitRequest) {
+	root := s.newRequestTrace()
+	ingSpan := root.Start("ingest")
 	ingestStart := time.Now()
 	s.met.deltaSubmitted.Add(1)
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -523,8 +584,14 @@ func (s *Server) handleDeltaSubmit(w http.ResponseWriter, r *http.Request, req s
 		}
 	}
 	hash := g.HashString() // hashing is part of the ingest cost
-	s.met.ingestNanos.Add(int64(time.Since(ingestStart)))
-	s.dispatch(w, r, req, g, hash, opts.Canonical(), dv)
+	s.met.recordIngest(time.Since(ingestStart))
+	if ingSpan != nil {
+		ingSpan.SetAttr("n", g.N())
+		ingSpan.SetAttr("m", g.M())
+		ingSpan.SetAttr("delta_mode", dv.Mode)
+		ingSpan.End()
+	}
+	s.dispatch(w, r, req, g, hash, opts.Canonical(), dv, root)
 }
 
 // resolveBase maps ?base= to a canonical graph hash: a retained job id
@@ -586,7 +653,7 @@ func (s *Server) countDelta(dv *deltaView) {
 // dispatch runs the shared submit tail for full and delta submissions:
 // content addressing, the base-graph cache, the result-cache fast path,
 // coalescing, and the bounded enqueue.
-func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, req submitRequest, g *mdbgp.Graph, hash string, opts mdbgp.Options, dv *deltaView) {
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, req submitRequest, g *mdbgp.Graph, hash string, opts mdbgp.Options, dv *deltaView, root *obs.Span) {
 	key := cacheKey(hash, req.dimNames, opts)
 	// Every materialized graph becomes a warm-start base for future deltas
 	// (including delta-produced graphs — that is what makes chains work).
@@ -594,18 +661,26 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, req submitRequ
 		s.met.graphEvictions.Add(int64(ev))
 	}
 
+	lookSpan := root.Start("cache-lookup")
+	res, hit := s.cache.get(key)
+	if lookSpan != nil {
+		lookSpan.SetAttr("hit", hit)
+		lookSpan.End()
+	}
+
 	// Cache hit: materialize a completed job so the polling endpoints work
 	// uniformly, and answer immediately.
-	if res, ok := s.cache.get(key); ok {
+	if hit {
 		s.met.jobsSubmitted.Add(1)
 		s.met.recordEngineSubmit(opts.Engine)
 		s.met.cacheHits.Add(1)
 		s.countDelta(dv)
+		root.End()
 		j := &job{
 			id: s.newJobID(key), key: key, graphHash: hash, engine: opts.Engine, dims: req.dims,
 			done: make(chan struct{}), status: StatusDone, cache: "hit",
 			n: g.N(), m: g.M(), delta: dv, submitted: time.Now(),
-			started: time.Now(), finished: time.Now(), res: res,
+			started: time.Now(), finished: time.Now(), res: res, trace: root,
 		}
 		close(j.done)
 		s.mu.Lock()
@@ -643,6 +718,7 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, req submitRequ
 		id: s.newJobID(key), key: key, graphHash: hash, opts: opts, engine: opts.Engine, dims: req.dims,
 		done: make(chan struct{}), status: StatusQueued, cache: "miss",
 		n: g.N(), m: g.M(), delta: dv, submitted: time.Now(), g: g,
+		trace: root, queueSpan: root.Start("queue-wait"),
 	}
 	select {
 	case s.queue <- j:
@@ -755,7 +831,29 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			"assignment":    fmt.Sprintf("/v1/jobs/%s/assignment", v.ID),
 		}
 	}
+	if v.Conv != nil {
+		resp["convergence"] = v.Conv
+	}
+	if j.trace != nil {
+		resp["trace"] = fmt.Sprintf("/v1/jobs/%s/trace", v.ID)
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTrace serves the request's span tree: names, nesting, microsecond
+// timings and attributes, from ingest down to the solver's per-bisection GD
+// spans. It works on running jobs too (a consistent point-in-time snapshot),
+// which is exactly when an operator wants to see where a slow solve is.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	if j.trace == nil {
+		httpError(w, http.StatusNotFound, "no trace for this job (server runs with tracing disabled)")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.trace.Snapshot())
 }
 
 // handleAssignment streams the partition as "vertex part" lines — the same
@@ -785,6 +883,9 @@ func (s *Server) handleAssignment(w http.ResponseWriter, r *http.Request) {
 	bw.Flush()
 }
 
+// handleHealthz is the LIVENESS probe: it only fails once the server has
+// actually been closed. A draining server is still alive — restarting it
+// because it stopped being ready would defeat the graceful drain.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
 	code := http.StatusOK
@@ -799,6 +900,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"queue_capacity": cap(s.queue),
 		"jobs_running":   s.met.jobsRunning.Load(),
 		"gomaxprocs":     runtime.GOMAXPROCS(0),
+	})
+}
+
+// handleReadyz is the READINESS probe: 503 while the server is draining
+// ahead of shutdown (SetDraining) or already down, 200 otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ready", http.StatusOK
+	switch {
+	case s.down.Load():
+		status, code = "shutting down", http.StatusServiceUnavailable
+	case s.draining.Load():
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":      status,
+		"queue_depth": len(s.queue),
 	})
 }
 

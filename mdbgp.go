@@ -90,6 +90,7 @@ import (
 
 	"mdbgp/internal/gen"
 	"mdbgp/internal/graph"
+	"mdbgp/internal/obs"
 	"mdbgp/internal/partition"
 	"mdbgp/internal/project"
 	"mdbgp/internal/reorder"
@@ -107,6 +108,20 @@ type Edge = graph.Edge
 
 // Assignment maps every vertex to one of K parts.
 type Assignment = partition.Assignment
+
+// Span is one timed region of an observability trace (see Options.Observer
+// and NewTrace). A nil *Span is a valid no-op sink.
+type Span = obs.Span
+
+// SpanView is the immutable JSON-ready snapshot of a Span tree, produced by
+// Span.Snapshot.
+type SpanView = obs.SpanView
+
+// NewTrace starts an observability span tree rooted at a span with the given
+// name. Hand the root (or any descendant) to Options.Observer to have the
+// solve record its phases — per-bisection GD, multilevel coarsening and
+// refinement, rounding — underneath it, then export with Span.Snapshot.
+func NewTrace(name string) *Span { return obs.NewTrace(name) }
 
 // NewBuilder returns a graph builder for n vertices (the vertex set grows
 // automatically as edges are added).
@@ -375,6 +390,17 @@ type Options struct {
 	// byte-identical to IncrementalGradient=false). Only used when
 	// IncrementalGradient is set.
 	ResyncEvery int
+	// Observer, when non-nil, is the parent span the solve records its span
+	// tree under: per-bisection GD with sampled convergence telemetry
+	// (locality trajectory, iterations to 90% of final locality), multilevel
+	// coarsen/refine phases, and rounding. Tracing never changes the
+	// partition — span structure and attributes are deterministic for a
+	// fixed Seed at any Parallelism, only durations vary — and it is
+	// deliberately EXCLUDED from Fingerprint and from Canonical's
+	// normalization: a traced and an untraced request must share a
+	// content-addressed cache entry, so an observer must never split cache
+	// keys. Engines without gradient kernels record no engine-level spans.
+	Observer *Span
 }
 
 // ReorderNames lists the accepted Options.Reorder values, "none" first.
@@ -394,7 +420,7 @@ func ValidateReorder(name string) error {
 // documented defaults, and the multilevel knobs are normalized — filled in
 // for the multilevel engine, zeroed otherwise (they have no effect then).
 // Partition(g, o) and Partition(g, o.Canonical()) produce identical results.
-// Weights and Parallelism are passed through untouched.
+// Weights, Parallelism and Observer are passed through untouched.
 func (o Options) Canonical() Options {
 	if o.Engine == "" {
 		o.Engine = DefaultEngine
