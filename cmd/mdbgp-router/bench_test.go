@@ -1,0 +1,153 @@
+package main
+
+import (
+	"net/http"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"mdbgp/internal/server"
+)
+
+// BenchmarkShardedE2E is the sharded-serving benchmark CI gates on: a
+// 2-replica fleet behind the router, mixed traffic to warm the caches, then
+// a replica dies (losing its disk), fails over, restarts empty and
+// self-warms from its peer. Reported metrics:
+//
+//	hit_rate_pre    cache hit rate resubmitting every graph before the restart
+//	hit_rate_post   the same resubmission pass after restart + warming
+//	recovery        hit_rate_post / hit_rate_pre — the gate (>= 0.8)
+//	router_p50_ms   router-path latency for cache-hit requests
+//	router_p99_ms
+//	added_p50_ms    router p50 minus direct-to-replica p50 (the tier's cost)
+//
+//	go test -run '^$' -bench BenchmarkShardedE2E -benchtime 1x ./cmd/mdbgp-router \
+//	  | go run ./cmd/benchjson -out BENCH_sharded.json
+func BenchmarkShardedE2E(b *testing.B) {
+	const graphs = 8
+	bodies := make([][]byte, graphs)
+	for i := range bodies {
+		bodies[i] = testBody(b, int64(300+i))
+	}
+	post := func(url string, body []byte) (map[string]any, time.Duration) {
+		start := time.Now()
+		code, m := postJSON(b, url, body)
+		if code != http.StatusOK && code != http.StatusAccepted {
+			b.Fatalf("submit: status %d (%v)", code, m)
+		}
+		if m["status"] != "done" {
+			b.Fatalf("request did not finish synchronously: %v", m)
+		}
+		return m, time.Since(start)
+	}
+	percentile := func(lat []time.Duration, p int) float64 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		return lat[len(lat)*p/100].Seconds() * 1e3
+	}
+
+	var hitRatePre, hitRatePost, routerP50, routerP99, addedP50 float64
+	b.ResetTimer()
+	for iter := 0; iter < b.N; iter++ {
+		replicaCfg := func(dir string) server.Config {
+			return server.Config{Workers: 2, QueueDepth: 64, CacheDir: dir, TrustHashHeader: true}
+		}
+		h0 := newReplicaHost(replicaCfg(b.TempDir()))
+		h1 := newReplicaHost(replicaCfg(b.TempDir()))
+		_, rts := startRouter(b, []string{h0.ts.URL, h1.ts.URL})
+
+		// Warm: every graph solved once through the router; remember owners.
+		ids := make([]string, graphs)
+		for i, body := range bodies {
+			m, _ := post(rts.URL+"/v1/partition?seed=1&wait=true", body)
+			ids[i] = m["job_id"].(string)
+		}
+
+		// Pre-restart hit pass: rate + router-path hit latency.
+		var routerLat []time.Duration
+		hitsPre := 0.0
+		for _, body := range bodies {
+			m, d := post(rts.URL+"/v1/partition?seed=1&wait=true", body)
+			if m["cache"] == "hit" {
+				hitsPre++
+			}
+			routerLat = append(routerLat, d)
+		}
+		hitRatePre = hitsPre / graphs
+		routerP50 = percentile(routerLat, 50)
+		routerP99 = percentile(routerLat, 99)
+
+		// The same hit requests straight to the owning replica price what the
+		// routing tier adds (edge hashing + proxy + id rewrite).
+		var directLat []time.Duration
+		for i, body := range bodies {
+			replica := h0
+			if strings.HasPrefix(ids[i], "r1-") {
+				replica = h1
+			}
+			m, d := post(replica.ts.URL+"/v1/partition?seed=1&wait=true", body)
+			if m["cache"] != "hit" {
+				b.Fatalf("direct resubmit missed: %v", m)
+			}
+			directLat = append(directLat, d)
+		}
+		addedP50 = routerP50 - percentile(directLat, 50)
+
+		// Disk spills must land before the "disk is lost" restart below, or
+		// the benchmark measures the write-behind race instead of recovery.
+		var r0Keys, r1Keys float64
+		for _, id := range ids {
+			if strings.HasPrefix(id, "r0-") {
+				r0Keys++
+			} else {
+				r1Keys++
+			}
+		}
+		waitMetricAtLeast(b, h0.ts.URL, "mdbgpd_cache_disk_entries", r0Keys)
+		waitMetricAtLeast(b, h1.ts.URL, "mdbgpd_cache_disk_entries", r1Keys)
+
+		// Replica 0 dies; its traffic fails over (cold solves on r1, which
+		// spills them durably — the entries the restarted r0 will pull back).
+		if old := h0.swap(nil); old != nil {
+			old.Close()
+		}
+		var failedOver float64
+		for i, body := range bodies {
+			if !strings.HasPrefix(ids[i], "r0-") {
+				continue
+			}
+			post(rts.URL+"/v1/partition?seed=1&wait=true", body)
+			failedOver++
+		}
+		waitMetricAtLeast(b, h1.ts.URL, "mdbgpd_cache_disk_entries", r1Keys+failedOver)
+
+		// Restart with an empty disk, then self-warm from the peer.
+		s0b := server.New(replicaCfg(b.TempDir()))
+		h0.swap(s0b)
+		if st := s0b.WarmFromPeers(h0.ts.URL, []string{h1.ts.URL}, 4); st.Errors != 0 {
+			b.Fatalf("warming errors: %+v", st)
+		}
+
+		// Post-restart hit pass over the original traffic.
+		hitsPost := 0.0
+		for _, body := range bodies {
+			m, _ := post(rts.URL+"/v1/partition?seed=1&wait=true", body)
+			if m["cache"] == "hit" {
+				hitsPost++
+			}
+		}
+		hitRatePost = hitsPost / graphs
+
+		h0.close()
+		h1.close()
+	}
+	b.StopTimer()
+
+	b.ReportMetric(hitRatePre, "hit_rate_pre")
+	b.ReportMetric(hitRatePost, "hit_rate_post")
+	b.ReportMetric(hitRatePost/hitRatePre, "recovery")
+	b.ReportMetric(routerP50, "router_p50_ms")
+	b.ReportMetric(routerP99, "router_p99_ms")
+	b.ReportMetric(addedP50, "added_p50_ms")
+	b.ReportMetric(graphs, "graphs")
+}

@@ -1,0 +1,511 @@
+// Command mdbgp-router is the thin routing tier in front of a fleet of
+// mdbgpd replicas: it consistent-hashes each submission's canonical graph
+// hash onto the replica ring, so every request for the same graph lands on
+// the same replica and the fleet's caches shard instead of duplicating.
+//
+//	mdbgp-router -addr :9090 -replicas http://a:8080,http://b:8080,http://c:8080
+//
+// The router computes the canonical graph hash ONCE at the edge and forwards
+// it via the X-Mdbgp-Graph-Hash header; replicas started with
+// -trust-hash-header skip re-hashing. Job ids returned to clients are
+// prefixed with the replica index ("r1-j42-ab12cd34"), which is all the
+// state polling needs — the router itself is stateless and restarts freely.
+//
+// Failure handling: a submission that cannot reach its owner (transport
+// error, 502/503/504) retries on the next ring node, so results stay
+// available — at the cost of a cold solve — while a replica restarts; the
+// restarted replica meanwhile refills its cache from disk and peers
+// (see mdbgpd -cache-dir/-peers). 429 backpressure is passed through
+// untouched: shedding load is the replica's decision, not a failure.
+//
+// Deployment note: -replicas order and -vnodes must be identical across
+// router instances and match the member lists given to the replicas'
+// -self/-peers flags — the ring is deterministic, shared agreement on it is
+// what makes edge routing and peer warming pick the same owners.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"mdbgp"
+	"mdbgp/internal/obs"
+	"mdbgp/internal/ring"
+	"mdbgp/internal/server"
+)
+
+func main() {
+	o, err := parseFlags(os.Args[1:])
+	if errors.Is(err, flag.ErrHelp) {
+		return
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdbgp-router: %v\n", err)
+		os.Exit(2)
+	}
+	if err := run(o, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "mdbgp-router: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type routerOptions struct {
+	addr           string
+	replicas       []string
+	vnodes         int
+	healthInterval time.Duration
+	maxBodyBytes   int64
+	logFormat      string
+}
+
+func parseFlags(args []string) (routerOptions, error) {
+	fs := flag.NewFlagSet("mdbgp-router", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":9090", "listen address")
+		replicas  = fs.String("replicas", "", "comma-separated replica base URLs (required); order defines the r<i>- job-id prefixes and must match across router instances")
+		vnodes    = fs.Int("vnodes", ring.DefaultVNodes, "virtual nodes per replica on the consistent-hash ring; must match the replicas' warming configuration")
+		health    = fs.Duration("health-interval", 2*time.Second, "how often to probe each replica's /readyz")
+		maxBodyMB = fs.Int64("max-body-mb", 256, "request body limit in MiB (bodies are buffered to hash and to retry)")
+		logFormat = fs.String("log-format", "text", "structured log encoding: text or json")
+	)
+	if err := fs.Parse(args); err != nil {
+		return routerOptions{}, err
+	}
+	if fs.NArg() > 0 {
+		return routerOptions{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	var list []string
+	for _, r := range strings.Split(*replicas, ",") {
+		if r = strings.TrimRight(strings.TrimSpace(r), "/"); r != "" {
+			list = append(list, r)
+		}
+	}
+	if len(list) == 0 {
+		return routerOptions{}, errors.New("-replicas is required")
+	}
+	if *logFormat != "text" && *logFormat != "json" {
+		return routerOptions{}, fmt.Errorf("bad -log-format %q (want text or json)", *logFormat)
+	}
+	return routerOptions{
+		addr: *addr, replicas: list, vnodes: *vnodes,
+		healthInterval: *health, maxBodyBytes: *maxBodyMB << 20,
+		logFormat: *logFormat,
+	}, nil
+}
+
+// routerMetrics is the router's own observability: proxy counters plus the
+// latency the router ADDS (hashing + proxying) on top of replica time.
+type routerMetrics struct {
+	requests    atomic.Int64 // requests received on proxied routes
+	proxied     atomic.Int64 // upstream calls attempted
+	retries     atomic.Int64 // failovers to the next ring node
+	errors      atomic.Int64 // requests that exhausted every candidate replica
+	badRequests atomic.Int64 // rejected at the edge (parse errors, unknown ids)
+
+	hashHist    *obs.Histogram // edge hashing (canonicalize + hash) per submission
+	requestHist *obs.Histogram // total router-side time per proxied request
+}
+
+type router struct {
+	opts    routerOptions
+	ring    *ring.Ring
+	index   map[string]int // replica URL -> position in opts.replicas
+	healthy []atomic.Bool
+	client  *http.Client
+	log     *slog.Logger
+	met     routerMetrics
+	mux     *http.ServeMux
+	quit    chan struct{}
+}
+
+func newRouter(o routerOptions, logger *slog.Logger) *router {
+	rt := &router{
+		opts:    o,
+		ring:    ring.New(o.replicas, o.vnodes),
+		index:   make(map[string]int, len(o.replicas)),
+		healthy: make([]atomic.Bool, len(o.replicas)),
+		client:  &http.Client{Timeout: 5 * time.Minute},
+		log:     logger,
+		mux:     http.NewServeMux(),
+		quit:    make(chan struct{}),
+	}
+	for i, r := range o.replicas {
+		rt.index[r] = i
+		rt.healthy[i].Store(true) // optimistic until the first probe says otherwise
+	}
+	rt.met.hashHist = obs.NewHistogram(nil)
+	rt.met.requestHist = obs.NewHistogram(nil)
+	rt.mux.HandleFunc("POST /v1/partition", rt.handleSubmit)
+	rt.mux.HandleFunc("GET /v1/jobs/", rt.handleJobs)
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	go rt.healthLoop()
+	return rt
+}
+
+func (rt *router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
+
+func (rt *router) close() { close(rt.quit) }
+
+// healthLoop probes every replica's /readyz on a fixed cadence. Health is
+// advisory — it reorders candidates so the first try usually succeeds — not
+// load-bearing: the per-request failover handles the probe being stale.
+func (rt *router) healthLoop() {
+	probe := &http.Client{Timeout: 2 * time.Second}
+	tick := time.NewTicker(rt.opts.healthInterval)
+	defer tick.Stop()
+	for {
+		for i, replica := range rt.opts.replicas {
+			up := false
+			if resp, err := probe.Get(replica + "/readyz"); err == nil {
+				up = resp.StatusCode == http.StatusOK
+				resp.Body.Close()
+			}
+			if rt.healthy[i].Swap(up) != up {
+				rt.log.Info("replica health changed", slog.String("replica", replica), slog.Bool("up", up))
+			}
+		}
+		select {
+		case <-rt.quit:
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// jobPrefix is the router-side job-id namespace: r<i>- identifies which
+// replica issued the id, which is all polling needs to route.
+func jobPrefix(i int) string { return fmt.Sprintf("r%d-", i) }
+
+// splitPrefixed parses "r<i>-<replica job id>"; ok is false when the id does
+// not carry a router prefix naming a known replica.
+func (rt *router) splitPrefixed(id string) (i int, rest string, ok bool) {
+	if !strings.HasPrefix(id, "r") {
+		return 0, "", false
+	}
+	dash := strings.IndexByte(id, '-')
+	if dash < 2 {
+		return 0, "", false
+	}
+	n, err := strconv.Atoi(id[1:dash])
+	if err != nil || n < 0 || n >= len(rt.opts.replicas) || dash+1 >= len(id) {
+		return 0, "", false
+	}
+	return n, id[dash+1:], true
+}
+
+// candidates is the failover order for a graph hash: the ring sequence with
+// unhealthy replicas demoted to the back — tried only after every healthy
+// candidate failed, because a stale "down" must never make a request
+// unroutable.
+func (rt *router) candidates(hash string) []string {
+	seq := rt.ring.Seq(hash)
+	out := make([]string, 0, len(seq))
+	var down []string
+	for _, m := range seq {
+		if rt.healthy[rt.index[m]].Load() {
+			out = append(out, m)
+		} else {
+			down = append(down, m)
+		}
+	}
+	return append(out, down...)
+}
+
+// retryableStatus reports upstream statuses that mean "this replica cannot
+// serve right now" rather than "this request is wrong": the failover cases.
+// 429 is deliberately NOT here — backpressure is a replica-owned decision
+// that must reach the client untouched.
+func retryableStatus(code int) bool {
+	return code == http.StatusBadGateway || code == http.StatusServiceUnavailable || code == http.StatusGatewayTimeout
+}
+
+func (rt *router) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	rt.met.requests.Add(1)
+	start := time.Now()
+	defer func() { rt.met.requestHist.Observe(time.Since(start)) }()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.opts.maxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		code := http.StatusBadRequest
+		if errors.As(err, &tooBig) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		rt.met.badRequests.Add(1)
+		httpError(w, code, err.Error())
+		return
+	}
+
+	q := r.URL.Query()
+	if base := q.Get("base"); base != "" {
+		rt.proxyDelta(w, r, base, body)
+		return
+	}
+
+	// Full submission: canonicalize + hash once, here at the edge. The hash
+	// both picks the replica and rides the trusted header so the replica
+	// skips its own hash pass. Parse errors die at the edge with a 400
+	// instead of burning a replica round trip.
+	hashStart := time.Now()
+	b := mdbgp.NewBuilder(0)
+	if err := mdbgp.ReadEdgeListInto(b, bytes.NewReader(body), 0); err != nil {
+		rt.met.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	g := b.Build()
+	if g.N() == 0 || g.M() == 0 {
+		rt.met.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, "empty graph: body must contain at least one 'u v' edge line")
+		return
+	}
+	hash := g.HashString()
+	rt.met.hashHist.Observe(time.Since(hashStart))
+
+	header := http.Header{server.GraphHashHeader: []string{hash}}
+	rt.forwardWithFailover(w, r, rt.candidates(hash), "/v1/partition?"+r.URL.RawQuery, body, header)
+}
+
+// proxyDelta routes a ?base= submission. A router-prefixed base pins the
+// request to the replica that retains the base job (and its cached graph);
+// a bare canonical hash routes by ring like a full submission — the owner is
+// where the base graph lives.
+func (rt *router) proxyDelta(w http.ResponseWriter, r *http.Request, base string, body []byte) {
+	q := r.URL.Query()
+	if i, rest, ok := rt.splitPrefixed(base); ok {
+		q.Set("base", rest)
+		// No failover: only this replica holds the retained base job. If it
+		// is down the client gets the replica's error and resubmits the full
+		// graph — exactly what the daemon's own 404/410 contract says.
+		rt.forwardWithFailover(w, r, []string{rt.opts.replicas[i]}, "/v1/partition?"+q.Encode(), body, nil)
+		return
+	}
+	if len(base) == 64 {
+		rt.forwardWithFailover(w, r, rt.candidates(strings.ToLower(base)), "/v1/partition?"+q.Encode(), body, nil)
+		return
+	}
+	rt.met.badRequests.Add(1)
+	httpError(w, http.StatusBadRequest, fmt.Sprintf("base %q is not a router job id (r<i>-...) or a 64-hex graph hash", base))
+}
+
+// forwardWithFailover tries each candidate replica in order until one
+// answers with a non-retryable status, then rewrites the response's job ids
+// into the router's prefixed namespace.
+func (rt *router) forwardWithFailover(w http.ResponseWriter, r *http.Request, cands []string, pathAndQuery string, body []byte, header http.Header) {
+	var lastErr string
+	for attempt, replica := range cands {
+		if attempt > 0 {
+			rt.met.retries.Add(1)
+		}
+		rt.met.proxied.Add(1)
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, replica+pathAndQuery, bytes.NewReader(body))
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		for k, vs := range header {
+			req.Header[k] = vs
+		}
+		if ct := r.Header.Get("Content-Type"); ct != "" {
+			req.Header.Set("Content-Type", ct)
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			lastErr = err.Error()
+			rt.log.Warn("replica unreachable", slog.String("replica", replica), slog.String("error", lastErr))
+			continue
+		}
+		respBody, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err.Error()
+			continue
+		}
+		if retryableStatus(resp.StatusCode) {
+			lastErr = fmt.Sprintf("%s answered %d", replica, resp.StatusCode)
+			continue
+		}
+		rt.writeProxied(w, resp, respBody, rt.index[replica])
+		return
+	}
+	rt.met.errors.Add(1)
+	httpError(w, http.StatusBadGateway, "no replica could serve the request: "+lastErr)
+}
+
+// writeProxied relays an upstream response, translating the replica's job id
+// into the router's prefixed namespace everywhere it appears (the id field
+// itself plus the assignment/trace URLs that embed it).
+func (rt *router) writeProxied(w http.ResponseWriter, resp *http.Response, body []byte, replica int) {
+	var probe struct {
+		JobID string `json:"job_id"`
+		ID    string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &probe); err == nil {
+		id := probe.JobID
+		if id == "" {
+			id = probe.ID
+		}
+		if id != "" && !strings.HasPrefix(id, jobPrefix(replica)) {
+			body = bytes.ReplaceAll(body, []byte(id), []byte(jobPrefix(replica)+id))
+		}
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+}
+
+// handleJobs proxies the polling surface: /v1/jobs/{rid}[/assignment|/trace]
+// where rid = r<i>-<replica job id>. The prefix alone picks the replica.
+func (rt *router) handleJobs(w http.ResponseWriter, r *http.Request) {
+	rt.met.requests.Add(1)
+	start := time.Now()
+	defer func() { rt.met.requestHist.Observe(time.Since(start)) }()
+
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	id, tail, _ := strings.Cut(rest, "/")
+	i, realID, ok := rt.splitPrefixed(id)
+	if !ok {
+		rt.met.badRequests.Add(1)
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q: router job ids look like r<i>-j...", id))
+		return
+	}
+	path := "/v1/jobs/" + realID
+	if tail != "" {
+		path += "/" + tail
+	}
+	rt.met.proxied.Add(1)
+	resp, err := rt.client.Get(rt.opts.replicas[i] + path)
+	if err != nil {
+		rt.met.errors.Add(1)
+		httpError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		rt.met.errors.Add(1)
+		httpError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	// The replica talks about its own id; the client knows the prefixed one.
+	body = bytes.ReplaceAll(body, []byte(realID), []byte(id))
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+}
+
+// handleHealthz is liveness: the router process itself.
+func (rt *router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "replicas": len(rt.opts.replicas)})
+}
+
+// handleReadyz is readiness: the router can serve only if some replica can.
+func (rt *router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	up := 0
+	for i := range rt.healthy {
+		if rt.healthy[i].Load() {
+			up++
+		}
+	}
+	status, code := "ready", http.StatusOK
+	if up == 0 {
+		status, code = "no healthy replicas", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{"status": status, "replicas_up": up, "replicas": len(rt.opts.replicas)})
+}
+
+func (rt *router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("mdbgp_router_requests_total", "Requests received on proxied routes.", rt.met.requests.Load())
+	counter("mdbgp_router_proxied_total", "Upstream replica calls attempted.", rt.met.proxied.Load())
+	counter("mdbgp_router_retries_total", "Failovers to the next ring node.", rt.met.retries.Load())
+	counter("mdbgp_router_errors_total", "Requests that exhausted every candidate replica.", rt.met.errors.Load())
+	counter("mdbgp_router_bad_requests_total", "Requests rejected at the edge (parse errors, unknown ids).", rt.met.badRequests.Load())
+	fmt.Fprintf(&b, "# HELP mdbgp_router_replica_up Replica readiness as of the last probe.\n# TYPE mdbgp_router_replica_up gauge\n")
+	for i, replica := range rt.opts.replicas {
+		up := 0
+		if rt.healthy[i].Load() {
+			up = 1
+		}
+		fmt.Fprintf(&b, "mdbgp_router_replica_up{replica=%q} %d\n", replica, up)
+	}
+	fmt.Fprintf(&b, "# HELP mdbgp_router_hash_seconds Edge-side canonicalize+hash time per full submission.\n# TYPE mdbgp_router_hash_seconds histogram\n")
+	obs.WritePromHistogram(&b, "mdbgp_router_hash_seconds", "", rt.met.hashHist.Snapshot())
+	fmt.Fprintf(&b, "# HELP mdbgp_router_request_seconds Router-side time per proxied request (hashing + upstream + rewrite).\n# TYPE mdbgp_router_request_seconds histogram\n")
+	obs.WritePromHistogram(&b, "mdbgp_router_request_seconds", "", rt.met.requestHist.Snapshot())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]any{"error": msg})
+}
+
+// run boots the router and blocks until SIGINT/SIGTERM or a serve error.
+// ready, when non-nil, receives the bound address once listening.
+func run(o routerOptions, ready chan<- string) error {
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if o.logFormat == "json" {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	rt := newRouter(o, logger)
+	defer rt.close()
+	httpSrv := &http.Server{Addr: o.addr, Handler: rt}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	logger.Info("routing", slog.String("addr", ln.Addr().String()), slog.Int("replicas", len(o.replicas)), slog.Int("vnodes", o.vnodes))
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case s := <-sig:
+		logger.Info("shutting down", slog.String("signal", s.String()))
+		return httpSrv.Close()
+	}
+}

@@ -1,0 +1,349 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mdbgp"
+	"mdbgp/internal/server"
+)
+
+// replicaHost is a restartable replica slot: the httptest listener (and so
+// the URL the router knows) survives while the server behind it is killed
+// and replaced — the e2e analogue of a daemon restarting on a stable address.
+type replicaHost struct {
+	mu sync.Mutex
+	s  *server.Server
+	ts *httptest.Server
+}
+
+func newReplicaHost(cfg server.Config) *replicaHost {
+	h := &replicaHost{s: server.New(cfg)}
+	h.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.mu.Lock()
+		s := h.s
+		h.mu.Unlock()
+		if s == nil {
+			// Dead replica: connection-level realism is not needed — the
+			// router treats 503 and a refused connection identically.
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		s.ServeHTTP(w, r)
+	}))
+	return h
+}
+
+// swap replaces the server behind the URL (nil = dead) and returns the old one.
+func (h *replicaHost) swap(s *server.Server) *server.Server {
+	h.mu.Lock()
+	old := h.s
+	h.s = s
+	h.mu.Unlock()
+	return old
+}
+
+func (h *replicaHost) close() {
+	if old := h.swap(nil); old != nil {
+		old.Close()
+	}
+	h.ts.Close()
+}
+
+func testBody(tb testing.TB, seed int64) []byte {
+	tb.Helper()
+	g, _ := mdbgp.GenerateSocialGraph(mdbgp.SocialGraphConfig{
+		N: 400, Communities: 4, AvgDegree: 8, InFraction: 0.85, Seed: seed,
+	})
+	var buf bytes.Buffer
+	if err := mdbgp.WriteEdgeList(&buf, g); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func postJSON(tb testing.TB, url string, body []byte) (int, map[string]any) {
+	tb.Helper()
+	resp, err := http.Post(url, "text/plain", bytes.NewReader(body))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		tb.Fatalf("decoding %s: %v", url, err)
+	}
+	return resp.StatusCode, m
+}
+
+func getBody(tb testing.TB, url string) (int, []byte) {
+	tb.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// scrapeMetric reads one unlabeled metric value from url+"/metrics".
+func scrapeMetric(tb testing.TB, baseURL, name string) float64 {
+	tb.Helper()
+	code, body := getBody(tb, baseURL+"/metrics")
+	if code != http.StatusOK {
+		tb.Fatalf("metrics scrape: status %d", code)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			var v float64
+			fmt.Sscanf(line, name+" %g", &v)
+			return v
+		}
+	}
+	return 0
+}
+
+// waitMetricAtLeast polls a metric until it reaches want (write-behind disk
+// spills land asynchronously).
+func waitMetricAtLeast(tb testing.TB, baseURL, name string, want float64) {
+	tb.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if scrapeMetric(tb, baseURL, name) >= want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	tb.Fatalf("%s never reached %g on %s", name, want, baseURL)
+}
+
+func startRouter(tb testing.TB, replicas []string) (*router, *httptest.Server) {
+	tb.Helper()
+	rt := newRouter(routerOptions{
+		replicas:       replicas,
+		vnodes:         0, // ring default — must match WarmFromPeers' ring
+		healthInterval: 50 * time.Millisecond,
+		maxBodyBytes:   64 << 20,
+	}, slog.New(slog.DiscardHandler))
+	ts := httptest.NewServer(rt)
+	tb.Cleanup(func() { ts.Close(); rt.close() })
+	return rt, ts
+}
+
+// TestShardedRouterE2E drives the full sharded-serving story through real
+// HTTP: ring routing with edge hashing, id-prefixed job polling, delta
+// routing, replica failure with ring failover, restart with an empty cache
+// dir, peer self-warming, and byte-identical results throughout.
+func TestShardedRouterE2E(t *testing.T) {
+	const graphs = 10
+	replicaCfg := func(dir string) server.Config {
+		return server.Config{Workers: 2, QueueDepth: 64, CacheDir: dir, TrustHashHeader: true}
+	}
+	h0 := newReplicaHost(replicaCfg(t.TempDir()))
+	h1 := newReplicaHost(replicaCfg(t.TempDir()))
+	t.Cleanup(func() { h0.close(); h1.close() })
+	_, rts := startRouter(t, []string{h0.ts.URL, h1.ts.URL})
+
+	// Phase 1: distinct graphs shard across the fleet; record who owns what
+	// and the exact result bytes.
+	bodies := make([][]byte, graphs)
+	ids := make([]string, graphs)
+	asn := make([][]byte, graphs)
+	perReplica := map[string]int{}
+	for i := range bodies {
+		bodies[i] = testBody(t, int64(100+i))
+		code, m := postJSON(t, rts.URL+"/v1/partition?seed=1&wait=true", bodies[i])
+		if code != http.StatusOK && code != http.StatusAccepted {
+			t.Fatalf("graph %d: status %d (%v)", i, code, m)
+		}
+		if m["status"] != "done" {
+			t.Fatalf("graph %d did not finish synchronously: %v", i, m)
+		}
+		ids[i] = m["job_id"].(string)
+		if !strings.HasPrefix(ids[i], "r0-") && !strings.HasPrefix(ids[i], "r1-") {
+			t.Fatalf("job id %q lacks a replica prefix", ids[i])
+		}
+		perReplica[ids[i][:3]]++
+		code, body := getBody(t, rts.URL+"/v1/jobs/"+ids[i]+"/assignment")
+		if code != http.StatusOK {
+			t.Fatalf("assignment %s: status %d", ids[i], code)
+		}
+		asn[i] = body
+	}
+	if perReplica["r0-"] == 0 || perReplica["r1-"] == 0 {
+		t.Fatalf("routing is degenerate: %v — every graph landed on one replica", perReplica)
+	}
+
+	// Phase 2: repeats are cache hits on the same replica (stable routing).
+	for i := range bodies {
+		code, m := postJSON(t, rts.URL+"/v1/partition?seed=1&wait=true", bodies[i])
+		if code != http.StatusOK || m["cache"] != "hit" {
+			t.Fatalf("repeat %d: status %d cache %v, want 200 hit", i, code, m["cache"])
+		}
+		if got := m["job_id"].(string)[:3]; got != ids[i][:3] {
+			t.Fatalf("repeat %d routed to %s, originally %s", i, got, ids[i][:3])
+		}
+	}
+
+	// Phase 3: a delta against a router-prefixed base id routes to the
+	// replica retaining the base job.
+	code, dm := postJSON(t, rts.URL+"/v1/partition?seed=1&wait=true&base="+ids[0], []byte("+0 399\n"))
+	if code != http.StatusOK && code != http.StatusAccepted {
+		t.Fatalf("delta submit: status %d (%v)", code, dm)
+	}
+	if dm["status"] != "done" {
+		t.Fatalf("delta did not finish: %v", dm)
+	}
+	deltaID := dm["job_id"].(string)
+	if deltaID[:3] != ids[0][:3] {
+		t.Fatalf("delta routed to %s, base job lives on %s", deltaID[:3], ids[0][:3])
+	}
+	// Polling an unknown/unprefixed id fails cleanly at the edge.
+	if code, _ := getBody(t, rts.URL+"/v1/jobs/nonsense"); code != http.StatusNotFound {
+		t.Fatalf("unknown job id: status %d, want 404", code)
+	}
+
+	// Wait for write-behind spills to land before killing anything.
+	var r0Keys, r1Keys float64
+	for i := range ids {
+		if strings.HasPrefix(ids[i], "r0-") {
+			r0Keys++
+		} else {
+			r1Keys++
+		}
+	}
+	deltaOnR0 := strings.HasPrefix(deltaID, "r0-")
+	if deltaOnR0 {
+		r0Keys++
+	} else {
+		r1Keys++
+	}
+	waitMetricAtLeast(t, h0.ts.URL, "mdbgpd_cache_disk_entries", r0Keys)
+	waitMetricAtLeast(t, h1.ts.URL, "mdbgpd_cache_disk_entries", r1Keys)
+
+	// Phase 4: kill replica 0. Its traffic fails over to the next ring node
+	// and — determinism — produces byte-identical results there.
+	if old := h0.swap(nil); old != nil {
+		old.Close()
+	}
+	retriesBefore := scrapeMetric(t, rts.URL, "mdbgp_router_retries_total")
+	var failedOver float64
+	for i := range bodies {
+		if !strings.HasPrefix(ids[i], "r0-") {
+			continue
+		}
+		code, m := postJSON(t, rts.URL+"/v1/partition?seed=1&wait=true", bodies[i])
+		if code != http.StatusOK && code != http.StatusAccepted {
+			t.Fatalf("failover submit %d: status %d (%v)", i, code, m)
+		}
+		fid := m["job_id"].(string)
+		if !strings.HasPrefix(fid, "r1-") {
+			t.Fatalf("failover solve %d landed on %s, want r1-", i, fid[:3])
+		}
+		if _, body := getBody(t, rts.URL+"/v1/jobs/"+fid+"/assignment"); !bytes.Equal(body, asn[i]) {
+			t.Fatalf("failover result for graph %d is not byte-identical", i)
+		}
+		failedOver++
+	}
+	if failedOver == 0 {
+		t.Fatal("no graph was owned by replica 0; routing fixture is degenerate")
+	}
+	if got := scrapeMetric(t, rts.URL, "mdbgp_router_retries_total"); got <= retriesBefore {
+		t.Fatalf("router reported no retries across a dead replica (%g -> %g)", retriesBefore, got)
+	}
+	// The failover solves landed on r1's durable tier (they are r0's keys on
+	// the ring — exactly what the restarted r0 will pull back).
+	waitMetricAtLeast(t, h1.ts.URL, "mdbgpd_cache_disk_entries", r1Keys+failedOver)
+
+	// Phase 5: replica 0 restarts with an EMPTY cache dir (disk lost, the
+	// worst case) and self-warms its ring-owned keys from its peer.
+	s0b := server.New(replicaCfg(t.TempDir()))
+	h0.swap(s0b)
+	st := s0b.WarmFromPeers(h0.ts.URL, []string{h1.ts.URL}, 4)
+	if st.Errors != 0 {
+		t.Fatalf("warming errors: %+v", st)
+	}
+	if float64(st.Fetched) < failedOver {
+		t.Fatalf("warming fetched %d entries, want at least the %g failed-over keys", st.Fetched, failedOver)
+	}
+	// Health is advisory but ordering-relevant: until the router's next probe
+	// sees the restarted replica, its traffic would still prefer the peer.
+	waitMetricAtLeast(t, rts.URL, fmt.Sprintf("mdbgp_router_replica_up{replica=%q}", h0.ts.URL), 1)
+
+	// Post-restart: every original graph is a cache hit — r0's from the
+	// warmed disk tier, r1's untouched — and results match bit for bit.
+	hits := 0
+	for i := range bodies {
+		code, m := postJSON(t, rts.URL+"/v1/partition?seed=1&wait=true", bodies[i])
+		if code == http.StatusOK && m["cache"] == "hit" {
+			hits++
+		}
+		if got := m["job_id"].(string)[:3]; got != ids[i][:3] {
+			t.Fatalf("post-restart graph %d routed to %s, originally %s", i, got, ids[i][:3])
+		}
+		if _, body := getBody(t, rts.URL+"/v1/jobs/"+m["job_id"].(string)+"/assignment"); !bytes.Equal(body, asn[i]) {
+			t.Fatalf("post-restart result for graph %d is not byte-identical", i)
+		}
+	}
+	if float64(hits) < 0.8*graphs {
+		t.Fatalf("post-restart hit rate %d/%d, want >= 80%%", hits, graphs)
+	}
+	if diskHits := scrapeMetric(t, h0.ts.URL, "mdbgpd_cache_disk_hits_total"); diskHits == 0 {
+		t.Fatal("restarted replica served no disk-tier hits; warming did not take")
+	}
+}
+
+// TestRouterFlagValidation covers the edge cases of parseFlags.
+func TestRouterFlagValidation(t *testing.T) {
+	if _, err := parseFlags([]string{}); err == nil {
+		t.Fatal("missing -replicas accepted")
+	}
+	if _, err := parseFlags([]string{"-replicas", "http://a:1,http://b:2", "extra"}); err == nil {
+		t.Fatal("stray arguments accepted")
+	}
+	o, err := parseFlags([]string{"-replicas", " http://a:1/ , http://b:2 "})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.replicas) != 2 || o.replicas[0] != "http://a:1" || o.replicas[1] != "http://b:2" {
+		t.Fatalf("replica list not normalized: %v", o.replicas)
+	}
+}
+
+// TestSplitPrefixed pins the router's job-id namespace parsing.
+func TestSplitPrefixed(t *testing.T) {
+	rt := &router{opts: routerOptions{replicas: []string{"a", "b"}}}
+	cases := []struct {
+		id   string
+		i    int
+		rest string
+		ok   bool
+	}{
+		{"r0-j1-abcd", 0, "j1-abcd", true},
+		{"r1-j22-gd2:ab12", 1, "j22-gd2:ab12", true},
+		{"r2-j1-abcd", 0, "", false}, // no replica 2
+		{"j1-abcd", 0, "", false},
+		{"r-j1", 0, "", false},
+		{"r0-", 0, "", false},
+		{"", 0, "", false},
+	}
+	for _, c := range cases {
+		i, rest, ok := rt.splitPrefixed(c.id)
+		if i != c.i || rest != c.rest || ok != c.ok {
+			t.Fatalf("splitPrefixed(%q) = (%d, %q, %v), want (%d, %q, %v)", c.id, i, rest, ok, c.i, c.rest, c.ok)
+		}
+	}
+}

@@ -76,6 +76,9 @@ type daemonOptions struct {
 	pprofAddr  string        // "" = pprof off
 	logFormat  string        // "text" or "json"
 	drainGrace time.Duration // how long /readyz says 503 before Shutdown starts
+	self       string        // this replica's ring identity (its routable base URL)
+	peers      []string      // peer base URLs to warm the disk tier from at startup
+	warmConc   int           // concurrent peer fetches during warming
 }
 
 // parseFlags maps the command line onto daemonOptions.
@@ -100,6 +103,11 @@ func parseFlags(args []string) (daemonOptions, error) {
 		slow        = fs.Duration("slow", 0, "solve duration above which a job is logged at Warn (0 = 2s default, negative disables)")
 		noTrace     = fs.Bool("no-trace", false, "disable per-request span traces (and GET /v1/jobs/{id}/trace)")
 		drainGrace  = fs.Duration("drain-grace", 0, "after SIGTERM, keep serving with /readyz=503 this long before closing the listener")
+		cacheDir    = fs.String("cache-dir", "", "directory for the durable result-cache tier (empty = memory-only); completed results spill here and survive restarts")
+		trustHash   = fs.Bool("trust-hash-header", false, "accept "+server.GraphHashHeader+" as the canonical graph hash; enable ONLY behind a trusted router (cmd/mdbgp-router)")
+		self        = fs.String("self", "", "this replica's base URL as the routing tier knows it (its consistent-hash ring identity); required with -peers")
+		peers       = fs.String("peers", "", "comma-separated peer base URLs to warm the -cache-dir tier from at startup")
+		warmConc    = fs.Int("warm-concurrency", 4, "concurrent peer fetches during startup cache warming")
 	)
 	if err := fs.Parse(args); err != nil {
 		return daemonOptions{}, err
@@ -112,6 +120,29 @@ func parseFlags(args []string) (daemonOptions, error) {
 	}
 	if *logFormat != "text" && *logFormat != "json" {
 		return daemonOptions{}, fmt.Errorf("bad -log-format %q (want text or json)", *logFormat)
+	}
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	// Warming constraints fail fast at flag time, not as a silent no-op at
+	// startup: peers without a ring identity cannot resolve ownership, and
+	// without a durable tier there is nowhere to put what warming fetches.
+	if len(peerList) > 0 && *self == "" {
+		return daemonOptions{}, errors.New("-peers requires -self (this replica's ring identity)")
+	}
+	if len(peerList) > 0 && *cacheDir == "" {
+		return daemonOptions{}, errors.New("-peers requires -cache-dir (warming fills the durable tier)")
+	}
+	if *cacheDir != "" {
+		// Fail fast on an unusable cache dir (typo, permissions): the server
+		// itself degrades to memory-only on open errors, which is right for a
+		// library but wrong for an operator who explicitly asked for it.
+		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+			return daemonOptions{}, fmt.Errorf("-cache-dir: %w", err)
+		}
 	}
 	d := daemonOptions{
 		cfg: server.Config{
@@ -129,11 +160,16 @@ func parseFlags(args []string) (daemonOptions, error) {
 			Reorder:           *reorderDef,
 			SlowRequest:       *slow,
 			DisableTracing:    *noTrace,
+			CacheDir:          *cacheDir,
+			TrustHashHeader:   *trustHash,
 		},
 		addr:       *addr,
 		pprofAddr:  *pprofAddr,
 		logFormat:  *logFormat,
 		drainGrace: *drainGrace,
+		self:       *self,
+		peers:      peerList,
+		warmConc:   *warmConc,
 	}
 	if *maxChurn == 0 {
 		// The Config zero value means "use the 25% default"; an operator
@@ -206,6 +242,12 @@ func run(d daemonOptions, ready chan<- string) error {
 		slog.Bool("tracing", !eff.DisableTracing))
 	if ready != nil {
 		ready <- ln.Addr().String()
+	}
+	if len(d.peers) > 0 {
+		// Self-warming runs behind the listener, not before it: the replica
+		// serves (read-through finds entries as they land) while it pulls its
+		// ring-owned keys from neighbors.
+		go svc.WarmFromPeers(d.self, d.peers, d.warmConc)
 	}
 
 	errc := make(chan error, 1)

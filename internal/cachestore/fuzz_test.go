@@ -1,0 +1,44 @@
+package cachestore
+
+import (
+	"bytes"
+	"testing"
+
+	"mdbgp"
+)
+
+// FuzzDecodeEntry drives the on-disk entry decoder with arbitrary bytes: it
+// must never panic or over-allocate, and whenever it does accept an input,
+// the decode must be canonical — re-encoding the decoded entry reproduces
+// the input byte for byte (the format allows no trailing garbage and no
+// redundant spellings, which is what lets quarantine decisions be exact).
+func FuzzDecodeEntry(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	good := EncodeEntry("gd2:abcd:vertices,edges:fp1", &mdbgp.Result{
+		Assignment:   &mdbgp.Assignment{Parts: []int32{0, 1, 1, 0, 2}, K: 3},
+		EdgeLocality: 0.875,
+		CutEdges:     12,
+		Imbalances:   []float64{0.01, 0.04},
+	})
+	f.Add(good)
+	f.Add(good[:len(good)-1])
+	f.Add(good[:len(good)/2])
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/3] ^= 0x10
+	f.Add(flipped)
+	f.Add(EncodeEntry("", &mdbgp.Result{Assignment: &mdbgp.Assignment{K: 1}}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		key, res, err := DecodeEntry(data)
+		if err != nil {
+			return
+		}
+		if res == nil || res.Assignment == nil {
+			t.Fatal("successful decode returned a nil result")
+		}
+		if !bytes.Equal(EncodeEntry(key, res), data) {
+			t.Fatalf("decode accepted a non-canonical encoding (%d bytes)", len(data))
+		}
+	})
+}

@@ -1,0 +1,491 @@
+// Package cachestore is the durable disk tier of the daemon's
+// content-addressed result cache: one checksummed file per cache key under a
+// directory the operator names with -cache-dir. Results are deterministic
+// for a fixed key (EngineVersion + graph hash + dims + options fingerprint),
+// so an entry written once is valid forever within an engine generation —
+// the store never needs invalidation logic beyond the version prefix already
+// baked into every key.
+//
+// Durability posture:
+//
+//   - Writes are write-behind: Put enqueues onto a bounded channel drained by
+//     one writer goroutine, so the serving hot path never blocks on disk. A
+//     full queue drops the spill (counted) — a dropped spill is a future
+//     cache miss, not an error.
+//   - Every write is atomic: encode to <name>.tmp, then rename onto the final
+//     <name>.mdc. A crash mid-write leaves only a tmp file, which Open sweeps;
+//     readers can never observe a torn entry under the final name.
+//   - Every entry is checksummed (SHA-256 over the full header+payload) and
+//     self-describing (the entry stores its own key). Get verifies both; any
+//     mismatch — truncation, bit rot, a key collision on the file name —
+//     quarantines the file under quarantine/ and reports a miss instead of
+//     crashing or serving garbage.
+//   - Reads are lazy: nothing is loaded at Open beyond a size scan, so a
+//     restarted daemon recovers its hit rate entry by entry as traffic asks
+//     for it, with no warm-up storm.
+package cachestore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"mdbgp"
+)
+
+// magic heads every entry file; the trailing version byte ("1") changes if
+// the layout ever does, so old files fail fast instead of misparsing.
+const magic = "MDBGPC1\n"
+
+// maxKeyLen bounds the stored-key length the decoder will allocate for. Real
+// keys (engine version + graph hash + dims + fingerprint) are ~150 bytes;
+// anything near the bound is corrupt.
+const maxKeyLen = 4096
+
+// quarantineDir is the subdirectory corrupt entries are moved into.
+const quarantineDir = "quarantine"
+
+// Store is the on-disk cache tier. Open creates it; all methods are safe for
+// concurrent use. The zero value is not usable.
+type Store struct {
+	dir string
+
+	queue  chan writeReq
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	// seq disambiguates quarantine file names when the same entry is
+	// quarantined twice (e.g. two concurrent readers hitting the same corrupt
+	// file).
+	seq atomic.Int64
+
+	hits    atomic.Int64
+	misses  atomic.Int64
+	errors  atomic.Int64 // decode/IO failures, including quarantines and dropped spills
+	bytes   atomic.Int64 // bytes currently held by entry files
+	entries atomic.Int64 // entry files currently on disk
+}
+
+type writeReq struct {
+	key  string
+	data []byte
+}
+
+// Open prepares dir as a cache store: creates it (and its quarantine
+// subdirectory) if missing, sweeps torn .tmp files left by a crash mid-write,
+// and totals the existing entries for the byte gauge. No entry payloads are
+// read — recovery is lazy, on first Get of each key.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, quarantineDir), 0o755); err != nil {
+		return nil, fmt.Errorf("cachestore: %w", err)
+	}
+	s := &Store{dir: dir, queue: make(chan writeReq, 256)}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("cachestore: %w", err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			// A crash between create and rename left a torn temp file; it was
+			// never visible under a final name, so removal loses nothing.
+			os.Remove(filepath.Join(dir, name))
+		case strings.HasSuffix(name, ".mdc"):
+			if info, err := e.Info(); err == nil {
+				s.bytes.Add(info.Size())
+				s.entries.Add(1)
+			}
+		}
+	}
+	s.wg.Add(1)
+	go s.writer()
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// fileName maps a cache key to its entry file: keys contain ':' and
+// arbitrary fingerprint bytes, so the name is the hex SHA-256 of the key —
+// collision-safe in the same sense the content addressing itself is, and the
+// entry stores the full key for verification anyway.
+func fileName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:]) + ".mdc"
+}
+
+// Get returns the stored result for key, or false on a miss. A file that
+// exists but fails verification (torn write that somehow got renamed, bit
+// rot, wrong key inside) is quarantined and reported as a miss.
+func (s *Store) Get(key string) (*mdbgp.Result, bool) {
+	data, ok := s.getRaw(key)
+	if !ok {
+		return nil, false
+	}
+	storedKey, res, err := DecodeEntry(data)
+	if err != nil || storedKey != key {
+		if err == nil {
+			err = fmt.Errorf("entry holds key %.32q..., want %.32q...", storedKey, key)
+		}
+		s.quarantine(fileName(key), err)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return res, true
+}
+
+// GetRaw returns the verbatim on-disk entry bytes for key — the unit the
+// peer-warming protocol transfers, so the receiving replica re-verifies the
+// same checksum end to end. Verification still runs here (quarantine on
+// corruption) so a replica never serves a torn entry to a peer.
+func (s *Store) GetRaw(key string) ([]byte, bool) {
+	data, ok := s.getRaw(key)
+	if !ok {
+		return nil, false
+	}
+	if storedKey, _, err := DecodeEntry(data); err != nil || storedKey != key {
+		if err == nil {
+			err = fmt.Errorf("entry holds key %.32q..., want %.32q...", storedKey, key)
+		}
+		s.quarantine(fileName(key), err)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return data, true
+}
+
+// getRaw reads the entry file without verification or hit/miss accounting
+// for the success path (callers verify and count).
+func (s *Store) getRaw(key string) ([]byte, bool) {
+	data, err := os.ReadFile(filepath.Join(s.dir, fileName(key)))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.errors.Add(1)
+		}
+		s.misses.Add(1)
+		return nil, false
+	}
+	return data, true
+}
+
+// Has reports whether an entry file exists for key, without reading or
+// verifying it. Used by peer warming to skip keys already spilled locally.
+func (s *Store) Has(key string) bool {
+	_, err := os.Stat(filepath.Join(s.dir, fileName(key)))
+	return err == nil
+}
+
+// Put spills a result under key, write-behind: the encode and the disk write
+// happen on the store's writer goroutine. When the queue is full the spill
+// is dropped (counted in errors) rather than blocking the serving path —
+// the entry can always be rewritten by a future solve.
+func (s *Store) Put(key string, res *mdbgp.Result) {
+	if s.closed.Load() {
+		return
+	}
+	select {
+	case s.queue <- writeReq{key: key, data: EncodeEntry(key, res)}:
+	default:
+		s.errors.Add(1)
+	}
+}
+
+// PutRaw verifies and stores pre-encoded entry bytes under their embedded
+// key — the receiving half of a peer-warming transfer. Unlike Put it is
+// synchronous (warming already runs on background goroutines with bounded
+// concurrency) and returns the verification error: a peer serving corrupt
+// bytes must be visible to the warmer, not silently dropped.
+func (s *Store) PutRaw(data []byte) (string, error) {
+	key, _, err := DecodeEntry(data)
+	if err != nil {
+		s.errors.Add(1)
+		return "", err
+	}
+	if err := s.writeEntry(key, data); err != nil {
+		return "", err
+	}
+	return key, nil
+}
+
+// Keys lists the keys of every verifiable entry on disk, by reading just
+// each file's header (magic + key), not its payload. Unreadable headers are
+// skipped — Get will quarantine them when (if) they are actually requested.
+func (s *Store) Keys() []string {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		s.errors.Add(1)
+		return nil
+	}
+	var keys []string
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".mdc") {
+			continue
+		}
+		key, err := readEntryKey(filepath.Join(s.dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		keys = append(keys, key)
+	}
+	return keys
+}
+
+// Stats returns the store's counters: verified hits, misses, error events
+// (IO failures, quarantines, dropped spills), and the bytes and entry count
+// currently on disk.
+func (s *Store) Stats() (hits, misses, errors, bytes, entries int64) {
+	return s.hits.Load(), s.misses.Load(), s.errors.Load(), s.bytes.Load(), s.entries.Load()
+}
+
+// writer drains the write-behind queue.
+func (s *Store) writer() {
+	defer s.wg.Done()
+	for req := range s.queue {
+		if err := s.writeEntry(req.key, req.data); err != nil {
+			// writeEntry already counted it; nothing else to do — a failed
+			// spill is a future miss.
+			_ = err
+		}
+	}
+}
+
+// writeEntry performs one atomic entry write: create tmp, write, rename.
+func (s *Store) writeEntry(key string, data []byte) error {
+	name := fileName(key)
+	final := filepath.Join(s.dir, name)
+	prevSize := int64(0)
+	existed := false
+	if info, err := os.Stat(final); err == nil {
+		prevSize, existed = info.Size(), true
+	}
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		s.errors.Add(1)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		s.errors.Add(1)
+		return err
+	}
+	s.bytes.Add(int64(len(data)) - prevSize)
+	if !existed {
+		s.entries.Add(1)
+	}
+	return nil
+}
+
+// quarantine moves a corrupt entry file out of the serving directory so it
+// can never be re-read (or re-quarantined by a later scan), preserving the
+// bytes for post-mortem instead of deleting evidence.
+func (s *Store) quarantine(name string, cause error) {
+	s.errors.Add(1)
+	src := filepath.Join(s.dir, name)
+	size := int64(0)
+	if info, err := os.Stat(src); err == nil {
+		size = info.Size()
+	} else {
+		return // already gone (e.g. a concurrent reader quarantined it first)
+	}
+	dst := filepath.Join(s.dir, quarantineDir, fmt.Sprintf("%s.%d", name, s.seq.Add(1)))
+	if err := os.Rename(src, dst); err != nil {
+		return
+	}
+	s.bytes.Add(-size)
+	s.entries.Add(-1)
+	_ = cause
+}
+
+// Close drains the write-behind queue and stops the writer. Further Puts are
+// dropped silently; reads keep working (the files are still there).
+func (s *Store) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// EncodeEntry serializes one cache entry:
+//
+//	magic (8 bytes: "MDBGPC1\n")
+//	uint32 LE key length, key bytes
+//	uint32 LE K
+//	uint32 LE len(Parts), Parts as int32 LE
+//	float64 LE EdgeLocality
+//	int64  LE CutEdges
+//	uint32 LE len(Imbalances), Imbalances as float64 LE
+//	sha256 over everything above (32 bytes)
+//
+// The encoding is canonical — DecodeEntry rejects trailing bytes — so a
+// successful decode re-encodes to the identical byte string, which the fuzz
+// harness asserts.
+func EncodeEntry(key string, res *mdbgp.Result) []byte {
+	n := 0
+	if res.Assignment != nil {
+		n = len(res.Assignment.Parts)
+	}
+	size := len(magic) + 4 + len(key) + 4 + 4 + 4*n + 8 + 8 + 4 + 8*len(res.Imbalances) + sha256.Size
+	out := make([]byte, 0, size)
+	out = append(out, magic...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(key)))
+	out = append(out, key...)
+	k := 0
+	if res.Assignment != nil {
+		k = res.Assignment.K
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(k))
+	out = binary.LittleEndian.AppendUint32(out, uint32(n))
+	if res.Assignment != nil {
+		for _, p := range res.Assignment.Parts {
+			out = binary.LittleEndian.AppendUint32(out, uint32(p))
+		}
+	}
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(res.EdgeLocality))
+	out = binary.LittleEndian.AppendUint64(out, uint64(res.CutEdges))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(res.Imbalances)))
+	for _, im := range res.Imbalances {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(im))
+	}
+	sum := sha256.Sum256(out)
+	return append(out, sum[:]...)
+}
+
+// DecodeEntry parses and verifies EncodeEntry's output. Every length is
+// validated against the remaining input before allocation, the checksum is
+// verified over the full prefix, and trailing bytes are rejected, so the
+// decoder is safe on arbitrary (fuzzed, truncated, bit-flipped) input.
+func DecodeEntry(data []byte) (key string, res *mdbgp.Result, err error) {
+	if len(data) < len(magic)+sha256.Size {
+		return "", nil, fmt.Errorf("cachestore: entry too short (%d bytes)", len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return "", nil, fmt.Errorf("cachestore: bad magic %q", data[:len(magic)])
+	}
+	body, sum := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+	if got := sha256.Sum256(body); string(got[:]) != string(sum) {
+		return "", nil, fmt.Errorf("cachestore: checksum mismatch")
+	}
+	p := body[len(magic):]
+	u32 := func(what string) (uint32, error) {
+		if len(p) < 4 {
+			return 0, fmt.Errorf("cachestore: truncated before %s", what)
+		}
+		v := binary.LittleEndian.Uint32(p)
+		p = p[4:]
+		return v, nil
+	}
+	u64 := func(what string) (uint64, error) {
+		if len(p) < 8 {
+			return 0, fmt.Errorf("cachestore: truncated before %s", what)
+		}
+		v := binary.LittleEndian.Uint64(p)
+		p = p[8:]
+		return v, nil
+	}
+	keyLen, err := u32("key length")
+	if err != nil {
+		return "", nil, err
+	}
+	if keyLen > maxKeyLen || int(keyLen) > len(p) {
+		return "", nil, fmt.Errorf("cachestore: key length %d out of range", keyLen)
+	}
+	key = string(p[:keyLen])
+	p = p[keyLen:]
+	kParts, err := u32("K")
+	if err != nil {
+		return "", nil, err
+	}
+	n, err := u32("parts length")
+	if err != nil {
+		return "", nil, err
+	}
+	if int64(n)*4 > int64(len(p)) {
+		return "", nil, fmt.Errorf("cachestore: parts length %d exceeds payload", n)
+	}
+	parts := make([]int32, n)
+	for i := range parts {
+		parts[i] = int32(binary.LittleEndian.Uint32(p[4*i:]))
+	}
+	p = p[4*n:]
+	locBits, err := u64("edge locality")
+	if err != nil {
+		return "", nil, err
+	}
+	cut, err := u64("cut edges")
+	if err != nil {
+		return "", nil, err
+	}
+	nImb, err := u32("imbalances length")
+	if err != nil {
+		return "", nil, err
+	}
+	if int64(nImb)*8 > int64(len(p)) {
+		return "", nil, fmt.Errorf("cachestore: imbalances length %d exceeds payload", nImb)
+	}
+	var imb []float64
+	if nImb > 0 {
+		imb = make([]float64, nImb)
+		for i := range imb {
+			imb[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[8*i:]))
+		}
+		p = p[8*nImb:]
+	}
+	if len(p) != 0 {
+		return "", nil, fmt.Errorf("cachestore: %d trailing bytes", len(p))
+	}
+	return key, &mdbgp.Result{
+		Assignment:   &mdbgp.Assignment{Parts: parts, K: int(kParts)},
+		EdgeLocality: math.Float64frombits(locBits),
+		CutEdges:     int64(cut),
+		Imbalances:   imb,
+	}, nil
+}
+
+// readEntryKey reads just the header of an entry file — magic and key — for
+// Keys() listings, without loading (or verifying) the payload.
+func readEntryKey(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	hdr := make([]byte, len(magic)+4)
+	if _, err := readFull(f, hdr); err != nil {
+		return "", err
+	}
+	if string(hdr[:len(magic)]) != magic {
+		return "", fmt.Errorf("cachestore: bad magic")
+	}
+	keyLen := binary.LittleEndian.Uint32(hdr[len(magic):])
+	if keyLen == 0 || keyLen > maxKeyLen {
+		return "", fmt.Errorf("cachestore: key length %d out of range", keyLen)
+	}
+	key := make([]byte, keyLen)
+	if _, err := readFull(f, key); err != nil {
+		return "", err
+	}
+	return string(key), nil
+}
+
+func readFull(f *os.File, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		m, err := f.Read(buf[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,297 @@
+package cachestore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"mdbgp"
+)
+
+func testResult(n, k int, seed int64) *mdbgp.Result {
+	parts := make([]int32, n)
+	for i := range parts {
+		parts[i] = int32((int64(i)*2654435761 + seed) % int64(k))
+	}
+	return &mdbgp.Result{
+		Assignment:   &mdbgp.Assignment{Parts: parts, K: k},
+		EdgeLocality: 0.8125 + float64(seed)/1e6,
+		CutEdges:     int64(n) * 3,
+		Imbalances:   []float64{0.01, 0.02 + float64(seed)/1e9},
+	}
+}
+
+// flushPut writes an entry and waits for the write-behind queue to land it.
+func flushPut(t *testing.T, s *Store, key string, res *mdbgp.Result) {
+	t.Helper()
+	s.Put(key, res)
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.Has(key) {
+		if time.Now().After(deadline) {
+			t.Fatalf("entry for %q never landed on disk", key)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	key := "gd2:abcd1234:vertices,edges:fp0001"
+	want := testResult(1000, 8, 1)
+	if _, ok := s.Get(key); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	flushPut(t, s, key, want)
+	got, ok := s.Get(key)
+	if !ok {
+		t.Fatal("stored entry missed")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mutated the result:\n got %+v\nwant %+v", got, want)
+	}
+	hits, misses, errs, bytes_, entries := s.Stats()
+	if hits != 1 || misses != 1 || errs != 0 || entries != 1 || bytes_ <= 0 {
+		t.Fatalf("stats = hits %d misses %d errors %d bytes %d entries %d", hits, misses, errs, bytes_, entries)
+	}
+}
+
+func TestStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "gd2:feed0000:vertices:fp"
+	want := testResult(500, 4, 7)
+	flushPut(t, s, key, want)
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	_, _, _, bytes_, entries := s2.Stats()
+	if entries != 1 || bytes_ <= 0 {
+		t.Fatalf("reopen scan: entries %d bytes %d, want 1 and > 0", entries, bytes_)
+	}
+	got, ok := s2.Get(key)
+	if !ok {
+		t.Fatal("entry lost across reopen")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("entry mutated across reopen")
+	}
+	if keys := s2.Keys(); len(keys) != 1 || keys[0] != key {
+		t.Fatalf("Keys() = %v, want [%s]", keys, key)
+	}
+}
+
+// TestStoreCrashMidWrite simulates kill -9 between tmp create and rename: a
+// torn .tmp file must be swept at Open, never served, and never counted.
+func TestStoreCrashMidWrite(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "gd2:aa00:vertices,edges:fp"
+	flushPut(t, s, key, testResult(200, 2, 3))
+	s.Close()
+
+	// The "crash": a partially written tmp file for another key.
+	torn := EncodeEntry("gd2:bb11:vertices:fp2", testResult(100, 2, 4))
+	tornPath := filepath.Join(dir, fileName("gd2:bb11:vertices:fp2")+".tmp")
+	if err := os.WriteFile(tornPath, torn[:len(torn)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := os.Stat(tornPath); !os.IsNotExist(err) {
+		t.Fatal("torn tmp file survived Open")
+	}
+	if _, ok := s2.Get("gd2:bb11:vertices:fp2"); ok {
+		t.Fatal("torn write became visible")
+	}
+	if got, ok := s2.Get(key); !ok || got == nil {
+		t.Fatal("healthy entry lost in crash recovery")
+	}
+}
+
+// TestStoreQuarantinesCorruptEntries covers the three corruption classes:
+// truncation under the final name, a flipped payload byte, and an entry whose
+// embedded key disagrees with its file name. Each must quarantine + miss, and
+// the quarantined file must not reappear on reload.
+func TestStoreQuarantinesCorruptEntries(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(data []byte) []byte
+	}{
+		{"truncated", func(d []byte) []byte { return d[:len(d)-40] }},
+		{"bitflip", func(d []byte) []byte {
+			out := append([]byte(nil), d...)
+			out[len(magic)+10] ^= 0x40
+			return out
+		}},
+		{"wrong-key", func(d []byte) []byte {
+			// A valid entry for a DIFFERENT key placed under this key's file
+			// name: checksum passes, key verification must catch it.
+			return EncodeEntry("gd2:other:vertices:fp", testResult(50, 2, 9))
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			// The corruption predates the process: plant the bad file, then
+			// open the store over it, as a restarted daemon would.
+			key := "gd2:cafe0123:vertices,edges:fpX"
+			good := EncodeEntry(key, testResult(300, 4, 11))
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, fileName(key)), tc.corrupt(good), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			s, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			if _, ok := s.Get(key); ok {
+				t.Fatal("corrupt entry served")
+			}
+			if _, _, errs, _, entries := s.Stats(); errs == 0 || entries != 0 {
+				t.Fatalf("corruption not accounted: errors %d entries %d", errs, entries)
+			}
+			// Quarantined, not deleted: the bytes moved under quarantine/.
+			qents, err := os.ReadDir(filepath.Join(dir, quarantineDir))
+			if err != nil || len(qents) != 1 {
+				t.Fatalf("quarantine dir has %d files (err %v), want 1", len(qents), err)
+			}
+			// A second Get is a clean miss (no re-quarantine, no crash), and a
+			// fresh store over the same dir reloads without the corrupt entry.
+			if _, ok := s.Get(key); ok {
+				t.Fatal("corrupt entry resurrected")
+			}
+			s2, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s2.Close()
+			if _, ok := s2.Get(key); ok {
+				t.Fatal("corrupt entry survived reload")
+			}
+			if keys := s2.Keys(); len(keys) != 0 {
+				t.Fatalf("Keys() lists quarantined entries: %v", keys)
+			}
+		})
+	}
+}
+
+func TestStoreRawTransfer(t *testing.T) {
+	src, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	dst, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+
+	key := "gd2:0011:vertices,edges:fpT"
+	want := testResult(400, 4, 21)
+	flushPut(t, src, key, want)
+	raw, ok := src.GetRaw(key)
+	if !ok {
+		t.Fatal("GetRaw missed a stored entry")
+	}
+	gotKey, err := dst.PutRaw(raw)
+	if err != nil || gotKey != key {
+		t.Fatalf("PutRaw = (%q, %v), want (%q, nil)", gotKey, err, key)
+	}
+	got, ok := dst.Get(key)
+	if !ok || !reflect.DeepEqual(got, want) {
+		t.Fatal("transferred entry does not round-trip byte-identically")
+	}
+	// Corrupt raw bytes are rejected, not stored.
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)-1] ^= 1
+	if _, err := dst.PutRaw(bad); err == nil {
+		t.Fatal("PutRaw accepted corrupt bytes")
+	}
+}
+
+func TestStoreKeysReadsHeadersOnly(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	want := map[string]bool{}
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("gd2:%04d:vertices:fp%d", i, i)
+		want[key] = true
+		flushPut(t, s, key, testResult(50+i, 2, int64(i)))
+	}
+	keys := s.Keys()
+	if len(keys) != len(want) {
+		t.Fatalf("Keys() = %d entries, want %d", len(keys), len(want))
+	}
+	for _, k := range keys {
+		if !want[k] {
+			t.Fatalf("Keys() invented %q", k)
+		}
+	}
+}
+
+func TestEncodeDecodeCanonical(t *testing.T) {
+	key := "gd2:beef:vertices,edges:fpC"
+	res := testResult(123, 5, 99)
+	data := EncodeEntry(key, res)
+	gotKey, gotRes, err := DecodeEntry(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotKey != key || !reflect.DeepEqual(gotRes, res) {
+		t.Fatal("decode does not invert encode")
+	}
+	if re := EncodeEntry(gotKey, gotRes); !bytes.Equal(re, data) {
+		t.Fatal("encoding is not canonical: decode→encode changed bytes")
+	}
+	// Nil-assignment results encode too (defensive: the server never caches
+	// these, but the codec must not crash).
+	data2 := EncodeEntry("k", &mdbgp.Result{EdgeLocality: 0.5})
+	if _, _, err := DecodeEntry(data2); err != nil {
+		t.Fatalf("nil-assignment entry failed to decode: %v", err)
+	}
+}
+
+func TestFileNameIsSafeHex(t *testing.T) {
+	// Keys contain ':' and arbitrary fingerprint text; file names must not.
+	name := fileName("gd2:../../etc/passwd:dims:fp")
+	if filepath.Base(name) != name {
+		t.Fatalf("file name %q escapes the store directory", name)
+	}
+	if _, err := hex.DecodeString(name[:len(name)-len(".mdc")]); err != nil {
+		t.Fatalf("file name %q is not hex: %v", name, err)
+	}
+	if len(name) != 2*sha256.Size+len(".mdc") {
+		t.Fatalf("file name %q has unexpected length", name)
+	}
+}

@@ -124,6 +124,7 @@ func (s *Span) view() *SpanView {
 		Name:    s.name,
 		StartUS: s.start.Microseconds(),
 		DurUS:   s.dur.Microseconds(),
+		Ended:   s.ended,
 	}
 	if len(s.attrs) > 0 {
 		v.Attrs = make(map[string]any, len(s.attrs))
@@ -141,9 +142,12 @@ func (s *Span) view() *SpanView {
 // with sorted keys (encoding/json sorts map keys), so two structurally
 // identical traces marshal identically except for the timing fields.
 type SpanView struct {
-	Name     string         `json:"name"`
-	StartUS  int64          `json:"start_us"`
-	DurUS    int64          `json:"dur_us"`
+	Name    string `json:"name"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+	// Ended reports whether End had run when the snapshot was taken; a span
+	// still false after its request finished is a span-accounting leak.
+	Ended    bool           `json:"ended"`
 	Attrs    map[string]any `json:"attrs,omitempty"`
 	Children []*SpanView    `json:"children,omitempty"`
 }

@@ -1,0 +1,133 @@
+// Package ring implements the consistent-hash ring shared by the routing
+// tier (cmd/mdbgp-router) and the daemon's peer cache warming
+// (internal/server): both must agree, byte for byte, on which replica owns a
+// graph content hash, or routed traffic and warmed keys drift apart.
+//
+// The ring is the classic virtual-node construction: every member name is
+// hashed at vnode points onto a 64-bit circle, keys hash onto the same
+// circle, and a key is owned by the first member point at or clockwise after
+// it. Placement depends only on (member names, vnode count), never on
+// insertion order or process state, so independently constructed rings in
+// the router and in every replica agree by construction. With enough vnodes
+// (the default 64) each member owns an approximately equal share of the key
+// space, and removing a member only reassigns the keys it owned.
+package ring
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count used when callers pass 0: enough
+// that a handful of replicas split the key space within a few percent.
+const DefaultVNodes = 64
+
+// Ring is an immutable consistent-hash ring over named members. Construct
+// with New; all methods are safe for concurrent use.
+type Ring struct {
+	members []string
+	points  []point // sorted ascending by hash
+}
+
+type point struct {
+	hash   uint64
+	member int // index into members
+}
+
+// New builds a ring over the given member names (order-insensitive:
+// placement depends only on the name set) with the given virtual-node count
+// per member (0 = DefaultVNodes). Duplicate names are collapsed. An empty
+// member set yields a ring whose lookups return "".
+func New(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(members))
+	uniq := make([]string, 0, len(members))
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		uniq = append(uniq, m)
+	}
+	// Sort the member list so member indices — and therefore Seq tie-breaks —
+	// are independent of the order the caller listed replicas in.
+	sort.Strings(uniq)
+	r := &Ring{members: uniq}
+	r.points = make([]point, 0, len(uniq)*vnodes)
+	var buf [8]byte
+	for i, m := range uniq {
+		for v := 0; v < vnodes; v++ {
+			h := sha256.New()
+			h.Write([]byte(m))
+			h.Write([]byte{'#'})
+			binary.LittleEndian.PutUint64(buf[:], uint64(v))
+			h.Write(buf[:])
+			sum := h.Sum(nil)
+			r.points = append(r.points, point{hash: binary.BigEndian.Uint64(sum[:8]), member: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// A 64-bit collision between distinct members is astronomically
+		// unlikely, but the tie-break keeps placement total-ordered anyway.
+		return r.points[a].member < r.points[b].member
+	})
+	return r
+}
+
+// Members returns the deduplicated, sorted member names.
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// hashKey places a key on the circle.
+func hashKey(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// firstAt returns the index into points of the owner point for key.
+func (r *Ring) firstAt(key string) int {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the circle has no end
+	}
+	return i
+}
+
+// Owner returns the member owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.members[r.points[r.firstAt(key)].member]
+}
+
+// Seq returns every member in failover order for key: the owner first, then
+// each further member in the order its first point appears clockwise from the
+// key. The routing tier walks this sequence when a replica is down, so
+// retries land deterministically and every member appears exactly once.
+func (r *Ring) Seq(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(r.members))
+	seen := make([]bool, len(r.members))
+	start := r.firstAt(key)
+	for i := 0; i < len(r.points) && len(out) < len(r.members); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, r.members[p.member])
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("key-%d", i)
+	}
+	return out
+}
+
+func TestRingDeterministicAcrossConstructionOrder(t *testing.T) {
+	a := New([]string{"http://a:8080", "http://b:8080", "http://c:8080"}, 0)
+	b := New([]string{"http://c:8080", "http://a:8080", "http://b:8080", "http://a:8080"}, 0)
+	for _, k := range keys(500) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner of %q differs across construction order: %q vs %q", k, a.Owner(k), b.Owner(k))
+		}
+		sa, sb := a.Seq(k), b.Seq(k)
+		if fmt.Sprint(sa) != fmt.Sprint(sb) {
+			t.Fatalf("seq of %q differs across construction order: %v vs %v", k, sa, sb)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	members := []string{"r0", "r1", "r2", "r3"}
+	r := New(members, 0)
+	counts := map[string]int{}
+	const n = 20000
+	for _, k := range keys(n) {
+		counts[r.Owner(k)]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / n
+		// With 64 vnodes the shares should be within a loose band of 1/4.
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("member %s owns %.1f%% of keys, want a roughly even split: %v", m, share*100, counts)
+		}
+	}
+}
+
+func TestRingSeqCoversAllMembersOnce(t *testing.T) {
+	members := []string{"r0", "r1", "r2", "r3", "r4"}
+	r := New(members, 8)
+	for _, k := range keys(100) {
+		seq := r.Seq(k)
+		if len(seq) != len(members) {
+			t.Fatalf("seq(%q) has %d members, want %d: %v", k, len(seq), len(members), seq)
+		}
+		seen := map[string]bool{}
+		for _, m := range seq {
+			if seen[m] {
+				t.Fatalf("seq(%q) repeats %q: %v", k, m, seq)
+			}
+			seen[m] = true
+		}
+		if seq[0] != r.Owner(k) {
+			t.Fatalf("seq(%q) does not start with the owner: %v vs %q", k, seq, r.Owner(k))
+		}
+	}
+}
+
+// TestRingMembershipChangeMovesFewKeys is the property consistent hashing
+// exists for: removing one of four members must reassign (roughly) only the
+// keys that member owned, leaving the vast majority untouched.
+func TestRingMembershipChangeMovesFewKeys(t *testing.T) {
+	full := New([]string{"r0", "r1", "r2", "r3"}, 0)
+	less := New([]string{"r0", "r1", "r2"}, 0)
+	moved, kept := 0, 0
+	for _, k := range keys(10000) {
+		before, after := full.Owner(k), less.Owner(k)
+		if before == "r3" {
+			continue // had to move
+		}
+		if before == after {
+			kept++
+		} else {
+			moved++
+		}
+	}
+	if frac := float64(moved) / float64(moved+kept); frac > 0.05 {
+		t.Fatalf("%.1f%% of surviving-member keys moved on membership change, want ~0%%", frac*100)
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := New(nil, 0)
+	if got := empty.Owner("k"); got != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", got)
+	}
+	if got := empty.Seq("k"); got != nil {
+		t.Fatalf("empty ring seq = %v, want nil", got)
+	}
+	single := New([]string{"only"}, 0)
+	for _, k := range keys(10) {
+		if single.Owner(k) != "only" {
+			t.Fatalf("single-member ring routed %q elsewhere", k)
+		}
+	}
+}

@@ -246,6 +246,10 @@ func (s *Server) finishJob(j *job, res *mdbgp.Result, err error) {
 		if ev := s.cache.put(j.key, res); ev > 0 {
 			s.met.cacheEvictions.Add(int64(ev))
 		}
+		if s.disk != nil {
+			// Write-behind: the durable tier persists off the request path.
+			s.disk.Put(j.key, res)
+		}
 	}
 	// End is idempotent, so the shutdown path (which skips runJob) closes the
 	// queue-wait span here and the normal path is unaffected.
@@ -294,9 +298,23 @@ func (s *Server) retire(j *job) {
 	defer s.mu.Unlock()
 	delete(s.inflight, j.key)
 	s.doneOrder = append(s.doneOrder, j.id)
-	for len(s.doneOrder) > s.cfg.RetainJobs {
-		delete(s.jobs, s.doneOrder[0])
-		s.doneOrder = s.doneOrder[1:]
+	// Evict by advancing doneHead instead of re-slicing: doneOrder[1:] keeps
+	// the full backing array reachable, so under sustained traffic the window
+	// crawls forward through an allocation that only ever grows. Advancing an
+	// index (and zeroing the slot so the id string is collectable) keeps the
+	// same array in use; once the dead prefix outweighs the live window the
+	// live ids are copied down and the prefix reclaimed, bounding the backing
+	// array at ~2× the retention cap.
+	for len(s.doneOrder)-s.doneHead > s.cfg.RetainJobs {
+		delete(s.jobs, s.doneOrder[s.doneHead])
+		s.doneOrder[s.doneHead] = ""
+		s.doneHead++
+	}
+	if s.doneHead > len(s.doneOrder)-s.doneHead {
+		n := copy(s.doneOrder, s.doneOrder[s.doneHead:])
+		clear(s.doneOrder[n:])
+		s.doneOrder = s.doneOrder[:n]
+		s.doneHead = 0
 	}
 }
 

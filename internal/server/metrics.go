@@ -37,6 +37,8 @@ type metrics struct {
 	deltaChainReset atomic.Int64 // delta solves forced cold by the chain-depth limit
 	baseMisses      atomic.Int64 // delta submissions whose base graph was unknown/evicted
 	graphEvictions  atomic.Int64 // base graphs evicted from the graph cache
+	warmFetched     atomic.Int64 // entries pulled from peers during cache warming
+	warmErrors      atomic.Int64 // failed peer polls/fetches during cache warming
 
 	// Latency histograms. ingestHist and queueWaitHist are unlabeled;
 	// solveHist is per-engine and lives under engineMu with the other
@@ -146,6 +148,9 @@ type metricsSnapshot struct {
 	cacheHits, cacheMisses, cacheEvictions                 int64
 	deltaSubmitted, deltaWarm, deltaCold                   int64
 	deltaChainReset, baseMisses, graphEvictions            int64
+	diskEnabled                                            bool
+	diskHits, diskMisses, diskErrors, diskBytes            int64
+	diskEntries, warmFetched, warmErrors                   int64
 	engineLabels                                           []string
 	engineSubmitted, engineSolves, engineSolveNanos        map[string]int64
 	engineSolveHist                                        map[string]obs.HistSnapshot
@@ -184,6 +189,12 @@ func (s *Server) snapshotMetrics() metricsSnapshot {
 		queueCap:        int64(cap(s.queue)),
 		workers:         int64(s.cfg.Workers),
 		uptimeSec:       int64(time.Since(s.start).Seconds()),
+	}
+	if s.disk != nil {
+		snap.diskEnabled = true
+		snap.diskHits, snap.diskMisses, snap.diskErrors, snap.diskBytes, snap.diskEntries = s.disk.Stats()
+		snap.warmFetched = m.warmFetched.Load()
+		snap.warmErrors = m.warmErrors.Load()
 	}
 	snap.engineLabels, snap.engineSubmitted, snap.engineSolves, snap.engineSolveNanos, snap.engineSolveHist = m.engineSnapshot()
 	snap.cacheEntries, snap.cacheBytes = s.cache.stats()
@@ -251,6 +262,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("mdbgpd_graph_cache_entries", "Base graphs held for delta submissions.", int64(snap.graphEntries))
 	gauge("mdbgpd_graph_cache_bytes", "Approximate bytes held by cached base graphs (payloads + keys + bookkeeping).", snap.graphBytes)
 	counter("mdbgpd_graph_cache_accounting_clamps_total", "Times the graph-cache byte gauge went negative and was clamped (accounting bug).", snap.graphClamps)
+	if snap.diskEnabled {
+		counter("mdbgpd_cache_disk_hits_total", "Results served from the durable disk tier.", snap.diskHits)
+		counter("mdbgpd_cache_disk_misses_total", "Disk-tier lookups that found no entry.", snap.diskMisses)
+		counter("mdbgpd_cache_disk_errors_total", "Disk-tier failures: corrupt entries quarantined, write/IO errors, dropped spills.", snap.diskErrors)
+		gauge("mdbgpd_cache_disk_bytes", "Bytes held by the durable disk tier.", snap.diskBytes)
+		gauge("mdbgpd_cache_disk_entries", "Entries held by the durable disk tier.", snap.diskEntries)
+		counter("mdbgpd_cache_warm_fetched_total", "Cache entries pulled from peers during startup warming.", snap.warmFetched)
+		counter("mdbgpd_cache_warm_errors_total", "Failed peer polls or entry fetches during startup warming.", snap.warmErrors)
+	}
 	gauge("mdbgpd_uptime_seconds", "Seconds since the server started.", snap.uptimeSec)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write([]byte(b.String()))

@@ -59,6 +59,7 @@ import (
 	"time"
 
 	"mdbgp"
+	"mdbgp/internal/cachestore"
 	"mdbgp/internal/obs"
 )
 
@@ -130,7 +131,25 @@ type Config struct {
 	// the traced and untraced configurations share cache entries either way
 	// because the observer is excluded from option fingerprints.
 	DisableTracing bool
+	// CacheDir, when non-empty, enables the durable disk tier of the result
+	// cache (internal/cachestore): completed results spill write-behind to
+	// one checksummed file per cache key, misses read through to disk lazily,
+	// and GET /v1/cache/{key} serves entries to warming peers. Results are
+	// deterministic and keys carry EngineVersion, so entries survive restarts
+	// and algorithm upgrades invalidate cleanly. Empty disables the tier
+	// (memory-only, the previous behavior).
+	CacheDir string
+	// TrustHashHeader accepts the X-Mdbgp-Graph-Hash request header as the
+	// canonical graph hash on full submissions, skipping the server's own
+	// hash pass — the routing tier (cmd/mdbgp-router) computes the hash once
+	// at the edge to pick the replica and forwards it. Enable ONLY behind a
+	// trusted router: a lying client could poison the content-addressed cache.
+	TrustHashHeader bool
 }
+
+// GraphHashHeader is the request header the routing tier uses to forward the
+// canonical graph hash it computed at the edge (see Config.TrustHashHeader).
+const GraphHashHeader = "X-Mdbgp-Graph-Hash"
 
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
@@ -186,13 +205,20 @@ type Server struct {
 	draining atomic.Bool // readiness only: /readyz says 503, everything still serves
 	log      *slog.Logger
 
-	mu        sync.Mutex
-	jobs      map[string]*job
+	mu       sync.Mutex
+	jobs     map[string]*job
+	inflight map[string]*job // content key -> queued/running job, for coalescing
+	// doneOrder is the completed-job retention window, oldest first, with a
+	// consumed head prefix: retire appends at the tail and advances doneHead
+	// past evicted ids instead of re-slicing (doneOrder[1:] would pin an
+	// ever-growing backing array under sustained traffic), compacting the
+	// array in place once the dead prefix dominates.
 	doneOrder []string
-	inflight  map[string]*job // content key -> queued/running job, for coalescing
+	doneHead  int
 
 	cache  *resultCache
 	graphs *graphCache
+	disk   *cachestore.Store // durable tier; nil when Config.CacheDir is empty
 	met    metrics
 	seq    atomic.Int64
 	start  time.Time
@@ -225,12 +251,26 @@ func newServer(cfg Config) *Server {
 	if s.log == nil {
 		s.log = slog.New(slog.DiscardHandler)
 	}
+	if cfg.CacheDir != "" {
+		disk, err := cachestore.Open(cfg.CacheDir)
+		if err != nil {
+			// A broken cache dir degrades to memory-only serving rather than
+			// refusing to boot: durability is an optimization, correctness is
+			// not at stake. The daemon front end validates the flag up front
+			// so operators still get a fail-fast on typos.
+			s.log.Error("disk cache tier disabled", slog.String("dir", cfg.CacheDir), slog.String("error", err.Error()))
+		} else {
+			s.disk = disk
+		}
+	}
 	s.met.init()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/partition", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/assignment", s.handleAssignment)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/cache", s.handleCacheIndex)
+	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheEntry)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -273,13 +313,19 @@ func (s *Server) Close() {
 	s.mu.Unlock() //nolint:staticcheck // empty critical section is the barrier
 	close(s.quit)
 	s.wg.Wait()
+drain:
 	for {
 		select {
 		case j := <-s.queue:
 			s.finishJob(j, nil, errors.New("server shutting down"))
 		default:
-			return
+			break drain
 		}
+	}
+	// After the drain no worker can spill another result; flush the
+	// write-behind queue so everything solved before shutdown survives it.
+	if s.disk != nil {
+		s.disk.Close()
 	}
 }
 
@@ -480,7 +526,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "empty graph: body must contain at least one 'u v' edge line")
 		return
 	}
-	hash := g.HashString() // hashing is part of the ingest cost
+	// Hashing is part of the ingest cost — unless a trusted router already
+	// paid it at the edge and forwarded the result. A malformed header falls
+	// back to hashing locally rather than erroring: the header is an
+	// optimization hint, never load-bearing for correctness.
+	hash := ""
+	if s.cfg.TrustHashHeader {
+		hash = normalizeHash(r.Header.Get(GraphHashHeader))
+	}
+	if hash == "" {
+		hash = g.HashString()
+	}
 	s.met.recordIngest(time.Since(ingestStart))
 	if ingSpan != nil {
 		ingSpan.SetAttr("n", g.N())
@@ -604,10 +660,25 @@ func (s *Server) resolveBase(base string) (string, *job) {
 	if j != nil {
 		return j.graphHash, j
 	}
-	if len(base) == 64 && strings.Trim(base, "0123456789abcdef") == "" {
-		return base, nil
+	if h := normalizeHash(base); h != "" {
+		return h, nil
 	}
 	return "", nil
+}
+
+// normalizeHash validates a client-supplied canonical graph hash, folding
+// uppercase hex (a legitimate spelling of the same hash) to the lowercase form
+// the server uses internally. Anything that is not 64 hex characters maps to
+// "".
+func normalizeHash(h string) string {
+	if len(h) != 64 {
+		return ""
+	}
+	h = strings.ToLower(h)
+	if strings.Trim(h, "0123456789abcdef") != "" {
+		return ""
+	}
+	return h
 }
 
 // resolveWarm finds a prior solution of the base graph to warm-start from:
@@ -615,17 +686,27 @@ func (s *Server) resolveBase(base string) (string, *job) {
 // solved cold with the same configuration), then — for chained deltas,
 // whose base result is keyed with its own warm fingerprint — the base job's
 // retained result, provided its K matches.
+// The returned slice is always a private copy: WarmAssignment travels into
+// the solver's mutable working state, and handing out the cached slice by
+// reference would let one request's solve scribble over another's cached
+// (and supposedly immutable) result.
 func (s *Server) resolveWarm(baseHash string, baseJob *job, req submitRequest) []int32 {
-	if res, ok := s.cache.get(cacheKey(baseHash, req.dimNames, req.opts.Canonical())); ok {
-		return res.Assignment.Parts
+	if res, ok := s.lookupResult(cacheKey(baseHash, req.dimNames, req.opts.Canonical())); ok {
+		return cloneParts(res.Assignment.Parts)
 	}
 	if baseJob != nil {
 		if v := baseJob.view(); v.Status == StatusDone && v.Res != nil &&
 			v.Res.Assignment.K == req.opts.Canonical().K {
-			return v.Res.Assignment.Parts
+			return cloneParts(v.Res.Assignment.Parts)
 		}
 	}
 	return nil
+}
+
+// cloneParts copies an assignment out of cache ownership before a caller may
+// mutate it.
+func cloneParts(parts []int32) []int32 {
+	return append([]int32(nil), parts...)
 }
 
 // coldReasonChainDepth marks a delta solve forced cold by the warm-chain
@@ -662,7 +743,7 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, req submitRequ
 	}
 
 	lookSpan := root.Start("cache-lookup")
-	res, hit := s.cache.get(key)
+	res, hit := s.lookupResult(key)
 	if lookSpan != nil {
 		lookSpan.SetAttr("hit", hit)
 		lookSpan.End()
@@ -700,6 +781,7 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, req submitRequ
 	s.mu.Lock()
 	if s.down.Load() {
 		s.mu.Unlock()
+		root.End() // the request dies here; leave no dangling span
 		httpError(w, http.StatusServiceUnavailable, "server shutting down")
 		return
 	}
@@ -710,6 +792,9 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, req submitRequ
 		s.met.cacheMisses.Add(1)
 		s.met.jobsCoalesced.Add(1)
 		s.countDelta(dv)
+		// This submission rides the prior job's trace; its own root span ends
+		// now so the snapshot never shows a request still "running".
+		root.End()
 		s.waitIfRequested(req, r, prior)
 		s.respondSubmit(w, prior, http.StatusAccepted, dv)
 		return
@@ -726,9 +811,13 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, req submitRequ
 		s.inflight[key] = j
 	default:
 		// Saturated: the job was never published anywhere, so rejection
-		// leaves no trace beyond its counter.
+		// leaves no trace beyond its counter — but the spans opened for it
+		// must still be closed, or the rejected request's trace tree (and the
+		// timers behind it) dangles open forever.
 		s.mu.Unlock()
 		s.met.jobsRejected.Add(1)
+		j.queueSpan.End()
+		root.End()
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "job queue is full; retry later")
 		return
@@ -748,9 +837,14 @@ func (s *Server) waitIfRequested(req submitRequest, r *http.Request, j *job) {
 	if !req.wait {
 		return
 	}
+	// A stopped timer, not time.After: the After channel (and its runtime
+	// timer) would live until MaxWait elapses even when the job finishes in
+	// milliseconds — under load that is QueueDepth×MaxWait of dead timers.
+	timer := time.NewTimer(s.cfg.MaxWait)
+	defer timer.Stop()
 	select {
 	case <-j.done:
-	case <-time.After(s.cfg.MaxWait):
+	case <-timer.C:
 	case <-r.Context().Done():
 	}
 }

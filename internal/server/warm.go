@@ -1,0 +1,177 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"mdbgp/internal/ring"
+)
+
+// warmFetchTimeout bounds one peer HTTP call during warming; a slow or dead
+// neighbor must not stall startup, only shrink how much gets prefetched.
+const warmFetchTimeout = 30 * time.Second
+
+// warmMaxEntryBytes caps one fetched entry. A partition entry is ~4 bytes per
+// vertex plus a small header, so this admits graphs far past MaxVertexID's
+// default while still refusing a misbehaving peer that streams forever.
+const warmMaxEntryBytes = 1 << 30
+
+// WarmStats summarizes one WarmFromPeers pass.
+type WarmStats struct {
+	// PeersPolled counts peers whose cache index answered.
+	PeersPolled int
+	// KeysSeen is the total keys listed across peer indexes (duplicates
+	// across peers counted once per listing).
+	KeysSeen int
+	// Fetched is how many entries landed in the local disk tier.
+	Fetched int
+	// Skipped counts keys passed over: not owned by this replica on the
+	// ring, already present locally, or unparseable.
+	Skipped int
+	// Errors counts failed index polls, failed fetches and rejected entries.
+	Errors int
+}
+
+// WarmFromPeers prefetches this replica's ring-owned cache entries from its
+// peers' durable tiers: it polls each peer's GET /v1/cache index, keeps the
+// keys whose graph hash this replica owns on the consistent-hash ring over
+// {self} ∪ peers, and pulls the missing ones via GET /v1/cache/{key} with
+// bounded concurrency. Every fetched entry re-verifies its checksum and
+// embedded key before landing (cachestore.PutRaw), so a corrupt or lying
+// peer can waste bandwidth but never poison the cache.
+//
+// self and peers must be the same member strings the routing tier was given
+// (the ring is deterministic, so identical member lists yield identical
+// ownership). A replica without a disk tier has nowhere durable to put
+// entries and warms nothing. Blocking; callers wanting a non-blocking warm
+// run it in a goroutine — the read-through path needs no coordination with
+// it, since entries become visible atomically as they land.
+func (s *Server) WarmFromPeers(self string, peers []string, concurrency int) WarmStats {
+	var st WarmStats
+	if s.disk == nil || len(peers) == 0 {
+		return st
+	}
+	if concurrency <= 0 {
+		concurrency = 4
+	}
+	rng := ring.New(append([]string{self}, peers...), 0)
+	client := &http.Client{Timeout: warmFetchTimeout}
+
+	type fetch struct{ peer, key string }
+	var wanted []fetch
+	seen := map[string]bool{}
+	for _, peer := range peers {
+		keys, err := fetchCacheIndex(client, peer)
+		if err != nil {
+			st.Errors++
+			s.log.Warn("cache warming: peer index unavailable", slog.String("peer", peer), slog.String("error", err.Error()))
+			continue
+		}
+		st.PeersPolled++
+		st.KeysSeen += len(keys)
+		for _, key := range keys {
+			// Ownership rides on the graph hash — the same component of the
+			// key the router hashes — so all of one graph's option variants
+			// live on (and warm to) the same replica.
+			hash := graphHashOfKey(key)
+			if hash == "" || rng.Owner(hash) != self || seen[key] || s.disk.Has(key) {
+				st.Skipped++
+				continue
+			}
+			seen[key] = true
+			wanted = append(wanted, fetch{peer: peer, key: key})
+		}
+	}
+
+	var (
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+		sem = make(chan struct{}, concurrency)
+	)
+	for _, f := range wanted {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(f fetch) {
+			defer func() { <-sem; wg.Done() }()
+			err := s.fetchCacheEntry(client, f.peer, f.key)
+			mu.Lock()
+			if err != nil {
+				st.Errors++
+			} else {
+				st.Fetched++
+			}
+			mu.Unlock()
+			if err != nil {
+				s.log.Warn("cache warming: fetch failed", slog.String("peer", f.peer), slog.String("key", f.key), slog.String("error", err.Error()))
+			}
+		}(f)
+	}
+	wg.Wait()
+	s.met.warmFetched.Add(int64(st.Fetched))
+	s.met.warmErrors.Add(int64(st.Errors))
+	s.log.Info("cache warming done",
+		slog.Int("peers", st.PeersPolled), slog.Int("keys_seen", st.KeysSeen),
+		slog.Int("fetched", st.Fetched), slog.Int("skipped", st.Skipped), slog.Int("errors", st.Errors))
+	return st
+}
+
+// graphHashOfKey extracts the canonical graph hash from a cache key
+// (version:hash:dims:fingerprint); "" when the key does not look like one.
+func graphHashOfKey(key string) string {
+	parts := strings.SplitN(key, ":", 3)
+	if len(parts) < 3 {
+		return ""
+	}
+	return normalizeHash(parts[1])
+}
+
+func fetchCacheIndex(client *http.Client, peer string) ([]string, error) {
+	resp, err := client.Get(peer + "/v1/cache")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("peer index: %s", resp.Status)
+	}
+	var idx struct {
+		Keys []string `json:"keys"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&idx); err != nil {
+		return nil, err
+	}
+	return idx.Keys, nil
+}
+
+func (s *Server) fetchCacheEntry(client *http.Client, peer, key string) error {
+	resp, err := client.Get(peer + "/v1/cache/" + url.PathEscape(key))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("peer entry: %s", resp.Status)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, warmMaxEntryBytes+1))
+	if err != nil {
+		return err
+	}
+	if len(data) > warmMaxEntryBytes {
+		return fmt.Errorf("entry exceeds %d bytes", warmMaxEntryBytes)
+	}
+	gotKey, err := s.disk.PutRaw(data)
+	if err != nil {
+		return err
+	}
+	if gotKey != key {
+		return fmt.Errorf("peer served entry for %q when asked for %q", gotKey, key)
+	}
+	return nil
+}
