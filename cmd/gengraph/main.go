@@ -1,5 +1,6 @@
-// Command gengraph emits synthetic graphs in edge-list format for use with
-// cmd/mdbgp and external tools.
+// Command gengraph emits synthetic graphs for use with cmd/mdbgp, cmd/mdbgpd
+// and external tools, as text edge lists (default) or in the binary wire
+// format (docs/WIRE_FORMAT.md).
 //
 // Usage:
 //
@@ -7,6 +8,7 @@
 //	gengraph -model rmat -scale 18 -edgefactor 16 > rmat.txt
 //	gengraph -model ba -n 200000 -edgefactor 8 > powerlaw.txt
 //	gengraph -model chunglu -n 100000 -avgdeg 20 -exponent 1.8 > skewed.txt
+//	gengraph -model rmat -scale 22 -format binary > rmat.mdbgp
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 
 	"mdbgp"
 	"mdbgp/internal/gen"
+	"mdbgp/internal/wire"
 )
 
 // genParams carries every generator knob; each model reads the subset it
@@ -35,6 +38,7 @@ type genParams struct {
 	rows, cols  int
 	torus       bool
 	seed        int64
+	format      string
 }
 
 // parseFlags maps the command line onto a model name and its parameters.
@@ -56,6 +60,7 @@ func parseFlags(args []string) (string, genParams, error) {
 		cols        = fs.Int("cols", 512, "grid cols")
 		torus       = fs.Bool("torus", false, "wrap the grid into a torus")
 		seed        = fs.Int64("seed", 42, "random seed")
+		format      = fs.String("format", "text", "output codec: text (edge list) or binary (wire format, docs/WIRE_FORMAT.md)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return "", genParams{}, err
@@ -70,11 +75,14 @@ func parseFlags(args []string) (string, genParams, error) {
 	if m == "" {
 		m = "social"
 	}
+	if *format != "text" && *format != "binary" {
+		return "", genParams{}, fmt.Errorf("bad -format %q (want text or binary)", *format)
+	}
 	return m, genParams{
 		n: *n, avgDeg: *avgDeg, communities: *communities, inFrac: *inFrac,
 		microSize: *microSize, microFrac: *microFrac, exponent: *exponent,
 		scale: *scale, edgeFactor: *edgeFactor, rows: *rows, cols: *cols,
-		torus: *torus, seed: *seed,
+		torus: *torus, seed: *seed, format: *format,
 	}, nil
 }
 
@@ -103,14 +111,18 @@ func generate(model string, p genParams) (*mdbgp.Graph, error) {
 	}
 }
 
-// run generates the graph and writes it as an edge list to out, logging a
-// one-line summary to logw.
+// run generates the graph and writes it to out in the selected codec, logging
+// a one-line summary to logw. Both codecs carry the same canonical CSR, so
+// the server hashes either output to the same content address.
 func run(model string, p genParams, out, logw io.Writer) error {
 	g, err := generate(model, p)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(logw, "generated %s graph: n=%d m=%d\n", model, g.N(), g.M())
+	fmt.Fprintf(logw, "generated %s graph: n=%d m=%d format=%s\n", model, g.N(), g.M(), p.format)
+	if p.format == "binary" {
+		return wire.Encode(out, g, nil)
+	}
 	return mdbgp.WriteEdgeList(out, g)
 }
 

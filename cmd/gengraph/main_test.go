@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"mdbgp"
+	"mdbgp/internal/wire"
 )
 
 func TestParseFlagsModelSelection(t *testing.T) {
@@ -111,5 +112,35 @@ func TestRunSmoke(t *testing.T) {
 	}
 	if !bytes.Equal(out.Bytes(), out2.Bytes()) {
 		t.Fatal("gengraph output is not deterministic for a fixed seed")
+	}
+}
+
+// TestRunBinaryFormat: -format binary emits the wire format carrying the
+// exact same canonical graph (same content hash) as the text output.
+func TestRunBinaryFormat(t *testing.T) {
+	model, p, err := parseFlags([]string{"-model", "social", "-n", "300", "-avgdeg", "8", "-communities", "3", "-seed", "11", "-format", "binary"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, logs bytes.Buffer
+	if err := run(model, p, &out, &logs); err != nil {
+		t.Fatal(err)
+	}
+	if !wire.Sniff(out.Bytes()) {
+		t.Fatal("binary output does not start with the wire magic")
+	}
+	g, weights, err := wire.Decode(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatalf("binary output does not decode: %v", err)
+	}
+	if weights != nil {
+		t.Fatal("gengraph must not embed weights")
+	}
+	want, _ := generate(model, p)
+	if g.Hash() != want.Hash() {
+		t.Fatal("binary output decodes to a different graph than the generator produced")
+	}
+	if _, _, err := parseFlags([]string{"-format", "csv"}); err == nil {
+		t.Fatal("bad -format accepted")
 	}
 }

@@ -1,0 +1,168 @@
+// Command mdbgp-convert converts graphs between the text edge-list codec and
+// the binary wire format (docs/WIRE_FORMAT.md). Both codecs carry the same
+// canonical CSR, so converting never changes a graph's content address — the
+// server hashes either form to the same key.
+//
+// Usage:
+//
+//	# text -> binary (input codec auto-detected by magic bytes)
+//	mdbgp-convert -in graph.txt -out graph.mdbgp
+//
+//	# binary -> text
+//	mdbgp-convert -in graph.mdbgp -out graph.txt -format text
+//
+//	# embed standard balance-dimension weights in the binary output; cmd/mdbgp
+//	# picks them up automatically (the HTTP endpoint rejects weighted files)
+//	mdbgp-convert -in graph.txt -out graph.mdbgp -weights vertices,pagerank
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mdbgp"
+	"mdbgp/internal/wire"
+)
+
+type config struct {
+	in, out string
+	format  string // output codec: text, binary, or auto (flip the input's)
+	weights string // dims to embed as a weight section on binary output
+}
+
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("mdbgp-convert", flag.ContinueOnError)
+	var cfg config
+	fs.StringVar(&cfg.in, "in", "-", "input graph (text edge list or wire format, auto-detected), or - for stdin")
+	fs.StringVar(&cfg.out, "out", "-", "output file, or - for stdout")
+	fs.StringVar(&cfg.format, "format", "auto", "output codec: text, binary, or auto (the opposite of the input's)")
+	fs.StringVar(&cfg.weights, "weights", "", "comma-separated dims to embed as a weight section on binary output (vertices, edges, neighbor-degrees, pagerank); empty carries input weights through")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	if fs.NArg() > 0 {
+		return config{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	switch cfg.format {
+	case "text", "binary", "auto":
+	default:
+		return config{}, fmt.Errorf("bad -format %q (want text, binary or auto)", cfg.format)
+	}
+	return cfg, nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if errors.Is(err, flag.ErrHelp) {
+		return // usage already printed
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdbgp-convert: %v\n", err)
+		os.Exit(2)
+	}
+	if err := run(cfg, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "mdbgp-convert: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func openIn(path string) (io.Reader, func() error, error) {
+	if path == "-" {
+		return os.Stdin, func() error { return nil }, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+func run(cfg config, logw io.Writer) error {
+	in, closeIn, err := openIn(cfg.in)
+	if err != nil {
+		return err
+	}
+	defer closeIn()
+
+	br := bufio.NewReaderSize(in, 1<<20)
+	head, _ := br.Peek(len(wire.Magic))
+	inBinary := wire.Sniff(head)
+
+	var g *mdbgp.Graph
+	var weights [][]float64
+	if inBinary {
+		if g, weights, err = wire.Decode(br); err != nil {
+			return fmt.Errorf("reading binary graph: %w", err)
+		}
+	} else if g, err = mdbgp.ReadEdgeList(br); err != nil {
+		return fmt.Errorf("reading edge list: %w", err)
+	}
+
+	outFormat := cfg.format
+	if outFormat == "auto" {
+		if inBinary {
+			outFormat = "text"
+		} else {
+			outFormat = "binary"
+		}
+	}
+
+	if cfg.weights != "" {
+		if outFormat != "binary" {
+			return errors.New("-weights requires binary output (the text codec has no weight section)")
+		}
+		dims, names, err := mdbgp.ParseWeightDims(cfg.weights)
+		if err != nil {
+			return err
+		}
+		if weights, err = mdbgp.StandardWeights(g, dims...); err != nil {
+			return err
+		}
+		fmt.Fprintf(logw, "embedding weight dims: %s\n", names)
+	}
+
+	var out *os.File
+	if cfg.out == "-" {
+		out = os.Stdout
+	} else {
+		f, err := os.Create(cfg.out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	bw := bufio.NewWriterSize(out, 1<<20)
+	switch outFormat {
+	case "binary":
+		if err := wire.Encode(bw, g, weights); err != nil {
+			return err
+		}
+	case "text":
+		if weights != nil {
+			// Not an error: the graph converts fine, but the lossy part must
+			// not pass silently.
+			fmt.Fprintf(logw, "warning: dropping %d embedded weight dimension(s) — the text codec cannot carry them\n", len(weights))
+		}
+		if err := mdbgp.WriteEdgeList(bw, g); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "converted %s -> %s: n=%d m=%d hash=%s\n",
+		codecName(inBinary), outFormat, g.N(), g.M(), g.HashString())
+	return nil
+}
+
+func codecName(binary bool) string {
+	if binary {
+		return "binary"
+	}
+	return "text"
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mdbgp"
+	"mdbgp/internal/wire"
+)
+
+func testGraphText(t *testing.T) (*mdbgp.Graph, string) {
+	t.Helper()
+	g, _ := mdbgp.GenerateSocialGraph(mdbgp.SocialGraphConfig{
+		N: 300, Communities: 3, AvgDegree: 8, InFraction: 0.8, Seed: 5,
+	})
+	var buf bytes.Buffer
+	if err := mdbgp.WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return g, path
+}
+
+// TestConvertRoundTrip: text -> binary -> text preserves the canonical graph
+// hash at every hop, and -format auto flips the codec.
+func TestConvertRoundTrip(t *testing.T) {
+	g, textPath := testGraphText(t)
+	dir := t.TempDir()
+	binPath := filepath.Join(dir, "g.mdbgp")
+	backPath := filepath.Join(dir, "back.txt")
+
+	var logs bytes.Buffer
+	if err := run(config{in: textPath, out: binPath, format: "auto"}, &logs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(logs.String(), "converted text -> binary") {
+		t.Fatalf("summary: %q", logs.String())
+	}
+	raw, err := os.ReadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wire.Sniff(raw) {
+		t.Fatal("binary output lacks the wire magic")
+	}
+	dec, weights, err := wire.Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weights != nil {
+		t.Fatal("unexpected embedded weights")
+	}
+	if dec.Hash() != g.Hash() {
+		t.Fatal("text -> binary changed the canonical graph")
+	}
+
+	logs.Reset()
+	if err := run(config{in: binPath, out: backPath, format: "auto"}, &logs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(logs.String(), "converted binary -> text") {
+		t.Fatalf("summary: %q", logs.String())
+	}
+	f, err := os.Open(backPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	back, err := mdbgp.ReadEdgeList(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Hash() != g.Hash() {
+		t.Fatal("binary -> text changed the canonical graph")
+	}
+}
+
+// TestConvertEmbedsWeights: -weights computes the named standard dims and
+// embeds them; binary -> text warns that it drops them.
+func TestConvertEmbedsWeights(t *testing.T) {
+	g, textPath := testGraphText(t)
+	dir := t.TempDir()
+	binPath := filepath.Join(dir, "w.mdbgp")
+
+	var logs bytes.Buffer
+	if err := run(config{in: textPath, out: binPath, format: "binary", weights: "vertices,pagerank"}, &logs); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, weights, err := wire.Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(weights) != 2 {
+		t.Fatalf("embedded %d weight dims, want 2", len(weights))
+	}
+	// The weight section sits outside the content address.
+	if dec.Hash() != g.Hash() {
+		t.Fatal("weight section changed the canonical graph hash")
+	}
+	dims, _, err := mdbgp.ParseWeightDims("vertices,pagerank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mdbgp.StandardWeights(g, dims...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want {
+		for v := range want[j] {
+			if weights[j][v] != want[j][v] {
+				t.Fatalf("dim %d vertex %d: weight %v, want %v", j, v, weights[j][v], want[j][v])
+			}
+		}
+	}
+
+	logs.Reset()
+	if err := run(config{in: binPath, out: filepath.Join(dir, "drop.txt"), format: "text"}, &logs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(logs.String(), "dropping 2 embedded weight dimension(s)") {
+		t.Fatalf("missing drop warning: %q", logs.String())
+	}
+
+	// -weights with text output is a contradiction, not a silent no-op.
+	if err := run(config{in: textPath, out: filepath.Join(dir, "x.txt"), format: "text", weights: "vertices"}, &logs); err == nil {
+		t.Fatal("-weights with text output accepted")
+	}
+}
+
+func TestParseFlagsConvert(t *testing.T) {
+	cfg, err := parseFlags([]string{"-in", "a", "-out", "b", "-format", "binary", "-weights", "edges"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.in != "a" || cfg.out != "b" || cfg.format != "binary" || cfg.weights != "edges" {
+		t.Fatalf("cfg %+v", cfg)
+	}
+	if _, err := parseFlags([]string{"-format", "xml"}); err == nil {
+		t.Fatal("bad -format accepted")
+	}
+	if _, err := parseFlags([]string{"stray"}); err == nil {
+		t.Fatal("positional argument accepted")
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"mdbgp/internal/obs"
 	"mdbgp/internal/ring"
 	"mdbgp/internal/server"
+	"mdbgp/internal/wire"
 )
 
 func main() {
@@ -253,29 +254,57 @@ func (rt *router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	q := r.URL.Query()
+	binary := wire.IsContentType(r.Header.Get("Content-Type"))
 	if base := q.Get("base"); base != "" {
+		if binary {
+			// Same contract as the daemon, enforced at the edge so the
+			// contradiction never burns a replica round trip.
+			rt.met.badRequests.Add(1)
+			httpError(w, http.StatusBadRequest, "binary edge deltas are not supported: ?base= takes the text \"+u v\"/\"-u v\" codec only")
+			return
+		}
 		rt.proxyDelta(w, r, base, body)
 		return
 	}
 
 	// Full submission: canonicalize + hash once, here at the edge. The hash
 	// both picks the replica and rides the trusted header so the replica
-	// skips its own hash pass. Parse errors die at the edge with a 400
-	// instead of burning a replica round trip.
+	// skips its own hash pass — critically, text and binary uploads of the
+	// same graph hash identically, so either codec lands on the same replica
+	// and the same cache entries. Parse errors (including wire CRC failures)
+	// die at the edge with a 400 instead of burning a replica round trip.
 	hashStart := time.Now()
-	b := mdbgp.NewBuilder(0)
-	if err := mdbgp.ReadEdgeListInto(b, bytes.NewReader(body), 0); err != nil {
-		rt.met.badRequests.Add(1)
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
+	var hash string
+	if binary {
+		h, hdr, err := wire.HashGraph(func() (io.ReadCloser, error) {
+			return io.NopCloser(bytes.NewReader(body)), nil
+		})
+		if err != nil {
+			rt.met.badRequests.Add(1)
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if hdr.N == 0 || hdr.Arcs == 0 {
+			rt.met.badRequests.Add(1)
+			httpError(w, http.StatusBadRequest, "empty graph: the wire stream must carry at least one edge")
+			return
+		}
+		hash = h
+	} else {
+		b := mdbgp.NewBuilder(0)
+		if err := mdbgp.ReadEdgeListInto(b, bytes.NewReader(body), 0); err != nil {
+			rt.met.badRequests.Add(1)
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		g := b.Build()
+		if g.N() == 0 || g.M() == 0 {
+			rt.met.badRequests.Add(1)
+			httpError(w, http.StatusBadRequest, "empty graph: body must contain at least one 'u v' edge line")
+			return
+		}
+		hash = g.HashString()
 	}
-	g := b.Build()
-	if g.N() == 0 || g.M() == 0 {
-		rt.met.badRequests.Add(1)
-		httpError(w, http.StatusBadRequest, "empty graph: body must contain at least one 'u v' edge line")
-		return
-	}
-	hash := g.HashString()
 	rt.met.hashHist.Observe(time.Since(hashStart))
 
 	header := http.Header{server.GraphHashHeader: []string{hash}}

@@ -15,6 +15,7 @@ import (
 
 	"mdbgp"
 	"mdbgp/internal/server"
+	"mdbgp/internal/wire"
 )
 
 // replicaHost is a restartable replica slot: the httptest listener (and so
@@ -345,5 +346,81 @@ func TestSplitPrefixed(t *testing.T) {
 		if i != c.i || rest != c.rest || ok != c.ok {
 			t.Fatalf("splitPrefixed(%q) = (%d, %q, %v), want (%d, %q, %v)", c.id, i, rest, ok, c.i, c.rest, c.ok)
 		}
+	}
+}
+
+// TestRouterBinarySubmit: the edge hashes binary wire-format uploads itself,
+// so either codec of the same graph routes to the same replica, forwards the
+// same trusted hash, and shares one cache entry. Corrupt streams and binary
+// deltas die at the edge without a replica round trip.
+func TestRouterBinarySubmit(t *testing.T) {
+	var replicas []*replicaHost
+	var urls []string
+	for i := 0; i < 2; i++ {
+		h := newReplicaHost(server.Config{Workers: 2, TrustHashHeader: true})
+		defer h.close()
+		replicas = append(replicas, h)
+		urls = append(urls, h.ts.URL)
+	}
+	_, ts := startRouter(t, urls)
+
+	g, _ := mdbgp.GenerateSocialGraph(mdbgp.SocialGraphConfig{
+		N: 400, Communities: 4, AvgDegree: 8, InFraction: 0.85, Seed: 21,
+	})
+	text := testBody(t, 21)
+	var bin bytes.Buffer
+	if err := wire.Encode(&bin, g, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	code, m1 := postJSON(t, ts.URL+"/v1/partition?k=4&seed=1&wait=true", text)
+	if code != http.StatusOK && code != http.StatusAccepted {
+		t.Fatalf("text submit: status %d (%v)", code, m1)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/partition?k=4&seed=1&wait=true", wire.ContentType, bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m2 map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m2); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary submit after text: status %d (%v), want 200 cache hit", resp.StatusCode, m2)
+	}
+	if m2["cache"] != "hit" {
+		t.Fatalf("binary submit cache = %v, want hit (same graph, same replica)", m2["cache"])
+	}
+	if m1["graph_hash"] != m2["graph_hash"] {
+		t.Fatalf("codecs hashed differently at the edge: %v vs %v", m1["graph_hash"], m2["graph_hash"])
+	}
+	if m1["graph_hash"] != g.HashString() {
+		t.Fatalf("edge hash %v != local hash %s", m1["graph_hash"], g.HashString())
+	}
+
+	// Corruption dies at the edge with 400 (CRC), no replica involved.
+	bad := append([]byte(nil), bin.Bytes()...)
+	bad[len(bad)-1] ^= 0xFF
+	resp, err = http.Post(ts.URL+"/v1/partition?k=4", wire.ContentType, bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt binary: status %d, want 400", resp.StatusCode)
+	}
+
+	// Binary deltas are rejected at the edge too.
+	resp, err = http.Post(ts.URL+"/v1/partition?k=4&base="+g.HashString(), wire.ContentType, bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("binary delta: status %d, want 400", resp.StatusCode)
 	}
 }

@@ -13,7 +13,10 @@
 //	mdbgp -in graph.txt -delta delta.txt -base parts.txt -out parts2.txt -k 8
 //
 // The input is a whitespace-separated "u v" edge list ('#' comments allowed;
-// "-" reads stdin). The output has one "vertex part" line per vertex.
+// "-" reads stdin) or a binary wire-format file (docs/WIRE_FORMAT.md),
+// auto-detected by its magic bytes. Binary inputs may embed balance-dimension
+// weights (see cmd/mdbgp-convert -weights); they are used unless -dims is
+// passed explicitly. The output has one "vertex part" line per vertex.
 // Quality metrics are printed to stderr.
 package main
 
@@ -28,6 +31,7 @@ import (
 	"time"
 
 	"mdbgp"
+	"mdbgp/internal/wire"
 )
 
 // config collects the CLI's knobs; flags map onto it 1:1.
@@ -148,8 +152,22 @@ func run(cfg config) error {
 	}
 	defer closeIn()
 	start := time.Now()
-	g, err := mdbgp.ReadEdgeList(reader)
-	if err != nil {
+	// Codec sniffing: the wire format opens with fixed magic bytes, which no
+	// text edge list can start with, so Peek decides without consuming input.
+	br := bufio.NewReaderSize(reader, 1<<20)
+	var g *mdbgp.Graph
+	var embedded [][]float64
+	if head, _ := br.Peek(len(wire.Magic)); wire.Sniff(head) {
+		g, embedded, err = wire.Decode(br)
+		if err != nil {
+			return fmt.Errorf("reading binary graph: %w", err)
+		}
+		if err := g.Validate(); err != nil {
+			// The wire decoder does not enforce symmetry (docs/WIRE_FORMAT.md);
+			// the solver's invariants require it, so check before solving.
+			return fmt.Errorf("binary graph invalid: %w", err)
+		}
+	} else if g, err = mdbgp.ReadEdgeList(br); err != nil {
 		return fmt.Errorf("reading graph: %w", err)
 	}
 	fmt.Fprintf(os.Stderr, "loaded graph: n=%d m=%d (%.1fs)\n", g.N(), g.M(), time.Since(start).Seconds())
@@ -188,13 +206,41 @@ func run(cfg config) error {
 		}
 	}
 
-	dimList, dimNames, err := mdbgp.ParseWeightDims(cfg.dims)
-	if err != nil {
-		return err
+	// Embedded wire weights serve as the balance dimensions unless the user
+	// asked for specific dims (-dims on the command line wins), or a delta
+	// changed the vertex set the weights were computed over.
+	dimsExplicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "dims" {
+			dimsExplicit = true
+		}
+	})
+	var ws [][]float64
+	var dimNames string
+	switch {
+	case embedded != nil && cfg.deltaPath != "":
+		fmt.Fprintf(os.Stderr, "note: embedded weights ignored (-delta changed the vertex set); using -dims %s\n", cfg.dims)
+		embedded = nil
+	case embedded != nil && dimsExplicit:
+		fmt.Fprintf(os.Stderr, "note: embedded weights ignored (-dims given explicitly)\n")
+		embedded = nil
 	}
-	ws, err := mdbgp.StandardWeights(g, dimList...)
-	if err != nil {
-		return err
+	if embedded != nil {
+		ws = embedded
+		names := make([]string, len(embedded))
+		for j := range names {
+			names[j] = fmt.Sprintf("embedded:%d", j)
+		}
+		dimNames = strings.Join(names, ",")
+	} else {
+		dimList, names, err := mdbgp.ParseWeightDims(cfg.dims)
+		if err != nil {
+			return err
+		}
+		dimNames = names
+		if ws, err = mdbgp.StandardWeights(g, dimList...); err != nil {
+			return err
+		}
 	}
 
 	start = time.Now()

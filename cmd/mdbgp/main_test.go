@@ -11,6 +11,7 @@ import (
 
 	"mdbgp"
 	"mdbgp/internal/gen"
+	"mdbgp/internal/wire"
 )
 
 func writeTestGraph(t *testing.T, dir string) (string, *mdbgp.Graph) {
@@ -274,5 +275,75 @@ func TestRunIncremental(t *testing.T) {
 	}
 	if frac := float64(same) / float64(g.N()); frac < 0.8 {
 		t.Fatalf("warm CLI solve kept only %.1f%% of the base assignment", 100*frac)
+	}
+}
+
+// TestRunBinaryInput: the CLI auto-detects a wire-format input by its magic
+// bytes, and a binary input solves byte-identically to its text twin. When
+// the file embeds weight dims they take over from -dims (unless the delta
+// path changed the vertex set).
+func TestRunBinaryInput(t *testing.T) {
+	dir := t.TempDir()
+	textIn, g := writeTestGraph(t, dir)
+
+	binIn := filepath.Join(dir, "graph.mdbgp")
+	f, err := os.Create(binIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.Encode(f, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	textOut := filepath.Join(dir, "parts-text.txt")
+	binOut := filepath.Join(dir, "parts-bin.txt")
+	base := config{out: textOut, k: 4, eps: 0.05, dims: "vertices,edges", iters: 60, seed: 42, par: 2}
+	base.in = textIn
+	if err := run(base); err != nil {
+		t.Fatal(err)
+	}
+	base.in, base.out = binIn, binOut
+	if err := run(base); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(textOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(binOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("binary input solved differently than its text twin")
+	}
+
+	// Embedded weights matching the default dims solve identically too — the
+	// weights drive the solve, not the codec.
+	ws, err := mdbgp.StandardWeights(g, mdbgp.WeightVertices, mdbgp.WeightEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wIn := filepath.Join(dir, "weighted.mdbgp")
+	wf, err := os.Create(wIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.Encode(wf, g, ws); err != nil {
+		t.Fatal(err)
+	}
+	wf.Close()
+	wOut := filepath.Join(dir, "parts-weighted.txt")
+	base.in, base.out = wIn, wOut
+	if err := run(base); err != nil {
+		t.Fatal(err)
+	}
+	c, err := os.ReadFile(wOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(c) {
+		t.Fatal("embedded default-dim weights solved differently than -dims vertices,edges")
 	}
 }

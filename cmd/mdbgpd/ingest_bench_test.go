@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"mdbgp"
+	"mdbgp/internal/server"
+	"mdbgp/internal/wire"
+)
+
+// BenchmarkIngest measures the two ingest paths end to end. First it parses
+// the same ~1.5M-edge graph from both codecs — text edge list versus the
+// binary wire format — doing exactly what the server's ingest does (bytes ->
+// CSR -> content hash) and reports the throughput of each plus their ratio.
+// Then it boots the daemon with a deliberately small -max-resident-edges
+// budget and submits the binary body over real HTTP, so the out-of-core
+// spill-and-stream path (ingest_mode=out-of-core, fennel) is exercised and
+// timed as users would see it. CI publishes the output as BENCH_ingest.json
+// and gates on binary_speedup >= 3 via cmd/benchgate:
+//
+//	go test -run '^$' -bench BenchmarkIngest -benchtime 1x ./cmd/mdbgpd \
+//	  | go run ./cmd/benchjson -out BENCH_ingest.json
+//	go run ./cmd/benchgate -bench BENCH_ingest.json \
+//	  -min BenchmarkIngest.binary_speedup=3
+func BenchmarkIngest(b *testing.B) {
+	g, _ := mdbgp.GenerateSocialGraph(mdbgp.SocialGraphConfig{
+		N: 100_000, Communities: 16, AvgDegree: 30, InFraction: 0.85, Seed: 77,
+	})
+	var textBuf, binBuf bytes.Buffer
+	if err := mdbgp.WriteEdgeList(&textBuf, g); err != nil {
+		b.Fatal(err)
+	}
+	if err := wire.Encode(&binBuf, g, nil); err != nil {
+		b.Fatal(err)
+	}
+	textBody, binBody := textBuf.Bytes(), binBuf.Bytes()
+	edges := float64(g.M())
+	wantHash := g.HashString()
+
+	// Parse throughput: the full ingest computation (decode + content hash),
+	// best of a few rounds so a stray scheduling hiccup doesn't skew the
+	// gated ratio.
+	const rounds = 3
+	parseText := func() time.Duration {
+		start := time.Now()
+		bld := mdbgp.NewBuilder(0)
+		if err := mdbgp.ReadEdgeListInto(bld, bytes.NewReader(textBody), 0); err != nil {
+			b.Fatal(err)
+		}
+		pg := bld.Build()
+		if pg.HashString() != wantHash {
+			b.Fatal("text parse changed the graph")
+		}
+		return time.Since(start)
+	}
+	parseBinary := func() time.Duration {
+		start := time.Now()
+		pg, _, err := wire.Decode(bytes.NewReader(binBody))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pg.HashString() != wantHash {
+			b.Fatal("binary parse changed the graph")
+		}
+		return time.Since(start)
+	}
+
+	var textBest, binBest time.Duration
+	b.ResetTimer()
+	for iter := 0; iter < b.N; iter++ {
+		textBest, binBest = 0, 0
+		for r := 0; r < rounds; r++ {
+			if d := parseText(); textBest == 0 || d < textBest {
+				textBest = d
+			}
+			if d := parseBinary(); binBest == 0 || d < binBest {
+				binBest = d
+			}
+		}
+	}
+	b.StopTimer()
+
+	b.ReportMetric(edges/textBest.Seconds()/1e6, "text_medges_per_s")
+	b.ReportMetric(edges/binBest.Seconds()/1e6, "binary_medges_per_s")
+	b.ReportMetric(textBest.Seconds()/binBest.Seconds(), "binary_speedup")
+	b.ReportMetric(float64(len(textBody))/float64(len(binBody)), "size_ratio")
+
+	// Out-of-core solve through the real HTTP surface: the budget is far
+	// below m, so the daemon must spill to disk and stream through fennel.
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- runDaemon(server.Config{
+			Workers: 2, MaxResidentEdges: 100_000, SpillDir: b.TempDir(),
+		}, "127.0.0.1:0", ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		b.Fatalf("daemon failed to boot: %v", err)
+	}
+
+	start := time.Now()
+	resp, err := http.Post(base+"/v1/partition?k=8&seed=3&wait=true",
+		wire.ContentType, bytes.NewReader(binBody))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var m map[string]any
+	json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	oocSolve := time.Since(start)
+	if m["status"] != "done" {
+		b.Fatalf("out-of-core solve did not finish: %v", m)
+	}
+	if m["ingest_mode"] != "out-of-core" {
+		b.Fatalf("ingest_mode = %v, want out-of-core", m["ingest_mode"])
+	}
+	if m["graph_hash"] != wantHash {
+		b.Fatalf("graph_hash = %v, want %v", m["graph_hash"], wantHash)
+	}
+	res, err := http.Get(fmt.Sprintf("%s/v1/jobs/%v", base, m["job_id"]))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var jv struct {
+		Result struct {
+			EdgeLocality float64 `json:"edge_locality"`
+		} `json:"result"`
+	}
+	json.NewDecoder(res.Body).Decode(&jv)
+	res.Body.Close()
+
+	b.ReportMetric(oocSolve.Seconds()*1e3, "ooc_solve_ms")
+	b.ReportMetric(jv.Result.EdgeLocality, "ooc_locality")
+	b.ReportMetric(edges, "edges")
+
+	stopDaemon(b, errc)
+}

@@ -50,6 +50,7 @@ import (
 
 	"mdbgp"
 	"mdbgp/internal/server"
+	"mdbgp/internal/wire"
 )
 
 func main() {
@@ -108,6 +109,8 @@ func parseFlags(args []string) (daemonOptions, error) {
 		self        = fs.String("self", "", "this replica's base URL as the routing tier knows it (its consistent-hash ring identity); required with -peers")
 		peers       = fs.String("peers", "", "comma-separated peer base URLs to warm the -cache-dir tier from at startup")
 		warmConc    = fs.Int("warm-concurrency", 4, "concurrent peer fetches during startup cache warming")
+		maxResident = fs.Int64("max-resident-edges", 0, "largest graph (edges) materialized in memory; binary (Content-Type: "+wire.ContentType+") uploads above it spill to disk and solve out-of-core via a streaming engine (0 = unlimited)")
+		spillDir    = fs.String("spill-dir", "", "directory for out-of-core spill files (empty = OS temp dir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return daemonOptions{}, err
@@ -144,6 +147,13 @@ func parseFlags(args []string) (daemonOptions, error) {
 			return daemonOptions{}, fmt.Errorf("-cache-dir: %w", err)
 		}
 	}
+	if *spillDir != "" {
+		// Same fail-fast: an unusable spill dir would otherwise surface as a
+		// 500 on the first out-of-core submission, long after startup.
+		if err := os.MkdirAll(*spillDir, 0o755); err != nil {
+			return daemonOptions{}, fmt.Errorf("-spill-dir: %w", err)
+		}
+	}
 	d := daemonOptions{
 		cfg: server.Config{
 			Workers:           *workers,
@@ -162,6 +172,8 @@ func parseFlags(args []string) (daemonOptions, error) {
 			DisableTracing:    *noTrace,
 			CacheDir:          *cacheDir,
 			TrustHashHeader:   *trustHash,
+			MaxResidentEdges:  *maxResident,
+			SpillDir:          *spillDir,
 		},
 		addr:       *addr,
 		pprofAddr:  *pprofAddr,

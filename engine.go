@@ -34,6 +34,15 @@ type EngineInfo struct {
 	// Options.Seed at any Parallelism — the property the content-addressed
 	// result cache relies on. Every built-in engine is deterministic.
 	Deterministic bool
+	// Streaming reports whether the engine has an out-of-core variant that
+	// consumes adjacency rows in vertex order without a materialized CSR
+	// (baselines.FennelStream). The serving layer routes graphs exceeding
+	// its -max-resident-edges budget only through streaming engines; see
+	// docs/WIRE_FORMAT.md for the ingest pipeline. Note the out-of-core
+	// variant visits vertices in natural rather than seeded-random order, so
+	// it produces a different (equally valid) partition than the in-core
+	// solve and is cached under a separate key.
+	Streaming bool
 	// Description is a one-line summary for -engine help text and docs.
 	Description string
 }
@@ -257,7 +266,7 @@ type fennelEngine struct{}
 
 func (fennelEngine) Info() EngineInfo {
 	return EngineInfo{
-		Name: "fennel", WarmStart: false, Weighted: false, Deterministic: true,
+		Name: "fennel", WarmStart: false, Weighted: false, Deterministic: true, Streaming: true,
 		Description: "restreaming Fennel (streaming heuristic; balances vertex count only)",
 	}
 }

@@ -1,0 +1,172 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"mdbgp/internal/graph"
+	"mdbgp/internal/partition"
+)
+
+// RowSource delivers every adjacency row of a graph exactly once, in vertex
+// order 0..n-1, to fn. The row slice may be reused between calls. A
+// RowSource must be restreamable: each invocation performs one full fresh
+// pass, so restreaming algorithms (Fennel's multi-pass refinement, the final
+// scoring pass) can call it repeatedly. internal/wire's Decoder.Rows over a
+// re-opened spill file satisfies this contract; so does an in-memory graph's
+// Neighbors sweep.
+type RowSource func(fn func(v int, adj []int32) error) error
+
+// FennelStream is the out-of-core variant of Fennel: it partitions a graph
+// it never materializes, consuming adjacency rows from src once per pass.
+// Vertices are visited in natural order (0..n-1) — the order the wire format
+// delivers rows — rather than the in-core version's seeded random
+// permutation, so the two variants produce different (both valid) partitions
+// and the serving layer keys their cached results separately. Given the same
+// source, the result is fully deterministic: no RNG is involved (opt.Seed
+// only seeds the degenerate m==0 fallback).
+//
+// Memory is O(n + k): the assignment, an assigned bitmap and per-part
+// counters — no adjacency is retained, which is the point.
+func FennelStream(n int, m int64, k int, src RowSource, opt FennelOptions) (*partition.Assignment, error) {
+	opt.normalize()
+	a := partition.NewAssignment(n, k)
+	if n == 0 || k <= 1 {
+		return a, nil
+	}
+	if m == 0 {
+		return Hash(n, k, opt.Seed), nil
+	}
+	mf := float64(m)
+	alpha := mf * math.Pow(float64(k), opt.Gamma-1) / math.Pow(float64(n), opt.Gamma)
+	cap := opt.Slack * float64(n) / float64(k)
+
+	sizes := make([]float64, k)
+	assigned := make([]bool, n)
+	nbrCount := make([]float64, k)
+
+	for pass := 0; pass < opt.Passes; pass++ {
+		err := src(func(v int, adj []int32) error {
+			if v < 0 || v >= n {
+				return fmt.Errorf("baselines: row source delivered vertex %d outside [0, %d)", v, n)
+			}
+			if assigned[v] {
+				sizes[a.Parts[v]]--
+			}
+			for i := range nbrCount {
+				nbrCount[i] = 0
+			}
+			for _, u := range adj {
+				// In natural visit order, "u already placed" covers both
+				// earlier vertices this pass and everyone on later passes —
+				// the same information the in-core variant uses.
+				if assigned[u] {
+					nbrCount[a.Parts[u]]++
+				}
+			}
+			best, bestScore := -1, math.Inf(-1)
+			for i := 0; i < k; i++ {
+				if sizes[i]+1 > cap {
+					continue
+				}
+				score := nbrCount[i] - alpha*opt.Gamma*math.Pow(sizes[i], opt.Gamma-1)
+				if score > bestScore {
+					best, bestScore = i, score
+				}
+			}
+			if best == -1 { // every part at cap (numerical corner): smallest
+				best = 0
+				for i := 1; i < k; i++ {
+					if sizes[i] < sizes[best] {
+						best = i
+					}
+				}
+			}
+			a.Parts[v] = int32(best)
+			sizes[best]++
+			assigned[v] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// StreamStats holds partition quality metrics computed in one extra pass
+// over a RowSource, mirroring what the serving layer reports from a
+// materialized graph (edge locality, cut edges, vertex/edge-degree
+// imbalance) without needing one.
+type StreamStats struct {
+	CutEdges     int64
+	EdgeLocality float64 // 1 − cut/m; 1 for m == 0
+	VertexImb    float64 // max part vertex count / (n/k) − 1
+	DegreeImb    float64 // max part degree sum / (2m/k) − 1
+}
+
+// ComputeStreamStats scores an assignment against the graph behind src.
+// Each undirected edge is counted once (at its higher endpoint); degrees
+// accumulate per part from row lengths.
+func ComputeStreamStats(n int, m int64, k int, src RowSource, a *partition.Assignment) (StreamStats, error) {
+	if len(a.Parts) != n {
+		return StreamStats{}, fmt.Errorf("baselines: assignment covers %d vertices, graph has %d", len(a.Parts), n)
+	}
+	vcount := make([]int64, k)
+	dsum := make([]int64, k)
+	var cut int64
+	err := src(func(v int, adj []int32) error {
+		p := a.Parts[v]
+		if int(p) < 0 || int(p) >= k {
+			return fmt.Errorf("baselines: vertex %d assigned to part %d outside [0, %d)", v, p, k)
+		}
+		vcount[p]++
+		dsum[p] += int64(len(adj))
+		for _, u := range adj {
+			if int(u) < v && a.Parts[u] != p {
+				cut++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return StreamStats{}, err
+	}
+	st := StreamStats{CutEdges: cut, EdgeLocality: 1}
+	if m > 0 {
+		st.EdgeLocality = 1 - float64(cut)/float64(m)
+	}
+	if n > 0 && k > 0 {
+		maxV := int64(0)
+		for _, c := range vcount {
+			if c > maxV {
+				maxV = c
+			}
+		}
+		st.VertexImb = float64(maxV)/(float64(n)/float64(k)) - 1
+	}
+	if m > 0 && k > 0 {
+		maxD := int64(0)
+		for _, d := range dsum {
+			if d > maxD {
+				maxD = d
+			}
+		}
+		st.DegreeImb = float64(maxD)/(float64(2*m)/float64(k)) - 1
+	}
+	return st, nil
+}
+
+// GraphRowSource adapts a materialized graph to the RowSource contract, for
+// tests and in-memory callers (the out-of-core path streams from a spill
+// file instead).
+func GraphRowSource(g *graph.Graph) RowSource {
+	return func(fn func(v int, adj []int32) error) error {
+		for v := 0; v < g.N(); v++ {
+			if err := fn(v, g.Neighbors(v)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,121 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdbgp/internal/graph"
+	"mdbgp/internal/partition"
+)
+
+func streamTestGraph(t testing.TB, n, m int, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+func TestFennelStreamDeterministic(t *testing.T) {
+	g := streamTestGraph(t, 2000, 10000, 7)
+	opt := FennelOptions{Slack: 1.1}
+	a1, err := FennelStream(g.N(), g.M(), 8, GraphRowSource(g), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := FennelStream(g.N(), g.M(), 8, GraphRowSource(g), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a1.Parts {
+		if a1.Parts[v] != a2.Parts[v] {
+			t.Fatalf("nondeterministic at vertex %d: %d vs %d", v, a1.Parts[v], a2.Parts[v])
+		}
+	}
+}
+
+func TestFennelStreamBalanceAndQuality(t *testing.T) {
+	g := streamTestGraph(t, 5000, 25000, 11)
+	k, slack := 10, 1.1
+	a, err := FennelStream(g.N(), g.M(), k, GraphRowSource(g), FennelOptions{Slack: slack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The hard cap must hold: no part exceeds slack·n/k.
+	cap := int64(slack * float64(g.N()) / float64(k))
+	for p, s := range a.PartSizes() {
+		if s > cap+1 {
+			t.Errorf("part %d has %d vertices, cap %d", p, s, cap)
+		}
+	}
+	// Better than random assignment on locality: random expects ≈ 1/k.
+	loc := partition.EdgeLocality(g, a)
+	if loc < 1.0/float64(k) {
+		t.Errorf("streamed fennel locality %.3f worse than random %.3f", loc, 1.0/float64(k))
+	}
+}
+
+func TestComputeStreamStatsMatchesPartition(t *testing.T) {
+	g := streamTestGraph(t, 3000, 15000, 13)
+	k := 6
+	a, err := FennelStream(g.N(), g.M(), k, GraphRowSource(g), FennelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ComputeStreamStats(g.N(), g.M(), k, GraphRowSource(g), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := partition.CutEdges(g, a); st.CutEdges != want {
+		t.Errorf("streamed cut %d != partition.CutEdges %d", st.CutEdges, want)
+	}
+	if want := partition.EdgeLocality(g, a); abs(st.EdgeLocality-want) > 1e-12 {
+		t.Errorf("streamed locality %v != partition.EdgeLocality %v", st.EdgeLocality, want)
+	}
+	if want := partition.VertexImbalance(a); abs(st.VertexImb-want) > 1e-12 {
+		t.Errorf("streamed vertex imbalance %v != partition %v", st.VertexImb, want)
+	}
+	if want := partition.EdgeImbalance(g, a); abs(st.DegreeImb-want) > 1e-12 {
+		t.Errorf("streamed degree imbalance %v != partition %v", st.DegreeImb, want)
+	}
+}
+
+func TestFennelStreamDegenerate(t *testing.T) {
+	// k <= 1: everything in part 0.
+	a, err := FennelStream(100, 50, 1, nil, FennelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range a.Parts {
+		if p != 0 {
+			t.Fatal("k=1 must place everything in part 0")
+		}
+	}
+	// m == 0 falls back to hashing, never calls the source.
+	a, err = FennelStream(100, 0, 4, nil, FennelOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// n == 0 empty.
+	if a, err = FennelStream(0, 0, 4, nil, FennelOptions{}); err != nil || len(a.Parts) != 0 {
+		t.Fatalf("empty graph: %v, %d parts", err, len(a.Parts))
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

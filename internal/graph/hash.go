@@ -4,52 +4,112 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"hash"
 )
+
+// StreamHasher computes the canonical graph content hash — the same digest
+// Graph.Hash produces — without requiring a materialized CSR. Callers that
+// only have a row stream (the binary wire decoder, the out-of-core ingest
+// path) feed it in two phases:
+//
+//  1. AddDegree(d) exactly n times, in vertex order. This reconstructs and
+//     hashes the offsets array.
+//  2. AddRow(adj) exactly n times, in vertex order, with each row's sorted
+//     adjacency. This hashes the adjacency array.
+//
+// then Sum/SumString. The digest byte layout is: a 16-byte header
+// {u64 LE n, u64 LE arcs}, all n+1 offsets as u64 LE, all adjacency entries
+// as u32 LE — identical to hashing the materialized canonical CSR, so a
+// streamed hash and Graph.Hash of the same graph always agree.
+type StreamHasher struct {
+	h      hash.Hash
+	buf    []byte
+	fill   int
+	offset int64
+}
+
+// NewStreamHasher starts a hash for a graph with n vertices and arcs stored
+// adjacency entries (2·m for a canonical undirected graph). The counts are
+// part of the digest, so they must match what AddDegree/AddRow deliver.
+func NewStreamHasher(n int, arcs int64) *StreamHasher {
+	sh := &StreamHasher{h: sha256.New(), buf: make([]byte, 8*1024)}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(n))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(arcs))
+	sh.h.Write(hdr[:])
+	sh.putU64(0) // offsets[0]
+	return sh
+}
+
+func (sh *StreamHasher) putU64(v uint64) {
+	if sh.fill+8 > len(sh.buf) {
+		sh.flush()
+	}
+	binary.LittleEndian.PutUint64(sh.buf[sh.fill:], v)
+	sh.fill += 8
+}
+
+func (sh *StreamHasher) putU32(v uint32) {
+	if sh.fill+4 > len(sh.buf) {
+		sh.flush()
+	}
+	binary.LittleEndian.PutUint32(sh.buf[sh.fill:], v)
+	sh.fill += 4
+}
+
+func (sh *StreamHasher) flush() {
+	if sh.fill > 0 {
+		sh.h.Write(sh.buf[:sh.fill])
+		sh.fill = 0
+	}
+}
+
+// AddDegree appends the next vertex's degree, hashing the resulting
+// cumulative offset. Call exactly n times before the first AddRow.
+func (sh *StreamHasher) AddDegree(d int) {
+	sh.offset += int64(d)
+	sh.putU64(uint64(sh.offset))
+}
+
+// AddRow appends the next vertex's sorted adjacency row. Call exactly n
+// times, after all AddDegree calls.
+func (sh *StreamHasher) AddRow(adj []int32) {
+	for _, a := range adj {
+		sh.putU32(uint32(a))
+	}
+}
+
+// Sum finalizes and returns the digest. The hasher must not be used after.
+func (sh *StreamHasher) Sum() [sha256.Size]byte {
+	sh.flush()
+	var out [sha256.Size]byte
+	sh.h.Sum(out[:0])
+	return out
+}
+
+// SumString returns Sum hex-encoded.
+func (sh *StreamHasher) SumString() string {
+	sum := sh.Sum()
+	return hex.EncodeToString(sum[:])
+}
 
 // Hash returns a SHA-256 digest of the graph's canonical CSR form. The
 // builder canonicalizes (sorts, deduplicates, symmetrizes) adjacency, so two
 // graphs built from the same edge set — regardless of edge order, duplicate
 // edges or self loops in the input — hash identically. This is the
-// content-address used by the serving cache.
+// content-address used by the serving cache. The digest covers both the
+// offsets and adjacency arrays: offsets are determined by adjacency row
+// lengths, but row boundaries must be part of the digest for it to be a
+// direct function of the canonical CSR.
 func (g *Graph) Hash() [sha256.Size]byte {
-	h := sha256.New()
-	var hdr [16]byte
-	binary.LittleEndian.PutUint64(hdr[0:8], uint64(g.N()))
-	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(g.adj)))
-	h.Write(hdr[:])
-
-	// Offsets are determined by adjacency row lengths and adjacency rows are
-	// hashed in offset order, so hashing adj alone plus the header captures
-	// the whole structure only if row boundaries are included. Hash both
-	// arrays to keep the digest a direct function of the canonical CSR.
-	buf := make([]byte, 8*1024)
-	n := 0
-	for _, o := range g.offsets {
-		binary.LittleEndian.PutUint64(buf[n:], uint64(o))
-		n += 8
-		if n == len(buf) {
-			h.Write(buf)
-			n = 0
-		}
+	sh := NewStreamHasher(g.N(), int64(len(g.adj)))
+	for v := 0; v < g.N(); v++ {
+		sh.AddDegree(g.Degree(v))
 	}
-	if n > 0 {
-		h.Write(buf[:n])
-		n = 0
+	for v := 0; v < g.N(); v++ {
+		sh.AddRow(g.Neighbors(v))
 	}
-	for _, a := range g.adj {
-		binary.LittleEndian.PutUint32(buf[n:], uint32(a))
-		n += 4
-		if n == len(buf) {
-			h.Write(buf)
-			n = 0
-		}
-	}
-	if n > 0 {
-		h.Write(buf[:n])
-	}
-	var out [sha256.Size]byte
-	h.Sum(out[:0])
-	return out
+	return sh.Sum()
 }
 
 // HashString returns Hash hex-encoded.

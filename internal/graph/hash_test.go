@@ -39,3 +39,44 @@ func TestHashDistinguishesStructure(t *testing.T) {
 		seen[h] = name
 	}
 }
+
+// TestHashLayoutPinned pins the digest byte layout (16-byte {n, arcs} header,
+// offsets as u64 LE, adjacency as u32 LE) to an externally computed constant,
+// so neither Hash nor the StreamHasher it is built on can silently change the
+// content-address scheme — wire streams, disk caches and the router all key
+// on it.
+func TestHashLayoutPinned(t *testing.T) {
+	g := FromEdges(0, []Edge{{0, 1}, {0, 2}, {1, 2}, {2, 3}})
+	const want = "a987bf3932ef13c1beae056f0732feb624bf23944cc2df3f991c56769c7c6876"
+	if got := g.HashString(); got != want {
+		t.Fatalf("digest layout drifted: got %s, want %s", got, want)
+	}
+}
+
+// TestStreamHasherMatchesHash feeds the two-phase StreamHasher from graph
+// rows and requires byte-identical digests to the materialized Hash.
+func TestStreamHasherMatchesHash(t *testing.T) {
+	for _, g := range []*Graph{
+		FromEdges(0, nil),
+		FromEdges(7, nil),
+		FromEdges(0, []Edge{{0, 1}, {0, 2}, {1, 2}, {2, 3}}),
+		FromEdges(2500, func() []Edge {
+			es := make([]Edge, 0, 6000)
+			for i := 0; i < 6000; i++ {
+				es = append(es, Edge{int32((i * 37) % 2500), int32((i*i + 11) % 2500)})
+			}
+			return es
+		}()),
+	} {
+		sh := NewStreamHasher(g.N(), int64(len(g.adj)))
+		for v := 0; v < g.N(); v++ {
+			sh.AddDegree(g.Degree(v))
+		}
+		for v := 0; v < g.N(); v++ {
+			sh.AddRow(g.Neighbors(v))
+		}
+		if sh.SumString() != g.HashString() {
+			t.Fatalf("%v: streamed digest differs from Hash", g)
+		}
+	}
+}

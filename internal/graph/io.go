@@ -50,10 +50,18 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 
 // ReadEdgeListInto streams an edge list into an existing builder, so callers
 // (the serving ingest path, incremental loaders) can accumulate several
-// sources or bound resources before Build. Malformed lines, negative ids and
-// ids above maxVertexID (0 means MaxVertexID) return an error identifying
-// the offending line; the builder is left with every edge parsed up to that
-// point. Self loops are dropped by the builder as usual.
+// sources or bound resources before Build. It is the text codec; the binary
+// counterpart is internal/wire (see docs/WIRE_FORMAT.md).
+//
+// maxVertexID bounds the accepted vertex ids: any id above it returns an
+// error identifying the offending line. Passing 0 (or any value outside
+// (0, MaxVertexID]) means "no bound beyond the representation limit" — the
+// effective bound becomes MaxVertexID. The serving daemon passes its
+// -max-vertex-id resource cap here, while trusted in-process callers (the
+// router's edge hashing, ReadEdgeList, the CLIs) pass 0 for the unbounded
+// mode. Malformed lines and negative ids also error; the builder is left
+// with every edge parsed up to that point. Self loops are dropped by the
+// builder as usual.
 func ReadEdgeListInto(b *Builder, r io.Reader, maxVertexID int) error {
 	if maxVertexID <= 0 || maxVertexID > MaxVertexID {
 		maxVertexID = MaxVertexID

@@ -117,9 +117,10 @@ func TestRejectedSubmissionEndsSpans(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	ing := &ingestInfo{g: g, n: g.N(), m: g.M(), hash: g.HashString(), mode: ingestModeResident}
 	root := obs.NewTrace("request")
 	rec := httptest.NewRecorder()
-	s.dispatch(rec, hr, req, g, g.HashString(), req.opts.Canonical(), nil, root)
+	s.dispatch(rec, hr, req, ing, req.opts.Canonical(), nil, root)
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("saturated dispatch: status %d, want 429", rec.Code)
 	}
@@ -134,7 +135,7 @@ func TestRejectedSubmissionEndsSpans(t *testing.T) {
 	}
 	rootA := obs.NewTrace("request")
 	recA := httptest.NewRecorder()
-	s.dispatch(recA, hrA, reqA, g, g.HashString(), reqA.opts.Canonical(), nil, rootA)
+	s.dispatch(recA, hrA, reqA, ing, reqA.opts.Canonical(), nil, rootA)
 	if recA.Code != http.StatusAccepted {
 		t.Fatalf("coalesced dispatch: status %d, want 202", recA.Code)
 	}
@@ -146,7 +147,7 @@ func TestRejectedSubmissionEndsSpans(t *testing.T) {
 	s2.down.Store(true)
 	root2 := obs.NewTrace("request")
 	rec2 := httptest.NewRecorder()
-	s2.dispatch(rec2, hr, req, g, g.HashString(), req.opts.Canonical(), nil, root2)
+	s2.dispatch(rec2, hr, req, ing, req.opts.Canonical(), nil, root2)
 	if rec2.Code != http.StatusServiceUnavailable {
 		t.Fatalf("down dispatch: status %d, want 503", rec2.Code)
 	}

@@ -32,6 +32,12 @@ type job struct {
 	dims      []mdbgp.Weight
 	delta     *deltaView // non-nil for delta submissions; immutable
 
+	// ingestMode records how the graph arrived ("resident" or "out-of-core");
+	// spill is the disk-parked wire stream an out-of-core job solves from.
+	// The job owns the spill from enqueue until finishJob removes it.
+	ingestMode string
+	spill      *spillFile
+
 	// trace is the request's root span (nil when tracing is disabled) and
 	// queueSpan its open queue-wait child. Both are set before the job is
 	// published and never reassigned; Span itself is safe for concurrent
@@ -131,21 +137,22 @@ type deltaView struct {
 
 // snapshot copies the mutable fields under the job lock for rendering.
 type jobView struct {
-	ID        string
-	Key       string
-	GraphHash string
-	Engine    string
-	Status    Status
-	Cache     string
-	ErrMsg    string
-	N         int
-	M         int64
-	Submitted time.Time
-	Started   time.Time
-	Finished  time.Time
-	Res       *mdbgp.Result
-	Delta     *deltaView
-	Conv      *convergenceView
+	ID         string
+	Key        string
+	GraphHash  string
+	Engine     string
+	Status     Status
+	Cache      string
+	ErrMsg     string
+	N          int
+	M          int64
+	IngestMode string
+	Submitted  time.Time
+	Started    time.Time
+	Finished   time.Time
+	Res        *mdbgp.Result
+	Delta      *deltaView
+	Conv       *convergenceView
 }
 
 func (j *job) view() jobView {
@@ -154,7 +161,8 @@ func (j *job) view() jobView {
 	return jobView{
 		ID: j.id, Key: j.key, GraphHash: j.graphHash, Engine: j.engine,
 		Status: j.status, Cache: j.cache, ErrMsg: j.errMsg,
-		N: j.n, M: j.m, Submitted: j.submitted, Started: j.started, Finished: j.finished,
+		N: j.n, M: j.m, IngestMode: j.ingestMode,
+		Submitted: j.submitted, Started: j.started, Finished: j.finished,
 		Res: j.res, Delta: j.delta, Conv: j.conv,
 	}
 }
@@ -191,13 +199,25 @@ func (s *Server) runJob(j *job) {
 	solveSpan := j.trace.Start("solve")
 	if solveSpan != nil {
 		solveSpan.SetAttr("engine", j.engine)
+		if j.spill != nil {
+			solveSpan.SetAttr("ingest_mode", j.ingestMode)
+		}
 	}
 	// The solver publishes its span tree under the solve span. Observer is
 	// excluded from option fingerprints, so attaching it here cannot fork the
 	// cache key the job was dispatched under.
 	opts.Observer = solveSpan
 	start := time.Now()
-	res, err := solve(g, dims, opts)
+	var res *mdbgp.Result
+	var err error
+	if j.spill != nil {
+		// Out-of-core: no materialized graph to hand the engine; stream the
+		// spill instead. dims are the defaults by construction (ingestBinary
+		// rejects explicit dims on this path).
+		res, err = s.streamSolve(j.spill, j.n, j.m, opts)
+	} else {
+		res, err = solve(g, dims, opts)
+	}
 	elapsed := time.Since(start)
 	solveSpan.End()
 	s.met.recordEngineSolve(j.engine, elapsed)
@@ -255,6 +275,9 @@ func (s *Server) finishJob(j *job, res *mdbgp.Result, err error) {
 	// queue-wait span here and the normal path is unaffected.
 	j.queueSpan.End()
 	j.trace.End()
+	// The spill's one consumer (this job) is done with it — success or not.
+	// remove is idempotent, so a shutdown race with dispatch cleanup is safe.
+	j.spill.remove()
 	conv := convergenceFromTrace(j.trace)
 	j.mu.Lock()
 	j.conv = conv

@@ -39,6 +39,10 @@ type metrics struct {
 	graphEvictions  atomic.Int64 // base graphs evicted from the graph cache
 	warmFetched     atomic.Int64 // entries pulled from peers during cache warming
 	warmErrors      atomic.Int64 // failed peer polls/fetches during cache warming
+	binarySubmitted atomic.Int64 // submissions in the binary wire format
+	oocSubmitted    atomic.Int64 // submissions that took the out-of-core path
+	spillBytes      atomic.Int64 // cumulative bytes written to spill files
+	spillActive     atomic.Int64 // spill files currently on disk
 
 	// Latency histograms. ingestHist and queueWaitHist are unlabeled;
 	// solveHist is per-engine and lives under engineMu with the other
@@ -148,6 +152,7 @@ type metricsSnapshot struct {
 	cacheHits, cacheMisses, cacheEvictions                 int64
 	deltaSubmitted, deltaWarm, deltaCold                   int64
 	deltaChainReset, baseMisses, graphEvictions            int64
+	binarySubmitted, oocSubmitted, spillBytes, spillActive int64
 	diskEnabled                                            bool
 	diskHits, diskMisses, diskErrors, diskBytes            int64
 	diskEntries, warmFetched, warmErrors                   int64
@@ -183,6 +188,10 @@ func (s *Server) snapshotMetrics() metricsSnapshot {
 		deltaChainReset: m.deltaChainReset.Load(),
 		baseMisses:      m.baseMisses.Load(),
 		graphEvictions:  m.graphEvictions.Load(),
+		binarySubmitted: m.binarySubmitted.Load(),
+		oocSubmitted:    m.oocSubmitted.Load(),
+		spillBytes:      m.spillBytes.Load(),
+		spillActive:     m.spillActive.Load(),
 		ingest:          m.ingestHist.Snapshot(),
 		queueWait:       m.queueWaitHist.Snapshot(),
 		queueDepth:      int64(len(s.queue)),
@@ -230,6 +239,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("mdbgpd_delta_chain_resets_total", "Delta solves forced cold by the warm-chain depth limit.", snap.deltaChainReset)
 	counter("mdbgpd_delta_base_misses_total", "Delta submissions rejected because the base graph was unknown or evicted.", snap.baseMisses)
 	counter("mdbgpd_graph_cache_evictions_total", "Base graphs evicted from the graph cache.", snap.graphEvictions)
+	counter("mdbgpd_ingest_binary_total", "Submissions received in the binary wire format (application/x-mdbgp-csr).", snap.binarySubmitted)
+	counter("mdbgpd_ooc_jobs_total", "Submissions that exceeded the resident-edge budget and took the out-of-core path.", snap.oocSubmitted)
+	counter("mdbgpd_spill_bytes_total", "Cumulative bytes written to out-of-core spill files.", snap.spillBytes)
+	gauge("mdbgpd_spill_active", "Out-of-core spill files currently on disk.", snap.spillActive)
 	fmt.Fprintf(&b, "# HELP mdbgpd_jobs_by_engine_total Submissions accepted, by solver engine.\n# TYPE mdbgpd_jobs_by_engine_total counter\n")
 	for _, e := range snap.engineLabels {
 		fmt.Fprintf(&b, "mdbgpd_jobs_by_engine_total{engine=%q} %d\n", e, snap.engineSubmitted[e])

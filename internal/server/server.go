@@ -51,6 +51,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"os"
 	"runtime"
 	"strconv"
 	"strings"
@@ -61,6 +62,7 @@ import (
 	"mdbgp"
 	"mdbgp/internal/cachestore"
 	"mdbgp/internal/obs"
+	"mdbgp/internal/wire"
 )
 
 // Config tunes the daemon. The zero value serves with sensible defaults.
@@ -145,6 +147,19 @@ type Config struct {
 	// at the edge to pick the replica and forwards it. Enable ONLY behind a
 	// trusted router: a lying client could poison the content-addressed cache.
 	TrustHashHeader bool
+	// MaxResidentEdges is the largest graph (in undirected edges) the server
+	// will materialize as an in-memory CSR (0 = unlimited). Binary wire-format
+	// submissions above the budget take the out-of-core path: the stream is
+	// validated and spilled to SpillDir, then solved by a streaming engine
+	// that re-reads the spill once per pass. Text submissions above the budget
+	// are rejected with 413 and pointed at the binary codec (the text parser
+	// cannot bound memory without first materializing the graph).
+	MaxResidentEdges int64
+	// SpillDir is where out-of-core submissions park their validated wire
+	// streams between ingest and solve ("" = os.TempDir()). Spills are
+	// transient — one job each, removed when the job finishes — but the
+	// directory should have room for MaxBodyBytes-sized files.
+	SpillDir string
 }
 
 // GraphHashHeader is the request header the routing tier uses to forward the
@@ -189,6 +204,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SlowRequest == 0 {
 		c.SlowRequest = 2 * time.Second
+	}
+	if c.SpillDir == "" {
+		c.SpillDir = os.TempDir()
 	}
 	return c
 }
@@ -502,7 +520,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			req.engine.Name, req.dimNames))
 		return
 	}
+	// Codec negotiation: Content-Type application/x-mdbgp-csr selects the
+	// binary wire format (docs/WIRE_FORMAT.md); anything else is the text
+	// edge-list codec, the historical default.
+	binary := wire.IsContentType(r.Header.Get("Content-Type"))
 	if req.base != "" {
+		if binary {
+			// Deltas are line-oriented "+u v"/"-u v" edits; the wire format
+			// carries whole adjacency structures. Mixing them has no defined
+			// semantics, so fail loudly rather than misparse.
+			httpError(w, http.StatusBadRequest, "binary edge deltas are not supported: ?base= takes the text \"+u v\"/\"-u v\" codec only")
+			return
+		}
 		s.handleDeltaSubmit(w, r, req)
 		return
 	}
@@ -510,21 +539,55 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	root := s.newRequestTrace()
 	ingSpan := root.Start("ingest")
 	ingestStart := time.Now()
+	var ing *ingestInfo
+	if binary {
+		if ing = s.ingestBinary(w, r, &req); ing == nil {
+			root.End() // error response already written; leave no dangling span
+			return
+		}
+	} else if ing = s.ingestText(w, r); ing == nil {
+		root.End()
+		return
+	}
+	s.met.recordIngest(time.Since(ingestStart))
+	if ingSpan != nil {
+		ingSpan.SetAttr("n", ing.n)
+		ingSpan.SetAttr("m", ing.m)
+		ingSpan.SetAttr("mode", ing.mode)
+		ingSpan.End()
+	}
+	s.dispatch(w, r, req, ing, req.opts.Canonical(), nil, root)
+}
+
+// ingestText is the text edge-list codec: stream "u v" lines into the
+// canonical CSR builder. On error it writes the HTTP response and returns
+// nil. The resident-edge budget applies here too, but as policy rather than
+// protection — the text parser must materialize the graph before it knows
+// the edge count, so memory during parse is bounded by MaxBodyBytes, not by
+// the budget. Clients with genuinely large graphs are pointed at the binary
+// codec, whose header announces the size up front.
+func (s *Server) ingestText(w http.ResponseWriter, r *http.Request) *ingestInfo {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	b := mdbgp.NewBuilder(0)
 	if err := mdbgp.ReadEdgeListInto(b, body, s.cfg.MaxVertexID); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			httpError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", s.cfg.MaxBodyBytes))
-			return
+			return nil
 		}
 		httpError(w, http.StatusBadRequest, err.Error())
-		return
+		return nil
 	}
 	g := b.Build()
 	if g.N() == 0 || g.M() == 0 {
 		httpError(w, http.StatusBadRequest, "empty graph: body must contain at least one 'u v' edge line")
-		return
+		return nil
+	}
+	if s.cfg.MaxResidentEdges > 0 && g.M() > s.cfg.MaxResidentEdges {
+		httpError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf(
+			"graph has %d edges, above the resident budget of %d; submit in binary wire format (Content-Type: %s) for out-of-core solving",
+			g.M(), s.cfg.MaxResidentEdges, wire.ContentType))
+		return nil
 	}
 	// Hashing is part of the ingest cost — unless a trusted router already
 	// paid it at the edge and forwarded the result. A malformed header falls
@@ -537,13 +600,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if hash == "" {
 		hash = g.HashString()
 	}
-	s.met.recordIngest(time.Since(ingestStart))
-	if ingSpan != nil {
-		ingSpan.SetAttr("n", g.N())
-		ingSpan.SetAttr("m", g.M())
-		ingSpan.End()
-	}
-	s.dispatch(w, r, req, g, hash, req.opts.Canonical(), nil, root)
+	return &ingestInfo{g: g, n: g.N(), m: g.M(), hash: hash, mode: ingestModeResident}
 }
 
 // newRequestTrace opens the root span of one submission, or nil (a no-op
@@ -647,7 +704,7 @@ func (s *Server) handleDeltaSubmit(w http.ResponseWriter, r *http.Request, req s
 		ingSpan.SetAttr("delta_mode", dv.Mode)
 		ingSpan.End()
 	}
-	s.dispatch(w, r, req, g, hash, opts.Canonical(), dv, root)
+	s.dispatch(w, r, req, &ingestInfo{g: g, n: g.N(), m: g.M(), hash: hash, mode: ingestModeResident}, opts.Canonical(), dv, root)
 }
 
 // resolveBase maps ?base= to a canonical graph hash: a retained job id
@@ -734,12 +791,21 @@ func (s *Server) countDelta(dv *deltaView) {
 // dispatch runs the shared submit tail for full and delta submissions:
 // content addressing, the base-graph cache, the result-cache fast path,
 // coalescing, and the bounded enqueue.
-func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, req submitRequest, g *mdbgp.Graph, hash string, opts mdbgp.Options, dv *deltaView, root *obs.Span) {
-	key := cacheKey(hash, req.dimNames, opts)
-	// Every materialized graph becomes a warm-start base for future deltas
-	// (including delta-produced graphs — that is what makes chains work).
-	if ev := s.graphs.put(hash, g); ev > 0 {
-		s.met.graphEvictions.Add(int64(ev))
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, req submitRequest, ing *ingestInfo, opts mdbgp.Options, dv *deltaView, root *obs.Span) {
+	key := cacheKey(ing.hash, req.dimNames, opts)
+	if ing.mode == ingestModeOOC {
+		// The out-of-core solve streams vertices in natural order while the
+		// in-core fennel engine visits a seeded permutation — same graph, same
+		// options, different (both valid) results. A distinct key suffix keeps
+		// the two from ever serving each other's cache entries.
+		key += ":ooc"
+	} else {
+		// Every materialized graph becomes a warm-start base for future deltas
+		// (including delta-produced graphs — that is what makes chains work).
+		// Out-of-core graphs never materialize, so they never become bases.
+		if ev := s.graphs.put(ing.hash, ing.g); ev > 0 {
+			s.met.graphEvictions.Add(int64(ev))
+		}
 	}
 
 	lookSpan := root.Start("cache-lookup")
@@ -752,15 +818,16 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, req submitRequ
 	// Cache hit: materialize a completed job so the polling endpoints work
 	// uniformly, and answer immediately.
 	if hit {
+		ing.spill.remove() // the cached result serves; the spill has no consumer
 		s.met.jobsSubmitted.Add(1)
 		s.met.recordEngineSubmit(opts.Engine)
 		s.met.cacheHits.Add(1)
 		s.countDelta(dv)
 		root.End()
 		j := &job{
-			id: s.newJobID(key), key: key, graphHash: hash, engine: opts.Engine, dims: req.dims,
+			id: s.newJobID(key), key: key, graphHash: ing.hash, engine: opts.Engine, dims: req.dims,
 			done: make(chan struct{}), status: StatusDone, cache: "hit",
-			n: g.N(), m: g.M(), delta: dv, submitted: time.Now(),
+			n: ing.n, m: ing.m, delta: dv, submitted: time.Now(), ingestMode: ing.mode,
 			started: time.Now(), finished: time.Now(), res: res, trace: root,
 		}
 		close(j.done)
@@ -781,12 +848,14 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, req submitRequ
 	s.mu.Lock()
 	if s.down.Load() {
 		s.mu.Unlock()
+		ing.spill.remove()
 		root.End() // the request dies here; leave no dangling span
 		httpError(w, http.StatusServiceUnavailable, "server shutting down")
 		return
 	}
 	if prior, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
+		ing.spill.remove() // the prior job's spill (or graph) serves both
 		s.met.jobsSubmitted.Add(1)
 		s.met.recordEngineSubmit(opts.Engine)
 		s.met.cacheMisses.Add(1)
@@ -800,9 +869,10 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, req submitRequ
 		return
 	}
 	j := &job{
-		id: s.newJobID(key), key: key, graphHash: hash, opts: opts, engine: opts.Engine, dims: req.dims,
+		id: s.newJobID(key), key: key, graphHash: ing.hash, opts: opts, engine: opts.Engine, dims: req.dims,
 		done: make(chan struct{}), status: StatusQueued, cache: "miss",
-		n: g.N(), m: g.M(), delta: dv, submitted: time.Now(), g: g,
+		n: ing.n, m: ing.m, delta: dv, submitted: time.Now(), g: ing.g,
+		ingestMode: ing.mode, spill: ing.spill,
 		trace: root, queueSpan: root.Start("queue-wait"),
 	}
 	select {
@@ -815,6 +885,7 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, req submitRequ
 		// must still be closed, or the rejected request's trace tree (and the
 		// timers behind it) dangles open forever.
 		s.mu.Unlock()
+		ing.spill.remove()
 		s.met.jobsRejected.Add(1)
 		j.queueSpan.End()
 		root.End()
@@ -868,6 +939,9 @@ func (s *Server) respondSubmit(w http.ResponseWriter, j *job, code int, dv *delt
 		"engine":      v.Engine,
 		"queue_depth": len(s.queue),
 	}
+	if v.IngestMode != "" {
+		resp["ingest_mode"] = v.IngestMode
+	}
 	if dv == nil {
 		dv = v.Delta
 	}
@@ -903,6 +977,9 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		"engine":       v.Engine,
 		"graph":        map[string]any{"n": v.N, "m": v.M},
 		"submitted_at": v.Submitted.UTC().Format(time.RFC3339Nano),
+	}
+	if v.IngestMode != "" {
+		resp["ingest_mode"] = v.IngestMode
 	}
 	if v.Delta != nil {
 		resp["delta"] = v.Delta

@@ -1,0 +1,634 @@
+// Package wire implements the mdbgp binary graph interchange format,
+// version 1. The byte layout is specified normatively in docs/WIRE_FORMAT.md;
+// this package is its implementation, and the test suite asserts the
+// documented layout against hand-assembled fixtures so the two cannot drift.
+//
+// The payload is the graph's canonical CSR (sorted deduplicated symmetric
+// adjacency, each undirected edge stored twice): a 28-byte header, a sequence
+// of varint delta-encoded adjacency chunks each guarded by a CRC-32C, and an
+// optional per-vertex weight section. Because the wire payload is the
+// canonical form, decoding yields the same content hash as ingesting the
+// equivalent text edge list — so cache keys, and therefore results, are
+// identical across codecs.
+//
+// The decoder is written for hostile input: it never allocates from
+// attacker-claimed sizes (buffers grow geometrically against bytes actually
+// read), validates every row-local invariant (range, strict sort, no self
+// loops, arc-count consistency), rejects unknown flag bits and trailing
+// bytes, and returns errors rather than panicking — FuzzDecodeWire enforces
+// the no-panic contract in CI.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"strings"
+
+	"mdbgp/internal/graph"
+)
+
+// ContentType is the HTTP media type that negotiates this format on
+// POST /v1/partition. Bodies without it are parsed as text edge lists.
+const ContentType = "application/x-mdbgp-csr"
+
+// Magic is the 8-byte file signature, "MDBGPW1\n". The version lives in the
+// magic; an incompatible layout change bumps it.
+const Magic = "MDBGPW1\n"
+
+// HeaderSize is the fixed byte length of the header: magic, flags, n, arcs.
+const HeaderSize = 28
+
+// FlagWeights (bit 0) marks the presence of the per-vertex weight section.
+// All other flag bits are reserved and must be zero; decoders fail closed on
+// unknown bits so a v1 reader can never misinterpret a newer stream.
+const FlagWeights uint32 = 1 << 0
+
+const (
+	// maxChunkPayload bounds a single chunk's declared payload length (2^30).
+	maxChunkPayload = 1 << 30
+	// targetChunkPayload is the encoder's chunk size target (~256 KiB).
+	targetChunkPayload = 256 << 10
+	// MaxWeightDims bounds the weight section's dimension count.
+	MaxWeightDims = 256
+	// bufGrowStep is the granularity of decoder buffer growth: buffers grow
+	// geometrically but are filled incrementally with io.ReadFull, so a lying
+	// payload length backed by a short body allocates at most ~2× the bytes
+	// actually present.
+	bufGrowStep = 64 << 10
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Header is the decoded fixed header.
+type Header struct {
+	Flags uint32
+	N     uint64 // vertex count
+	Arcs  uint64 // stored adjacency entries, 2·m for a canonical graph
+}
+
+// Weighted reports whether the stream carries a weight section.
+func (h Header) Weighted() bool { return h.Flags&FlagWeights != 0 }
+
+// Edges returns the undirected edge count implied by the header.
+func (h Header) Edges() int64 { return int64(h.Arcs / 2) }
+
+// ParseHeader validates and decodes a fixed header from b, which must hold
+// at least HeaderSize bytes.
+func ParseHeader(b []byte) (Header, error) {
+	if len(b) < HeaderSize {
+		return Header{}, fmt.Errorf("wire: short header: %d bytes, want %d", len(b), HeaderSize)
+	}
+	if string(b[:8]) != Magic {
+		return Header{}, errors.New("wire: bad magic (not an mdbgp binary graph, or unsupported version)")
+	}
+	h := Header{
+		Flags: binary.LittleEndian.Uint32(b[8:12]),
+		N:     binary.LittleEndian.Uint64(b[12:20]),
+		Arcs:  binary.LittleEndian.Uint64(b[20:28]),
+	}
+	if unknown := h.Flags &^ FlagWeights; unknown != 0 {
+		return Header{}, fmt.Errorf("wire: unknown flag bits %#x (newer format feature; upgrade the reader)", unknown)
+	}
+	if h.N > math.MaxInt32 {
+		return Header{}, fmt.Errorf("wire: n = %d exceeds vertex id limit %d", h.N, math.MaxInt32)
+	}
+	if h.Arcs%2 != 0 {
+		return Header{}, fmt.Errorf("wire: odd arc count %d (canonical CSR stores each edge twice)", h.Arcs)
+	}
+	if h.N == 0 && h.Arcs != 0 {
+		return Header{}, fmt.Errorf("wire: 0 vertices but %d arcs", h.Arcs)
+	}
+	if h.N > 0 && h.Arcs/2 > h.N*(h.N-1)/2 {
+		return Header{}, fmt.Errorf("wire: %d arcs impossible for %d vertices", h.Arcs, h.N)
+	}
+	return h, nil
+}
+
+// Sniff reports whether b begins with the format magic. Callers peeking at a
+// stream (the mdbgp CLI, mdbgp-convert auto-detection) need at least 8 bytes
+// for a positive answer; shorter prefixes return false.
+func Sniff(b []byte) bool {
+	return len(b) >= 8 && string(b[:8]) == Magic
+}
+
+// IsContentType reports whether the Content-Type header value ct negotiates
+// this format, ignoring case and any media-type parameters.
+func IsContentType(ct string) bool {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.EqualFold(strings.TrimSpace(ct), ContentType)
+}
+
+// Decoder reads a binary graph stream incrementally: header at construction,
+// then adjacency rows in vertex order via Rows, then the optional weight
+// section, then Finish to assert clean EOF. The decoder validates chunk CRCs,
+// row invariants and arc-count consistency as it goes.
+type Decoder struct {
+	r    *bufio.Reader
+	hdr  Header
+	next int   // next undelivered vertex id
+	arcs int64 // running degree total
+	buf  []byte
+	row  []int32
+}
+
+// NewDecoder reads and validates the header from r. The reader should not be
+// used by the caller afterwards; the decoder owns it.
+func NewDecoder(r io.Reader) (*Decoder, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 64<<10)
+	}
+	var hb [HeaderSize]byte
+	if _, err := io.ReadFull(br, hb[:]); err != nil {
+		return nil, fmt.Errorf("wire: reading header: %w", err)
+	}
+	hdr, err := ParseHeader(hb[:])
+	if err != nil {
+		return nil, err
+	}
+	return &Decoder{r: br, hdr: hdr}, nil
+}
+
+// Header returns the decoded fixed header.
+func (d *Decoder) Header() Header { return d.hdr }
+
+// readChunk reads one length-framed, CRC-guarded chunk payload into d.buf.
+func (d *Decoder) readChunk() ([]byte, error) {
+	var lb [4]byte
+	if _, err := io.ReadFull(d.r, lb[:]); err != nil {
+		return nil, fmt.Errorf("wire: vertex %d: reading chunk length: %w", d.next, err)
+	}
+	length := int(binary.LittleEndian.Uint32(lb[:]))
+	if length < 1 || length > maxChunkPayload {
+		return nil, fmt.Errorf("wire: chunk length %d out of range [1, %d]", length, maxChunkPayload)
+	}
+	// Grow the buffer geometrically while reading incrementally, so a
+	// declared length far beyond the actual body never causes a huge
+	// allocation: each growth step must be paid for by bytes actually read.
+	got := 0
+	for got < length {
+		if got == len(d.buf) {
+			grow := len(d.buf)
+			if grow < bufGrowStep {
+				grow = bufGrowStep
+			}
+			if got+grow > length {
+				grow = length - got
+			}
+			d.buf = append(d.buf, make([]byte, grow)...)
+		}
+		nn, err := io.ReadFull(d.r, d.buf[got:min(length, len(d.buf))])
+		got += nn
+		if err != nil {
+			return nil, fmt.Errorf("wire: chunk truncated at %d/%d payload bytes: %w", got, length, err)
+		}
+	}
+	var cb [4]byte
+	if _, err := io.ReadFull(d.r, cb[:]); err != nil {
+		return nil, fmt.Errorf("wire: reading chunk CRC: %w", err)
+	}
+	want := binary.LittleEndian.Uint32(cb[:])
+	if sum := crc32.Checksum(d.buf[:length], castagnoli); sum != want {
+		return nil, fmt.Errorf("wire: chunk CRC mismatch: computed %#x, stored %#x", sum, want)
+	}
+	return d.buf[:length], nil
+}
+
+func uvarint(p []byte, pos int, what string) (uint64, int, error) {
+	v, w := binary.Uvarint(p[pos:])
+	if w <= 0 {
+		return 0, 0, fmt.Errorf("wire: bad uvarint (%s) at payload offset %d", what, pos)
+	}
+	return v, pos + w, nil
+}
+
+// Rows invokes fn once per vertex in order 0..n-1 with the vertex id and its
+// sorted adjacency row. The row slice is reused across calls and must not be
+// retained. Returning an error from fn aborts decoding with that error.
+// After Rows returns nil, all n rows have been delivered and the degree sum
+// matched the header's arc count.
+func (d *Decoder) Rows(fn func(v int, adj []int32) error) error {
+	n := int(d.hdr.N)
+	for d.next < n {
+		payload, err := d.readChunk()
+		if err != nil {
+			return err
+		}
+		pos := 0
+		first, pos, err := uvarint(payload, pos, "firstVertex")
+		if err != nil {
+			return err
+		}
+		if first != uint64(d.next) {
+			return fmt.Errorf("wire: chunk starts at vertex %d, want %d (chunks must tile [0, n) in order)", first, d.next)
+		}
+		count, pos, err := uvarint(payload, pos, "vertexCount")
+		if err != nil {
+			return err
+		}
+		// Bound count before first+count to keep the sum overflow-free.
+		if count < 1 || count > uint64(n) || first+count > uint64(n) {
+			return fmt.Errorf("wire: chunk covers vertices [%d, %d), outside [0, %d)", first, first+count, n)
+		}
+		for v := d.next; v < d.next+int(count); v++ {
+			var deg uint64
+			deg, pos, err = uvarint(payload, pos, "degree")
+			if err != nil {
+				return err
+			}
+			if deg > uint64(n)-1 {
+				return fmt.Errorf("wire: vertex %d: degree %d exceeds n-1 = %d", v, deg, n-1)
+			}
+			d.arcs += int64(deg)
+			if d.arcs > int64(d.hdr.Arcs) {
+				return fmt.Errorf("wire: degree sum exceeds header arc count %d at vertex %d", d.hdr.Arcs, v)
+			}
+			d.row = d.row[:0]
+			prev := int64(-1)
+			for i := uint64(0); i < deg; i++ {
+				var raw uint64
+				raw, pos, err = uvarint(payload, pos, "neighbor")
+				if err != nil {
+					return err
+				}
+				var id int64
+				if i == 0 {
+					id = int64(raw) // first neighbor is encoded raw
+				} else {
+					if raw == 0 {
+						return fmt.Errorf("wire: vertex %d: zero gap (duplicate neighbor %d)", v, prev)
+					}
+					id = prev + int64(raw)
+				}
+				if id >= int64(n) {
+					return fmt.Errorf("wire: vertex %d: neighbor %d out of range [0, %d)", v, id, n)
+				}
+				if id == int64(v) {
+					return fmt.Errorf("wire: vertex %d: self loop", v)
+				}
+				d.row = append(d.row, int32(id))
+				prev = id
+			}
+			if err := fn(v, d.row); err != nil {
+				return err
+			}
+		}
+		if pos != len(payload) {
+			return fmt.Errorf("wire: chunk has %d leftover payload bytes", len(payload)-pos)
+		}
+		d.next += int(count)
+	}
+	if d.arcs != int64(d.hdr.Arcs) {
+		return fmt.Errorf("wire: degree sum %d != header arc count %d", d.arcs, d.hdr.Arcs)
+	}
+	return nil
+}
+
+// Weights reads the weight section: dims per-vertex float64 vectors, each
+// CRC-guarded, finite and strictly positive. It must be called after Rows and
+// only when Header().Weighted(); a stream without the flag returns (nil, nil).
+func (d *Decoder) Weights() ([][]float64, error) {
+	if !d.hdr.Weighted() {
+		return nil, nil
+	}
+	if d.next != int(d.hdr.N) {
+		return nil, errors.New("wire: Weights called before all rows were decoded")
+	}
+	var db [4]byte
+	if _, err := io.ReadFull(d.r, db[:]); err != nil {
+		return nil, fmt.Errorf("wire: reading weight dim count: %w", err)
+	}
+	dims := int(binary.LittleEndian.Uint32(db[:]))
+	if dims < 1 || dims > MaxWeightDims {
+		return nil, fmt.Errorf("wire: weight dim count %d out of range [1, %d]", dims, MaxWeightDims)
+	}
+	n := int(d.hdr.N)
+	out := make([][]float64, dims)
+	for k := 0; k < dims; k++ {
+		crc := crc32.New(castagnoli)
+		w := make([]float64, n)
+		var vb [8]byte
+		for v := 0; v < n; v++ {
+			if _, err := io.ReadFull(d.r, vb[:]); err != nil {
+				return nil, fmt.Errorf("wire: weight dim %d truncated at vertex %d: %w", k, v, err)
+			}
+			crc.Write(vb[:])
+			f := math.Float64frombits(binary.LittleEndian.Uint64(vb[:]))
+			if math.IsNaN(f) || math.IsInf(f, 0) || f <= 0 {
+				return nil, fmt.Errorf("wire: weight dim %d vertex %d: value %v (must be finite and > 0)", k, v, f)
+			}
+			w[v] = f
+		}
+		var cb [4]byte
+		if _, err := io.ReadFull(d.r, cb[:]); err != nil {
+			return nil, fmt.Errorf("wire: reading weight dim %d CRC: %w", k, err)
+		}
+		if want := binary.LittleEndian.Uint32(cb[:]); crc.Sum32() != want {
+			return nil, fmt.Errorf("wire: weight dim %d CRC mismatch: computed %#x, stored %#x", k, crc.Sum32(), want)
+		}
+		out[k] = w
+	}
+	return out, nil
+}
+
+// Finish asserts clean EOF: any trailing byte after the last section is an
+// error. Call after Rows (and Weights, if the flag is set).
+func (d *Decoder) Finish() error {
+	if d.next != int(d.hdr.N) {
+		return fmt.Errorf("wire: stream ended with %d of %d vertices delivered", d.next, d.hdr.N)
+	}
+	if _, err := d.r.ReadByte(); err == nil {
+		return errors.New("wire: trailing bytes after end of stream")
+	} else if err != io.EOF {
+		return err
+	}
+	return nil
+}
+
+// Decode materializes a full graph (and weights, if present) from r,
+// building the CSR arrays directly — the payload is already canonical, so no
+// sorting or deduplication pass is needed. It verifies clean EOF.
+func Decode(r io.Reader) (*graph.Graph, [][]float64, error) {
+	d, err := NewDecoder(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := int(d.hdr.N)
+	offsets := make([]int64, n+1)
+	// Cap the speculative adjacency allocation: the header's arc count is
+	// attacker-controlled, so pre-size modestly and let append grow against
+	// data actually decoded.
+	capHint := d.hdr.Arcs
+	if capHint > 1<<22 {
+		capHint = 1 << 22
+	}
+	adj := make([]int32, 0, capHint)
+	err = d.Rows(func(v int, row []int32) error {
+		adj = append(adj, row...)
+		offsets[v+1] = int64(len(adj))
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	weights, err := d.Weights()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := d.Finish(); err != nil {
+		return nil, nil, err
+	}
+	return graph.FromCSR(offsets, adj), weights, nil
+}
+
+// HashGraph computes the canonical content hash of a wire stream without
+// materializing the graph, using two passes over the source: one for degrees
+// (offsets), one for adjacency rows. open must return a fresh reader over the
+// same bytes on each call (closed after each pass) — the router hashes an
+// in-memory body, the out-of-core ingest path re-opens its spill file. The
+// returned hash is identical to Graph.HashString() of the decoded graph.
+func HashGraph(open func() (io.ReadCloser, error)) (string, Header, error) {
+	var hdr Header
+	sh := (*graph.StreamHasher)(nil)
+	pass := func(fn func(d *Decoder) error) error {
+		r, err := open()
+		if err != nil {
+			return err
+		}
+		defer r.Close()
+		d, err := NewDecoder(r)
+		if err != nil {
+			return err
+		}
+		hdr = d.Header()
+		if sh == nil {
+			sh = graph.NewStreamHasher(int(hdr.N), int64(hdr.Arcs))
+		}
+		return fn(d)
+	}
+	err := pass(func(d *Decoder) error {
+		return d.Rows(func(v int, adj []int32) error {
+			sh.AddDegree(len(adj))
+			return nil
+		})
+	})
+	if err != nil {
+		return "", Header{}, err
+	}
+	err = pass(func(d *Decoder) error {
+		return d.Rows(func(v int, adj []int32) error {
+			sh.AddRow(adj)
+			return nil
+		})
+	})
+	if err != nil {
+		return "", Header{}, err
+	}
+	return sh.SumString(), hdr, nil
+}
+
+// Encoder writes a binary graph stream: header at construction, rows in
+// vertex order, then Close to flush the final chunk and optional weights.
+type Encoder struct {
+	w       *bufio.Writer
+	hdr     Header
+	next    int
+	payload []byte
+	start   int // first vertex in the pending chunk
+	count   int // vertices in the pending chunk
+	scratch []byte
+}
+
+// NewEncoder writes the header for a graph with n vertices and arcs stored
+// adjacency entries, optionally flagged as carrying weights.
+func NewEncoder(w io.Writer, n int, arcs int64, weighted bool) (*Encoder, error) {
+	if n < 0 || n > math.MaxInt32 {
+		return nil, fmt.Errorf("wire: vertex count %d out of range", n)
+	}
+	if arcs < 0 || arcs%2 != 0 {
+		return nil, fmt.Errorf("wire: arc count %d invalid", arcs)
+	}
+	var flags uint32
+	if weighted {
+		flags |= FlagWeights
+	}
+	e := &Encoder{
+		w:       bufio.NewWriterSize(w, 256<<10),
+		hdr:     Header{Flags: flags, N: uint64(n), Arcs: uint64(arcs)},
+		scratch: make([]byte, binary.MaxVarintLen64),
+	}
+	var hb [HeaderSize]byte
+	copy(hb[:8], Magic)
+	binary.LittleEndian.PutUint32(hb[8:12], flags)
+	binary.LittleEndian.PutUint64(hb[12:20], uint64(n))
+	binary.LittleEndian.PutUint64(hb[20:28], uint64(arcs))
+	if _, err := e.w.Write(hb[:]); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *Encoder) putUvarint(v uint64) {
+	w := binary.PutUvarint(e.scratch, v)
+	e.payload = append(e.payload, e.scratch[:w]...)
+}
+
+// AddRow appends the next vertex's sorted strictly-ascending adjacency row.
+// Rows must be added for every vertex 0..n-1 in order.
+func (e *Encoder) AddRow(adj []int32) error {
+	v := e.next
+	if v >= int(e.hdr.N) {
+		return fmt.Errorf("wire: AddRow past vertex count %d", e.hdr.N)
+	}
+	if e.count == 0 {
+		e.start = v
+		e.putUvarint(uint64(v))
+		e.putUvarint(0) // vertexCount placeholder, patched in flushChunk
+	}
+	e.putUvarint(uint64(len(adj)))
+	prev := int64(-1)
+	for i, a := range adj {
+		id := int64(a)
+		if id < 0 || id >= int64(e.hdr.N) || id == int64(v) || (i > 0 && id <= prev) {
+			return fmt.Errorf("wire: vertex %d: row not canonical at neighbor %d", v, a)
+		}
+		if i == 0 {
+			e.putUvarint(uint64(id))
+		} else {
+			e.putUvarint(uint64(id - prev))
+		}
+		prev = id
+	}
+	e.count++
+	e.next++
+	if len(e.payload) >= targetChunkPayload {
+		return e.flushChunk()
+	}
+	return nil
+}
+
+func (e *Encoder) flushChunk() error {
+	if e.count == 0 {
+		return nil
+	}
+	// The vertexCount placeholder was written as uvarint(0) = one byte right
+	// after firstVertex. Re-encode the prefix now that the count is known.
+	firstLen := binary.PutUvarint(e.scratch, uint64(e.start))
+	head := make([]byte, firstLen+binary.MaxVarintLen64)
+	copy(head, e.scratch[:firstLen])
+	countLen := binary.PutUvarint(head[firstLen:], uint64(e.count))
+	head = head[:firstLen+countLen]
+	body := e.payload[firstLen+1:] // skip old firstVertex + 1-byte placeholder
+
+	length := len(head) + len(body)
+	if length > maxChunkPayload {
+		return fmt.Errorf("wire: chunk payload %d exceeds limit %d", length, maxChunkPayload)
+	}
+	var lb [4]byte
+	binary.LittleEndian.PutUint32(lb[:], uint32(length))
+	if _, err := e.w.Write(lb[:]); err != nil {
+		return err
+	}
+	sum := crc32.Update(0, castagnoli, head)
+	sum = crc32.Update(sum, castagnoli, body)
+	if _, err := e.w.Write(head); err != nil {
+		return err
+	}
+	if _, err := e.w.Write(body); err != nil {
+		return err
+	}
+	var cb [4]byte
+	binary.LittleEndian.PutUint32(cb[:], sum)
+	if _, err := e.w.Write(cb[:]); err != nil {
+		return err
+	}
+	e.payload = e.payload[:0]
+	e.count = 0
+	return nil
+}
+
+// AddWeights writes the weight section. Call after all rows, once, and only
+// when the encoder was constructed weighted. Each dimension must hold n
+// finite strictly-positive values.
+func (e *Encoder) AddWeights(weights [][]float64) error {
+	if !e.hdr.Weighted() {
+		return errors.New("wire: AddWeights on an unweighted encoder")
+	}
+	if e.next != int(e.hdr.N) {
+		return fmt.Errorf("wire: AddWeights before all %d rows were added", e.hdr.N)
+	}
+	if err := e.flushChunk(); err != nil {
+		return err
+	}
+	if len(weights) < 1 || len(weights) > MaxWeightDims {
+		return fmt.Errorf("wire: weight dim count %d out of range [1, %d]", len(weights), MaxWeightDims)
+	}
+	var db [4]byte
+	binary.LittleEndian.PutUint32(db[:], uint32(len(weights)))
+	if _, err := e.w.Write(db[:]); err != nil {
+		return err
+	}
+	var vb [8]byte
+	for k, w := range weights {
+		if len(w) != int(e.hdr.N) {
+			return fmt.Errorf("wire: weight dim %d has %d values, want %d", k, len(w), e.hdr.N)
+		}
+		sum := uint32(0)
+		for v, f := range w {
+			if math.IsNaN(f) || math.IsInf(f, 0) || f <= 0 {
+				return fmt.Errorf("wire: weight dim %d vertex %d: value %v (must be finite and > 0)", k, v, f)
+			}
+			binary.LittleEndian.PutUint64(vb[:], math.Float64bits(f))
+			sum = crc32.Update(sum, castagnoli, vb[:])
+			if _, err := e.w.Write(vb[:]); err != nil {
+				return err
+			}
+		}
+		var cb [4]byte
+		binary.LittleEndian.PutUint32(cb[:], sum)
+		if _, err := e.w.Write(cb[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes the pending chunk and the underlying writer. It errors if
+// fewer than n rows were added, or if the encoder was constructed weighted
+// but AddWeights was never called.
+func (e *Encoder) Close() error {
+	if e.next != int(e.hdr.N) {
+		return fmt.Errorf("wire: Close after %d of %d rows", e.next, e.hdr.N)
+	}
+	if err := e.flushChunk(); err != nil {
+		return err
+	}
+	return e.w.Flush()
+}
+
+// Encode writes g (and optional weights; pass nil for none) to w in wire
+// format. The graph's CSR is already canonical, so rows stream straight out.
+func Encode(w io.Writer, g *graph.Graph, weights [][]float64) error {
+	e, err := NewEncoder(w, g.N(), g.DirectedSize(), len(weights) > 0)
+	if err != nil {
+		return err
+	}
+	for v := 0; v < g.N(); v++ {
+		if err := e.AddRow(g.Neighbors(v)); err != nil {
+			return err
+		}
+	}
+	if len(weights) > 0 {
+		if err := e.AddWeights(weights); err != nil {
+			return err
+		}
+	}
+	return e.Close()
+}

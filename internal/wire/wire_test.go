@@ -1,0 +1,440 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"hash/crc32"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mdbgp/internal/graph"
+)
+
+var update = flag.Bool("update", false, "rewrite golden fixtures")
+
+// buildGraph constructs a canonical graph from undirected edge pairs.
+func buildGraph(t testing.TB, n int, edges [][2]int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	g := b.Build()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("fixture graph invalid: %v", err)
+	}
+	return g
+}
+
+// workedExample is the 4-vertex graph from docs/WIRE_FORMAT.md §Worked example.
+func workedExample(t testing.TB) *graph.Graph {
+	return buildGraph(t, 4, [][2]int{{0, 1}, {0, 2}, {1, 2}, {2, 3}})
+}
+
+// workedExampleBytes is the normative encoding from the spec, byte for byte.
+var workedExampleBytes = []byte{
+	'M', 'D', 'B', 'G', 'P', 'W', '1', '\n', // magic
+	0x00, 0x00, 0x00, 0x00, // flags = 0
+	0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // n = 4
+	0x08, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // arcs = 8
+	0x0E, 0x00, 0x00, 0x00, // chunk length = 14
+	0x00,             // firstVertex = 0
+	0x04,             // vertexCount = 4
+	0x02, 0x01, 0x01, // row 0: deg 2, first 1, gap 1
+	0x02, 0x00, 0x02, // row 1: deg 2, first 0, gap 2
+	0x03, 0x00, 0x01, 0x02, // row 2: deg 3, first 0, gaps 1, 2
+	0x01, 0x02, // row 3: deg 1, first 2
+	0x7F, 0xAA, 0x7F, 0xE2, // CRC-32C = 0xE27FAA7F
+}
+
+// TestEncodeWorkedExample pins the encoder to the spec's worked example.
+// docs/WIRE_FORMAT.md names this test; if the layout changes, change the spec
+// first and this fixture with it.
+func TestEncodeWorkedExample(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, workedExample(t), nil); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), workedExampleBytes) {
+		t.Errorf("encoding diverges from docs/WIRE_FORMAT.md worked example:\n got %x\nwant %x", buf.Bytes(), workedExampleBytes)
+	}
+}
+
+func TestDecodeWorkedExample(t *testing.T) {
+	g, weights, err := Decode(bytes.NewReader(workedExampleBytes))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if weights != nil {
+		t.Errorf("unexpected weights: %v", weights)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("decoded graph invalid: %v", err)
+	}
+	want := workedExample(t)
+	if g.HashString() != want.HashString() {
+		t.Errorf("decoded hash %s != built hash %s", g.HashString(), want.HashString())
+	}
+}
+
+func randomGraph(t testing.TB, n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([][2]int, 0, m)
+	for len(edges) < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	return buildGraph(t, n, edges)
+}
+
+func TestRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"empty", buildGraph(t, 0, nil)},
+		{"isolated", buildGraph(t, 5, nil)},
+		{"single-edge", buildGraph(t, 2, [][2]int{{0, 1}})},
+		{"worked-example", workedExample(t)},
+		{"random-small", randomGraph(t, 100, 400, 1)},
+		{"random-medium", randomGraph(t, 5000, 40000, 2)},
+		{"isolated-tail", buildGraph(t, 10, [][2]int{{0, 1}})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Encode(&buf, tc.g, nil); err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			got, _, err := Decode(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if err := got.Validate(); err != nil {
+				t.Errorf("decoded graph invalid: %v", err)
+			}
+			if got.HashString() != tc.g.HashString() {
+				t.Errorf("round-trip hash mismatch: %s != %s", got.HashString(), tc.g.HashString())
+			}
+			// HashGraph (the streaming two-pass hash) must agree with the
+			// materialized hash — the router and out-of-core path depend on it.
+			streamed, hdr, err := HashGraph(func() (io.ReadCloser, error) {
+				return io.NopCloser(bytes.NewReader(buf.Bytes())), nil
+			})
+			if err != nil {
+				t.Fatalf("HashGraph: %v", err)
+			}
+			if streamed != tc.g.HashString() {
+				t.Errorf("streamed hash %s != graph hash %s", streamed, tc.g.HashString())
+			}
+			if int(hdr.N) != tc.g.N() || int64(hdr.Arcs) != tc.g.DirectedSize() {
+				t.Errorf("header (n=%d arcs=%d) != graph (n=%d arcs=%d)", hdr.N, hdr.Arcs, tc.g.N(), tc.g.DirectedSize())
+			}
+		})
+	}
+}
+
+// TestMultiChunk forces several chunks and checks reassembly across the
+// chunk boundaries (the encoder flushes at ~256 KiB; a dense-enough graph
+// guarantees multiple chunks).
+func TestMultiChunk(t *testing.T) {
+	g := randomGraph(t, 20000, 400000, 3)
+	var buf bytes.Buffer
+	if err := Encode(&buf, g, nil); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if buf.Len() < targetChunkPayload {
+		t.Fatalf("fixture too small to force multiple chunks: %d bytes", buf.Len())
+	}
+	got, _, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.HashString() != g.HashString() {
+		t.Errorf("multi-chunk round-trip hash mismatch")
+	}
+}
+
+func TestWeightsRoundTrip(t *testing.T) {
+	g := workedExample(t)
+	weights := [][]float64{
+		{1, 1, 1, 1},
+		{2.5, 0.5, 1.25, 3.75},
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, g, weights); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, gotW, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.HashString() != g.HashString() {
+		t.Errorf("weighted round-trip changed graph hash")
+	}
+	if len(gotW) != 2 {
+		t.Fatalf("got %d weight dims, want 2", len(gotW))
+	}
+	for k := range weights {
+		for v := range weights[k] {
+			if gotW[k][v] != weights[k][v] {
+				t.Errorf("weight[%d][%d] = %v, want %v", k, v, gotW[k][v], weights[k][v])
+			}
+		}
+	}
+	// The weight section must not perturb the graph content hash (it is
+	// explicitly outside the content address).
+	var plain bytes.Buffer
+	if err := Encode(&plain, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	gp, _, err := Decode(bytes.NewReader(plain.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.HashString() != got.HashString() {
+		t.Errorf("weight section changed the content hash")
+	}
+}
+
+func TestEncodeRejectsBadWeights(t *testing.T) {
+	g := workedExample(t)
+	for _, w := range [][]float64{
+		{1, 1, 1, 0},           // zero
+		{1, 1, 1, -2},          // negative
+		{1, 1, 1, math.NaN()},  // NaN
+		{1, 1, 1, math.Inf(1)}, // +Inf
+		{1, 1, 1},              // short
+	} {
+		var buf bytes.Buffer
+		if err := Encode(&buf, g, [][]float64{w}); err == nil {
+			t.Errorf("Encode accepted bad weight vector %v", w)
+		}
+	}
+}
+
+// TestGolden pins the full encoding of a mid-size deterministic graph to a
+// committed fixture, so any byte-level drift in the encoder (or decoder,
+// which must still read the old bytes) is visible in review.
+func TestGolden(t *testing.T) {
+	g := randomGraph(t, 500, 2500, 42)
+	var buf bytes.Buffer
+	if err := Encode(&buf, g, [][]float64{{ /* filled below */ }}); err == nil {
+		t.Fatal("Encode accepted an empty weight dim")
+	}
+	buf.Reset()
+	w := make([]float64, g.N())
+	for v := range w {
+		w[v] = 1 + float64(v%7)
+	}
+	if err := Encode(&buf, g, [][]float64{w}); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	path := filepath.Join("testdata", "golden_v1.bin")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden fixture (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("encoding drifted from golden fixture %s (%d vs %d bytes); if intentional, update docs/WIRE_FORMAT.md first, then -update", path, buf.Len(), len(want))
+	}
+	gg, gw, err := Decode(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("decoding golden fixture: %v", err)
+	}
+	if gg.HashString() != g.HashString() {
+		t.Errorf("golden fixture decodes to a different graph")
+	}
+	if len(gw) != 1 || gw[0][3] != 1+float64(3%7) {
+		t.Errorf("golden fixture weights wrong: %v", gw)
+	}
+}
+
+// corrupt returns a copy of b with the byte at i XORed with mask.
+func corrupt(b []byte, i int, mask byte) []byte {
+	c := append([]byte(nil), b...)
+	c[i] ^= mask
+	return c
+}
+
+func TestDecodeErrors(t *testing.T) {
+	valid := workedExampleBytes
+	cases := []struct {
+		name string
+		data []byte
+		want string // substring of the error
+	}{
+		{"empty", nil, "header"},
+		{"short-header", valid[:10], "header"},
+		{"bad-magic", corrupt(valid, 0, 0xFF), "magic"},
+		{"future-version", corrupt(valid, 6, '1'^'2'), "magic"},
+		{"unknown-flag", corrupt(valid, 9, 0x01), "unknown flag"},
+		{"odd-arcs", corrupt(valid, 20, 0x01), "odd arc"},
+		{"truncated-chunk", valid[:40], "truncated"},
+		{"crc-flip", corrupt(valid, len(valid)-1, 0x01), "CRC mismatch"},
+		{"payload-flip", corrupt(valid, 36, 0x40), "CRC mismatch"},
+		{"trailing-bytes", append(append([]byte(nil), valid...), 0x00), "trailing"},
+		{"zero-length-chunk", func() []byte {
+			c := append([]byte(nil), valid...)
+			binary.LittleEndian.PutUint32(c[28:32], 0)
+			return c
+		}(), "length"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := Decode(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatalf("Decode accepted corrupt input")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// reframe rebuilds the worked example with a custom chunk payload, fixing up
+// length and CRC so only the payload-level violation under test remains.
+func reframe(payload []byte) []byte {
+	out := append([]byte(nil), workedExampleBytes[:HeaderSize]...)
+	var lb [4]byte
+	binary.LittleEndian.PutUint32(lb[:], uint32(len(payload)))
+	out = append(out, lb[:]...)
+	out = append(out, payload...)
+	binary.LittleEndian.PutUint32(lb[:], crc32.Checksum(payload, castagnoli))
+	return append(out, lb[:]...)
+}
+
+func TestDecodePayloadViolations(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload []byte
+		want    string
+	}{
+		// Baseline payload: 00 04 | 02 01 01 | 02 00 02 | 03 00 01 02 | 01 02
+		{"zero-gap", []byte{0x00, 0x04, 0x02, 0x01, 0x00, 0x02, 0x00, 0x02, 0x03, 0x00, 0x01, 0x02, 0x01, 0x02}, "zero gap"},
+		{"self-loop", []byte{0x00, 0x04, 0x02, 0x00, 0x01, 0x02, 0x00, 0x02, 0x03, 0x00, 0x01, 0x02, 0x01, 0x02}, "self loop"},
+		{"neighbor-range", []byte{0x00, 0x04, 0x02, 0x01, 0x63, 0x02, 0x00, 0x02, 0x03, 0x00, 0x01, 0x02, 0x01, 0x02}, "out of range"},
+		{"wrong-first-vertex", []byte{0x01, 0x04, 0x02, 0x01, 0x01, 0x02, 0x00, 0x02, 0x03, 0x00, 0x01, 0x02, 0x01, 0x02}, "chunk starts"},
+		{"count-overrun", []byte{0x00, 0x05, 0x02, 0x01, 0x01, 0x02, 0x00, 0x02, 0x03, 0x00, 0x01, 0x02, 0x01, 0x02}, "outside"},
+		{"leftover-bytes", []byte{0x00, 0x04, 0x02, 0x01, 0x01, 0x02, 0x00, 0x02, 0x03, 0x00, 0x01, 0x02, 0x01, 0x02, 0x00}, "leftover"},
+		{"degree-overflow", []byte{0x00, 0x04, 0x7F, 0x01, 0x01, 0x02, 0x00, 0x02, 0x03, 0x00, 0x01, 0x02, 0x01, 0x02}, "degree"},
+		{"arc-undercount", []byte{0x00, 0x04, 0x01, 0x01, 0x02, 0x00, 0x02, 0x03, 0x00, 0x01, 0x02, 0x01, 0x02}, "arc count"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := Decode(bytes.NewReader(reframe(tc.payload)))
+			if err == nil {
+				t.Fatalf("Decode accepted payload violation")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDecodeNoSymmetryCheck documents the spec's explicit non-goal: an
+// asymmetric stream decodes (self-keying its own content hash) rather than
+// paying O(m log d) validation on the hot ingest path.
+func TestDecodeNoSymmetryCheck(t *testing.T) {
+	// Rows 0:[1] 1:[2] 2:[] — arcs=2 (even, so the header check passes) but
+	// no edge is reciprocated.
+	payload := []byte{0x00, 0x03, 0x01, 0x01, 0x01, 0x02, 0x00}
+	data := append([]byte(nil), []byte(Magic)...)
+	var b8 [8]byte
+	data = append(data, 0, 0, 0, 0) // flags
+	binary.LittleEndian.PutUint64(b8[:], 3)
+	data = append(data, b8[:]...) // n = 3
+	binary.LittleEndian.PutUint64(b8[:], 2)
+	data = append(data, b8[:]...) // arcs = 2
+	var lb [4]byte
+	binary.LittleEndian.PutUint32(lb[:], uint32(len(payload)))
+	data = append(data, lb[:]...)
+	data = append(data, payload...)
+	binary.LittleEndian.PutUint32(lb[:], crc32.Checksum(payload, castagnoli))
+	data = append(data, lb[:]...)
+
+	g, _, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("Decode rejected asymmetric stream: %v", err)
+	}
+	if g.Validate() == nil {
+		t.Fatalf("fixture should be asymmetric")
+	}
+	if g.N() != 3 || g.DirectedSize() != 2 {
+		t.Errorf("decoded shape n=%d arcs=%d", g.N(), g.DirectedSize())
+	}
+}
+
+func TestSniffAndContentType(t *testing.T) {
+	if !Sniff(workedExampleBytes) {
+		t.Error("Sniff rejected a valid stream")
+	}
+	if Sniff([]byte("# 4 4\n0 1\n")) {
+		t.Error("Sniff accepted a text edge list")
+	}
+	if Sniff([]byte("MDBGP")) {
+		t.Error("Sniff accepted a short prefix")
+	}
+	for ct, want := range map[string]bool{
+		ContentType:                     true,
+		"Application/X-MDBGP-CSR":       true,
+		ContentType + "; charset=utf-8": true,
+		"  " + ContentType + " ; v=1":   true,
+		"text/plain":                    false,
+		"application/octet-stream":      false,
+		"":                              false,
+	} {
+		if got := IsContentType(ct); got != want {
+			t.Errorf("IsContentType(%q) = %v, want %v", ct, got, want)
+		}
+	}
+}
+
+// FuzzDecodeWire asserts the decoder's no-panic contract on arbitrary input,
+// and on inputs that decode successfully, that re-encoding and re-decoding
+// is hash-stable (the codec is a bijection on canonical streams up to
+// chunking and varint minimality).
+func FuzzDecodeWire(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(workedExampleBytes)
+	f.Add(workedExampleBytes[:20])
+	f.Add(corrupt(workedExampleBytes, 30, 0x80))
+	var weighted bytes.Buffer
+	g4 := buildGraph(f, 4, [][2]int{{0, 1}, {0, 2}, {1, 2}, {2, 3}})
+	if err := Encode(&weighted, g4, [][]float64{{1, 2, 3, 4}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(weighted.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, weights, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, g, weights); err != nil {
+			t.Fatalf("re-encoding a decoded graph failed: %v", err)
+		}
+		g2, _, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding failed: %v", err)
+		}
+		if g2.HashString() != g.HashString() {
+			t.Fatalf("decode/encode/decode not hash-stable")
+		}
+	})
+}

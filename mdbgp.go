@@ -136,8 +136,11 @@ func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
 
 // ReadEdgeListInto streams an edge list into an existing builder, allowing
 // callers to accumulate several sources, bound the accepted vertex-id range
-// (maxVertexID; 0 means the representation limit), or interleave programmatic
-// AddEdge calls before Build. This is the serving ingest entry point.
+// (maxVertexID; 0 means the representation limit, the unbounded mode trusted
+// in-process callers like the router's edge hashing use), or interleave
+// programmatic AddEdge calls before Build. This is the serving ingest entry
+// point for the text codec; binary uploads go through internal/wire instead
+// (docs/WIRE_FORMAT.md).
 func ReadEdgeListInto(b *Builder, r io.Reader, maxVertexID int) error {
 	return graph.ReadEdgeListInto(b, r, maxVertexID)
 }
