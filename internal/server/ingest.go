@@ -2,8 +2,10 @@ package server
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"io"
 	"net/http"
 	"os"
@@ -80,6 +82,37 @@ func (sp *spillFile) rowSource() baselines.RowSource {
 	}
 }
 
+// symmetryXOR is a one-pass probabilistic symmetry check for the out-of-core
+// path, where the graph is never materialized so Graph.Validate's pairing
+// check is unavailable. Every directed arc (v,w) XORs the seeded hash of its
+// unordered pair {v,w} into an accumulator: each vertex's row appears exactly
+// once and is internally duplicate-free, so a pair can contribute at most
+// twice — a symmetric stream cancels to zero, an unpaired arc leaves a
+// residue. The seed is drawn fresh per ingest, so a hostile uploader cannot
+// precompute residues that cancel; a false accept requires a blind 64-bit
+// hash collision across the unpaired arcs.
+type symmetryXOR struct {
+	seed maphash.Seed
+	acc  uint64
+}
+
+func newSymmetryXOR() *symmetryXOR { return &symmetryXOR{seed: maphash.MakeSeed()} }
+
+func (s *symmetryXOR) add(v int, adj []int32) {
+	var b [8]byte
+	for _, w := range adj {
+		lo, hi := uint32(v), uint32(w)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		binary.LittleEndian.PutUint32(b[:4], lo)
+		binary.LittleEndian.PutUint32(b[4:], hi)
+		s.acc ^= maphash.Bytes(s.seed, b[:])
+	}
+}
+
+func (s *symmetryXOR) symmetric() bool { return s.acc == 0 }
+
 // ingestBinary handles a Content-Type: application/x-mdbgp-csr body: parse
 // and validate the wire header, then either materialize the CSR (within the
 // resident-edge budget) or validate-and-spill the stream to disk for an
@@ -127,6 +160,13 @@ func (s *Server) ingestBinary(w http.ResponseWriter, r *http.Request, req *submi
 			return nil
 		}
 		httpError(w, http.StatusBadRequest, err.Error())
+		return nil
+	}
+	// The wire decoder enforces row-local invariants only; the engines
+	// additionally assume a symmetric canonical CSR, so validate before
+	// dispatch exactly as cmd/mdbgp does after wire.Decode.
+	if err := g.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("binary graph invalid: %v (the payload must be the canonical symmetric CSR; see docs/WIRE_FORMAT.md)", err))
 		return nil
 	}
 	hash := ""
@@ -192,13 +232,23 @@ func (s *Server) ingestOutOfCore(w http.ResponseWriter, req *submitRequest, hdr 
 	// The decoder drives the tee: every body byte it consumes lands in the
 	// spill, and because Finish rejects trailing bytes the spill ends up
 	// holding exactly the wire stream — fully validated (structure + CRCs)
-	// before anything downstream can trust it.
+	// before anything downstream can trust it. The symmetry accumulator
+	// rides the same pass: the streaming engines and ComputeStreamStats
+	// assume a symmetric canonical CSR, and this path never materializes a
+	// Graph to run Validate on.
+	sym := newSymmetryXOR()
 	d, err := wire.NewDecoder(io.MultiReader(bytes.NewReader(hb), io.TeeReader(body, f)))
 	if err == nil {
-		err = d.Rows(func(int, []int32) error { return nil })
+		err = d.Rows(func(v int, adj []int32) error {
+			sym.add(v, adj)
+			return nil
+		})
 	}
 	if err == nil {
 		err = d.Finish()
+	}
+	if err == nil && !sym.symmetric() {
+		err = errors.New("asymmetric adjacency: some edge is listed at only one endpoint (the payload must be the canonical symmetric CSR; see docs/WIRE_FORMAT.md)")
 	}
 	if err != nil {
 		cleanup()

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strings"
 	"testing"
 
 	"mdbgp"
@@ -258,5 +259,61 @@ func TestBinaryRejections(t *testing.T) {
 	// Garbage that is not even a header.
 	if code, _ := submitWire(t, ts, "k=4", []byte("definitely not a wire stream")); code != http.StatusBadRequest {
 		t.Fatalf("garbage: status %d, want 400", code)
+	}
+}
+
+// asymmetricWireBody encodes a syntactically valid stream whose adjacency is
+// not symmetric: vertex 0 lists 1..deg, but no row lists 0 back. The encoder
+// only enforces row-local canonicality, so this passes every decoder check.
+func asymmetricWireBody(t *testing.T, n, deg int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc, err := wire.NewEncoder(&buf, n, int64(deg), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]int32, deg)
+	for i := range row {
+		row[i] = int32(i + 1)
+	}
+	if err := enc.AddRow(row); err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < n; v++ {
+		if err := enc.AddRow(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestBinaryRejectsAsymmetric: the engines assume a symmetric canonical CSR,
+// so both ingest paths must refuse an asymmetric stream — the resident path
+// via Graph.Validate, the out-of-core path via the streaming pairing check —
+// and the out-of-core rejection must not leak its spill file.
+func TestBinaryRejectsAsymmetric(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1})
+	code, m := submitWire(t, ts, "k=2", asymmetricWireBody(t, 8, 4))
+	if code != http.StatusBadRequest {
+		t.Fatalf("resident asymmetric upload: status %d (%v), want 400", code, m)
+	}
+	if msg, _ := m["error"].(string); !strings.Contains(msg, "symmetric") {
+		t.Fatalf("resident rejection does not mention symmetry: %v", m)
+	}
+
+	spillDir := t.TempDir()
+	_, ts2 := startServer(t, Config{Workers: 1, MaxResidentEdges: 100, SpillDir: spillDir})
+	code, m = submitWire(t, ts2, "k=2", asymmetricWireBody(t, 300, 256)) // 128 claimed edges > budget
+	if code != http.StatusBadRequest {
+		t.Fatalf("out-of-core asymmetric upload: status %d (%v), want 400", code, m)
+	}
+	if msg, _ := m["error"].(string); !strings.Contains(msg, "asymmetric") {
+		t.Fatalf("ooc rejection does not mention asymmetry: %v", m)
+	}
+	if entries, _ := os.ReadDir(spillDir); len(entries) != 0 {
+		t.Fatalf("spill dir not cleaned after rejection: %d entries", len(entries))
 	}
 }

@@ -258,17 +258,27 @@ func (d *Decoder) Rows(fn func(v int, adj []int32) error) error {
 				if err != nil {
 					return err
 				}
+				// Bound every raw value BEFORE widening to a signed id: a
+				// uvarint >= 2^63 would wrap int64 negative and slip past
+				// ordinary >= n range checks, smuggling negative adjacency
+				// entries into downstream CSR indexing.
 				var id int64
 				if i == 0 {
+					if raw >= uint64(n) {
+						return fmt.Errorf("wire: vertex %d: neighbor %d out of range [0, %d)", v, raw, n)
+					}
 					id = int64(raw) // first neighbor is encoded raw
 				} else {
 					if raw == 0 {
 						return fmt.Errorf("wire: vertex %d: zero gap (duplicate neighbor %d)", v, prev)
 					}
+					// prev is in [0, n), so n-1-prev is non-negative; the one
+					// comparison rejects both ids >= n and gaps that would
+					// overflow the signed accumulator.
+					if raw > uint64(int64(n)-1-prev) {
+						return fmt.Errorf("wire: vertex %d: gap %d from neighbor %d lands out of range [0, %d)", v, raw, prev, n)
+					}
 					id = prev + int64(raw)
-				}
-				if id >= int64(n) {
-					return fmt.Errorf("wire: vertex %d: neighbor %d out of range [0, %d)", v, id, n)
 				}
 				if id == int64(v) {
 					return fmt.Errorf("wire: vertex %d: self loop", v)
@@ -313,7 +323,9 @@ func (d *Decoder) Weights() ([][]float64, error) {
 	out := make([][]float64, dims)
 	for k := 0; k < dims; k++ {
 		crc := crc32.New(castagnoli)
-		w := make([]float64, n)
+		// Grow against bytes actually read (8 per value) instead of
+		// allocating n×8 up front from the header-claimed vertex count.
+		w := make([]float64, 0, min(n, bufGrowStep/8))
 		var vb [8]byte
 		for v := 0; v < n; v++ {
 			if _, err := io.ReadFull(d.r, vb[:]); err != nil {
@@ -324,7 +336,7 @@ func (d *Decoder) Weights() ([][]float64, error) {
 			if math.IsNaN(f) || math.IsInf(f, 0) || f <= 0 {
 				return nil, fmt.Errorf("wire: weight dim %d vertex %d: value %v (must be finite and > 0)", k, v, f)
 			}
-			w[v] = f
+			w = append(w, f)
 		}
 		var cb [4]byte
 		if _, err := io.ReadFull(d.r, cb[:]); err != nil {
@@ -361,10 +373,15 @@ func Decode(r io.Reader) (*graph.Graph, [][]float64, error) {
 		return nil, nil, err
 	}
 	n := int(d.hdr.N)
-	offsets := make([]int64, n+1)
-	// Cap the speculative adjacency allocation: the header's arc count is
+	// Cap both speculative allocations: the header's n and arc count are
 	// attacker-controlled, so pre-size modestly and let append grow against
-	// data actually decoded.
+	// data actually decoded — a 28-byte body claiming n = 2^31-1 must not
+	// allocate a multi-GB offsets array.
+	offCap := n + 1
+	if offCap > 1<<20 {
+		offCap = 1 << 20
+	}
+	offsets := make([]int64, 1, offCap)
 	capHint := d.hdr.Arcs
 	if capHint > 1<<22 {
 		capHint = 1 << 22
@@ -372,7 +389,7 @@ func Decode(r io.Reader) (*graph.Graph, [][]float64, error) {
 	adj := make([]int32, 0, capHint)
 	err = d.Rows(func(v int, row []int32) error {
 		adj = append(adj, row...)
-		offsets[v+1] = int64(len(adj))
+		offsets = append(offsets, int64(len(adj)))
 		return nil
 	})
 	if err != nil {

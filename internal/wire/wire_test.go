@@ -333,6 +333,14 @@ func TestDecodePayloadViolations(t *testing.T) {
 		{"leftover-bytes", []byte{0x00, 0x04, 0x02, 0x01, 0x01, 0x02, 0x00, 0x02, 0x03, 0x00, 0x01, 0x02, 0x01, 0x02, 0x00}, "leftover"},
 		{"degree-overflow", []byte{0x00, 0x04, 0x7F, 0x01, 0x01, 0x02, 0x00, 0x02, 0x03, 0x00, 0x01, 0x02, 0x01, 0x02}, "degree"},
 		{"arc-undercount", []byte{0x00, 0x04, 0x01, 0x01, 0x02, 0x00, 0x02, 0x03, 0x00, 0x01, 0x02, 0x01, 0x02}, "arc count"},
+		// 10-byte varints carrying 2^63: as int64 these wrap negative, which
+		// must be rejected as out of range, never truncated into the row.
+		{"first-neighbor-wraps-negative", []byte{0x00, 0x04, 0x02,
+			0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01, // first = 2^63
+			0x01, 0x02, 0x00, 0x02, 0x03, 0x00, 0x01, 0x02, 0x01, 0x02}, "out of range"},
+		{"gap-wraps-negative", []byte{0x00, 0x04, 0x02, 0x01,
+			0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01, // gap = 2^63, prev+gap overflows int64
+			0x02, 0x00, 0x02, 0x03, 0x00, 0x01, 0x02, 0x01, 0x02}, "out of range"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -347,9 +355,29 @@ func TestDecodePayloadViolations(t *testing.T) {
 	}
 }
 
+// TestDecodeHugeClaimedN: a header-only body claiming n near 2^31 must fail
+// on the missing first chunk without allocating offsets (or weights) from the
+// attacker-claimed vertex count — under the old eager make([]int64, n+1) this
+// test allocated ~17 GB before reading a single payload byte.
+func TestDecodeHugeClaimedN(t *testing.T) {
+	b := append([]byte(nil), []byte(Magic)...)
+	b = append(b, 0, 0, 0, 0) // flags
+	var u8 [8]byte
+	binary.LittleEndian.PutUint64(u8[:], math.MaxInt32)
+	b = append(b, u8[:]...) // n = 2^31-1
+	binary.LittleEndian.PutUint64(u8[:], 2)
+	b = append(b, u8[:]...) // arcs = 2
+	if _, _, err := Decode(bytes.NewReader(b)); err == nil {
+		t.Fatal("Decode accepted a header-only stream")
+	}
+}
+
 // TestDecodeNoSymmetryCheck documents the spec's explicit non-goal: an
 // asymmetric stream decodes (self-keying its own content hash) rather than
-// paying O(m log d) validation on the hot ingest path.
+// paying O(m log d) validation on the hot ingest path. Solving surfaces
+// enforce symmetry themselves: cmd/mdbgp and the daemon's resident binary
+// path run Graph.Validate after Decode, and the daemon's out-of-core path
+// runs a streaming pairing check (internal/server).
 func TestDecodeNoSymmetryCheck(t *testing.T) {
 	// Rows 0:[1] 1:[2] 2:[] — arcs=2 (even, so the header check passes) but
 	// no edge is reciprocated.
@@ -420,6 +448,14 @@ func FuzzDecodeWire(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(weighted.Bytes())
+	// Seeds with 10-byte varints >= 2^63: int64-wrapping neighbor values that
+	// must be rejected, not truncated into negative adjacency entries.
+	f.Add(reframe([]byte{0x00, 0x04, 0x02,
+		0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01,
+		0x01, 0x02, 0x00, 0x02, 0x03, 0x00, 0x01, 0x02, 0x01, 0x02}))
+	f.Add(reframe([]byte{0x00, 0x04, 0x02, 0x01,
+		0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01,
+		0x02, 0x00, 0x02, 0x03, 0x00, 0x01, 0x02, 0x01, 0x02}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g, weights, err := Decode(bytes.NewReader(data))
 		if err != nil {
