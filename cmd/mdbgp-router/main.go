@@ -70,6 +70,7 @@ type routerOptions struct {
 	vnodes         int
 	healthInterval time.Duration
 	maxBodyBytes   int64
+	spoolDir       string // where large binary bodies spool while hashing ("" = os.TempDir())
 	logFormat      string
 }
 
@@ -80,7 +81,8 @@ func parseFlags(args []string) (routerOptions, error) {
 		replicas  = fs.String("replicas", "", "comma-separated replica base URLs (required); order defines the r<i>- job-id prefixes and must match across router instances")
 		vnodes    = fs.Int("vnodes", ring.DefaultVNodes, "virtual nodes per replica on the consistent-hash ring; must match the replicas' warming configuration")
 		health    = fs.Duration("health-interval", 2*time.Second, "how often to probe each replica's /readyz")
-		maxBodyMB = fs.Int64("max-body-mb", 256, "request body limit in MiB (bodies are buffered to hash and to retry)")
+		maxBodyMB = fs.Int64("max-body-mb", 256, "request body limit in MiB (text bodies are buffered; large binary bodies spool to disk)")
+		spoolDir  = fs.String("spool-dir", "", "directory where large binary submissions spool while being hashed and retried (empty = OS temp dir)")
 		logFormat = fs.String("log-format", "text", "structured log encoding: text or json")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -101,10 +103,17 @@ func parseFlags(args []string) (routerOptions, error) {
 	if *logFormat != "text" && *logFormat != "json" {
 		return routerOptions{}, fmt.Errorf("bad -log-format %q (want text or json)", *logFormat)
 	}
+	if *spoolDir != "" {
+		// Fail fast on an unusable spool dir: it would otherwise surface as a
+		// 500 on the first large binary submission, long after startup.
+		if err := os.MkdirAll(*spoolDir, 0o755); err != nil {
+			return routerOptions{}, fmt.Errorf("-spool-dir: %w", err)
+		}
+	}
 	return routerOptions{
 		addr: *addr, replicas: list, vnodes: *vnodes,
 		healthInterval: *health, maxBodyBytes: *maxBodyMB << 20,
-		logFormat: *logFormat,
+		spoolDir: *spoolDir, logFormat: *logFormat,
 	}, nil
 }
 
@@ -116,6 +125,8 @@ type routerMetrics struct {
 	retries     atomic.Int64 // failovers to the next ring node
 	errors      atomic.Int64 // requests that exhausted every candidate replica
 	badRequests atomic.Int64 // rejected at the edge (parse errors, unknown ids)
+	spooled     atomic.Int64 // binary submissions spooled to disk instead of buffered
+	spoolBytes  atomic.Int64 // cumulative bytes written to edge spool files
 
 	hashHist    *obs.Histogram // edge hashing (canonicalize + hash) per submission
 	requestHist *obs.Histogram // total router-side time per proxied request
@@ -236,11 +247,28 @@ func retryableStatus(code int) bool {
 	return code == http.StatusBadGateway || code == http.StatusServiceUnavailable || code == http.StatusGatewayTimeout
 }
 
-func (rt *router) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	rt.met.requests.Add(1)
-	start := time.Now()
-	defer func() { rt.met.requestHist.Observe(time.Since(start)) }()
+// bodySource yields a fresh reader over the submission body each time it is
+// called: once per hash pass and once per failover attempt. The two variants
+// are the router's memory strategy — small bodies replay from RAM, large
+// binary bodies replay from a disk spool.
+type bodySource func() (io.ReadCloser, error)
 
+func memoryBody(b []byte) bodySource {
+	return func() (io.ReadCloser, error) { return io.NopCloser(bytes.NewReader(b)), nil }
+}
+
+func fileBody(path string) bodySource {
+	return func() (io.ReadCloser, error) { return os.Open(path) }
+}
+
+// spoolThreshold is where binary submissions stop being buffered in RAM and
+// start spooling to disk. Text bodies always buffer: they must be parsed into
+// a Graph to canonicalize anyway, which dwarfs the body buffer.
+const spoolThreshold = 8 << 20
+
+// readAll buffers a request body under the configured limit, writing the 400
+// or 413 itself on failure; ok is false when a response has been written.
+func (rt *router) readAll(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.opts.maxBodyBytes))
 	if err != nil {
 		var tooBig *http.MaxBytesError
@@ -250,8 +278,15 @@ func (rt *router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		rt.met.badRequests.Add(1)
 		httpError(w, code, err.Error())
-		return
+		return nil, false
 	}
+	return body, true
+}
+
+func (rt *router) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	rt.met.requests.Add(1)
+	start := time.Now()
+	defer func() { rt.met.requestHist.Observe(time.Since(start)) }()
 
 	q := r.URL.Query()
 	binary := wire.IsContentType(r.Header.Get("Content-Type"))
@@ -261,6 +296,10 @@ func (rt *router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			// contradiction never burns a replica round trip.
 			rt.met.badRequests.Add(1)
 			httpError(w, http.StatusBadRequest, "binary edge deltas are not supported: ?base= takes the text \"+u v\"/\"-u v\" codec only")
+			return
+		}
+		body, ok := rt.readAll(w, r)
+		if !ok {
 			return
 		}
 		rt.proxyDelta(w, r, base, body)
@@ -273,12 +312,23 @@ func (rt *router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// same graph hash identically, so either codec lands on the same replica
 	// and the same cache entries. Parse errors (including wire CRC failures)
 	// die at the edge with a 400 instead of burning a replica round trip.
+	//
+	// Binary bodies above spoolThreshold (or of unknown length) never live in
+	// router memory: they spool to disk and every later pass — the codec's
+	// two hash passes, one upstream send per failover attempt — re-reads the
+	// spool file.
+	if binary && (r.ContentLength < 0 || r.ContentLength > spoolThreshold) {
+		rt.submitSpooled(w, r)
+		return
+	}
+	body, ok := rt.readAll(w, r)
+	if !ok {
+		return
+	}
 	hashStart := time.Now()
 	var hash string
 	if binary {
-		h, hdr, err := wire.HashGraph(func() (io.ReadCloser, error) {
-			return io.NopCloser(bytes.NewReader(body)), nil
-		})
+		h, hdr, err := wire.HashGraph(memoryBody(body))
 		if err != nil {
 			rt.met.badRequests.Add(1)
 			httpError(w, http.StatusBadRequest, err.Error())
@@ -308,7 +358,56 @@ func (rt *router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	rt.met.hashHist.Observe(time.Since(hashStart))
 
 	header := http.Header{server.GraphHashHeader: []string{hash}}
-	rt.forwardWithFailover(w, r, rt.candidates(hash), "/v1/partition?"+r.URL.RawQuery, body, header)
+	rt.forwardWithFailover(w, r, rt.candidates(hash), "/v1/partition?"+r.URL.RawQuery, memoryBody(body), int64(len(body)), header)
+}
+
+// submitSpooled handles a binary full submission too large (or of unknown
+// length) to buffer. The network bytes are read exactly once — a single
+// io.Copy into a temp file under -spool-dir — so router memory stays bounded
+// by the copy buffer no matter how large the graph is. Hashing and each
+// forward attempt then replay the spool, which is deleted when the request
+// finishes.
+func (rt *router) submitSpooled(w http.ResponseWriter, r *http.Request) {
+	spool, err := os.CreateTemp(rt.opts.spoolDir, "mdbgp-router-spool-*.bin")
+	if err != nil {
+		rt.met.errors.Add(1)
+		httpError(w, http.StatusInternalServerError, "spool: "+err.Error())
+		return
+	}
+	defer func() {
+		spool.Close()
+		os.Remove(spool.Name())
+	}()
+	n, err := io.Copy(spool, http.MaxBytesReader(w, r.Body, rt.opts.maxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		code := http.StatusBadRequest
+		if errors.As(err, &tooBig) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		rt.met.badRequests.Add(1)
+		httpError(w, code, err.Error())
+		return
+	}
+	rt.met.spooled.Add(1)
+	rt.met.spoolBytes.Add(n)
+
+	hashStart := time.Now()
+	hash, hdr, err := wire.HashGraph(fileBody(spool.Name()))
+	if err != nil {
+		rt.met.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if hdr.N == 0 || hdr.Arcs == 0 {
+		rt.met.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, "empty graph: the wire stream must carry at least one edge")
+		return
+	}
+	rt.met.hashHist.Observe(time.Since(hashStart))
+
+	header := http.Header{server.GraphHashHeader: []string{hash}}
+	rt.forwardWithFailover(w, r, rt.candidates(hash), "/v1/partition?"+r.URL.RawQuery, fileBody(spool.Name()), n, header)
 }
 
 // proxyDelta routes a ?base= submission. A router-prefixed base pins the
@@ -322,11 +421,11 @@ func (rt *router) proxyDelta(w http.ResponseWriter, r *http.Request, base string
 		// No failover: only this replica holds the retained base job. If it
 		// is down the client gets the replica's error and resubmits the full
 		// graph — exactly what the daemon's own 404/410 contract says.
-		rt.forwardWithFailover(w, r, []string{rt.opts.replicas[i]}, "/v1/partition?"+q.Encode(), body, nil)
+		rt.forwardWithFailover(w, r, []string{rt.opts.replicas[i]}, "/v1/partition?"+q.Encode(), memoryBody(body), int64(len(body)), nil)
 		return
 	}
 	if len(base) == 64 {
-		rt.forwardWithFailover(w, r, rt.candidates(strings.ToLower(base)), "/v1/partition?"+q.Encode(), body, nil)
+		rt.forwardWithFailover(w, r, rt.candidates(strings.ToLower(base)), "/v1/partition?"+q.Encode(), memoryBody(body), int64(len(body)), nil)
 		return
 	}
 	rt.met.badRequests.Add(1)
@@ -335,19 +434,28 @@ func (rt *router) proxyDelta(w http.ResponseWriter, r *http.Request, base string
 
 // forwardWithFailover tries each candidate replica in order until one
 // answers with a non-retryable status, then rewrites the response's job ids
-// into the router's prefixed namespace.
-func (rt *router) forwardWithFailover(w http.ResponseWriter, r *http.Request, cands []string, pathAndQuery string, body []byte, header http.Header) {
+// into the router's prefixed namespace. open is called once per attempt so
+// a retry replays the same body — from RAM or from the spool file — without
+// the router ever holding more than one copy.
+func (rt *router) forwardWithFailover(w http.ResponseWriter, r *http.Request, cands []string, pathAndQuery string, open bodySource, length int64, header http.Header) {
 	var lastErr string
 	for attempt, replica := range cands {
 		if attempt > 0 {
 			rt.met.retries.Add(1)
 		}
 		rt.met.proxied.Add(1)
-		req, err := http.NewRequestWithContext(r.Context(), r.Method, replica+pathAndQuery, bytes.NewReader(body))
+		body, err := open()
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, replica+pathAndQuery, body)
+		if err != nil {
+			body.Close()
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		req.ContentLength = length
 		for k, vs := range header {
 			req.Header[k] = vs
 		}
@@ -476,6 +584,8 @@ func (rt *router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("mdbgp_router_retries_total", "Failovers to the next ring node.", rt.met.retries.Load())
 	counter("mdbgp_router_errors_total", "Requests that exhausted every candidate replica.", rt.met.errors.Load())
 	counter("mdbgp_router_bad_requests_total", "Requests rejected at the edge (parse errors, unknown ids).", rt.met.badRequests.Load())
+	counter("mdbgp_router_spooled_total", "Binary submissions spooled to disk instead of buffered in memory.", rt.met.spooled.Load())
+	counter("mdbgp_router_spool_bytes_total", "Cumulative bytes written to edge spool files.", rt.met.spoolBytes.Load())
 	fmt.Fprintf(&b, "# HELP mdbgp_router_replica_up Replica readiness as of the last probe.\n# TYPE mdbgp_router_replica_up gauge\n")
 	for i, replica := range rt.opts.replicas {
 		up := 0

@@ -8,8 +8,10 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -304,6 +306,146 @@ func TestShardedRouterE2E(t *testing.T) {
 	}
 	if diskHits := scrapeMetric(t, h0.ts.URL, "mdbgpd_cache_disk_hits_total"); diskHits == 0 {
 		t.Fatal("restarted replica served no disk-tier hits; warming did not take")
+	}
+}
+
+// TestRouterSpooledBinarySubmit: a binary submission of unknown length (the
+// client streams chunked, so ContentLength is -1) must spool to disk instead
+// of buffering, hash correctly from the spool's two read passes, replay the
+// spool on failover after a replica answers 503, and delete the spool file
+// when the request finishes. Corrupt spooled streams still die at the edge
+// with a 400.
+func TestRouterSpooledBinarySubmit(t *testing.T) {
+	// One-shot 503: whichever replica receives the first solve POST refuses
+	// it, so the router must retry — replaying the spooled body — on the
+	// other replica, regardless of ring order.
+	var failedOnce atomic.Bool
+	var urls []string
+	for i := 0; i < 2; i++ {
+		s := server.New(server.Config{Workers: 2, TrustHashHeader: true})
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, "/v1/partition") &&
+				failedOnce.CompareAndSwap(false, true) {
+				http.Error(w, "restarting", http.StatusServiceUnavailable)
+				return
+			}
+			s.ServeHTTP(w, r)
+		}))
+		t.Cleanup(func() { ts.Close(); s.Close() })
+		urls = append(urls, ts.URL)
+	}
+	spoolDir := t.TempDir()
+	rt := newRouter(routerOptions{
+		replicas:       urls,
+		healthInterval: time.Hour, // no probes: both replicas stay "healthy" so ring order is the failover order
+		maxBodyBytes:   64 << 20,
+		spoolDir:       spoolDir,
+	}, slog.New(slog.DiscardHandler))
+	ts := httptest.NewServer(rt)
+	t.Cleanup(func() { ts.Close(); rt.close() })
+
+	g, _ := mdbgp.GenerateSocialGraph(mdbgp.SocialGraphConfig{
+		N: 400, Communities: 4, AvgDegree: 8, InFraction: 0.85, Seed: 33,
+	})
+	var bin bytes.Buffer
+	if err := wire.Encode(&bin, g, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hide the length from net/http: anything but bytes/strings readers is
+	// sent chunked, which is exactly the "multi-GB pipe" shape at the edge.
+	chunked := func(b []byte) io.Reader { return struct{ io.Reader }{bytes.NewReader(b)} }
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/partition?k=4&seed=1&wait=true", chunked(bin.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", wire.ContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || m["status"] != "done" {
+		t.Fatalf("spooled submit: status %d (%v)", resp.StatusCode, m)
+	}
+	if m["graph_hash"] != g.HashString() {
+		t.Fatalf("spooled edge hash %v != local hash %s", m["graph_hash"], g.HashString())
+	}
+	if !failedOnce.Load() {
+		t.Fatal("fixture bug: no replica refused the first POST")
+	}
+	if got := scrapeMetric(t, ts.URL, "mdbgp_router_retries_total"); got != 1 {
+		t.Fatalf("retries_total = %g, want 1 (spool replayed on failover)", got)
+	}
+	if got := scrapeMetric(t, ts.URL, "mdbgp_router_spooled_total"); got != 1 {
+		t.Fatalf("spooled_total = %g, want 1", got)
+	}
+	if got := scrapeMetric(t, ts.URL, "mdbgp_router_spool_bytes_total"); got != float64(bin.Len()) {
+		t.Fatalf("spool_bytes_total = %g, want %d", got, bin.Len())
+	}
+	_, asnSpooled := getBody(t, ts.URL+"/v1/jobs/"+m["job_id"].(string)+"/assignment")
+
+	// The same body with a known small length takes the buffered path (no new
+	// spool) and — determinism — solves byte-identically on the other replica.
+	code, m2 := func() (int, map[string]any) {
+		resp, err := http.Post(ts.URL+"/v1/partition?k=4&seed=1&wait=true", wire.ContentType, bytes.NewReader(bin.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, m
+	}()
+	if code != http.StatusOK || m2["status"] != "done" {
+		t.Fatalf("buffered repeat: status %d (%v)", code, m2)
+	}
+	if got := scrapeMetric(t, ts.URL, "mdbgp_router_spooled_total"); got != 1 {
+		t.Fatalf("buffered repeat spooled a body: spooled_total = %g, want 1", got)
+	}
+	if _, asn := getBody(t, ts.URL+"/v1/jobs/"+m2["job_id"].(string)+"/assignment"); !bytes.Equal(asn, asnSpooled) {
+		t.Fatal("spooled and buffered submissions of the same graph are not byte-identical")
+	}
+
+	// Corrupt chunked stream: CRC failure surfaces as 400 from the spool path.
+	bad := append([]byte(nil), bin.Bytes()...)
+	bad[len(bad)-1] ^= 0xFF
+	req, err = http.NewRequest(http.MethodPost, ts.URL+"/v1/partition?k=4", chunked(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", wire.ContentType)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt spooled binary: status %d, want 400", resp.StatusCode)
+	}
+
+	// Spool files are per-request scratch: the dir drains once requests end.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ents, err := os.ReadDir(spoolDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d spool files leaked in %s", len(ents), spoolDir)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

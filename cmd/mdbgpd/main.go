@@ -99,6 +99,7 @@ func parseFlags(args []string) (daemonOptions, error) {
 		maxChurn    = fs.Float64("max-churn", 0.25, "edge-churn fraction above which delta solves go cold instead of warm-starting (0 never warm-starts)")
 		maxChain    = fs.Int("max-chain-depth", 8, "warm delta-of-delta hops allowed before forcing a cold re-solve (<=0 lifts the limit)")
 		reorderDef  = fs.String("reorder", "", "default vertex reordering for the gradient kernels ("+strings.Join(mdbgp.ReorderNames(), ", ")+"); per-request ?reorder= overrides")
+		prepCache   = fs.Int64("prep-cache", 256, "prep-artifact cache budget in MiB: reorder layouts and coarsening hierarchies are retained per graph and reused by repeat solves (results are byte-identical either way; <=0 disables)")
 		pprofAddr   = fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off)")
 		logFormat   = fs.String("log-format", "text", "structured log encoding: text or json")
 		slow        = fs.Duration("slow", 0, "solve duration above which a job is logged at Warn (0 = 2s default, negative disables)")
@@ -168,6 +169,7 @@ func parseFlags(args []string) (daemonOptions, error) {
 			MaxChurn:          *maxChurn,
 			MaxChainDepth:     *maxChain,
 			Reorder:           *reorderDef,
+			PrepCacheBytes:    *prepCache << 20,
 			SlowRequest:       *slow,
 			DisableTracing:    *noTrace,
 			CacheDir:          *cacheDir,
@@ -193,6 +195,11 @@ func parseFlags(args []string) (daemonOptions, error) {
 		// Same zero-value dance: an explicit 0 (or below) lifts the depth
 		// limit, which the config spells as negative.
 		d.cfg.MaxChainDepth = -1
+	}
+	if *prepCache <= 0 {
+		// And again: an explicit -prep-cache=0 disables the cache, which the
+		// config spells as negative (its zero value means "256 MiB default").
+		d.cfg.PrepCacheBytes = -1
 	}
 	return d, nil
 }

@@ -31,6 +31,7 @@ func TestParseFlagsDefaults(t *testing.T) {
 		Workers: 2, QueueDepth: 64, CacheEntries: 256,
 		MaxBodyBytes: 256 << 20, RetainJobs: 1024, MaxWait: 30 * time.Second,
 		GraphCacheEntries: 64, MaxChurn: 0.25, MaxChainDepth: 8,
+		PrepCacheBytes: 256 << 20,
 	}
 	if d.cfg != want {
 		t.Fatalf("cfg = %+v, want %+v", d.cfg, want)
@@ -59,7 +60,8 @@ func TestParseFlagsOverrides(t *testing.T) {
 		Workers: 8, QueueDepth: 16, CacheEntries: -1, MaxBodyBytes: 1 << 20,
 		MaxVertexID: 1000, Parallelism: 4, RetainJobs: 10, MaxWait: 5 * time.Second,
 		GraphCacheEntries: 7, MaxChurn: 0.1, MaxChainDepth: 3,
-		SlowRequest: time.Second, DisableTracing: true,
+		PrepCacheBytes: 256 << 20,
+		SlowRequest:    time.Second, DisableTracing: true,
 	}
 	if d.cfg != want {
 		t.Fatalf("cfg = %+v, want %+v", d.cfg, want)
@@ -79,6 +81,19 @@ func TestParseFlagsZeroChurnMeansNeverWarm(t *testing.T) {
 	}
 	if d.cfg.MaxChurn >= 0 {
 		t.Fatalf("MaxChurn = %g, want negative (force cold)", d.cfg.MaxChurn)
+	}
+}
+
+func TestParseFlagsZeroPrepCacheDisables(t *testing.T) {
+	// An explicit -prep-cache 0 disables prep-artifact caching; the Config
+	// zero value would silently become the 256 MiB default, so parseFlags
+	// maps it to the config's negative spelling.
+	d, err := parseFlags([]string{"-prep-cache", "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.cfg.PrepCacheBytes >= 0 {
+		t.Fatalf("PrepCacheBytes = %d, want negative (disabled)", d.cfg.PrepCacheBytes)
 	}
 }
 

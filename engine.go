@@ -34,6 +34,12 @@ type EngineInfo struct {
 	// Options.Seed at any Parallelism — the property the content-addressed
 	// result cache relies on. Every built-in engine is deterministic.
 	Deterministic bool
+	// Kernel32 reports whether the engine honors Options.Kernel32 (float32
+	// gradient kernels). Only engines that run gradient SpMVs can: the
+	// option is fingerprinted, so Partition refuses it on any other engine
+	// rather than letting an ignored flag split cache keys between
+	// byte-identical results.
+	Kernel32 bool
 	// Streaming reports whether the engine has an out-of-core variant that
 	// consumes adjacency rows in vertex order without a materialized CSR
 	// (baselines.FennelStream). The serving layer routes graphs exceeding
@@ -165,6 +171,13 @@ func gdCoreOptions(g *Graph, opts Options) (core.Options, error) {
 		return opt, err
 	}
 	opt.Reorder = m
+	// An injected prep layout rides along only when it was built for exactly
+	// this graph under exactly the requested ordering; the core re-verifies
+	// shape and weighting again before trusting it.
+	if pl := opts.PrepLayout; pl != nil && pl.graph == g && pl.method == m {
+		opt.Layout = pl.layout
+	}
+	opt.Kernel32 = opts.Kernel32
 	opt.IncrementalGradient = opts.IncrementalGradient
 	opt.ResyncEvery = opts.ResyncEvery
 	opt.Span = opts.Observer
@@ -199,7 +212,7 @@ type gdEngine struct{}
 
 func (gdEngine) Info() EngineInfo {
 	return EngineInfo{
-		Name: "gd", WarmStart: true, Weighted: true, Deterministic: true,
+		Name: "gd", WarmStart: true, Weighted: true, Deterministic: true, Kernel32: true,
 		Description: "projected gradient descent with recursive bisection (the paper's method)",
 	}
 }
@@ -227,7 +240,7 @@ type multilevelEngine struct{}
 
 func (multilevelEngine) Info() EngineInfo {
 	return EngineInfo{
-		Name: "multilevel", WarmStart: true, Weighted: true, Deterministic: true,
+		Name: "multilevel", WarmStart: true, Weighted: true, Deterministic: true, Kernel32: true,
 		Description: "V-cycle multilevel GD (coarsen, solve coarse, warm-started refinement)",
 	}
 }
@@ -248,12 +261,18 @@ func (multilevelEngine) Solve(g *Graph, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	asgn, err := multilevel.PartitionK(g, ws, opts.K, multilevel.Options{
+	mlOpt := multilevel.Options{
 		GD:               opt,
 		CoarsenTo:        opts.CoarsenTo,
 		ClusterSize:      opts.ClusterSize,
 		RefineIterations: opts.RefineIterations,
-	})
+	}
+	// An injected hierarchy rides along only when it was prepared for this
+	// engine; the V-cycle re-verifies graph, seed and coarsening knobs.
+	if ph := opts.PrepHierarchy; ph != nil && ph.ml != nil {
+		mlOpt.Prep = ph.ml
+	}
+	asgn, err := multilevel.PartitionK(g, ws, opts.K, mlOpt)
 	if err != nil {
 		return nil, err
 	}
@@ -383,9 +402,13 @@ func (metisEngine) Solve(g *Graph, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	asgn, err := metis.PartitionK(g, ws, opts.K, metis.Options{
-		UBFactor: 1 + opts.Epsilon, Seed: opts.Seed,
-	})
+	mo := metis.Options{UBFactor: 1 + opts.Epsilon, Seed: opts.Seed}
+	// An injected hierarchy rides along only when it was prepared for this
+	// engine; Bisect re-verifies graph, seed and coarsening knobs.
+	if ph := opts.PrepHierarchy; ph != nil && ph.mt != nil {
+		mo.Prep = ph.mt
+	}
+	asgn, err := metis.PartitionK(g, ws, opts.K, mo)
 	if err != nil {
 		return nil, err
 	}

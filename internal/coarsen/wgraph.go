@@ -67,6 +67,19 @@ func (g *Graph) Totals() []float64 {
 	return out
 }
 
+// Bytes estimates the heap footprint of the graph's arrays (CSR, edge
+// weights, vertex weights) for cache byte accounting. Levels that alias
+// another graph's storage (Wrap, and the offsets/adjacency of FromGraph)
+// are charged for the shared bytes anyway — prep caches prefer conservative
+// over-counting to silent under-counting.
+func (g *Graph) Bytes() int64 {
+	b := int64(len(g.Offsets))*8 + int64(len(g.Adj))*4 + int64(len(g.EW))*8
+	for _, w := range g.VW {
+		b += int64(len(w)) * 8
+	}
+	return b
+}
+
 // TotalEdgeWeight returns the summed weight of all undirected edges.
 func (g *Graph) TotalEdgeWeight() float64 {
 	if g.EW == nil {

@@ -107,6 +107,27 @@ type Options struct {
 	// through the inverse permutation — so for a fixed Seed the run is
 	// byte-identical to an unreordered one; only the SpMV gets faster.
 	Reorder reorder.Method
+	// Layout, when non-nil and Reorder is set, injects a prebuilt reorder
+	// layout instead of rebuilding one per solve. The layout must mirror this
+	// exact CSR and edge weighting under the same Reorder method — callers
+	// key cached layouts by graph content hash plus method — and optimize
+	// falls back to a rebuild whenever the shape or weighting disagrees, so a
+	// stale injection degrades to a rebuild, never to a wrong answer. The run
+	// clones the layout before use (clones share the immutable permuted CSR,
+	// never scratch), so one cached layout serves concurrent solves. Because
+	// a reordered solve is byte-identical to an unreordered one, injection
+	// can never change results and the field stays outside every fingerprint.
+	Layout *reorder.Layout
+	// Kernel32 runs the gradient SpMV through the float32 kernels: x and the
+	// edge weights are rounded to float32 per value, halving the gathered
+	// bytes per arc, while every row still accumulates in float64 in its
+	// original arc order. Results remain bit-identical at any worker count
+	// and with or without Reorder/Layout, but NOT bit-identical to the
+	// float64 kernels — the option is part of the cache fingerprint and is
+	// refused by engines whose byte-stability contract it would break.
+	// Kernel32 disables IncrementalGradient (the delta scatter maintains the
+	// float64 gradient and would diverge from the 32-bit full recompute).
+	Kernel32 bool
 	// IncrementalGradient maintains the gradient across iterations by
 	// scattering only the deltas of coordinates that actually moved
 	// (snippet idiom of the reference GD implementations): once warmed up,
@@ -162,6 +183,12 @@ func (o *Options) normalize() {
 	}
 	if o.ResyncEvery <= 0 {
 		o.ResyncEvery = 16
+	}
+	if o.Kernel32 {
+		// The delta scatter maintains grad from float64 deltas of z; under
+		// the 32-bit kernels a full recompute would disagree with the
+		// maintained value, breaking the resync contract.
+		o.IncrementalGradient = false
 	}
 }
 
@@ -336,15 +363,40 @@ func optimize(wg *coarsen.Graph, opt Options, rng *rand.Rand) (xOut []float64, f
 	// Reordering is a kernel-layout detail: the layout runs the register-
 	// blocked gather over a bandwidth-reduced row order but accumulates each
 	// row in its original arc order and scatters through the inverse
-	// permutation, so spmvFull stays bit-identical either way.
+	// permutation, so spmvFull stays bit-identical either way. An injected
+	// prep-cache layout is trusted only if its shape and weighting agree with
+	// this CSR; otherwise the solve rebuilds as if nothing were injected.
 	var lay *reorder.Layout
 	if opt.Reorder != reorder.None {
-		lay = reorder.NewLayout(wg.Offsets, wg.Adj, wg.EW, opt.Reorder)
+		if opt.Layout != nil && opt.Layout.Matches(wg.Offsets, wg.Adj) &&
+			opt.Layout.Weighted() == (wg.EW != nil) {
+			lay = opt.Layout.Clone()
+		} else {
+			lay = reorder.NewLayout(wg.Offsets, wg.Adj, wg.EW, opt.Reorder)
+		}
+	}
+	// The 32-bit path converts z per value each iteration (edge weights only
+	// once — they never change); the layout variant keeps its own permuted
+	// float32 mirrors. Both produce identical bits (rounding is per value,
+	// before any ordering).
+	var x32, ew32 []float32
+	if opt.Kernel32 && lay == nil {
+		x32 = make([]float32, n)
+		if wg.EW != nil {
+			ew32 = make([]float32, len(wg.Adj))
+			vecmath.Convert32Pool(ew32, wg.EW, pool)
+		}
 	}
 	spmvFull := func() {
-		if lay != nil {
+		switch {
+		case lay != nil && opt.Kernel32:
+			lay.SpMVMasked32(z, grad, fixed, pool)
+		case lay != nil:
 			lay.SpMVMasked(z, grad, fixed, pool)
-		} else {
+		case opt.Kernel32:
+			vecmath.Convert32Pool(x32, z, pool)
+			vecmath.SpMVBlocked32Pool(wg.Offsets, wg.Adj, ew32, x32, grad, fixed, pool)
+		default:
 			vecmath.SpMVWeightedMaskedPool(wg.Offsets, wg.Adj, wg.EW, z, grad, fixed, pool)
 		}
 	}

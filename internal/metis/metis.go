@@ -25,7 +25,88 @@ type Options struct {
 	// RefinePasses bounds FM passes per uncoarsening level (default 6).
 	RefinePasses int
 	Seed         int64
+	// Prep, when non-nil and built for exactly the graph being solved (see
+	// Prep.Matches), injects a prebuilt matching hierarchy: Bisect skips its
+	// coarsening pass and refines over the cached levels. Because the
+	// hierarchy and the solve consume separate RNG streams, an injected
+	// solve is byte-identical to one that rebuilds. Ignored (with a rebuild)
+	// for any other graph, so PartitionK's child subgraphs — fresh
+	// allocations — never see a stale hierarchy.
+	Prep *Prep
 }
+
+// Prep is a prebuilt matching hierarchy for one specific graph — the
+// assignment-independent half of a METIS-style solve. Immutable and safe to
+// share across concurrent solves; only valid for the exact vertex weights
+// and options it was built with (prep caches key artifacts by graph content
+// hash plus every hierarchy-shaping parameter, seed included).
+type Prep struct {
+	graph  *graph.Graph
+	levels []*coarsen.Graph
+	cmaps  [][]int32
+	// Hierarchy-shaping parameters recorded at build time; usable rejects an
+	// injection whose solve disagrees, degrading a mis-keyed cache to a
+	// rebuild instead of a divergent solve.
+	seed      int64
+	coarsenTo int
+}
+
+// BuildPrep runs the coarsening pass of Bisect(g, ws, ·, opt) and captures
+// the hierarchy, consuming the same hierarchy RNG stream the inline pass
+// would.
+func BuildPrep(g *graph.Graph, ws [][]float64, opt Options) *Prep {
+	opt.normalize()
+	level0 := coarsen.FromGraph(g, ws)
+	rng := rand.New(rand.NewSource(opt.Seed))
+	levels, cmaps := coarsen.Hierarchy(level0, hierarchyOptions(opt), rng, nil)
+	return &Prep{graph: g, levels: levels, cmaps: cmaps, seed: opt.Seed, coarsenTo: opt.CoarsenTo}
+}
+
+// Matches reports whether the prep was built for exactly this graph value
+// (pointer identity — content identity is the cache key's responsibility).
+func (p *Prep) Matches(g *graph.Graph) bool { return p != nil && p.graph == g }
+
+// usable additionally verifies the normalized solve options agree with the
+// hierarchy-shaping parameters the prep was built under.
+func (p *Prep) usable(g *graph.Graph, opt *Options) bool {
+	return p.Matches(g) && p.seed == opt.Seed && p.coarsenTo == opt.CoarsenTo
+}
+
+// Bytes estimates the heap footprint for cache byte accounting. Conservative:
+// the finest level's CSR aliases the base graph (only its unit edge weights
+// are materialized) and the shared bytes are charged anyway.
+func (p *Prep) Bytes() int64 {
+	var b int64
+	for _, lv := range p.levels {
+		b += lv.Bytes()
+	}
+	for _, cm := range p.cmaps {
+		b += int64(len(cm)) * 4
+	}
+	return b
+}
+
+// hierarchyOptions is the single source of truth for how the comparator
+// coarsens, shared by Bisect's inline pass and BuildPrep so cached and
+// rebuilt hierarchies can never diverge.
+func hierarchyOptions(opt Options) coarsen.HierarchyOptions {
+	return coarsen.HierarchyOptions{
+		CoarsenTo:  opt.CoarsenTo,
+		StallRatio: 0.95,
+		// Plain heavy-edge matching is blind on the unit-weight finest level
+		// (every edge weighs 1); shared-neighbor scoring keeps the matching
+		// inside clusters, which is what lets FM refinement find low cuts.
+		Match: coarsen.MatchOptions{CommonNeighbors: true},
+	}
+}
+
+// solveSeed derives the initial-bisection/refinement RNG stream from the
+// configured seed. It is distinct from the hierarchy stream (seeded with
+// opt.Seed directly) so the solve consumes identical randomness whether the
+// hierarchy was rebuilt or injected — Hierarchy draws a variable number of
+// permutations, including for rejected stall attempts, and sharing one
+// stream would make the solve depend on how coarsening went.
+func solveSeed(seed int64) int64 { return seed*1000003 + 13 }
 
 func (o *Options) normalize() {
 	if o.UBFactor <= 1 {
@@ -63,19 +144,18 @@ func Bisect(g *graph.Graph, ws [][]float64, alpha float64, opt Options) (*partit
 		return a, nil
 	}
 
-	// Level 0: the shared weighted-graph wrapper with materialized unit
-	// edge weights (FM refinement indexes edge weights unconditionally).
-	level0 := coarsen.FromGraph(g, ws)
-
-	rng := rand.New(rand.NewSource(opt.Seed))
-	hierarchy, maps := coarsen.Hierarchy(level0, coarsen.HierarchyOptions{
-		CoarsenTo:  opt.CoarsenTo,
-		StallRatio: 0.95,
-		// Plain heavy-edge matching is blind on the unit-weight finest level
-		// (every edge weighs 1); shared-neighbor scoring keeps the matching
-		// inside clusters, which is what lets FM refinement find low cuts.
-		Match: coarsen.MatchOptions{CommonNeighbors: true},
-	}, rng, nil)
+	var hierarchy []*coarsen.Graph
+	var maps [][]int32
+	if opt.Prep.usable(g, &opt) {
+		hierarchy, maps = opt.Prep.levels, opt.Prep.cmaps
+	} else {
+		// Level 0: the shared weighted-graph wrapper with materialized unit
+		// edge weights (FM refinement indexes edge weights unconditionally).
+		level0 := coarsen.FromGraph(g, ws)
+		hrng := rand.New(rand.NewSource(opt.Seed))
+		hierarchy, maps = coarsen.Hierarchy(level0, hierarchyOptions(opt), hrng, nil)
+	}
+	rng := rand.New(rand.NewSource(solveSeed(opt.Seed)))
 
 	coarsest := hierarchy[len(hierarchy)-1]
 	side := initialBisect(coarsest, alpha, opt, rng)

@@ -63,6 +63,91 @@ type Options struct {
 	// floored at 4: the finest level is where refinement buys locality, the
 	// intermediate levels only smooth the prolongation.
 	RefineIterations int
+	// Prep, when non-nil and built for exactly the graph being solved (see
+	// Prep.Matches), injects a prebuilt coarsening hierarchy: Bisect skips
+	// its coarsening pass and solves over the cached levels, byte-identically
+	// to a rebuild. For any other graph the field is ignored and the solve
+	// rebuilds — PartitionK's child subgraphs are fresh allocations, so the
+	// injection is automatically root-only and a stale prep degrades to a
+	// rebuild, never to a wrong answer. Invisible to fingerprints.
+	Prep *Prep
+}
+
+// Prep is a prebuilt coarsening hierarchy for one specific graph — the
+// assignment-independent half of a V-cycle solve, cacheable across repeat
+// solves of the same graph. It is immutable and safe to share across
+// concurrent solves, but only valid for the exact vertex weights and options
+// it was built with: prep caches must key artifacts by graph content hash
+// plus every hierarchy-shaping parameter (seed, CoarsenTo, MaxLevels,
+// ClusterSize, weight spec).
+type Prep struct {
+	graph  *graph.Graph
+	levels []*coarsen.Graph
+	cmaps  [][]int32
+	// Hierarchy-shaping parameters recorded at build time; usable rejects an
+	// injection whose solve disagrees on any of them, so a mis-keyed cache
+	// degrades to a rebuild instead of a divergent solve.
+	gdSeed                         int64
+	coarsenTo, maxLevels, clusters int
+}
+
+// BuildPrep runs the coarsening pass of Bisect(g, ws, opt) and captures the
+// hierarchy. Construction consumes its own RNG stream derived from GD.Seed —
+// the same stream Bisect's inline pass uses — so a solve with the prep
+// injected is byte-identical to one that rebuilds it.
+func BuildPrep(g *graph.Graph, ws [][]float64, opt Options) *Prep {
+	opt.normalize()
+	wg0 := coarsen.Wrap(g, ws)
+	pool := vecmath.NewPool(opt.GD.Workers)
+	rng := rand.New(rand.NewSource(opt.GD.Seed*1000003 + 77))
+	levels, cmaps := coarsen.Hierarchy(wg0, hierarchyOptions(opt), rng, pool)
+	return &Prep{
+		graph: g, levels: levels, cmaps: cmaps,
+		gdSeed: opt.GD.Seed, coarsenTo: opt.CoarsenTo,
+		maxLevels: opt.MaxLevels, clusters: opt.ClusterSize,
+	}
+}
+
+// Matches reports whether the prep was built for exactly this graph value
+// (pointer identity — content identity is the cache key's responsibility).
+func (p *Prep) Matches(g *graph.Graph) bool { return p != nil && p.graph == g }
+
+// usable additionally verifies the normalized solve options agree with the
+// hierarchy-shaping parameters the prep was built under.
+func (p *Prep) usable(g *graph.Graph, opt *Options) bool {
+	return p.Matches(g) && p.gdSeed == opt.GD.Seed && p.coarsenTo == opt.CoarsenTo &&
+		p.maxLevels == opt.MaxLevels && p.clusters == opt.ClusterSize
+}
+
+// Bytes estimates the heap footprint for cache byte accounting. Conservative:
+// the finest level aliases the base graph's CSR and weights (coarsen.Wrap is
+// zero-copy) and those shared bytes are charged anyway.
+func (p *Prep) Bytes() int64 {
+	var b int64
+	for _, lv := range p.levels {
+		b += lv.Bytes()
+	}
+	for _, cm := range p.cmaps {
+		b += int64(len(cm)) * 4
+	}
+	return b
+}
+
+// hierarchyOptions is the single source of truth for how the V-cycle
+// coarsens, shared by Bisect's inline pass and BuildPrep so cached and
+// rebuilt hierarchies can never diverge.
+func hierarchyOptions(opt Options) coarsen.HierarchyOptions {
+	return coarsen.HierarchyOptions{
+		CoarsenTo: opt.CoarsenTo,
+		MaxLevels: opt.MaxLevels,
+		Clusters:  true,
+		Cluster:   coarsen.ClusterOptions{MaxClusterVertices: opt.ClusterSize},
+		// Stop descending as soon as a level stops shedding arcs: on graphs
+		// without local clustering the hierarchy would otherwise grind all
+		// the way to CoarsenTo only for the edge-absorption check to throw
+		// it away.
+		EdgeStallRatio: 0.9,
+	}
 }
 
 func (o *Options) normalize() {
@@ -131,25 +216,24 @@ func Bisect(g *graph.Graph, ws [][]float64, opt Options) (*core.Result, error) {
 	if opt.GD.WarmStart != nil {
 		return core.BisectWeighted(wg0, opt.GD)
 	}
-	pool := vecmath.NewPool(opt.GD.Workers)
-	// The coarsening stream is independent of the GD streams so hierarchy
-	// shape never shifts the solver's randomness.
-	rng := rand.New(rand.NewSource(opt.GD.Seed*1000003 + 77))
 	coarsenSpan := opt.GD.Span.Start("coarsen")
-	levels, cmaps := coarsen.Hierarchy(wg0, coarsen.HierarchyOptions{
-		CoarsenTo: opt.CoarsenTo,
-		MaxLevels: opt.MaxLevels,
-		Clusters:  true,
-		Cluster:   coarsen.ClusterOptions{MaxClusterVertices: opt.ClusterSize},
-		// Stop descending as soon as a level stops shedding arcs: on graphs
-		// without local clustering the hierarchy would otherwise grind all
-		// the way to CoarsenTo only for the edge-absorption check below to
-		// throw it away.
-		EdgeStallRatio: 0.9,
-	}, rng, pool)
+	var levels []*coarsen.Graph
+	var cmaps [][]int32
+	cached := opt.Prep.usable(g, &opt)
+	if cached {
+		levels, cmaps = opt.Prep.levels, opt.Prep.cmaps
+	} else {
+		// The coarsening stream is independent of the GD streams so hierarchy
+		// shape never shifts the solver's randomness — which is also what
+		// makes an injected hierarchy byte-identical to this rebuild.
+		rng := rand.New(rand.NewSource(opt.GD.Seed*1000003 + 77))
+		levels, cmaps = coarsen.Hierarchy(wg0, hierarchyOptions(opt), rng,
+			vecmath.NewPool(opt.GD.Workers))
+	}
 	if coarsenSpan != nil {
 		coarsenSpan.SetAttr("levels", len(levels))
 		coarsenSpan.SetAttr("coarse_n", levels[len(levels)-1].N())
+		coarsenSpan.SetAttr("cached", cached)
 		coarsenSpan.End()
 	}
 

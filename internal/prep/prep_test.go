@@ -1,0 +1,175 @@
+package prep
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// fakeArt is a test artifact with a fixed reported size and an identity tag
+// for validation tests.
+type fakeArt struct {
+	size int64
+	tag  int
+}
+
+func (a *fakeArt) Bytes() int64 { return a.size }
+
+func key(i int) string { return fmt.Sprintf("k%02d", i) }
+
+func TestDisabledCache(t *testing.T) {
+	for _, c := range []*Cache{nil, New(0), New(-1)} {
+		if c.Enabled() {
+			t.Fatalf("cache %+v should be disabled", c)
+		}
+		if c != nil {
+			if ev := c.Put("a", &fakeArt{size: 10}); ev != 0 {
+				t.Fatalf("disabled Put evicted %d", ev)
+			}
+			if _, ok := c.Get("a", nil); ok {
+				t.Fatal("disabled Get hit")
+			}
+		}
+		if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+			t.Fatalf("disabled stats %+v", st)
+		}
+	}
+}
+
+func TestPutGetAndLRUEviction(t *testing.T) {
+	// Budget fits exactly two entries: key(3) + overhead + 1000 payload.
+	per := int64(3) + entryOverhead + 1000
+	c := New(2 * per)
+	for i := 0; i < 3; i++ {
+		if ev := c.Put(key(i), &fakeArt{size: 1000, tag: i}); ev != 0 && i < 2 {
+			t.Fatalf("premature eviction inserting %d", i)
+		}
+	}
+	// k00 is the LRU and must be gone; k01 and k02 remain.
+	if _, ok := c.Get(key(0), nil); ok {
+		t.Fatal("k00 survived eviction")
+	}
+	for i := 1; i < 3; i++ {
+		a, ok := c.Get(key(i), nil)
+		if !ok || a.(*fakeArt).tag != i {
+			t.Fatalf("k%02d missing after eviction", i)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Bytes != 2*per || st.Evictions != 1 {
+		t.Fatalf("stats %+v, want 2 entries, %d bytes, 1 eviction", st, 2*per)
+	}
+	// Touch k01 so k02 becomes the LRU, then force one more eviction.
+	c.Get(key(1), nil)
+	c.Put(key(3), &fakeArt{size: 1000, tag: 3})
+	if _, ok := c.Get(key(2), nil); ok {
+		t.Fatal("k02 should have been evicted (k01 was touched more recently)")
+	}
+	if _, ok := c.Get(key(1), nil); !ok {
+		t.Fatal("k01 should have survived (promoted by Get)")
+	}
+}
+
+func TestReplaceAccountsBytes(t *testing.T) {
+	c := New(1 << 20)
+	c.Put("a", &fakeArt{size: 1000})
+	before := c.Stats().Bytes
+	c.Put("a", &fakeArt{size: 4000})
+	after := c.Stats().Bytes
+	if after-before != 3000 {
+		t.Fatalf("replace grew bytes by %d, want 3000", after-before)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("replace duplicated the entry: %+v", st)
+	}
+}
+
+func TestOversizeArtifactNotCached(t *testing.T) {
+	c := New(2048)
+	c.Put("small", &fakeArt{size: 100})
+	if ev := c.Put("huge", &fakeArt{size: 1 << 20}); ev != 0 {
+		t.Fatalf("oversize Put evicted %d entries", ev)
+	}
+	if _, ok := c.Get("huge", nil); ok {
+		t.Fatal("oversize artifact was cached")
+	}
+	if _, ok := c.Get("small", nil); !ok {
+		t.Fatal("oversize Put disturbed the working set")
+	}
+	// An oversize replacement still drops the stale prior entry.
+	c.Put("small", &fakeArt{size: 1 << 20})
+	if _, ok := c.Get("small", nil); ok {
+		t.Fatal("stale entry survived an oversize replacement")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("stats after oversize replacement: %+v", st)
+	}
+}
+
+func TestValidationFailureCountsAsMiss(t *testing.T) {
+	c := New(1 << 20)
+	c.Put("a", &fakeArt{size: 100, tag: 1})
+	if _, ok := c.Get("a", func(a Artifact) bool { return a.(*fakeArt).tag == 2 }); ok {
+		t.Fatal("invalid entry served as a hit")
+	}
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 1 {
+		t.Fatalf("stats %+v, want 0 hits / 1 miss", st)
+	}
+	// The stale entry must be gone, not just skipped.
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("stale entry retained: %+v", st)
+	}
+	// A later Get without a validator is a clean miss, not a resurrection.
+	if _, ok := c.Get("a", nil); ok {
+		t.Fatal("removed entry resurrected")
+	}
+}
+
+func TestHitMissCounters(t *testing.T) {
+	c := New(1 << 20)
+	c.Get("a", nil)
+	c.Put("a", &fakeArt{size: 10})
+	c.Get("a", nil)
+	c.Get("b", nil)
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("stats %+v, want 1 hit / 2 misses", st)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(64 << 10)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := key(i % 16)
+				if _, ok := c.Get(k, nil); !ok {
+					c.Put(k, &fakeArt{size: int64(100 * (i%7 + 1)), tag: w})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Clamps != 0 {
+		t.Fatalf("byte accounting clamped %d times under concurrency", st.Clamps)
+	}
+	if st.Bytes < 0 || st.Entries > 16 {
+		t.Fatalf("implausible stats %+v", st)
+	}
+	// Recount from scratch: the gauge must equal the sum of live entries.
+	var want int64
+	c.mu.Lock()
+	for _, el := range c.items {
+		want += el.Value.(*entry).bytes
+	}
+	got := c.bytes
+	c.mu.Unlock()
+	if got != want {
+		t.Fatalf("byte gauge %d != live-entry sum %d", got, want)
+	}
+}

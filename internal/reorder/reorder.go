@@ -208,16 +208,25 @@ func Bandwidth(offsets []int64, adj []int32) int64 {
 //
 // A Layout owns scratch buffers and must not be used from concurrent SpMV
 // calls (the GD loop issues one SpMV at a time, so this costs nothing).
+// To share one layout across concurrent solves — the prep-cache case —
+// hand each solve its own Clone: clones share the immutable permutation and
+// permuted CSR but never the scratch.
 type Layout struct {
 	// Perm maps new id -> old id; Inv maps old id -> new id.
 	Perm, Inv []int32
 
+	// Immutable after NewLayout; shared between clones.
 	offsets []int64
 	adj     []int32
 	ew      []float64
-	xp      []float64
-	yp      []float64
-	fp      []bool
+
+	// Per-instance scratch, allocated lazily on first use so cached layouts
+	// (and fresh clones) cost nothing until they actually run an SpMV.
+	xp   []float64
+	yp   []float64
+	fp   []bool
+	xp32 []float32
+	ew32 []float32 // permuted float32 mirror of ew, built on first 32-bit SpMV
 }
 
 // NewLayout builds the reordered mirror of the given weighted CSR adjacency
@@ -231,9 +240,6 @@ func NewLayout(offsets []int64, adj []int32, ew []float64, m Method) *Layout {
 		Inv:     inv,
 		offsets: make([]int64, n+1),
 		adj:     make([]int32, len(adj)),
-		xp:      make([]float64, n),
-		yp:      make([]float64, n),
-		fp:      make([]bool, n),
 	}
 	if ew != nil {
 		l.ew = make([]float64, len(ew))
@@ -257,8 +263,61 @@ func NewLayout(offsets []int64, adj []int32, ew []float64, m Method) *Layout {
 // N returns the number of vertices in the layout.
 func (l *Layout) N() int { return len(l.Perm) }
 
+// Arcs returns the number of arcs in the layout.
+func (l *Layout) Arcs() int { return len(l.adj) }
+
 // Bandwidth returns the arc bandwidth of the reordered adjacency.
 func (l *Layout) Bandwidth() int64 { return Bandwidth(l.offsets, l.adj) }
+
+// Weighted reports whether the layout carries per-arc edge weights (it was
+// built with ew != nil). Injection paths use it to reject a cached layout
+// whose weighting disagrees with the graph being solved.
+func (l *Layout) Weighted() bool { return l.ew != nil }
+
+// Clone returns a layout sharing the immutable permutation and permuted CSR
+// with l but owning its own (lazily allocated) scratch. A cached layout is
+// safe to hand to concurrent solves as long as each receives its own clone.
+func (l *Layout) Clone() *Layout {
+	return &Layout{
+		Perm:    l.Perm,
+		Inv:     l.Inv,
+		offsets: l.offsets,
+		adj:     l.adj,
+		ew:      l.ew,
+	}
+}
+
+// Bytes estimates the heap footprint of the layout's immutable parts — the
+// permutation pair and the permuted CSR — for cache byte accounting. Scratch
+// is excluded: cached layouts carry none, and clones pay for their own.
+func (l *Layout) Bytes() int64 {
+	b := int64(len(l.Perm))*4 + int64(len(l.Inv))*4 +
+		int64(len(l.offsets))*8 + int64(len(l.adj))*4
+	if l.ew != nil {
+		b += int64(len(l.ew)) * 8
+	}
+	return b
+}
+
+// Matches reports whether the layout was built over a CSR of the same shape
+// (vertex and arc counts). It is the cheap sanity check an injection path
+// runs before trusting a cached layout; content equality is the caller's
+// responsibility (prep caches key layouts by graph content hash).
+func (l *Layout) Matches(offsets []int64, adj []int32) bool {
+	return len(l.Perm) == len(offsets)-1 && len(l.adj) == len(adj)
+}
+
+// scratch ensures the float64 SpMV scratch is allocated.
+func (l *Layout) scratch(masked bool) {
+	n := len(l.Perm)
+	if l.xp == nil {
+		l.xp = make([]float64, n)
+		l.yp = make([]float64, n)
+	}
+	if masked && l.fp == nil {
+		l.fp = make([]bool, n)
+	}
+}
 
 // SpMVMasked computes dst = A_w·x restricted to rows where fixed is false
 // (fixed == nil computes every row), with x, dst and fixed indexed by
@@ -269,6 +328,7 @@ func (l *Layout) Bandwidth() int64 { return Bandwidth(l.offsets, l.adj) }
 // any worker count.
 func (l *Layout) SpMVMasked(x, dst []float64, fixed []bool, p *vecmath.Pool) {
 	n := len(l.Perm)
+	l.scratch(fixed != nil)
 	if fixed == nil {
 		p.For(n, func(lo, hi int) {
 			for nv := lo; nv < hi; nv++ {
@@ -291,6 +351,68 @@ func (l *Layout) SpMVMasked(x, dst []float64, fixed []bool, p *vecmath.Pool) {
 		}
 	})
 	vecmath.SpMVBlockedPool(l.offsets, l.adj, l.ew, l.xp, l.yp, l.fp, p)
+	p.For(n, func(lo, hi int) {
+		for nv := lo; nv < hi; nv++ {
+			if !l.fp[nv] {
+				dst[l.Perm[nv]] = l.yp[nv]
+			}
+		}
+	})
+}
+
+// scratch32 ensures the float32 gather scratch (and the permuted float32
+// edge-weight mirror, when the layout is weighted) is allocated.
+func (l *Layout) scratch32(masked bool) {
+	n := len(l.Perm)
+	if l.xp32 == nil {
+		l.xp32 = make([]float32, n)
+	}
+	if l.yp == nil {
+		l.yp = make([]float64, n)
+	}
+	if masked && l.fp == nil {
+		l.fp = make([]bool, n)
+	}
+	if l.ew != nil && l.ew32 == nil {
+		l.ew32 = make([]float32, len(l.ew))
+		for i, w := range l.ew {
+			l.ew32[i] = float32(w)
+		}
+	}
+}
+
+// SpMVMasked32 is SpMVMasked through the float32 gather kernel: x is mirrored
+// into the permuted index space rounded to float32, the register-blocked
+// 32-bit kernel accumulates each row in float64 in its original arc order,
+// and results scatter back through Perm. The output is bit-identical to
+// vecmath.SpMV32WeightedMaskedPool over the unreordered CSR with x and ew
+// converted elementwise — the float32 rounding happens per value, before any
+// ordering — at any worker count.
+func (l *Layout) SpMVMasked32(x, dst []float64, fixed []bool, p *vecmath.Pool) {
+	n := len(l.Perm)
+	l.scratch32(fixed != nil)
+	if fixed == nil {
+		p.For(n, func(lo, hi int) {
+			for nv := lo; nv < hi; nv++ {
+				l.xp32[nv] = float32(x[l.Perm[nv]])
+			}
+		})
+		vecmath.SpMVBlocked32Pool(l.offsets, l.adj, l.ew32, l.xp32, l.yp, nil, p)
+		p.For(n, func(lo, hi int) {
+			for nv := lo; nv < hi; nv++ {
+				dst[l.Perm[nv]] = l.yp[nv]
+			}
+		})
+		return
+	}
+	p.For(n, func(lo, hi int) {
+		for nv := lo; nv < hi; nv++ {
+			ov := l.Perm[nv]
+			l.xp32[nv] = float32(x[ov])
+			l.fp[nv] = fixed[ov]
+		}
+	})
+	vecmath.SpMVBlocked32Pool(l.offsets, l.adj, l.ew32, l.xp32, l.yp, l.fp, p)
 	p.For(n, func(lo, hi int) {
 		for nv := lo; nv < hi; nv++ {
 			if !l.fp[nv] {

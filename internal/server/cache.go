@@ -153,6 +153,40 @@ func newGraphCache(capacity int) *graphCache {
 	return &graphCache{capacity: capacity, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
+// getOrPut returns the canonical retained instance of the graph under hash,
+// inserting g when the hash is new, plus how many entries were evicted. Every
+// same-content submission is handed back the SAME *mdbgp.Graph — beyond
+// deduplicating memory, pointer identity is what the prep cache's artifacts
+// are validated against, so canonicalization is what lets a repeat submission
+// (or a zero-churn delta) reuse a prepared layout or hierarchy at all. With
+// the cache disabled each submission keeps its own instance and prep reuse
+// degrades to per-instance.
+func (c *graphCache) getOrPut(hash string, g *mdbgp.Graph) (*mdbgp.Graph, int) {
+	if c.capacity <= 0 {
+		return g, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[hash]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*graphEntry).g, 0
+	}
+	e := &graphEntry{key: hash, g: g, bytes: graphEntryBytes(hash, g)}
+	c.items[hash] = c.ll.PushFront(e)
+	c.bytes += e.bytes
+	evicted := 0
+	for c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		old := back.Value.(*graphEntry)
+		c.ll.Remove(back)
+		delete(c.items, old.key)
+		c.bytes -= old.bytes
+		evicted++
+	}
+	clampBytes(&c.bytes, &c.clamps)
+	return g, evicted
+}
+
 // get returns the cached graph for the hash, promoting it to most recent.
 func (c *graphCache) get(hash string) (*mdbgp.Graph, bool) {
 	c.mu.Lock()

@@ -30,6 +30,7 @@ type job struct {
 	opts      mdbgp.Options
 	engine    string // canonical engine name solving (or having solved) this job
 	dims      []mdbgp.Weight
+	dimNames  string     // canonical dims= spelling — part of prep-cache keys
 	delta     *deltaView // non-nil for delta submissions; immutable
 
 	// ingestMode records how the graph arrived ("resident" or "out-of-core");
@@ -207,6 +208,13 @@ func (s *Server) runJob(j *job) {
 	// excluded from option fingerprints, so attaching it here cannot fork the
 	// cache key the job was dispatched under.
 	opts.Observer = solveSpan
+	if g != nil && j.spill == nil {
+		// Prep amortization: reuse (or build and retain) the solve's
+		// assignment-independent preprocessing. Like the observer, the
+		// injected artifacts are excluded from fingerprints — a cached-prep
+		// solve is byte-identical to a rebuilt-prep one.
+		opts = s.attachPrep(g, j.graphHash, j.dimNames, dims, opts, solveSpan)
+	}
 	start := time.Now()
 	var res *mdbgp.Result
 	var err error

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mdbgp/internal/obs"
+	"mdbgp/internal/prep"
 )
 
 // metrics holds the daemon's counters and latency histograms. Counter fields
@@ -163,6 +164,7 @@ type metricsSnapshot struct {
 	queueDepth, queueCap, workers                          int64
 	cacheEntries, graphEntries                             int
 	cacheBytes, cacheClamps, graphBytes, graphClamps       int64
+	prepStats                                              prep.Stats
 	uptimeSec                                              int64
 }
 
@@ -210,6 +212,7 @@ func (s *Server) snapshotMetrics() metricsSnapshot {
 	snap.cacheClamps = s.cache.clampCount()
 	snap.graphEntries, snap.graphBytes = s.graphs.stats()
 	snap.graphClamps = s.graphs.clampCount()
+	snap.prepStats = s.preps.Stats()
 	return snap
 }
 
@@ -275,6 +278,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("mdbgpd_graph_cache_entries", "Base graphs held for delta submissions.", int64(snap.graphEntries))
 	gauge("mdbgpd_graph_cache_bytes", "Approximate bytes held by cached base graphs (payloads + keys + bookkeeping).", snap.graphBytes)
 	counter("mdbgpd_graph_cache_accounting_clamps_total", "Times the graph-cache byte gauge went negative and was clamped (accounting bug).", snap.graphClamps)
+	counter("mdbgpd_prep_cache_hits_total", "Prep-artifact lookups served from cache (reorder layouts, coarsening hierarchies).", snap.prepStats.Hits)
+	counter("mdbgpd_prep_cache_misses_total", "Prep-artifact lookups that built the artifact inline (stale entries included).", snap.prepStats.Misses)
+	counter("mdbgpd_prep_cache_evictions_total", "Prep artifacts evicted to hold the byte budget.", snap.prepStats.Evictions)
+	gauge("mdbgpd_prep_cache_entries", "Prep artifacts currently retained.", int64(snap.prepStats.Entries))
+	gauge("mdbgpd_prep_cache_bytes", "Approximate bytes held by retained prep artifacts (payloads + keys + bookkeeping).", snap.prepStats.Bytes)
+	counter("mdbgpd_prep_cache_accounting_clamps_total", "Times the prep-cache byte gauge went negative and was clamped (accounting bug).", snap.prepStats.Clamps)
 	if snap.diskEnabled {
 		counter("mdbgpd_cache_disk_hits_total", "Results served from the durable disk tier.", snap.diskHits)
 		counter("mdbgpd_cache_disk_misses_total", "Disk-tier lookups that found no entry.", snap.diskMisses)

@@ -62,6 +62,7 @@ import (
 	"mdbgp"
 	"mdbgp/internal/cachestore"
 	"mdbgp/internal/obs"
+	"mdbgp/internal/prep"
 	"mdbgp/internal/wire"
 )
 
@@ -112,6 +113,15 @@ type Config struct {
 	// A cold solve (forced or otherwise) resets the chain to depth zero
 	// (0 = 8, negative disables the limit).
 	MaxChainDepth int
+	// PrepCacheBytes budgets the prep-artifact cache: reorder layouts and
+	// coarsening hierarchies built for one solve are retained (keyed by graph
+	// hash, artifact kind and parameters) and injected into later solves of
+	// the same graph, which skip the rebuild. Injection never changes
+	// results — a cached-prep solve is byte-identical to a rebuilt-prep
+	// solve, and the artifacts stay out of option fingerprints — so this is
+	// purely a latency/CPU-for-memory trade (0 = 256 MiB, negative
+	// disables).
+	PrepCacheBytes int64
 	// Reorder is the vertex-reordering pass applied to the gradient kernels
 	// of submissions that do not pass ?reorder= themselves ("" = none; see
 	// mdbgp.ReorderNames). Reordering never changes results — it is a
@@ -202,6 +212,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxChainDepth == 0 {
 		c.MaxChainDepth = 8
 	}
+	if c.PrepCacheBytes == 0 {
+		c.PrepCacheBytes = 256 << 20
+	}
 	if c.SlowRequest == 0 {
 		c.SlowRequest = 2 * time.Second
 	}
@@ -236,6 +249,7 @@ type Server struct {
 
 	cache  *resultCache
 	graphs *graphCache
+	preps  *prep.Cache       // prepared layouts/hierarchies, keyed per graph
 	disk   *cachestore.Store // durable tier; nil when Config.CacheDir is empty
 	met    metrics
 	seq    atomic.Int64
@@ -263,6 +277,7 @@ func newServer(cfg Config) *Server {
 		inflight: make(map[string]*job),
 		cache:    newResultCache(cfg.CacheEntries),
 		graphs:   newGraphCache(cfg.GraphCacheEntries),
+		preps:    prep.New(cfg.PrepCacheBytes),
 		start:    time.Now(),
 		log:      cfg.Logger,
 	}
@@ -362,7 +377,7 @@ var allowedParams = map[string]bool{
 	"k": true, "eps": true, "dims": true, "iters": true, "step": true,
 	"projection": true, "seed": true, "engine": true, "multilevel": true,
 	"coarsento": true, "clustersize": true, "refineiters": true,
-	"reorder": true, "incgrad": true, "resync": true,
+	"reorder": true, "incgrad": true, "resync": true, "kernel32": true,
 	"wait": true, "base": true,
 }
 
@@ -467,6 +482,21 @@ func parseSubmit(r *http.Request) (submitRequest, error) {
 	}
 	if req.opts.ResyncEvery < 0 {
 		return req, fmt.Errorf("resync=%d out of range (want >= 0; 0 selects the default)", req.opts.ResyncEvery)
+	}
+	if err := boolParam("kernel32", &req.opts.Kernel32); err != nil {
+		return req, err
+	}
+	// kernel32 is validated at submit time for the same reason projection is:
+	// the engine would refuse it anyway (it is fingerprinted, so an ignored
+	// flag would split cache keys between byte-identical results), and a 400
+	// here beats a failed job later.
+	if req.opts.Kernel32 {
+		if !req.engine.Kernel32 {
+			return req, fmt.Errorf("engine %q does not support kernel32 (float32 gradient kernels); use a gradient engine", req.engine.Name)
+		}
+		if req.opts.IncrementalGradient {
+			return req, fmt.Errorf("kernel32 and incgrad are mutually exclusive (incremental updates assume the float64 kernels)")
+		}
 	}
 	req.base = q.Get("base")
 	req.dimsExplicit = q.Get("dims") != ""
@@ -803,7 +833,12 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, req submitRequ
 		// Every materialized graph becomes a warm-start base for future deltas
 		// (including delta-produced graphs — that is what makes chains work).
 		// Out-of-core graphs never materialize, so they never become bases.
-		if ev := s.graphs.put(ing.hash, ing.g); ev > 0 {
+		// The cache also canonicalizes: a repeat submission of the same graph
+		// bytes proceeds with the RETAINED instance, so prep artifacts keyed
+		// by pointer identity survive resubmission.
+		canon, ev := s.graphs.getOrPut(ing.hash, ing.g)
+		ing.g = canon
+		if ev > 0 {
 			s.met.graphEvictions.Add(int64(ev))
 		}
 	}
@@ -869,7 +904,8 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, req submitRequ
 		return
 	}
 	j := &job{
-		id: s.newJobID(key), key: key, graphHash: ing.hash, opts: opts, engine: opts.Engine, dims: req.dims,
+		id: s.newJobID(key), key: key, graphHash: ing.hash, opts: opts, engine: opts.Engine,
+		dims: req.dims, dimNames: req.dimNames,
 		done: make(chan struct{}), status: StatusQueued, cache: "miss",
 		n: ing.n, m: ing.m, delta: dv, submitted: time.Now(), g: ing.g,
 		ingestMode: ing.mode, spill: ing.spill,

@@ -1,0 +1,178 @@
+package vecmath
+
+import "unsafe"
+
+// Float32 variants of the bandwidth-bound SpMV kernels. The gradient gather
+// is memory-bound (one 4-byte arc target plus one x load per arc); storing x
+// and the edge weights in float32 halves the gathered bytes per arc, which
+// on bandwidth-saturated hardware converts directly into throughput. Every
+// accumulation still runs in float64 — per row, left to right, exactly like
+// the float64 kernels — so the result is a deterministic function of the
+// float32 inputs: bit-identical at any worker count, but NOT bit-identical
+// to the float64 kernels (the inputs themselves are rounded). Callers that
+// promise byte-stable output must therefore treat the 32-bit path as a
+// distinct, explicitly fingerprinted configuration (Options.Kernel32), never
+// as a drop-in replacement.
+
+// Convert32Pool fills dst with float32(src), sharded over the pool. dst and
+// src must have equal length.
+func Convert32Pool(dst []float32, src []float64, p *Pool) {
+	if len(dst) != len(src) {
+		panic("vecmath: Convert32Pool length mismatch")
+	}
+	p.For(len(src), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = float32(src[i])
+		}
+	})
+}
+
+// SpMV32WeightedMaskedPool is SpMVWeightedMaskedPool with float32 storage:
+// dst[v] = Σ_i float64(ew32[i])·float64(x32[adj[i]]) over v's arc range,
+// restricted to rows where fixed[v] is false (fixed rows keep their dst
+// value). ew32 == nil selects unit edge weights; fixed == nil computes every
+// row. Accumulation is float64 in original per-row arc order, so the output
+// is bit-identical at any worker count.
+func SpMV32WeightedMaskedPool(offsets []int64, adj []int32, ew32 []float32, x32 []float32, dst []float64, fixed []bool, p *Pool) {
+	n := len(offsets) - 1
+	p.For(n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if fixed != nil && fixed[v] {
+				continue
+			}
+			s := 0.0
+			row := adj[offsets[v]:offsets[v+1]]
+			if ew32 == nil {
+				for _, u := range row {
+					s += float64(x32[u])
+				}
+			} else {
+				wrow := ew32[offsets[v]:offsets[v+1]]
+				for i, u := range row {
+					s += float64(wrow[i]) * float64(x32[u])
+				}
+			}
+			dst[v] = s
+		}
+	})
+}
+
+// spmvRow32Unsafe continues accumulating a CSR row over arcs [b, e) starting
+// from s with unchecked float32 loads, preserving the left-to-right arc
+// order of the checked 32-bit kernel.
+func spmvRow32Unsafe(ab, eb, xb unsafe.Pointer, b, e int64, s float64) float64 {
+	if eb == nil {
+		for i := b; i < e; i++ {
+			u := *(*int32)(unsafe.Add(ab, uintptr(i)*4))
+			s += float64(*(*float32)(unsafe.Add(xb, uintptr(u)*4)))
+		}
+	} else {
+		for i := b; i < e; i++ {
+			u := *(*int32)(unsafe.Add(ab, uintptr(i)*4))
+			s += float64(*(*float32)(unsafe.Add(eb, uintptr(i)*4))) *
+				float64(*(*float32)(unsafe.Add(xb, uintptr(u)*4)))
+		}
+	}
+	return s
+}
+
+// SpMVBlocked32Pool is the register-blocked float32 gather: identical
+// masking rules and per-row summation order to SpMV32WeightedMaskedPool
+// (bit-identical output at any worker count), with rows interleaved in
+// groups of four and unchecked loads. Like SpMVBlockedPool it REQUIRES the
+// CSR validity invariant — every adj[i] in [0, len(offsets)-1) — which
+// graph.Graph construction and reorder.NewLayout guarantee.
+func SpMVBlocked32Pool(offsets []int64, adj []int32, ew32 []float32, x32 []float32, dst []float64, fixed []bool, p *Pool) {
+	n := len(offsets) - 1
+	if n <= 0 {
+		return
+	}
+	if len(x32) != n || len(dst) != n {
+		panic("vecmath: SpMVBlocked32Pool vector/offset length mismatch")
+	}
+	if int64(len(adj)) != offsets[n] {
+		panic("vecmath: SpMVBlocked32Pool adjacency/offset length mismatch")
+	}
+	if ew32 != nil && len(ew32) != len(adj) {
+		panic("vecmath: SpMVBlocked32Pool edge-weight length mismatch")
+	}
+	if fixed != nil && len(fixed) != n {
+		panic("vecmath: SpMVBlocked32Pool mask length mismatch")
+	}
+	if len(adj) == 0 {
+		p.For(n, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				if fixed == nil || !fixed[v] {
+					dst[v] = 0
+				}
+			}
+		})
+		return
+	}
+	xb := unsafe.Pointer(&x32[0])
+	ab := unsafe.Pointer(&adj[0])
+	var eb unsafe.Pointer
+	if ew32 != nil {
+		eb = unsafe.Pointer(&ew32[0])
+	}
+	p.For(n, func(lo, hi int) {
+		v := lo
+		for ; v+blockRows <= hi; v += blockRows {
+			if fixed != nil && (fixed[v] || fixed[v+1] || fixed[v+2] || fixed[v+3]) {
+				for w := v; w < v+blockRows; w++ {
+					if !fixed[w] {
+						dst[w] = spmvRow32Unsafe(ab, eb, xb, offsets[w], offsets[w+1], 0)
+					}
+				}
+				continue
+			}
+			i0, e0 := offsets[v], offsets[v+1]
+			i1, e1 := offsets[v+1], offsets[v+2]
+			i2, e2 := offsets[v+2], offsets[v+3]
+			i3, e3 := offsets[v+3], offsets[v+4]
+			m := e0 - i0
+			if c := e1 - i1; c < m {
+				m = c
+			}
+			if c := e2 - i2; c < m {
+				m = c
+			}
+			if c := e3 - i3; c < m {
+				m = c
+			}
+			var s0, s1, s2, s3 float64
+			if eb == nil {
+				for k := int64(0); k < m; k++ {
+					u0 := *(*int32)(unsafe.Add(ab, uintptr(i0+k)*4))
+					u1 := *(*int32)(unsafe.Add(ab, uintptr(i1+k)*4))
+					u2 := *(*int32)(unsafe.Add(ab, uintptr(i2+k)*4))
+					u3 := *(*int32)(unsafe.Add(ab, uintptr(i3+k)*4))
+					s0 += float64(*(*float32)(unsafe.Add(xb, uintptr(u0)*4)))
+					s1 += float64(*(*float32)(unsafe.Add(xb, uintptr(u1)*4)))
+					s2 += float64(*(*float32)(unsafe.Add(xb, uintptr(u2)*4)))
+					s3 += float64(*(*float32)(unsafe.Add(xb, uintptr(u3)*4)))
+				}
+			} else {
+				for k := int64(0); k < m; k++ {
+					u0 := *(*int32)(unsafe.Add(ab, uintptr(i0+k)*4))
+					u1 := *(*int32)(unsafe.Add(ab, uintptr(i1+k)*4))
+					u2 := *(*int32)(unsafe.Add(ab, uintptr(i2+k)*4))
+					u3 := *(*int32)(unsafe.Add(ab, uintptr(i3+k)*4))
+					s0 += float64(*(*float32)(unsafe.Add(eb, uintptr(i0+k)*4))) * float64(*(*float32)(unsafe.Add(xb, uintptr(u0)*4)))
+					s1 += float64(*(*float32)(unsafe.Add(eb, uintptr(i1+k)*4))) * float64(*(*float32)(unsafe.Add(xb, uintptr(u1)*4)))
+					s2 += float64(*(*float32)(unsafe.Add(eb, uintptr(i2+k)*4))) * float64(*(*float32)(unsafe.Add(xb, uintptr(u2)*4)))
+					s3 += float64(*(*float32)(unsafe.Add(eb, uintptr(i3+k)*4))) * float64(*(*float32)(unsafe.Add(xb, uintptr(u3)*4)))
+				}
+			}
+			dst[v] = spmvRow32Unsafe(ab, eb, xb, i0+m, e0, s0)
+			dst[v+1] = spmvRow32Unsafe(ab, eb, xb, i1+m, e1, s1)
+			dst[v+2] = spmvRow32Unsafe(ab, eb, xb, i2+m, e2, s2)
+			dst[v+3] = spmvRow32Unsafe(ab, eb, xb, i3+m, e3, s3)
+		}
+		for ; v < hi; v++ {
+			if fixed == nil || !fixed[v] {
+				dst[v] = spmvRow32Unsafe(ab, eb, xb, offsets[v], offsets[v+1], 0)
+			}
+		}
+	})
+}

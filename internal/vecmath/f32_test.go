@@ -1,0 +1,153 @@
+package vecmath
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// f32Reference is the serial specification of the 32-bit kernel: float32
+// inputs, float64 accumulation in per-row arc order.
+func f32Reference(offsets []int64, adj []int32, ew32, x32 []float32, dst []float64, fixed []bool) {
+	n := len(offsets) - 1
+	for v := 0; v < n; v++ {
+		if fixed != nil && fixed[v] {
+			continue
+		}
+		s := 0.0
+		for i := offsets[v]; i < offsets[v+1]; i++ {
+			if ew32 == nil {
+				s += float64(x32[adj[i]])
+			} else {
+				s += float64(ew32[i]) * float64(x32[adj[i]])
+			}
+		}
+		dst[v] = s
+	}
+}
+
+func f32Case(seed int64, n, m int) (offsets []int64, adj []int32, ew32, x32 []float32, fixed []bool) {
+	g := randomGraph(seed, n, m)
+	offsets, adj = g.CSR()
+	rng := rand.New(rand.NewSource(seed + 1))
+	ew32 = make([]float32, len(adj))
+	for i := range ew32 {
+		ew32[i] = float32(rng.Float64()*3 - 1)
+	}
+	x32 = make([]float32, n)
+	for i := range x32 {
+		x32[i] = float32(rng.NormFloat64())
+	}
+	fixed = make([]bool, n)
+	for i := range fixed {
+		fixed[i] = rng.Intn(4) == 0
+	}
+	return
+}
+
+// TestSpMV32MatchesReferenceBitwise: both 32-bit kernels must reproduce the
+// serial reference bit-for-bit at every worker count, with and without edge
+// weights and masking.
+func TestSpMV32MatchesReferenceBitwise(t *testing.T) {
+	cases := []struct {
+		name string
+		n, m int
+	}{
+		{"tiny", 5, 6},
+		{"small", 300, 900},
+		{"multi-chunk", 9000, 40000},
+		{"non-multiple-of-4", 4099, 16000},
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{1, 2, 8} {
+			offsets, adj, ew32, x32, fixed := f32Case(int64(tc.n+workers), tc.n, tc.m)
+			p := NewPool(workers)
+			for _, weights := range []string{"unit", "weighted"} {
+				w := ew32
+				if weights == "unit" {
+					w = nil
+				}
+				for _, mask := range []string{"nil", "masked"} {
+					f := fixed
+					if mask == "nil" {
+						f = nil
+					}
+					want := make([]float64, tc.n)
+					checked := make([]float64, tc.n)
+					blocked := make([]float64, tc.n)
+					for i := range want {
+						want[i] = -99.5 // masked rows must keep prior dst
+						checked[i] = -99.5
+						blocked[i] = -99.5
+					}
+					f32Reference(offsets, adj, w, x32, want, f)
+					SpMV32WeightedMaskedPool(offsets, adj, w, x32, checked, f, p)
+					SpMVBlocked32Pool(offsets, adj, w, x32, blocked, f, p)
+					for i := range want {
+						if checked[i] != want[i] {
+							t.Fatalf("%s workers=%d %s/%s checked: dst[%d]=%v want %v",
+								tc.name, workers, weights, mask, i, checked[i], want[i])
+						}
+						if blocked[i] != want[i] {
+							t.Fatalf("%s workers=%d %s/%s blocked: dst[%d]=%v want %v",
+								tc.name, workers, weights, mask, i, blocked[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestConvert32Pool: elementwise float32 conversion at several worker counts.
+func TestConvert32Pool(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := make([]float64, 9001)
+	for i := range src {
+		src[i] = rng.NormFloat64() * 1e3
+	}
+	for _, workers := range []int{1, 2, 8} {
+		dst := make([]float32, len(src))
+		Convert32Pool(dst, src, NewPool(workers))
+		for i := range src {
+			if dst[i] != float32(src[i]) {
+				t.Fatalf("workers=%d dst[%d]=%v want %v", workers, i, dst[i], float32(src[i]))
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch: expected panic")
+		}
+	}()
+	Convert32Pool(make([]float32, 2), make([]float64, 3), nil)
+}
+
+// TestSpMVBlocked32EmptyAndFixed covers the arcless zero-fill and the
+// fixed-row skip of the blocked 32-bit kernel.
+func TestSpMVBlocked32EmptyAndFixed(t *testing.T) {
+	SpMVBlocked32Pool([]int64{0}, nil, nil, nil, nil, nil, NewPool(2))
+	offsets := []int64{0, 0, 0, 0}
+	dst := []float64{1, 2, 3}
+	SpMVBlocked32Pool(offsets, nil, nil, make([]float32, 3), dst, nil, nil)
+	for i, v := range dst {
+		if v != 0 {
+			t.Fatalf("arcless row %d: got %v, want 0", i, v)
+		}
+	}
+
+	offs, adj, ew32, x32, _ := f32Case(7, 200, 600)
+	fixed := make([]bool, 200)
+	for i := range fixed {
+		fixed[i] = true
+	}
+	out := make([]float64, 200)
+	for i := range out {
+		out[i] = float64(i)
+	}
+	SpMVBlocked32Pool(offs, adj, ew32, x32, out, fixed, NewPool(4))
+	for i := range out {
+		if out[i] != float64(i) {
+			t.Fatalf("fixed row %d overwritten: %v", i, out[i])
+		}
+	}
+}

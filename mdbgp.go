@@ -393,6 +393,34 @@ type Options struct {
 	// byte-identical to IncrementalGradient=false). Only used when
 	// IncrementalGradient is set.
 	ResyncEvery int
+	// Kernel32 runs the gradient SpMV through float32 kernels: the iterate
+	// and edge weights are rounded to float32 per value — halving the
+	// gathered bytes per arc on the bandwidth-bound gradient step — while
+	// every row still accumulates in float64 in its original arc order.
+	// Results stay bit-identical for a fixed Seed at any Parallelism, but NOT
+	// bit-identical to the float64 kernels, so Kernel32 is a distinct solver
+	// configuration covered by Fingerprint. Only the gradient engines ("gd",
+	// "multilevel") support it — Partition refuses it on any other engine
+	// rather than silently splitting cache keys between identical results —
+	// and it is mutually exclusive with IncrementalGradient (the delta
+	// scatter maintains the float64 gradient).
+	Kernel32 bool
+	// PrepLayout, when non-nil, injects a prebuilt reorder layout (see
+	// PrepareLayout) so gradient engines skip the per-solve layout build when
+	// Reorder names the method the layout was prepared for. Injection can
+	// never change results — a reordered solve is byte-identical to an
+	// unreordered one, and engines re-verify the artifact against the graph
+	// being solved — so the field is deliberately EXCLUDED from Fingerprint
+	// and passed through Canonical untouched, like Observer.
+	PrepLayout *PreparedLayout
+	// PrepHierarchy, when non-nil, injects a prebuilt coarsening hierarchy
+	// (see PrepareHierarchy) so the "multilevel" and "metis" engines skip
+	// their coarsening pass on repeat solves of the same graph. The engines
+	// accept it only for the exact graph, seed and coarsening knobs it was
+	// built under — anything else rebuilds — which keeps injected solves
+	// byte-identical to cold ones. EXCLUDED from Fingerprint, passed through
+	// Canonical untouched.
+	PrepHierarchy *PreparedHierarchy
 	// Observer, when non-nil, is the parent span the solve records its span
 	// tree under: per-bisection GD with sampled convergence telemetry
 	// (locality trajectory, iterations to 90% of final locality), multilevel
@@ -423,7 +451,8 @@ func ValidateReorder(name string) error {
 // documented defaults, and the multilevel knobs are normalized — filled in
 // for the multilevel engine, zeroed otherwise (they have no effect then).
 // Partition(g, o) and Partition(g, o.Canonical()) produce identical results.
-// Weights, Parallelism and Observer are passed through untouched.
+// Weights, Parallelism, Observer and the prep-artifact injections
+// (PrepLayout, PrepHierarchy) are passed through untouched.
 func (o Options) Canonical() Options {
 	if o.Engine == "" {
 		o.Engine = DefaultEngine
@@ -488,7 +517,10 @@ func (o Options) Canonical() Options {
 // same partition fingerprint identically: defaults are made explicit via
 // Canonical (so the deprecated Multilevel alias fingerprints the same as
 // Engine = "multilevel"), and Parallelism is excluded because results are
-// bit-identical at any worker count. The engine name is always covered, so
+// bit-identical at any worker count — as are the prep-artifact injections
+// (PrepLayout, PrepHierarchy), which amortize preprocessing without changing
+// a single output bit. Kernel32 IS covered: the float32 kernels produce
+// different (equally deterministic) bits. The engine name is always covered, so
 // distinct engines can never share a cache entry for the same graph.
 // Weights vectors and the WarmAssignment, when set, contribute their exact
 // contents: a warm-started solve follows a different trajectory than a cold
@@ -501,6 +533,12 @@ func (o Options) Fingerprint() string {
 		c.DisableAdaptiveStep, c.DisableVertexFixing,
 		c.CoarsenTo, c.ClusterSize, c.RefineIterations,
 		c.WarmIterations, c.Reorder, c.IncrementalGradient, c.ResyncEvery, len(c.Weights))
+	// Kernel32 selects numerically different (float32-rounded) kernels, so it
+	// must split cache keys — but only when set, so every pre-existing
+	// fingerprint (and golden) is unchanged for the default float64 kernels.
+	if c.Kernel32 {
+		fmt.Fprint(h, "|kernel32=true")
+	}
 	var buf [8]byte
 	for _, w := range c.Weights {
 		binary.LittleEndian.PutUint64(buf[:], uint64(len(w)))
@@ -555,6 +593,19 @@ func Partition(g *Graph, opts Options) (*Result, error) {
 	}
 	if c.WarmAssignment != nil && !eng.Info().WarmStart {
 		return nil, fmt.Errorf("mdbgp: engine %q does not support warm starts; solve cold or use a warm-capable engine", c.Engine)
+	}
+	if c.Kernel32 {
+		// Refuse rather than ignore: Kernel32 is fingerprinted, so an engine
+		// silently ignoring it would split cache keys between byte-identical
+		// results — and accepting it alongside the incremental gradient would
+		// break the resync contract (the delta scatter maintains the float64
+		// gradient the 32-bit recompute disagrees with).
+		if !eng.Info().Kernel32 {
+			return nil, fmt.Errorf("mdbgp: engine %q does not support the float32 kernels (Kernel32); use a gradient engine", c.Engine)
+		}
+		if c.IncrementalGradient {
+			return nil, fmt.Errorf("mdbgp: Kernel32 and IncrementalGradient are mutually exclusive")
+		}
 	}
 	return eng.Solve(g, c)
 }
